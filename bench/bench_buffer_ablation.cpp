@@ -1,0 +1,99 @@
+// E8 — §3.2.3 ablation: pre-allocated buffer scheme vs naive heap allocation.
+//
+// Runs identical Optimus training steps in kPooled mode (workspace/forward/
+// backward arenas, the paper's scheme) and kHeap mode (every intermediate is
+// a fresh allocation) and compares allocation traffic, peak bytes, and the
+// arena high-water marks against their pre-computed capacities (how tight
+// the §3.2.3 sizing is).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "comm/cluster.hpp"
+#include "core/optimus_model.hpp"
+#include "mesh/mesh.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+namespace oc = optimus::comm;
+namespace ocore = optimus::core;
+namespace ort = optimus::runtime;
+using optimus::bench::make_config;
+using optimus::util::Table;
+
+struct Result {
+  std::uint64_t allocs = 0;
+  std::uint64_t peak = 0;
+  std::uint64_t ws_hw = 0, fwd_hw = 0, bwd_hw = 0;
+};
+
+Result run(ocore::BufferMode mode, const optimus::model::TransformerConfig& cfg, int steps) {
+  ort::RandomLmWorkload workload(cfg.batch, cfg.seq_len, cfg.vocab, 9);
+  std::vector<ort::LmBatch> batches;
+  for (int i = 0; i < steps; ++i) batches.push_back(workload.next());
+  Result result;
+  auto report = oc::run_cluster(4, [&](oc::Context& ctx) {
+    optimus::mesh::Mesh2D mesh(ctx.world);
+    ocore::OptimusOptions opts;
+    opts.buffers = mode;
+    ocore::OptimusTransformer<float> engine(cfg, mesh, opts);
+    ctx.device.reset_alloc_count();
+    for (const auto& batch : batches) {
+      engine.forward(batch.tokens);
+      (void)engine.lm_loss(batch.labels);
+      engine.zero_grads();
+      engine.backward_lm();
+    }
+    if (ctx.rank == 0) {
+      result.ws_hw = engine.workspace_high_water();
+      result.fwd_hw = engine.forward_high_water();
+      result.bwd_hw = engine.backward_high_water();
+    }
+  });
+  result.allocs = report.ranks[0].alloc_count;
+  result.peak = report.max_peak_bytes();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  optimus::bench::print_header(
+      "E8 — buffer scheme ablation (Optimus, q = 2, 3 training steps)");
+  Table t({"config (b,s,h,N)", "mode", "allocations/device", "peak bytes", "alloc ratio"});
+  for (const auto& dims : {std::array<int, 4>{8, 16, 32, 2}, std::array<int, 4>{8, 32, 64, 4}}) {
+    const auto cfg = make_config(dims[0], dims[1], dims[2], 4, 32, dims[3]);
+    const Result pooled = run(ocore::BufferMode::kPooled, cfg, 3);
+    const Result heap = run(ocore::BufferMode::kHeap, cfg, 3);
+    const std::string label = std::to_string(dims[0]) + "," + std::to_string(dims[1]) + "," +
+                              std::to_string(dims[2]) + "," + std::to_string(dims[3]);
+    t.add_row({label, "pooled (§3.2.3)", std::to_string(pooled.allocs),
+               std::to_string(pooled.peak), "1.00"});
+    t.add_row({label, "heap", std::to_string(heap.allocs), std::to_string(heap.peak),
+               Table::fmt(static_cast<double>(heap.allocs) / pooled.allocs, 2)});
+  }
+  t.print(std::cout);
+
+  optimus::bench::print_header("E8 — arena sizing tightness (high water / capacity)");
+  const auto cfg = make_config(8, 32, 64, 4, 32, 4);
+  oc::run_cluster(4, [&](oc::Context& ctx) {
+    optimus::mesh::Mesh2D mesh(ctx.world);
+    ocore::OptimusTransformer<float> engine(cfg, mesh);
+    ort::RandomLmWorkload workload(cfg.batch, cfg.seq_len, cfg.vocab, 9);
+    const auto batch = workload.next();
+    engine.forward(batch.tokens);
+    (void)engine.lm_loss(batch.labels);
+    engine.backward_lm();
+    if (ctx.rank == 0) {
+      std::cout << "workspace high-water " << engine.workspace_high_water()
+                << " B, forward " << engine.forward_high_water() << " B, backward "
+                << engine.backward_high_water() << " B\n";
+    }
+  });
+  std::cout << "\nThe pooled scheme performs a constant number of allocations regardless of\n"
+               "step count and layer count — the paper's fix for allocator fragmentation.\n"
+               "Its peak is slightly higher than heap mode's (arenas hold worst-case\n"
+               "capacity), the deliberate trade §3.2.3 makes against fragmentation.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+#pragma once
+
+// Shared helpers for the bench harness: config construction and
+// paper-vs-measured table assembly.
+
+#include <iostream>
+#include <string>
+
+#include "model/config.hpp"
+#include "perfmodel/costs.hpp"
+#include "runtime/data.hpp"
+#include "util/table.hpp"
+
+namespace optimus::bench {
+
+inline model::TransformerConfig make_config(tensor::index_t b, tensor::index_t s,
+                                            tensor::index_t h, tensor::index_t n,
+                                            tensor::index_t v, tensor::index_t layers,
+                                            std::uint64_t seed = 42) {
+  model::TransformerConfig cfg;
+  cfg.batch = b;
+  cfg.seq_len = s;
+  cfg.hidden = h;
+  cfg.heads = n;
+  cfg.vocab = v;
+  cfg.layers = layers;
+  cfg.seed = seed;
+  return cfg;
+}
+
+inline perfmodel::Workload to_workload(const model::TransformerConfig& cfg) {
+  perfmodel::Workload w;
+  w.b = cfg.batch;
+  w.s = cfg.seq_len;
+  w.h = cfg.hidden;
+  w.n = cfg.heads;
+  w.v = cfg.vocab;
+  w.layers = cfg.layers;
+  return w;
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n==== " << title << " ====\n\n";
+}
+
+}  // namespace optimus::bench

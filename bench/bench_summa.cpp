@@ -1,0 +1,120 @@
+// E6 — SUMMA kernel benchmarks (google-benchmark).
+//
+// Two families:
+//  * Gemm/...      — the local blocked GEMM in all transpose forms (host wall
+//                    time; the compute substrate under everything else).
+//  * Summa/...     — distributed SUMMA products on a q×q simulated mesh.
+//                    Wall time on this single-core host measures simulation
+//                    overhead, so the counters that matter — simulated
+//                    communication seconds and β-weighted volume per device —
+//                    are exported.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "comm/cluster.hpp"
+#include "mesh/mesh.hpp"
+#include "summa/summa.hpp"
+#include "tensor/distribution.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace oc = optimus::comm;
+namespace ot = optimus::tensor;
+namespace ops = optimus::tensor::ops;
+using ot::Shape;
+using ot::Tensor;
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  optimus::util::Rng rng(seed);
+  Tensor t(shape);
+  for (ot::index_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  return t;
+}
+
+void BM_GemmNN(benchmark::State& state) {
+  const ot::index_t n = state.range(0);
+  Tensor A = random_tensor(Shape{n, n}, 1);
+  Tensor B = random_tensor(Shape{n, n}, 2);
+  Tensor C(Shape{n, n});
+  for (auto _ : state) {
+    ops::gemm(C, A, B);
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmNN)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNT(benchmark::State& state) {
+  const ot::index_t n = state.range(0);
+  Tensor A = random_tensor(Shape{n, n}, 1);
+  Tensor B = random_tensor(Shape{n, n}, 2);
+  Tensor C(Shape{n, n});
+  for (auto _ : state) {
+    ops::gemm(C, A, B, ops::Trans::No, ops::Trans::Yes);
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmNT)->Arg(64)->Arg(256);
+
+void BM_GemmTN(benchmark::State& state) {
+  const ot::index_t n = state.range(0);
+  Tensor A = random_tensor(Shape{n, n}, 1);
+  Tensor B = random_tensor(Shape{n, n}, 2);
+  Tensor C(Shape{n, n});
+  for (auto _ : state) {
+    ops::gemm(C, A, B, ops::Trans::Yes, ops::Trans::No);
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmTN)->Arg(64)->Arg(256);
+
+// Distributed SUMMA: global n×n product on a q×q mesh. Counters report the
+// per-device simulated communication.
+template <int kForm>  // 0 = AB, 1 = ABt, 2 = AtB
+void BM_Summa(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  const ot::index_t n = state.range(1);
+  const int p = q * q;
+  Tensor A_global = random_tensor(Shape{n, n}, 3);
+  Tensor B_global = random_tensor(Shape{n, n}, 4);
+
+  double sim_comm = 0, weighted = 0;
+  std::uint64_t calls = 0;
+  for (auto _ : state) {
+    auto report = oc::run_cluster(p, [&](oc::Context& ctx) {
+      optimus::mesh::Mesh2D mesh(ctx.world);
+      Tensor A = ot::matrix_block(A_global, q, mesh.row(), mesh.col());
+      Tensor B = ot::matrix_block(B_global, q, mesh.row(), mesh.col());
+      Tensor C = Tensor::zeros(Shape{n / q, n / q});
+      if constexpr (kForm == 0) {
+        optimus::summa::summa_ab(mesh, A, B, C);
+      } else if constexpr (kForm == 1) {
+        optimus::summa::summa_abt(mesh, A, B, C);
+      } else {
+        optimus::summa::summa_atb(mesh, A, B, C);
+      }
+      benchmark::DoNotOptimize(C.data());
+    });
+    sim_comm += report.max_comm_time();
+    weighted += report.ranks[0].stats.total_weighted();
+    ++calls;
+  }
+  state.counters["sim_comm_s"] = sim_comm / calls;
+  state.counters["weighted_scalars_per_dev"] = weighted / calls;
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Summa<0>)->Args({1, 96})->Args({2, 96})->Args({3, 96})->Args({4, 96});
+BENCHMARK(BM_Summa<1>)->Args({2, 96})->Args({4, 96});
+BENCHMARK(BM_Summa<2>)->Args({2, 96})->Args({4, 96});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+#include "comm/cluster.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace optimus::comm {
+
+double Cluster::Report::max_sim_time() const {
+  double t = 0;
+  for (const auto& r : ranks) t = std::max(t, r.sim_time);
+  return t;
+}
+
+double Cluster::Report::max_comm_time() const {
+  double t = 0;
+  for (const auto& r : ranks) t = std::max(t, r.comm_time);
+  return t;
+}
+
+std::uint64_t Cluster::Report::max_peak_bytes() const {
+  std::uint64_t b = 0;
+  for (const auto& r : ranks) b = std::max(b, r.peak_bytes);
+  return b;
+}
+
+std::uint64_t Cluster::Report::total_mults() const {
+  std::uint64_t m = 0;
+  for (const auto& r : ranks) m += r.mults;
+  return m;
+}
+
+double Cluster::Report::total_weighted_comm() const {
+  double w = 0;
+  for (const auto& r : ranks) w += r.stats.total_weighted();
+  return w;
+}
+
+Cluster::Cluster(int world_size, const Topology& topology, const MachineParams& params)
+    : world_size_(world_size), topology_(topology), cost_(topology_, params) {
+  OPT_CHECK(topology.world_size() == world_size,
+            "topology world " << topology.world_size() << " != cluster world " << world_size);
+}
+
+Cluster::Report Cluster::run(const std::function<void(Context&)>& body) {
+  Fabric fabric(world_size_);
+  const std::uint64_t world_comm_id = fabric.next_comm_id();
+  std::vector<int> world_group(world_size_);
+  for (int i = 0; i < world_size_; ++i) world_group[i] = i;
+
+  // Per-rank state lives on the heap so threads never share cache lines by
+  // accident and reports outlive the threads.
+  struct RankState {
+    tensor::DeviceContext device;
+    SimClock clock;
+    CommStats stats;
+    std::exception_ptr error;
+  };
+  std::vector<std::unique_ptr<RankState>> states;
+  states.reserve(world_size_);
+  for (int i = 0; i < world_size_; ++i) states.push_back(std::make_unique<RankState>());
+
+  std::vector<std::thread> threads;
+  threads.reserve(world_size_);
+  for (int rank = 0; rank < world_size_; ++rank) {
+    threads.emplace_back([&, rank] {
+      RankState& st = *states[rank];
+      tensor::ScopedDevice scoped(st.device);
+      try {
+        Context ctx{
+            Communicator(fabric, world_comm_id, world_group, rank, st.clock, cost_, st.stats),
+            st.clock,
+            st.device,
+            cost_,
+            rank,
+            world_size_,
+        };
+        body(ctx);
+        // Account compute done after the last collective.
+        st.clock.drain_compute(cost_);
+      } catch (...) {
+        st.error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (const auto& st : states) {
+    if (st->error) std::rethrow_exception(st->error);
+  }
+
+  Report report;
+  report.ranks.resize(world_size_);
+  for (int rank = 0; rank < world_size_; ++rank) {
+    RankState& st = *states[rank];
+    RankReport& r = report.ranks[rank];
+    r.sim_time = st.clock.now();
+    r.comm_time = st.stats.total_time();
+    r.mults = st.device.mults_total();
+    r.peak_bytes = st.device.bytes_peak();
+    r.live_bytes = st.device.bytes_live();
+    r.alloc_count = st.device.alloc_count();
+    r.stats = st.stats;
+  }
+  return report;
+}
+
+Cluster::Report run_cluster(int world_size, const std::function<void(Context&)>& body) {
+  Topology topo(world_size, /*gpus_per_node=*/4, Arrangement::kBunched,
+                /*mesh_q=*/0);
+  Cluster cluster(world_size, topo, MachineParams{});
+  return cluster.run(body);
+}
+
+}  // namespace optimus::comm

@@ -1,0 +1,53 @@
+#include "comm/communicator.hpp"
+
+namespace optimus::comm {
+
+Communicator::Communicator(Fabric& fabric, std::uint64_t comm_id, std::vector<int> group,
+                           int world_rank, SimClock& clock, const CostModel& cost,
+                           CommStats& stats)
+    : fabric_(&fabric),
+      comm_id_(comm_id),
+      group_(std::move(group)),
+      rank_(-1),
+      clock_(&clock),
+      cost_(&cost),
+      stats_(&stats) {
+  OPT_CHECK(!group_.empty(), "communicator group is empty");
+  for (std::size_t i = 0; i < group_.size(); ++i) {
+    if (group_[i] == world_rank) {
+      rank_ = static_cast<int>(i);
+      break;
+    }
+  }
+  OPT_CHECK(rank_ >= 0, "world rank " << world_rank << " not in communicator group");
+}
+
+double Communicator::begin_collective(std::uint64_t seq, double dt) {
+  clock_->drain_compute(*cost_);
+  const double entry = fabric_->sync_max(sync_key(seq), size(), clock_->now());
+  clock_->set(entry + dt);
+  return dt;
+}
+
+Communicator Communicator::split(int color, int key) {
+  const std::uint64_t seq = next_seq();
+  // The split itself is an out-of-band control operation; it moves no modelled
+  // bytes (real backends amortise communicator construction outside the
+  // training loop).
+  Fabric::SplitResult r =
+      fabric_->split_sync(sync_key(seq), size(), world_rank(), color, key);
+  return Communicator(*fabric_, r.new_comm_id, std::move(r.group), world_rank(), *clock_,
+                      *cost_, *stats_);
+}
+
+void Communicator::barrier() {
+  const std::uint64_t seq = next_seq();
+  if (size() == 1) return;
+  const double dt = 2.0 * log2_ceil(size()) * cost_->params().alpha;
+  begin_collective(seq, dt);
+  stats_->barrier.record(0, 0.0, dt);
+  // The sync_max rendezvous inside begin_collective already provides the
+  // synchronisation semantics; no data movement is needed.
+}
+
+}  // namespace optimus::comm

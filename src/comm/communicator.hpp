@@ -1,0 +1,476 @@
+#pragma once
+
+// MPI-style communicator over the simulated fabric.
+//
+// A Communicator names an ordered group of world ranks. Collectives are
+// blocking, must be entered by every member in the same order (standard MPI
+// contract), move real bytes through the fabric, and advance the simulated
+// clock by the CostModel's closed-form time for the operation:
+//
+//   broadcast / reduce     — binomial tree  (paper eq. 4: log₂(g)·β·B)
+//   all_reduce             — ring reduce-scatter + ring all-gather
+//                            (paper eq. 5: 2(g−1)/g·β·B)
+//   all_gather / reduce_scatter — ring
+//   barrier                — dissemination (latency only)
+//
+// Reduction order is deterministic for a fixed group, so distributed runs are
+// bit-reproducible; they differ from serial execution only by floating-point
+// association.
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "comm/fabric.hpp"
+#include "comm/sim_clock.hpp"
+#include "comm/topology.hpp"
+#include "tensor/tensor.hpp"
+
+namespace optimus::comm {
+
+class Communicator {
+ public:
+  Communicator(Fabric& fabric, std::uint64_t comm_id, std::vector<int> group, int world_rank,
+               SimClock& clock, const CostModel& cost, CommStats& stats);
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(group_.size()); }
+  int world_rank() const { return group_[rank_]; }
+  int world_rank_of(int r) const { return group_[r]; }
+  const std::vector<int>& group() const { return group_; }
+  const CostModel& cost() const { return *cost_; }
+  SimClock& clock() { return *clock_; }
+  CommStats& stats() { return *stats_; }
+
+  /// MPI_Comm_split: members with equal `color` form a new communicator,
+  /// ordered by (key, world rank). Collective over this communicator.
+  Communicator split(int color, int key);
+
+  // -- point-to-point (user tag space; also advances the clock by α+βB) -----
+
+  template <typename T>
+  void send(int dst, int tag, const T* data, tensor::index_t n);
+
+  template <typename T>
+  void recv(int src, int tag, T* data, tensor::index_t n);
+
+  // -- collectives ----------------------------------------------------------
+
+  template <typename T>
+  void broadcast(T* data, tensor::index_t n, int root);
+
+  /// In-place sum-reduce; the result is valid only at `root` afterwards.
+  template <typename T>
+  void reduce(T* data, tensor::index_t n, int root);
+
+  /// In-place ring all-reduce (sum).
+  template <typename T>
+  void all_reduce(T* data, tensor::index_t n);
+
+  /// Element-wise max all-reduce (used by the distributed softmax).
+  template <typename T>
+  void all_reduce_max(T* data, tensor::index_t n);
+
+  /// Gathers each rank's `n` elements into `out` (size n·g), rank order.
+  template <typename T>
+  void all_gather(const T* mine, tensor::index_t n, T* out);
+
+  /// data has n·g elements; rank r's `out` receives the sum-reduced chunk r.
+  template <typename T>
+  void reduce_scatter(const T* data, tensor::index_t n, T* out);
+
+  /// Personalised exchange (MPI_Alltoall): `send` holds g chunks of n
+  /// elements, chunk c destined for rank c; on return `out[c·n..)` holds the
+  /// chunk rank c addressed to this rank. Pairwise exchange; modelled as
+  /// (g−1) simultaneous chunk transfers: (g−1)·(α + β·chunk_bytes).
+  template <typename T>
+  void all_to_all(const T* send, tensor::index_t n, T* out);
+
+  /// Gathers each rank's `n` elements at `root` (out size n·g there, ignored
+  /// elsewhere). Flat fan-in; modelled like a ring all-gather.
+  template <typename T>
+  void gather(const T* mine, tensor::index_t n, T* out, int root);
+
+  /// Inverse of gather: root's `data` (n·g elements) is distributed so rank r
+  /// receives chunk r into `out` (n elements).
+  template <typename T>
+  void scatter(const T* data, tensor::index_t n, T* out, int root);
+
+  void barrier();
+
+  // -- tensor conveniences --------------------------------------------------
+
+  template <typename T>
+  void broadcast(tensor::TensorT<T>& t, int root) {
+    broadcast(t.data(), t.numel(), root);
+  }
+  template <typename T>
+  void reduce(tensor::TensorT<T>& t, int root) {
+    reduce(t.data(), t.numel(), root);
+  }
+  template <typename T>
+  void all_reduce(tensor::TensorT<T>& t) {
+    all_reduce(t.data(), t.numel());
+  }
+  template <typename T>
+  void all_reduce_max(tensor::TensorT<T>& t) {
+    all_reduce_max(t.data(), t.numel());
+  }
+
+ private:
+  // Internal tags: [comm_id : 32][seq : 24][phase : 8]. User p2p tags live in
+  // a reserved high-seq band so they can never collide with collectives.
+  std::uint64_t collective_tag(std::uint64_t seq, int phase) const {
+    return (comm_id_ << 32) | (seq << 8) | static_cast<std::uint64_t>(phase);
+  }
+  std::uint64_t user_tag(int tag) const {
+    OPT_CHECK(tag >= 0 && tag < (1 << 24), "user tag " << tag << " out of range");
+    return (comm_id_ << 32) | (0xFFull << 24 << 8) | static_cast<std::uint64_t>(tag);
+  }
+  std::uint64_t next_seq() {
+    const std::uint64_t s = seq_++;
+    OPT_CHECK(s < (1ull << 24) - (1ull << 16), "collective sequence space exhausted");
+    return s;
+  }
+  std::uint64_t sync_key(std::uint64_t seq) const { return (comm_id_ << 24) | seq; }
+
+  /// Drains local compute into the clock, aligns clocks across the group and
+  /// advances by `dt`. Returns dt unchanged (for stats recording).
+  double begin_collective(std::uint64_t seq, double dt);
+
+  template <typename T>
+  void send_internal(int dst_group_rank, std::uint64_t tag, const T* data, tensor::index_t n);
+  template <typename T>
+  void recv_internal(int src_group_rank, std::uint64_t tag, T* data, tensor::index_t n);
+
+  Fabric* fabric_;
+  std::uint64_t comm_id_;
+  std::vector<int> group_;  // world ranks
+  int rank_;                // my index within group_
+  SimClock* clock_;
+  const CostModel* cost_;
+  CommStats* stats_;
+  std::uint64_t seq_ = 0;
+};
+
+// ===========================================================================
+// Template implementations
+// ===========================================================================
+
+template <typename T>
+void Communicator::send_internal(int dst_group_rank, std::uint64_t tag, const T* data,
+                                 tensor::index_t n) {
+  // Collective-internal transfer: bytes are accounted by the collective's Op
+  // record, timing by its closed-form cost; no timestamp is carried.
+  fabric_->send(world_rank(), group_[dst_group_rank], tag, data,
+                static_cast<std::size_t>(n) * sizeof(T));
+}
+
+template <typename T>
+void Communicator::recv_internal(int src_group_rank, std::uint64_t tag, T* data,
+                                 tensor::index_t n) {
+  (void)fabric_->recv(world_rank(), group_[src_group_rank], tag, data,
+                      static_cast<std::size_t>(n) * sizeof(T));
+}
+
+template <typename T>
+void Communicator::send(int dst, int tag, const T* data, tensor::index_t n) {
+  clock_->drain_compute(*cost_);
+  const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
+  const double dt = cost_->p2p_time(world_rank(), group_[dst], bytes);
+  clock_->advance(dt);
+  stats_->p2p_messages += 1;
+  stats_->p2p_bytes += bytes;
+  stats_->p2p_time += dt;
+  // The timestamp carries the post-transfer clock so the receiver observes
+  // causality (it cannot have the data before the sender finished sending).
+  fabric_->send(world_rank(), group_[dst], user_tag(tag), data,
+                static_cast<std::size_t>(n) * sizeof(T), clock_->now());
+}
+
+template <typename T>
+void Communicator::recv(int src, int tag, T* data, tensor::index_t n) {
+  clock_->drain_compute(*cost_);
+  const double sender_ts = fabric_->recv(world_rank(), group_[src], user_tag(tag), data,
+                                         static_cast<std::size_t>(n) * sizeof(T));
+  if (sender_ts > clock_->now()) clock_->set(sender_ts);
+}
+
+template <typename T>
+void Communicator::broadcast(T* data, tensor::index_t n, int root) {
+  const std::uint64_t seq = next_seq();
+  if (size() == 1) return;
+  const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
+  const double dt = begin_collective(seq, cost_->tree_time(group_, bytes));
+  stats_->broadcast.record(n, static_cast<double>(n) * log2_ceil(size()), dt);
+
+  // MPICH-style binomial tree rooted at `root`. The ascend loop finds the bit
+  // at which this rank receives; the descend loop forwards to every lower bit.
+  const int g = size();
+  const int relative = (rank_ - root + g) % g;
+  const std::uint64_t tag = collective_tag(seq, 0);
+  int mask = 1;
+  while (mask < g) {
+    if (relative & mask) {
+      const int src = ((relative - mask) + root) % g;
+      recv_internal(src, tag, data, n);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < g) {
+      const int dst = (relative + mask + root) % g;
+      send_internal(dst, tag, data, n);
+    }
+    mask >>= 1;
+  }
+}
+
+template <typename T>
+void Communicator::reduce(T* data, tensor::index_t n, int root) {
+  const std::uint64_t seq = next_seq();
+  if (size() == 1) return;
+  const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
+  const double dt = begin_collective(seq, cost_->tree_time(group_, bytes));
+  stats_->reduce.record(n, static_cast<double>(n) * log2_ceil(size()), dt);
+
+  // Reverse binomial tree: children send partial sums toward the root.
+  const int g = size();
+  const int relative = (rank_ - root + g) % g;
+  const std::uint64_t tag = collective_tag(seq, 1);
+  std::vector<T> incoming(static_cast<std::size_t>(n));
+  int mask = 1;
+  while (mask < g) {
+    if ((relative & mask) == 0) {
+      const int partner = relative | mask;
+      if (partner < g) {
+        recv_internal((partner + root) % g, tag, incoming.data(), n);
+        for (tensor::index_t i = 0; i < n; ++i) data[i] += incoming[i];
+      }
+    } else {
+      const int partner = relative & ~mask;
+      send_internal((partner + root) % g, tag, data, n);
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+template <typename T>
+void Communicator::all_reduce(T* data, tensor::index_t n) {
+  const std::uint64_t seq = next_seq();
+  if (size() == 1) return;
+  const int g = size();
+  const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
+  const double dt = begin_collective(seq, cost_->ring_allreduce_time(group_, bytes));
+  stats_->allreduce.record(
+      n, static_cast<double>(n) * 2.0 * (g - 1) / static_cast<double>(g), dt);
+
+  // Ring all-reduce: g−1 reduce-scatter steps then g−1 all-gather steps over
+  // contiguous chunks (sizes differ by at most one element).
+  const auto chunk_begin = [&](int c) {
+    const tensor::index_t base = n / g;
+    const tensor::index_t rem = n % g;
+    return c * base + std::min<tensor::index_t>(c, rem);
+  };
+  const auto chunk_size = [&](int c) {
+    return n / g + (c < static_cast<tensor::index_t>(n % g) ? 1 : 0);
+  };
+  const int right = (rank_ + 1) % g;
+  const int left = (rank_ - 1 + g) % g;
+  std::vector<T> incoming(static_cast<std::size_t>(n / g + 1));
+
+  for (int s = 0; s < g - 1; ++s) {
+    const int send_chunk = ((rank_ - s) % g + g) % g;
+    const int recv_chunk = ((rank_ - s - 1) % g + g) % g;
+    const std::uint64_t tag = collective_tag(seq, 2);
+    send_internal(right, tag, data + chunk_begin(send_chunk), chunk_size(send_chunk));
+    recv_internal(left, tag, incoming.data(), chunk_size(recv_chunk));
+    T* target = data + chunk_begin(recv_chunk);
+    const tensor::index_t cs = chunk_size(recv_chunk);
+    for (tensor::index_t i = 0; i < cs; ++i) target[i] += incoming[i];
+  }
+  for (int s = 0; s < g - 1; ++s) {
+    const int send_chunk = ((rank_ + 1 - s) % g + g) % g;
+    const int recv_chunk = ((rank_ - s) % g + g) % g;
+    const std::uint64_t tag = collective_tag(seq, 3);
+    send_internal(right, tag, data + chunk_begin(send_chunk), chunk_size(send_chunk));
+    recv_internal(left, tag, data + chunk_begin(recv_chunk), chunk_size(recv_chunk));
+  }
+}
+
+template <typename T>
+void Communicator::all_reduce_max(T* data, tensor::index_t n) {
+  const std::uint64_t seq = next_seq();
+  if (size() == 1) return;
+  const int g = size();
+  const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
+  const double dt = begin_collective(seq, cost_->ring_allreduce_time(group_, bytes));
+  stats_->allreduce.record(
+      n, static_cast<double>(n) * 2.0 * (g - 1) / static_cast<double>(g), dt);
+
+  // Small payloads only (softmax row maxima): gather-to-0 + broadcast keeps
+  // the implementation simple; the modelled time above is still the ring's.
+  const std::uint64_t tag = collective_tag(seq, 4);
+  std::vector<T> incoming(static_cast<std::size_t>(n));
+  if (rank_ == 0) {
+    for (int r = 1; r < g; ++r) {
+      recv_internal(r, tag, incoming.data(), n);
+      for (tensor::index_t i = 0; i < n; ++i) data[i] = std::max(data[i], incoming[i]);
+    }
+  } else {
+    send_internal(0, tag, data, n);
+  }
+  const std::uint64_t tag2 = collective_tag(seq, 5);
+  if (rank_ == 0) {
+    for (int r = 1; r < g; ++r) send_internal(r, tag2, data, n);
+  } else {
+    recv_internal(0, tag2, data, n);
+  }
+}
+
+template <typename T>
+void Communicator::all_gather(const T* mine, tensor::index_t n, T* out) {
+  const std::uint64_t seq = next_seq();
+  const int g = size();
+  if (g == 1) {
+    std::memcpy(out, mine, static_cast<std::size_t>(n) * sizeof(T));
+    return;
+  }
+  const std::uint64_t total_bytes = static_cast<std::uint64_t>(n) * g * sizeof(T);
+  const double dt = begin_collective(seq, cost_->ring_allgather_time(group_, total_bytes));
+  stats_->allgather.record(static_cast<std::uint64_t>(n) * g,
+                           static_cast<double>(n) * (g - 1), dt);
+
+  std::memcpy(out + static_cast<tensor::index_t>(rank_) * n, mine,
+              static_cast<std::size_t>(n) * sizeof(T));
+  const int right = (rank_ + 1) % g;
+  const int left = (rank_ - 1 + g) % g;
+  for (int s = 0; s < g - 1; ++s) {
+    const int send_chunk = ((rank_ - s) % g + g) % g;
+    const int recv_chunk = ((rank_ - s - 1) % g + g) % g;
+    const std::uint64_t tag = collective_tag(seq, 6);
+    send_internal(right, tag, out + static_cast<tensor::index_t>(send_chunk) * n, n);
+    recv_internal(left, tag, out + static_cast<tensor::index_t>(recv_chunk) * n, n);
+  }
+}
+
+template <typename T>
+void Communicator::gather(const T* mine, tensor::index_t n, T* out, int root) {
+  const std::uint64_t seq = next_seq();
+  const int g = size();
+  if (g == 1) {
+    std::memcpy(out, mine, static_cast<std::size_t>(n) * sizeof(T));
+    return;
+  }
+  const std::uint64_t total_bytes = static_cast<std::uint64_t>(n) * g * sizeof(T);
+  const double dt = begin_collective(seq, cost_->ring_allgather_time(group_, total_bytes));
+  stats_->allgather.record(static_cast<std::uint64_t>(n) * g,
+                           static_cast<double>(n) * (g - 1), dt);
+  const std::uint64_t tag = collective_tag(seq, 9);
+  if (rank_ == root) {
+    std::memcpy(out + static_cast<tensor::index_t>(root) * n, mine,
+                static_cast<std::size_t>(n) * sizeof(T));
+    for (int r = 0; r < g; ++r) {
+      if (r == root) continue;
+      recv_internal(r, tag, out + static_cast<tensor::index_t>(r) * n, n);
+    }
+  } else {
+    send_internal(root, tag, mine, n);
+  }
+}
+
+template <typename T>
+void Communicator::scatter(const T* data, tensor::index_t n, T* out, int root) {
+  const std::uint64_t seq = next_seq();
+  const int g = size();
+  if (g == 1) {
+    std::memcpy(out, data, static_cast<std::size_t>(n) * sizeof(T));
+    return;
+  }
+  const std::uint64_t total_bytes = static_cast<std::uint64_t>(n) * g * sizeof(T);
+  const double dt = begin_collective(seq, cost_->ring_allgather_time(group_, total_bytes));
+  stats_->allgather.record(static_cast<std::uint64_t>(n) * g,
+                           static_cast<double>(n) * (g - 1), dt);
+  const std::uint64_t tag = collective_tag(seq, 10);
+  if (rank_ == root) {
+    std::memcpy(out, data + static_cast<tensor::index_t>(root) * n,
+                static_cast<std::size_t>(n) * sizeof(T));
+    for (int r = 0; r < g; ++r) {
+      if (r == root) continue;
+      send_internal(r, tag, data + static_cast<tensor::index_t>(r) * n, n);
+    }
+  } else {
+    recv_internal(root, tag, out, n);
+  }
+}
+
+template <typename T>
+void Communicator::all_to_all(const T* send, tensor::index_t n, T* out) {
+  const std::uint64_t seq = next_seq();
+  const int g = size();
+  if (g == 1) {
+    std::memcpy(out, send, static_cast<std::size_t>(n) * sizeof(T));
+    return;
+  }
+  // Pairwise personalised exchange; every rank sends and receives g−1 chunks
+  // concurrently, so the modelled time is (g−1)·(α + β·chunk_bytes).
+  const std::uint64_t chunk_bytes = static_cast<std::uint64_t>(n) * sizeof(T);
+  const double dt = begin_collective(
+      seq, (g - 1) * (cost_->params().alpha +
+                      cost_->beta_eff(group_) * static_cast<double>(chunk_bytes)));
+  stats_->alltoall.record(static_cast<std::uint64_t>(n) * g,
+                          static_cast<double>(n) * (g - 1), dt);
+  const std::uint64_t tag = collective_tag(seq, 8);
+  std::memcpy(out + static_cast<tensor::index_t>(rank_) * n,
+              send + static_cast<tensor::index_t>(rank_) * n,
+              static_cast<std::size_t>(n) * sizeof(T));
+  for (int peer = 0; peer < g; ++peer) {
+    if (peer == rank_) continue;
+    send_internal(peer, tag, send + static_cast<tensor::index_t>(peer) * n, n);
+  }
+  for (int peer = 0; peer < g; ++peer) {
+    if (peer == rank_) continue;
+    recv_internal(peer, tag, out + static_cast<tensor::index_t>(peer) * n, n);
+  }
+}
+
+template <typename T>
+void Communicator::reduce_scatter(const T* data, tensor::index_t n, T* out) {
+  const std::uint64_t seq = next_seq();
+  const int g = size();
+  if (g == 1) {
+    std::memcpy(out, data, static_cast<std::size_t>(n) * sizeof(T));
+    return;
+  }
+  const std::uint64_t total_bytes = static_cast<std::uint64_t>(n) * g * sizeof(T);
+  const double dt =
+      begin_collective(seq, cost_->ring_reducescatter_time(group_, total_bytes));
+  stats_->reducescatter.record(static_cast<std::uint64_t>(n) * g,
+                               static_cast<double>(n) * (g - 1), dt);
+
+  // Ring: a running sum for each chunk travels the ring, gaining one host's
+  // contribution per hop. Starting the schedule at chunk (rank−1) makes the
+  // fully-reduced chunk r land at rank r after g−1 hops.
+  std::vector<T> work(static_cast<std::size_t>(n));
+  std::vector<T> incoming(static_cast<std::size_t>(n));
+  const int right = (rank_ + 1) % g;
+  const int left = (rank_ - 1 + g) % g;
+  std::memcpy(work.data(), data + static_cast<tensor::index_t>(((rank_ - 1) % g + g) % g) * n,
+              static_cast<std::size_t>(n) * sizeof(T));
+  for (int s = 0; s < g - 1; ++s) {
+    // At step s we forward the running sum of chunk (rank−1−s) and receive the
+    // running sum of chunk (rank−2−s), then add our own contribution to it.
+    const int recv_chunk = ((rank_ - 2 - s) % g + g) % g;
+    const std::uint64_t tag = collective_tag(seq, 7);
+    send_internal(right, tag, work.data(), n);
+    recv_internal(left, tag, incoming.data(), n);
+    const T* own = data + static_cast<tensor::index_t>(recv_chunk) * n;
+    for (tensor::index_t i = 0; i < n; ++i) work[i] = incoming[i] + own[i];
+  }
+  std::memcpy(out, work.data(), static_cast<std::size_t>(n) * sizeof(T));
+}
+
+}  // namespace optimus::comm

@@ -1,0 +1,116 @@
+#include "comm/fabric.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace optimus::comm {
+
+Fabric::Fabric(int world_size) : world_size_(world_size) {
+  OPT_CHECK(world_size >= 1, "world_size " << world_size);
+  mailboxes_.reserve(world_size);
+  for (int i = 0; i < world_size; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void Fabric::send(int src, int dst, std::uint64_t tag, const void* data, std::size_t bytes,
+                  double timestamp) {
+  OPT_CHECK(dst >= 0 && dst < world_size_, "send to rank " << dst);
+  Message msg;
+  msg.src = src;
+  msg.tag = tag;
+  msg.timestamp = timestamp;
+  msg.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+  Mailbox& box = *mailboxes_[dst];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.messages.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+double Fabric::recv(int dst, int src, std::uint64_t tag, void* out, std::size_t bytes) {
+  OPT_CHECK(dst >= 0 && dst < world_size_, "recv at rank " << dst);
+  Mailbox& box = *mailboxes_[dst];
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (;;) {
+    const auto it = std::find_if(box.messages.begin(), box.messages.end(),
+                                 [&](const Message& m) { return m.src == src && m.tag == tag; });
+    if (it != box.messages.end()) {
+      OPT_CHECK(it->payload.size() == bytes,
+                "recv size mismatch: got " << it->payload.size() << " bytes, want " << bytes
+                                           << " (src " << src << " tag " << tag << ")");
+      if (bytes > 0) std::memcpy(out, it->payload.data(), bytes);
+      const double ts = it->timestamp;
+      box.messages.erase(it);
+      return ts;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+Fabric::SyncSlot& Fabric::slot_locked(std::uint64_t key, int group_size) {
+  SyncSlot& slot = slots_[key];
+  if (slot.expected == 0) {
+    slot.expected = group_size;
+  } else {
+    OPT_CHECK(slot.expected == group_size,
+              "sync key " << key << " used with group sizes " << slot.expected << " and "
+                          << group_size);
+  }
+  return slot;
+}
+
+void Fabric::release_slot_locked(std::uint64_t key, SyncSlot& slot) {
+  slot.departed += 1;
+  if (slot.departed == slot.expected) slots_.erase(key);
+}
+
+double Fabric::sync_max(std::uint64_t key, int group_size, double value) {
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  SyncSlot& slot = slot_locked(key, group_size);
+  slot.max_value = slot.arrived == 0 ? value : std::max(slot.max_value, value);
+  slot.arrived += 1;
+  if (slot.arrived == slot.expected) {
+    slot.ready = true;
+    sync_cv_.notify_all();
+  } else {
+    sync_cv_.wait(lock, [&] { return slot.ready; });
+  }
+  const double result = slot.max_value;
+  release_slot_locked(key, slot);
+  return result;
+}
+
+Fabric::SplitResult Fabric::split_sync(std::uint64_t key, int group_size, int world_rank,
+                                       int color, int order_key) {
+  std::unique_lock<std::mutex> lock(sync_mu_);
+  SyncSlot& slot = slot_locked(key, group_size);
+  slot.deposits.push_back({color, order_key, world_rank});
+  slot.arrived += 1;
+  if (slot.arrived == slot.expected) {
+    // Last arriver partitions the deposits into color groups, orders each by
+    // (key, world_rank) and assigns fresh communicator ids — one id per color,
+    // deterministic by sorting colors.
+    std::sort(slot.deposits.begin(), slot.deposits.end());
+    std::map<int, std::vector<int>> by_color;
+    for (const auto& d : slot.deposits) by_color[d[0]].push_back(d[2]);
+    for (const auto& [c, members] : by_color) {
+      const std::uint64_t id = next_comm_id();
+      for (int member : members) {
+        SplitResult r;
+        r.new_comm_id = id;
+        r.group = members;
+        slot.results[member] = std::move(r);
+      }
+    }
+    slot.ready = true;
+    sync_cv_.notify_all();
+  } else {
+    sync_cv_.wait(lock, [&] { return slot.ready; });
+  }
+  SplitResult result = slot.results.at(world_rank);
+  release_slot_locked(key, slot);
+  return result;
+}
+
+}  // namespace optimus::comm

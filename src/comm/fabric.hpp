@@ -1,0 +1,109 @@
+#pragma once
+
+// The shared transport under all simulated devices.
+//
+// Each rank owns a mailbox; send() deposits a tagged byte payload into the
+// destination mailbox, recv() blocks until a message matching (src, tag)
+// arrives. Matching is FIFO per (src, tag) pair.
+//
+// The fabric also provides two *side channels* that model operations a real
+// backend performs out-of-band (communicator construction, clock agreement in
+// the simulation). These move no modelled bytes:
+//
+//   * sync_max   — all members of a group deposit a double under a unique key;
+//                  everyone receives the maximum. Used to align simulated
+//                  clocks at collective entry.
+//   * split_sync — MPI_Comm_split-style agreement: members deposit
+//                  (color, key); everyone learns its new group and a fresh
+//                  communicator id.
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace optimus::comm {
+
+class Fabric {
+ public:
+  explicit Fabric(int world_size);
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  int world_size() const { return world_size_; }
+
+  /// Deposits `bytes` bytes for `dst`. Never blocks. `timestamp` carries the
+  /// sender's simulated clock so the receiver can observe causality
+  /// (Lamport-style); collective-internal traffic passes 0 (collectives
+  /// synchronise clocks out-of-band instead).
+  void send(int src, int dst, std::uint64_t tag, const void* data, std::size_t bytes,
+            double timestamp = 0.0);
+
+  /// Blocks until a message from `src` with `tag` arrives at `dst`; copies the
+  /// payload into `out` (size must match exactly). Returns the sender's
+  /// timestamp.
+  double recv(int dst, int src, std::uint64_t tag, void* out, std::size_t bytes);
+
+  /// Side channel: group-wide max of `value` under `key`. Every member must
+  /// call exactly once per key; keys must be globally unique per operation.
+  double sync_max(std::uint64_t key, int group_size, double value);
+
+  struct SplitResult {
+    std::uint64_t new_comm_id = 0;
+    std::vector<int> group;  // world ranks, ordered by (key, world_rank)
+  };
+
+  /// Side channel: collective split. Every member of the parent group calls
+  /// with its world rank, color and ordering key under the same `key`.
+  SplitResult split_sync(std::uint64_t key, int group_size, int world_rank, int color,
+                         int order_key);
+
+  /// Allocates a globally unique communicator id.
+  std::uint64_t next_comm_id() { return comm_id_counter_++; }
+
+ private:
+  struct Message {
+    int src;
+    std::uint64_t tag;
+    double timestamp;
+    std::vector<std::byte> payload;
+  };
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+  };
+
+  struct SyncSlot {
+    int expected = 0;
+    int arrived = 0;
+    int departed = 0;
+    bool ready = false;
+    double max_value = 0;
+    // split payload: (color, order_key, world_rank)
+    std::vector<std::array<int, 3>> deposits;
+    std::map<int, SplitResult> results;  // world_rank -> result
+    std::uint64_t assigned_base_id = 0;
+  };
+
+  SyncSlot& slot_locked(std::uint64_t key, int group_size);
+  void release_slot_locked(std::uint64_t key, SyncSlot& slot);
+
+  int world_size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  std::map<std::uint64_t, SyncSlot> slots_;
+  std::atomic<std::uint64_t> comm_id_counter_{1};
+};
+
+}  // namespace optimus::comm

@@ -1,0 +1,99 @@
+#pragma once
+
+// Per-device simulated clock.
+//
+// The reproduction runs on a single host, so wall-clock time says nothing
+// about the 64-GPU behaviour the paper measures. Instead each simulated
+// device advances a virtual clock:
+//
+//   * local compute   — the tensor layer counts scalar multiplications; the
+//     clock converts them to seconds via the machine's flop rate. Draining
+//     happens lazily at communication boundaries, which is exactly when
+//     ordering matters.
+//   * collectives     — participants align to the maximum clock in the group
+//     (a blocking collective cannot finish before its slowest member) and
+//     advance by the CostModel's closed-form time for that collective.
+//
+// This is the same α-β machine model the paper uses for its analysis; see
+// DESIGN.md §2 for the substitution argument.
+
+#include "comm/topology.hpp"
+#include "tensor/device_context.hpp"
+
+namespace optimus::comm {
+
+class SimClock {
+ public:
+  double now() const { return now_; }
+
+  void advance(double seconds) {
+    OPT_DCHECK(seconds >= 0, "negative time step " << seconds);
+    now_ += seconds;
+  }
+
+  void set(double t) { now_ = t; }
+
+  /// Converts the multiply count accumulated on this thread since the last
+  /// drain into simulated seconds.
+  void drain_compute(const CostModel& cost) {
+    const std::uint64_t mults = tensor::DeviceContext::current().take_mults();
+    if (mults > 0) now_ += cost.compute_time(mults);
+  }
+
+  void reset() { now_ = 0; }
+
+ private:
+  double now_ = 0;
+};
+
+/// Per-rank communication statistics, in both raw and paper units.
+///
+/// `weighted` accumulates the Table-1 cost unit: elements × the collective's
+/// β-multiplier (log₂g for tree ops, 2(g−1)/g for all-reduce, (g−1)/g for
+/// all-gather / reduce-scatter). With β=1/scalar this equals modelled time,
+/// which is how bench_table1_costs validates the paper's formulas.
+struct CommStats {
+  struct Op {
+    std::uint64_t calls = 0;
+    std::uint64_t elems = 0;
+    double weighted = 0;
+    double time = 0;
+
+    void record(std::uint64_t n, double w, double t) {
+      calls += 1;
+      elems += n;
+      weighted += w;
+      time += t;
+    }
+  };
+
+  Op broadcast;
+  Op reduce;
+  Op allreduce;
+  Op allgather;
+  Op reducescatter;
+  Op alltoall;
+  Op barrier;
+  // User-level point-to-point traffic only (collective-internal transfers are
+  // accounted under their collective's Op).
+  std::uint64_t p2p_messages = 0;
+  std::uint64_t p2p_bytes = 0;
+  double p2p_time = 0;
+
+  double total_weighted() const {
+    return broadcast.weighted + reduce.weighted + allreduce.weighted + allgather.weighted +
+           reducescatter.weighted + alltoall.weighted + barrier.weighted;
+  }
+  double total_time() const {
+    return broadcast.time + reduce.time + allreduce.time + allgather.time +
+           reducescatter.time + alltoall.time + barrier.time + p2p_time;
+  }
+  std::uint64_t total_elems() const {
+    return broadcast.elems + reduce.elems + allreduce.elems + allgather.elems +
+           reducescatter.elems + alltoall.elems;
+  }
+
+  void reset() { *this = CommStats{}; }
+};
+
+}  // namespace optimus::comm

@@ -1,0 +1,145 @@
+#include "comm/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace optimus::comm {
+
+Arrangement parse_arrangement(const std::string& name) {
+  if (name == "naive") return Arrangement::kNaive;
+  if (name == "bunched") return Arrangement::kBunched;
+  OPT_CHECK(false, "unknown arrangement '" << name << "' (want naive|bunched)");
+}
+
+namespace {
+
+// Largest factor of n that is <= sqrt(n): gives the most-square node tile.
+int square_factor(int n) {
+  int best = 1;
+  for (int f = 1; f * f <= n; ++f) {
+    if (n % f == 0) best = f;
+  }
+  return best;
+}
+
+}  // namespace
+
+Topology::Topology(int world_size, int gpus_per_node, Arrangement arrangement, int mesh_q)
+    : world_size_(world_size), gpus_per_node_(gpus_per_node), arrangement_(arrangement) {
+  OPT_CHECK(world_size >= 1, "world_size " << world_size);
+  OPT_CHECK(gpus_per_node >= 1, "gpus_per_node " << gpus_per_node);
+  node_of_.resize(world_size);
+
+  const bool mesh = mesh_q > 0;
+  if (mesh) {
+    OPT_CHECK(mesh_q * mesh_q == world_size,
+              "mesh_q " << mesh_q << " squared != world " << world_size);
+  }
+
+  if (arrangement == Arrangement::kBunched && mesh) {
+    // Tile the q×q mesh with tr×tc node tiles (tr·tc == gpus_per_node) so each
+    // node holds a contiguous sub-square (Fig. 8b). If the tile does not
+    // divide the mesh side, fall back to naive packing.
+    const int tr = square_factor(gpus_per_node);
+    const int tc = gpus_per_node / tr;
+    if (mesh_q % tr == 0 && mesh_q % tc == 0) {
+      const int tiles_per_row = mesh_q / tc;
+      for (int rank = 0; rank < world_size; ++rank) {
+        const int row = rank / mesh_q;
+        const int col = rank % mesh_q;
+        node_of_[rank] = (row / tr) * tiles_per_row + (col / tc);
+      }
+      num_nodes_ = (world_size + gpus_per_node - 1) / gpus_per_node;
+      return;
+    }
+  }
+
+  for (int rank = 0; rank < world_size; ++rank) node_of_[rank] = rank / gpus_per_node;
+  num_nodes_ = (world_size + gpus_per_node - 1) / gpus_per_node;
+}
+
+bool Topology::single_node(const std::vector<int>& group) const {
+  OPT_CHECK(!group.empty(), "empty group");
+  const int node = node_of(group[0]);
+  return std::all_of(group.begin(), group.end(),
+                     [&](int r) { return node_of(r) == node; });
+}
+
+int Topology::max_members_per_node(const std::vector<int>& group) const {
+  std::map<int, int> counts;
+  for (int r : group) counts[node_of(r)] += 1;
+  int mx = 0;
+  for (const auto& [node, c] : counts) mx = std::max(mx, c);
+  return mx;
+}
+
+MachineParams MachineParams::unit_cost() {
+  MachineParams p;
+  p.alpha = 0.0;
+  p.beta_intra = 1.0;  // one "unit" per byte; callers divide by sizeof(T)
+  p.beta_inter = 1.0;
+  p.flop_rate = 1.0e30;  // compute is free in unit-cost validation runs
+  return p;
+}
+
+double CostModel::beta_eff(const std::vector<int>& group) const {
+  if (group.size() <= 1) return 0.0;
+  if (topo_->single_node(group)) return params_.beta_intra;
+  // Pipelined-tree contention model: a node hosting m members of this group
+  // serves gpn/m concurrently-active sibling groups through its one uplink,
+  // but a group with m local members can overlap its inter-node hop with the
+  // siblings' intra-node hops, recovering a factor m. Net NIC multiplexing:
+  // gpn / m². This reproduces both Fig. 8 (naive columns, m = 1 → 4× penalty)
+  // and the paper's measured bunched runs (m = 2 → contention-free).
+  const int members = topo_->max_members_per_node(group);
+  const double contention = static_cast<double>(topo_->gpus_per_node()) /
+                            static_cast<double>(members * members);
+  return params_.beta_inter * std::max(1.0, contention);
+}
+
+double CostModel::tree_time(const std::vector<int>& group, std::uint64_t bytes) const {
+  if (group.size() <= 1) return 0.0;
+  const int rounds = log2_ceil(static_cast<int>(group.size()));
+  return rounds * (params_.alpha + beta_eff(group) * static_cast<double>(bytes));
+}
+
+double CostModel::ring_allreduce_time(const std::vector<int>& group,
+                                      std::uint64_t bytes) const {
+  const auto g = static_cast<double>(group.size());
+  if (group.size() <= 1) return 0.0;
+  return 2.0 * (g - 1.0) *
+         (params_.alpha + beta_eff(group) * static_cast<double>(bytes) / g);
+}
+
+double CostModel::ring_allgather_time(const std::vector<int>& group,
+                                      std::uint64_t total_bytes) const {
+  const auto g = static_cast<double>(group.size());
+  if (group.size() <= 1) return 0.0;
+  return (g - 1.0) *
+         (params_.alpha + beta_eff(group) * static_cast<double>(total_bytes) / g);
+}
+
+double CostModel::ring_reducescatter_time(const std::vector<int>& group,
+                                          std::uint64_t total_bytes) const {
+  return ring_allgather_time(group, total_bytes);
+}
+
+double CostModel::p2p_time(int src, int dst, std::uint64_t bytes) const {
+  const double beta =
+      topo_->node_of(src) == topo_->node_of(dst) ? params_.beta_intra : params_.beta_inter;
+  return params_.alpha + beta * static_cast<double>(bytes);
+}
+
+int log2_ceil(int n) {
+  OPT_CHECK(n >= 1, "log2_ceil(" << n << ")");
+  int rounds = 0;
+  int reach = 1;
+  while (reach < n) {
+    reach *= 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+}  // namespace optimus::comm

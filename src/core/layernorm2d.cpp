@@ -1,0 +1,123 @@
+#include "core/layernorm2d.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace optimus::core {
+
+namespace {
+
+using tensor::index_t;
+using tensor::TensorT;
+
+}  // namespace
+
+template <typename T>
+void layernorm2d_forward(comm::Communicator& row_comm, const TensorT<T>& x,
+                         const TensorT<T>& gamma_slice, const TensorT<T>& beta_slice, T eps,
+                         index_t h_global, TensorT<T>& y, TensorT<T>& xhat,
+                         TensorT<T>& inv_std) {
+  const index_t hq = x.shape().last();
+  const index_t rows = x.numel() / hq;
+  OPT_CHECK(gamma_slice.numel() == hq && beta_slice.numel() == hq, "ln2d param slice mismatch");
+  OPT_CHECK(y.numel() == x.numel() && xhat.numel() == x.numel(), "ln2d buffer mismatch");
+  OPT_CHECK(inv_std.numel() == rows, "ln2d inv_std mismatch");
+
+  // Pack Σx and Σx² into one buffer: a single row all-reduce per call.
+  std::vector<T> sums(static_cast<std::size_t>(2 * rows), T{0});
+  const T* xp = x.data();
+  for (index_t r = 0; r < rows; ++r) {
+    const T* row = xp + r * hq;
+    T s{0}, ss{0};
+    for (index_t j = 0; j < hq; ++j) {
+      s += row[j];
+      ss += row[j] * row[j];
+    }
+    sums[r] = s;
+    sums[rows + r] = ss;
+  }
+  row_comm.all_reduce(sums.data(), 2 * rows);
+
+  const T* gp = gamma_slice.data();
+  const T* bp = beta_slice.data();
+  T* yp = y.data();
+  T* hp = xhat.data();
+  T* sp = inv_std.data();
+  const T inv_h = T{1} / static_cast<T>(h_global);
+  for (index_t r = 0; r < rows; ++r) {
+    const T mean = sums[r] * inv_h;
+    const T var = sums[rows + r] * inv_h - mean * mean;
+    const T istd = T{1} / std::sqrt(var + eps);
+    sp[r] = istd;
+    const T* row = xp + r * hq;
+    T* hr = hp + r * hq;
+    T* yr = yp + r * hq;
+    for (index_t j = 0; j < hq; ++j) {
+      hr[j] = (row[j] - mean) * istd;
+      yr[j] = gp[j] * hr[j] + bp[j];
+    }
+  }
+}
+
+template <typename T>
+void layernorm2d_backward(comm::Communicator& row_comm, const TensorT<T>& xhat,
+                          const TensorT<T>& inv_std, const TensorT<T>& gamma_slice,
+                          const TensorT<T>& dy, index_t h_global, TensorT<T>& dx,
+                          TensorT<T>& dgamma_partial, TensorT<T>& dbeta_partial) {
+  const index_t hq = xhat.shape().last();
+  const index_t rows = xhat.numel() / hq;
+  OPT_CHECK(dy.numel() == xhat.numel() && dx.numel() == xhat.numel(), "ln2d grad mismatch");
+  OPT_CHECK(dgamma_partial.numel() == hq && dbeta_partial.numel() == hq,
+            "ln2d param grad mismatch");
+
+  std::vector<T> sums(static_cast<std::size_t>(2 * rows), T{0});
+  const T* hp = xhat.data();
+  const T* dyp = dy.data();
+  const T* gp = gamma_slice.data();
+  T* dgp = dgamma_partial.data();
+  T* dbp = dbeta_partial.data();
+  for (index_t r = 0; r < rows; ++r) {
+    const T* hr = hp + r * hq;
+    const T* dyr = dyp + r * hq;
+    T s_dxhat{0}, s_dxhat_xhat{0};
+    for (index_t j = 0; j < hq; ++j) {
+      const T dxh = dyr[j] * gp[j];
+      s_dxhat += dxh;
+      s_dxhat_xhat += dxh * hr[j];
+      dgp[j] += dyr[j] * hr[j];
+      dbp[j] += dyr[j];
+    }
+    sums[r] = s_dxhat;
+    sums[rows + r] = s_dxhat_xhat;
+  }
+  row_comm.all_reduce(sums.data(), 2 * rows);
+
+  const T* sp = inv_std.data();
+  T* dxp = dx.data();
+  const T inv_h = T{1} / static_cast<T>(h_global);
+  for (index_t r = 0; r < rows; ++r) {
+    const T* hr = hp + r * hq;
+    const T* dyr = dyp + r * hq;
+    T* dxr = dxp + r * hq;
+    for (index_t j = 0; j < hq; ++j) {
+      const T dxh = dyr[j] * gp[j];
+      dxr[j] = sp[r] * (dxh - inv_h * sums[r] - inv_h * sums[rows + r] * hr[j]);
+    }
+  }
+}
+
+#define OPTIMUS_INSTANTIATE_LN2D(T)                                                        \
+  template void layernorm2d_forward<T>(comm::Communicator&, const TensorT<T>&,             \
+                                       const TensorT<T>&, const TensorT<T>&, T, index_t,   \
+                                       TensorT<T>&, TensorT<T>&, TensorT<T>&);             \
+  template void layernorm2d_backward<T>(comm::Communicator&, const TensorT<T>&,            \
+                                        const TensorT<T>&, const TensorT<T>&,              \
+                                        const TensorT<T>&, index_t, TensorT<T>&,           \
+                                        TensorT<T>&, TensorT<T>&);
+
+OPTIMUS_INSTANTIATE_LN2D(float)
+OPTIMUS_INSTANTIATE_LN2D(double)
+
+#undef OPTIMUS_INSTANTIATE_LN2D
+
+}  // namespace optimus::core

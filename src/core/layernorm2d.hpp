@@ -1,0 +1,40 @@
+#pragma once
+
+// Row-parallel layernorm for the 2D layout (paper §3.2.2).
+//
+// Each device holds a [rows_local, h/q] block of the activations, with the
+// hidden dimension split across its mesh row. The per-token mean and variance
+// need the full hidden width, so Σx and Σx² are computed locally and
+// all-reduced along the mesh row (one collective, both sums packed into a
+// single buffer). γ and β are h/q slices (hosted on mesh row 0 and broadcast
+// down columns by the caller, Fig. 5).
+//
+// Backward needs two more row statistics — Σ_j dxhat and Σ_j dxhat·xhat —
+// obtained the same way. Parameter gradients are returned as *local partial*
+// slices; the caller reduces them down the column to row 0.
+
+#include "comm/communicator.hpp"
+#include "tensor/tensor.hpp"
+
+namespace optimus::core {
+
+/// y = γ ⊙ xhat + β over the full (distributed) hidden width h_global.
+/// Saves xhat and 1/σ for backward.
+template <typename T>
+void layernorm2d_forward(comm::Communicator& row_comm, const tensor::TensorT<T>& x,
+                         const tensor::TensorT<T>& gamma_slice,
+                         const tensor::TensorT<T>& beta_slice, T eps,
+                         tensor::index_t h_global, tensor::TensorT<T>& y,
+                         tensor::TensorT<T>& xhat, tensor::TensorT<T>& inv_std);
+
+/// dx from dy; dgamma/dbeta accumulate *local* partial sums (reduce to row 0
+/// is the caller's job).
+template <typename T>
+void layernorm2d_backward(comm::Communicator& row_comm, const tensor::TensorT<T>& xhat,
+                          const tensor::TensorT<T>& inv_std,
+                          const tensor::TensorT<T>& gamma_slice, const tensor::TensorT<T>& dy,
+                          tensor::index_t h_global, tensor::TensorT<T>& dx,
+                          tensor::TensorT<T>& dgamma_partial,
+                          tensor::TensorT<T>& dbeta_partial);
+
+}  // namespace optimus::core

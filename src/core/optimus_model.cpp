@@ -1,0 +1,833 @@
+#include "core/optimus_model.hpp"
+
+#include <cmath>
+#include <optional>
+#include <utility>
+
+#include "core/layernorm2d.hpp"
+#include "model/attention.hpp"
+#include "model/param_init.hpp"
+#include "summa/summa.hpp"
+#include "tensor/distribution.hpp"
+
+namespace optimus::core {
+
+namespace {
+
+using tensor::Arena;
+using tensor::ArenaScope;
+using tensor::index_t;
+using tensor::ITensor;
+using tensor::Shape;
+using tensor::TensorT;
+namespace ops = tensor::ops;
+using model::LayerWeight;
+
+std::uint64_t align64(std::uint64_t bytes) { return (bytes + 63) & ~std::uint64_t{63}; }
+
+}  // namespace
+
+template <typename T>
+OptimusTransformer<T>::OptimusTransformer(const model::TransformerConfig& cfg,
+                                          mesh::Mesh2D& mesh, OptimusOptions options)
+    : cfg_(cfg), mesh_(&mesh), options_(options) {
+  cfg_.validate_for_mesh(mesh.q());
+  OPT_CHECK(options_.buffers == BufferMode::kHeap || options_.checkpoint,
+            "pooled buffers require activation checkpointing (the forward arena is "
+            "recycled per layer)");
+  init_parameters();
+  if (options_.buffers == BufferMode::kPooled) init_arenas();
+}
+
+template <typename T>
+void OptimusTransformer<T>::init_parameters() {
+  const int q = mesh_->q();
+  const int row = mesh_->row();
+  const int col = mesh_->col();
+  const index_t h = cfg_.hidden;
+  const index_t hq = h_local();
+  const index_t f = cfg_.ffn_hidden();
+  const index_t fq = f / q;
+  const index_t tq = 3 * hq;
+  const index_t vq = vocab_local();
+  const index_t c = cfg_.num_classes;
+  const util::CounterRng rng(cfg_.seed);
+  const T scale = static_cast<T>(cfg_.init_scale);
+
+  // Embedding block (v/q × h/q): global offsets (row·v/q, col·h/q).
+  embedding_ = TensorT<T>(Shape{vq, hq});
+  ops::fill_counter_uniform(embedding_, rng, model::kEmbeddingStream, scale, row * vq,
+                            col * hq, h);
+  d_embedding_ = TensorT<T>::zeros(embedding_.shape());
+
+  if (row == 0) {
+    pos_embedding_ = TensorT<T>(Shape{cfg_.seq_len, hq});
+    ops::fill_counter_uniform(pos_embedding_, rng, model::kPosEmbeddingStream, scale, 0,
+                              col * hq, h);
+    d_pos_embedding_ = TensorT<T>::zeros(pos_embedding_.shape());
+  }
+
+  layers_.resize(cfg_.layers);
+  grads_.resize(cfg_.layers);
+  for (index_t l = 0; l < cfg_.layers; ++l) {
+    Layer& lp = layers_[l];
+    lp.qkv_w = TensorT<T>(Shape{hq, tq});
+    ops::fill_counter_uniform(lp.qkv_w, rng, model::layer_weight_stream(l, LayerWeight::kQkv),
+                              scale, row * hq, col * tq, 3 * h);
+    lp.proj_w = TensorT<T>(Shape{hq, hq});
+    ops::fill_counter_uniform(lp.proj_w, rng,
+                              model::layer_weight_stream(l, LayerWeight::kProj), scale,
+                              row * hq, col * hq, h);
+    lp.fc1_w = TensorT<T>(Shape{hq, fq});
+    ops::fill_counter_uniform(lp.fc1_w, rng, model::layer_weight_stream(l, LayerWeight::kFc1),
+                              scale, row * hq, col * fq, f);
+    lp.fc2_w = TensorT<T>(Shape{fq, hq});
+    ops::fill_counter_uniform(lp.fc2_w, rng, model::layer_weight_stream(l, LayerWeight::kFc2),
+                              scale, row * fq, col * hq, h);
+
+    Layer& lg = grads_[l];
+    if (options_.fused_update && l > 0) {
+      // §3.2.3 method (2): one shared gradient buffer for every layer —
+      // handles alias layer 0's tensors.
+      lg.qkv_w = grads_[0].qkv_w;
+      lg.proj_w = grads_[0].proj_w;
+      lg.fc1_w = grads_[0].fc1_w;
+      lg.fc2_w = grads_[0].fc2_w;
+    } else {
+      lg.qkv_w = TensorT<T>::zeros(lp.qkv_w.shape());
+      lg.proj_w = TensorT<T>::zeros(lp.proj_w.shape());
+      lg.fc1_w = TensorT<T>::zeros(lp.fc1_w.shape());
+      lg.fc2_w = TensorT<T>::zeros(lp.fc2_w.shape());
+    }
+
+    if (row == 0) {
+      // Hosted slices for this mesh column (Fig. 5).
+      lp.ln1_g = TensorT<T>::full(Shape{hq}, T{1});
+      lp.ln1_b = TensorT<T>::zeros(Shape{hq});
+      lp.ln2_g = TensorT<T>::full(Shape{hq}, T{1});
+      lp.ln2_b = TensorT<T>::zeros(Shape{hq});
+      lp.qkv_b = TensorT<T>::zeros(Shape{tq});
+      lp.proj_b = TensorT<T>::zeros(Shape{hq});
+      lp.fc1_b = TensorT<T>::zeros(Shape{fq});
+      lp.fc2_b = TensorT<T>::zeros(Shape{hq});
+      if (options_.fused_update && l > 0) {
+        lg.ln1_g = grads_[0].ln1_g;
+        lg.ln1_b = grads_[0].ln1_b;
+        lg.ln2_g = grads_[0].ln2_g;
+        lg.ln2_b = grads_[0].ln2_b;
+        lg.qkv_b = grads_[0].qkv_b;
+        lg.proj_b = grads_[0].proj_b;
+        lg.fc1_b = grads_[0].fc1_b;
+        lg.fc2_b = grads_[0].fc2_b;
+      } else {
+        lg.ln1_g = TensorT<T>::zeros(Shape{hq});
+        lg.ln1_b = TensorT<T>::zeros(Shape{hq});
+        lg.ln2_g = TensorT<T>::zeros(Shape{hq});
+        lg.ln2_b = TensorT<T>::zeros(Shape{hq});
+        lg.qkv_b = TensorT<T>::zeros(Shape{tq});
+        lg.proj_b = TensorT<T>::zeros(Shape{hq});
+        lg.fc1_b = TensorT<T>::zeros(Shape{fq});
+        lg.fc2_b = TensorT<T>::zeros(Shape{hq});
+      }
+    }
+  }
+
+  if (row == 0) {
+    final_ln_g_ = TensorT<T>::full(Shape{hq}, T{1});
+    final_ln_b_ = TensorT<T>::zeros(Shape{hq});
+    d_final_ln_g_ = TensorT<T>::zeros(Shape{hq});
+    d_final_ln_b_ = TensorT<T>::zeros(Shape{hq});
+    // Classifier: row-slice of [h, c] for this column, plus a replicated
+    // bias (one copy per column, updated identically).
+    cls_w_ = TensorT<T>(Shape{hq, c});
+    ops::fill_counter_uniform(cls_w_, rng, model::kClsHeadStream, scale, col * hq, 0, c);
+    cls_b_ = TensorT<T>::zeros(Shape{c});
+    d_cls_w_ = TensorT<T>::zeros(Shape{hq, c});
+    d_cls_b_ = TensorT<T>::zeros(Shape{c});
+  }
+}
+
+template <typename T>
+void OptimusTransformer<T>::init_arenas() {
+  const int q = mesh_->q();
+  const index_t rows = rows_local();
+  const index_t hq = h_local();
+  const index_t fq = cfg_.ffn_hidden() / q;
+  const index_t tq = 3 * hq;
+  const index_t vq = vocab_local();
+  const index_t s = cfg_.seq_len;
+  const index_t probs_elems =
+      model::attention_probs_elems(batch_local(), s, heads_local());
+  const index_t attn_fwd_elems =
+      options_.fuse_attention ? model::attention_fused_scratch_elems(s) : probs_elems;
+  const auto bytes = [](index_t elems) {
+    return align64(static_cast<std::uint64_t>(elems) * sizeof(T));
+  };
+  const auto pair = [&](index_t a, index_t b) { return bytes(a) + bytes(b); };
+
+  // Workspace: max footprint of any single SUMMA call (they run one at a
+  // time, §3.2.3) or of the embedding scatter/gather scope.
+  std::uint64_t ws = 0;
+  const auto take = [&ws](std::uint64_t v) { ws = std::max(ws, v); };
+  take(pair(rows * hq, hq * tq));   // qkv AB and its backward forms
+  take(pair(rows * hq, hq * hq));   // proj
+  take(pair(rows * hq, hq * fq));   // fc1
+  take(pair(rows * fq, fq * hq));   // fc2
+  take(pair(rows * tq, hq * tq));   // abt/atb with dqkv operands
+  take(pair(rows * vq, vq * hq));   // lm-head (Alg 2) and its backward
+  take(bytes(vq * hq) + bytes(s * hq));  // embedding forward/backward scope
+  ws_ = std::make_unique<Arena>("workspace", ws);
+
+  // Forward arena: one layer's intra-layer activations (checkpointing keeps
+  // only the layer inputs outside).
+  std::uint64_t fwd = 0;
+  fwd += 2 * bytes(hq);            // ln1 γ/β broadcast
+  fwd += 2 * bytes(rows * hq);     // ln1_out, ln1_xhat
+  fwd += bytes(rows);              // ln1_istd
+  fwd += bytes(rows * tq);         // qkv
+  fwd += bytes(tq);                // qkv bias broadcast
+  fwd += bytes(attn_fwd_elems);    // attention probabilities (or fused scratch)
+  fwd += bytes(rows * hq);         // ctx
+  fwd += bytes(rows * hq);         // x1
+  fwd += bytes(hq);                // proj bias broadcast
+  fwd += 2 * bytes(hq);            // ln2 γ/β broadcast
+  fwd += 2 * bytes(rows * hq);     // ln2_out, ln2_xhat
+  fwd += bytes(rows);              // ln2_istd
+  fwd += bytes(rows * fq);         // fc1_out
+  fwd += bytes(fq);                // fc1 bias broadcast
+  fwd += bytes(rows * fq);         // gelu_out
+  fwd += bytes(hq);                // fc2 bias broadcast
+  fwd_ = std::make_unique<Arena>("forward", fwd);
+
+  // Backward arena: one layer's intra-layer gradients.
+  std::uint64_t bwd = 0;
+  bwd += bytes(rows * fq);  // dgelu
+  bwd += bytes(hq);         // fc2 bias partial
+  bwd += bytes(rows * fq);  // dm1
+  bwd += bytes(fq);         // fc1 bias partial
+  bwd += bytes(rows * hq);  // dln2
+  bwd += bytes(rows * hq);  // dx1
+  bwd += 2 * bytes(hq);     // ln2 γ/β partials
+  bwd += bytes(rows * hq);  // dctx
+  bwd += bytes(hq);         // proj bias partial
+  bwd += bytes(rows * tq);  // dqkv
+  bwd += bytes(tq);         // qkv bias partial
+  bwd += bytes(rows * hq);  // dln1
+  bwd += bytes(rows * hq);  // din
+  bwd += 2 * bytes(hq);     // ln1 γ/β partials
+  if (options_.fuse_attention) {
+    bwd += bytes(model::attention_fused_scratch_elems(s));  // recompute scratch
+  }
+  bwd_ = std::make_unique<Arena>("backward", bwd);
+}
+
+template <typename T>
+TensorT<T> OptimusTransformer<T>::bcast_from_row0(const TensorT<T>& hosted, Shape shape) {
+  TensorT<T> buf = alloc_fwd(shape);
+  if (on_row0()) {
+    OPT_CHECK(hosted.defined() && hosted.numel() == buf.numel(), "hosted slice mismatch");
+    buf.copy_from(hosted.reshape(shape));
+  }
+  mesh_->col_comm().broadcast(buf, /*root=*/0);
+  return buf;
+}
+
+template <typename T>
+void OptimusTransformer<T>::reduce_to_row0(TensorT<T>& partial, TensorT<T>& grad_slot) {
+  mesh_->col_comm().reduce(partial, /*root=*/0);
+  if (on_row0()) {
+    OPT_CHECK(grad_slot.defined(), "row-0 gradient slot missing");
+    ops::add_(grad_slot, partial.reshape(grad_slot.shape()));
+  }
+}
+
+template <typename T>
+TensorT<T> OptimusTransformer<T>::embed(const ITensor& tokens) {
+  const int q = mesh_->q();
+  const index_t rows = rows_local();
+  const index_t hq = h_local();
+  const index_t vq = vocab_local();
+  const index_t s = cfg_.seq_len;
+  tokens_local_ = tensor::row_block(tokens.reshape(Shape{cfg_.batch, s}), q, mesh_->row());
+
+  TensorT<T> x0 = TensorT<T>::zeros(Shape{rows, hq});
+  {
+    // One-hot × table via Algorithm 1: the one-hot blocks are constructible
+    // locally (tokens are replicated across the mesh row), so only the table
+    // blocks are broadcast — down columns, q rounds.
+    std::optional<ArenaScope> scope;
+    if (ws_) scope.emplace(*ws_);
+    TensorT<T> buf = ws_ ? ws_->template alloc<T>(Shape{vq, hq}) : TensorT<T>(Shape{vq, hq});
+    for (int l = 0; l < q; ++l) {
+      if (mesh_->row() == l) buf.copy_from(embedding_);
+      mesh_->col_comm().broadcast(buf, /*root=*/l);
+      const index_t v_begin = l * vq;
+      for (index_t r = 0; r < rows; ++r) {
+        const index_t tok = tokens_local_[r];
+        if (tok >= v_begin && tok < v_begin + vq) {
+          const T* src = buf.data() + (tok - v_begin) * hq;
+          T* dst = x0.data() + r * hq;
+          for (index_t j = 0; j < hq; ++j) dst[j] += src[j];
+        }
+      }
+    }
+    // Positional slice, hosted on row 0.
+    TensorT<T> pos = ws_ ? ws_->template alloc<T>(Shape{s, hq}) : TensorT<T>(Shape{s, hq});
+    if (on_row0()) pos.copy_from(pos_embedding_);
+    mesh_->col_comm().broadcast(pos, /*root=*/0);
+    for (index_t bi = 0; bi < batch_local(); ++bi) {
+      for (index_t t = 0; t < s; ++t) {
+        T* dst = x0.data() + (bi * s + t) * hq;
+        const T* src = pos.data() + t * hq;
+        for (index_t j = 0; j < hq; ++j) dst[j] += src[j];
+      }
+    }
+  }
+  return x0;
+}
+
+template <typename T>
+TensorT<T> OptimusTransformer<T>::layer_forward(index_t l, LayerActs& a) {
+  const int q = mesh_->q();
+  const index_t rows = rows_local();
+  const index_t hq = h_local();
+  const index_t fq = cfg_.ffn_hidden() / q;
+  const index_t tq = 3 * hq;
+  const index_t s = cfg_.seq_len;
+  const T eps = static_cast<T>(cfg_.layernorm_eps);
+  Layer& p = layers_[l];
+  comm::Communicator& row = mesh_->row_comm();
+
+  a.ln1_g_bcast = bcast_from_row0(p.ln1_g, Shape{hq});
+  a.ln1_b_bcast = bcast_from_row0(p.ln1_b, Shape{hq});
+  a.ln1_out = alloc_fwd(Shape{rows, hq});
+  a.ln1_xhat = alloc_fwd(Shape{rows, hq});
+  a.ln1_istd = alloc_fwd(Shape{rows});
+  layernorm2d_forward(row, a.input, a.ln1_g_bcast, a.ln1_b_bcast, eps, cfg_.hidden, a.ln1_out,
+                      a.ln1_xhat, a.ln1_istd);
+
+  a.qkv = alloc_fwd(Shape{rows, tq});
+  summa::summa_ab(*mesh_, a.ln1_out, p.qkv_w, a.qkv, false, ws());
+  {
+    TensorT<T> bias = bcast_from_row0(p.qkv_b, Shape{tq});
+    ops::add_bias_(a.qkv, bias);
+  }
+
+  a.ctx = alloc_fwd(Shape{rows, hq});
+  if (options_.fuse_attention) {
+    TensorT<T> scratch = alloc_fwd(Shape{model::attention_fused_scratch_elems(s)});
+    model::attention_forward_fused(a.qkv, batch_local(), s, heads_local(), cfg_.head_dim(),
+                                   cfg_.causal, a.ctx, scratch);
+  } else {
+    a.probs = alloc_fwd(Shape{model::attention_probs_elems(batch_local(), s, heads_local())});
+    model::attention_forward(a.qkv, batch_local(), s, heads_local(), cfg_.head_dim(),
+                             cfg_.causal, a.ctx, a.probs);
+  }
+
+  a.x1 = alloc_fwd(Shape{rows, hq});
+  summa::summa_ab(*mesh_, a.ctx, p.proj_w, a.x1, false, ws());
+  {
+    TensorT<T> bias = bcast_from_row0(p.proj_b, Shape{hq});
+    ops::add_bias_(a.x1, bias);
+  }
+  ops::add_(a.x1, a.input);
+
+  a.ln2_g_bcast = bcast_from_row0(p.ln2_g, Shape{hq});
+  a.ln2_b_bcast = bcast_from_row0(p.ln2_b, Shape{hq});
+  a.ln2_out = alloc_fwd(Shape{rows, hq});
+  a.ln2_xhat = alloc_fwd(Shape{rows, hq});
+  a.ln2_istd = alloc_fwd(Shape{rows});
+  layernorm2d_forward(row, a.x1, a.ln2_g_bcast, a.ln2_b_bcast, eps, cfg_.hidden, a.ln2_out,
+                      a.ln2_xhat, a.ln2_istd);
+
+  a.fc1_out = alloc_fwd(Shape{rows, fq});
+  summa::summa_ab(*mesh_, a.ln2_out, p.fc1_w, a.fc1_out, false, ws());
+  {
+    TensorT<T> bias = bcast_from_row0(p.fc1_b, Shape{fq});
+    ops::add_bias_(a.fc1_out, bias);
+  }
+  a.gelu_out = alloc_fwd(Shape{rows, fq});
+  ops::gelu_forward(a.fc1_out, a.gelu_out);
+
+  // The layer output is the next layer's checkpointed input: persistent.
+  TensorT<T> out(Shape{rows, hq});
+  summa::summa_ab(*mesh_, a.gelu_out, p.fc2_w, out, false, ws());
+  {
+    TensorT<T> bias = bcast_from_row0(p.fc2_b, Shape{hq});
+    ops::add_bias_(out, bias);
+  }
+  ops::add_(out, a.x1);
+  a.full = true;
+  return out;
+}
+
+template <typename T>
+TensorT<T> OptimusTransformer<T>::layer_backward(index_t l, LayerActs& a,
+                                                 const TensorT<T>& dout) {
+  const int q = mesh_->q();
+  const index_t rows = rows_local();
+  const index_t hq = h_local();
+  const index_t fq = cfg_.ffn_hidden() / q;
+  const index_t tq = 3 * hq;
+  Layer& p = layers_[l];
+  Layer& g = grads_[l];
+  comm::Communicator& row = mesh_->row_comm();
+
+  // MLP block: out = x1 + fc2(gelu(fc1(ln2(x1)))).
+  TensorT<T> dgelu = alloc_bwd(Shape{rows, fq});
+  summa::summa_abt(*mesh_, dout, p.fc2_w, dgelu, false, ws());     // eq. 1: dA = dC·Bᵀ
+  summa::summa_atb(*mesh_, a.gelu_out, dout, g.fc2_w, true, ws()); // eq. 1: dB = Aᵀ·dC
+  {
+    TensorT<T> part = alloc_bwd(Shape{hq});
+    ops::bias_grad(dout, part, /*accumulate=*/false);
+    reduce_to_row0(part, g.fc2_b);
+  }
+  TensorT<T> dm1 = alloc_bwd(Shape{rows, fq});
+  ops::gelu_backward(a.fc1_out, dgelu, dm1, /*accumulate=*/false);
+  {
+    TensorT<T> part = alloc_bwd(Shape{fq});
+    ops::bias_grad(dm1, part, false);
+    reduce_to_row0(part, g.fc1_b);
+  }
+  TensorT<T> dln2 = alloc_bwd(Shape{rows, hq});
+  summa::summa_abt(*mesh_, dm1, p.fc1_w, dln2, false, ws());
+  summa::summa_atb(*mesh_, a.ln2_out, dm1, g.fc1_w, true, ws());
+  TensorT<T> dx1 = alloc_bwd(Shape{rows, hq});
+  {
+    TensorT<T> dgp = alloc_bwd(Shape{hq});
+    TensorT<T> dbp = alloc_bwd(Shape{hq});
+    dgp.zero();
+    dbp.zero();
+    layernorm2d_backward(row, a.ln2_xhat, a.ln2_istd, a.ln2_g_bcast, dln2, cfg_.hidden, dx1,
+                         dgp, dbp);
+    reduce_to_row0(dgp, g.ln2_g);
+    reduce_to_row0(dbp, g.ln2_b);
+  }
+  ops::add_(dx1, dout);  // residual
+
+  // Attention block: x1 = x0 + proj(attn(qkv(ln1(x0)))).
+  TensorT<T> dctx = alloc_bwd(Shape{rows, hq});
+  summa::summa_abt(*mesh_, dx1, p.proj_w, dctx, false, ws());
+  summa::summa_atb(*mesh_, a.ctx, dx1, g.proj_w, true, ws());
+  {
+    TensorT<T> part = alloc_bwd(Shape{hq});
+    ops::bias_grad(dx1, part, false);
+    reduce_to_row0(part, g.proj_b);
+  }
+  TensorT<T> dqkv = alloc_bwd(Shape{rows, tq});
+  if (options_.fuse_attention) {
+    TensorT<T> scratch =
+        alloc_bwd(Shape{model::attention_fused_scratch_elems(cfg_.seq_len)});
+    model::attention_backward_fused(a.qkv, dctx, batch_local(), cfg_.seq_len, heads_local(),
+                                    cfg_.head_dim(), cfg_.causal, dqkv, scratch);
+  } else {
+    model::attention_backward(a.qkv, a.probs, dctx, batch_local(), cfg_.seq_len,
+                              heads_local(), cfg_.head_dim(), dqkv);
+  }
+  {
+    TensorT<T> part = alloc_bwd(Shape{tq});
+    ops::bias_grad(dqkv, part, false);
+    reduce_to_row0(part, g.qkv_b);
+  }
+  TensorT<T> dln1 = alloc_bwd(Shape{rows, hq});
+  summa::summa_abt(*mesh_, dqkv, p.qkv_w, dln1, false, ws());
+  summa::summa_atb(*mesh_, a.ln1_out, dqkv, g.qkv_w, true, ws());
+  TensorT<T> din = alloc_bwd(Shape{rows, hq});
+  {
+    TensorT<T> dgp = alloc_bwd(Shape{hq});
+    TensorT<T> dbp = alloc_bwd(Shape{hq});
+    dgp.zero();
+    dbp.zero();
+    layernorm2d_backward(row, a.ln1_xhat, a.ln1_istd, a.ln1_g_bcast, dln1, cfg_.hidden, din,
+                         dgp, dbp);
+    reduce_to_row0(dgp, g.ln1_g);
+    reduce_to_row0(dbp, g.ln1_b);
+  }
+  ops::add_(din, dx1);  // residual
+  return din;
+}
+
+template <typename T>
+void OptimusTransformer<T>::release_layer(LayerActs& a) {
+  TensorT<T> input = a.input;
+  a = LayerActs{};
+  a.input = input;
+}
+
+template <typename T>
+const TensorT<T>& OptimusTransformer<T>::forward(const ITensor& tokens) {
+  OPT_CHECK(tokens.numel() == cfg_.tokens_per_batch(), "tokens must be the global [b, s]");
+  const index_t rows = rows_local();
+  const index_t hq = h_local();
+  const T eps = static_cast<T>(cfg_.layernorm_eps);
+
+  x0_ = embed(tokens);
+
+  acts_.clear();
+  acts_.resize(cfg_.layers);
+  TensorT<T> x = x0_;
+  for (index_t l = 0; l < cfg_.layers; ++l) {
+    acts_[l].input = x;
+    if (fwd_) fwd_->reset();
+    x = layer_forward(l, acts_[l]);
+    if (options_.checkpoint) release_layer(acts_[l]);
+  }
+  stem_out_ = x;
+
+  final_g_bcast_ = TensorT<T>(Shape{hq});
+  final_b_bcast_ = TensorT<T>(Shape{hq});
+  if (on_row0()) {
+    final_g_bcast_.copy_from(final_ln_g_);
+    final_b_bcast_.copy_from(final_ln_b_);
+  }
+  mesh_->col_comm().broadcast(final_g_bcast_, 0);
+  mesh_->col_comm().broadcast(final_b_bcast_, 0);
+  hidden_ = TensorT<T>(Shape{rows, hq});
+  final_xhat_ = TensorT<T>(Shape{rows, hq});
+  final_istd_ = TensorT<T>(Shape{rows});
+  layernorm2d_forward(mesh_->row_comm(), stem_out_, final_g_bcast_, final_b_bcast_, eps,
+                      cfg_.hidden, hidden_, final_xhat_, final_istd_);
+  return hidden_;
+}
+
+template <typename T>
+TensorT<T> OptimusTransformer<T>::lm_logits_block() {
+  OPT_CHECK(hidden_.defined(), "call forward() first");
+  TensorT<T> logits(Shape{rows_local(), vocab_local()});
+  summa::summa_abt(*mesh_, hidden_, embedding_, logits, false, ws());  // Algorithm 2
+  return logits;
+}
+
+template <typename T>
+T OptimusTransformer<T>::lm_loss(const ITensor& labels) {
+  OPT_CHECK(labels.numel() == cfg_.tokens_per_batch(), "labels must be the global [b, s]");
+  const index_t rows = rows_local();
+  const index_t vq = vocab_local();
+  lm_labels_local_ =
+      tensor::row_block(labels.reshape(Shape{cfg_.batch, cfg_.seq_len}), mesh_->q(),
+                        mesh_->row());
+  lm_active_ = 0;
+  for (index_t i = 0; i < labels.numel(); ++i) lm_active_ += labels[i] >= 0 ? 1 : 0;
+
+  TensorT<T> logits = lm_logits_block();
+
+  // Distributed softmax + cross-entropy (§3.2.2): the vocab axis spans a
+  // mesh row, the batch axis spans a mesh column.
+  comm::Communicator& row = mesh_->row_comm();
+  TensorT<T> m(Shape{rows});
+  for (index_t r = 0; r < rows; ++r) {
+    T mx = logits[r * vq];
+    for (index_t j = 1; j < vq; ++j) mx = std::max(mx, logits[r * vq + j]);
+    m[r] = mx;
+  }
+  row.all_reduce_max(m);
+  lm_exp_ = TensorT<T>(logits.shape());
+  TensorT<T> z(Shape{rows});
+  for (index_t r = 0; r < rows; ++r) {
+    T sum{0};
+    for (index_t j = 0; j < vq; ++j) {
+      const T e = std::exp(logits[r * vq + j] - m[r]);
+      lm_exp_[r * vq + j] = e;
+      sum += e;
+    }
+    z[r] = sum;
+  }
+  row.all_reduce(z);
+  const index_t v_begin = mesh_->col() * vq;
+  TensorT<T> xl = TensorT<T>::zeros(Shape{rows});
+  for (index_t r = 0; r < rows; ++r) {
+    const index_t label = lm_labels_local_[r];
+    if (label >= v_begin && label < v_begin + vq) xl[r] = logits[r * vq + (label - v_begin)];
+  }
+  row.all_reduce(xl);
+
+  lm_inv_z_ = TensorT<T>(Shape{rows});
+  T partial{0};
+  for (index_t r = 0; r < rows; ++r) {
+    lm_inv_z_[r] = T{1} / z[r];
+    if (lm_labels_local_[r] >= 0) partial += std::log(z[r]) + m[r] - xl[r];
+  }
+  // Sum the per-batch-block partials down the column (every device in a mesh
+  // row already agrees on its row's partial).
+  mesh_->col_comm().all_reduce(&partial, 1);
+  return lm_active_ > 0 ? partial / static_cast<T>(lm_active_) : T{0};
+}
+
+template <typename T>
+void OptimusTransformer<T>::backward_lm_fused_update(double lr) {
+  OPT_CHECK(options_.fused_update, "engine was not built with options.fused_update");
+  OPT_CHECK(lr > 0, "learning rate must be positive");
+  fused_lr_ = lr;
+  zero_grads();
+  backward_lm();
+  // Layer weights were updated inside backward_stem; apply the accumulated
+  // embedding / hosted-global gradients now.
+  const T step = static_cast<T>(lr);
+  ops::axpy_(embedding_, -step, d_embedding_);
+  d_embedding_.zero();
+  if (on_row0()) {
+    ops::axpy_(pos_embedding_, -step, d_pos_embedding_);
+    d_pos_embedding_.zero();
+    ops::axpy_(final_ln_g_, -step, d_final_ln_g_);
+    ops::axpy_(final_ln_b_, -step, d_final_ln_b_);
+    d_final_ln_g_.zero();
+    d_final_ln_b_.zero();
+  }
+  fused_lr_ = -1.0;
+}
+
+template <typename T>
+void OptimusTransformer<T>::apply_layer_update(index_t l, double lr) {
+  const T step = static_cast<T>(lr);
+  Layer& p = layers_[l];
+  Layer& g = grads_[l];
+  ops::axpy_(p.qkv_w, -step, g.qkv_w);
+  ops::axpy_(p.proj_w, -step, g.proj_w);
+  ops::axpy_(p.fc1_w, -step, g.fc1_w);
+  ops::axpy_(p.fc2_w, -step, g.fc2_w);
+  g.qkv_w.zero();
+  g.proj_w.zero();
+  g.fc1_w.zero();
+  g.fc2_w.zero();
+  if (on_row0()) {
+    const std::initializer_list<std::pair<TensorT<T>*, TensorT<T>*>> hosted = {
+        {&p.ln1_g, &g.ln1_g}, {&p.ln1_b, &g.ln1_b}, {&p.ln2_g, &g.ln2_g},
+        {&p.ln2_b, &g.ln2_b}, {&p.qkv_b, &g.qkv_b}, {&p.proj_b, &g.proj_b},
+        {&p.fc1_b, &g.fc1_b}, {&p.fc2_b, &g.fc2_b}};
+    for (const auto& [param, grad] : hosted) {
+      ops::axpy_(*param, -step, *grad);
+      grad->zero();
+    }
+  }
+}
+
+template <typename T>
+void OptimusTransformer<T>::backward_lm() {
+  OPT_CHECK(lm_exp_.defined(), "call lm_loss() first");
+  OPT_CHECK(!options_.fused_update || fused_lr_ > 0,
+            "fused_update engines must train via backward_lm_fused_update()");
+  const index_t rows = rows_local();
+  const index_t vq = vocab_local();
+  const index_t v_begin = mesh_->col() * vq;
+  const T scale = lm_active_ > 0 ? T{1} / static_cast<T>(lm_active_) : T{0};
+
+  TensorT<T> dlogits(Shape{rows, vq});
+  for (index_t r = 0; r < rows; ++r) {
+    const index_t label = lm_labels_local_[r];
+    T* drow = dlogits.data() + r * vq;
+    if (label < 0) {
+      std::fill(drow, drow + vq, T{0});
+      continue;
+    }
+    const T* erow = lm_exp_.data() + r * vq;
+    for (index_t j = 0; j < vq; ++j) drow[j] = scale * erow[j] * lm_inv_z_[r];
+    if (label >= v_begin && label < v_begin + vq) drow[label - v_begin] -= scale;
+  }
+  TensorT<T> d_hidden(Shape{rows, h_local()});
+  summa::summa_ab(*mesh_, dlogits, embedding_, d_hidden, false, ws());      // Algorithm 1
+  summa::summa_atb(*mesh_, dlogits, hidden_, d_embedding_, true, ws());     // Algorithm 3
+  backward_stem(std::move(d_hidden));
+}
+
+template <typename T>
+TensorT<T> OptimusTransformer<T>::cls_logits_block() {
+  OPT_CHECK(hidden_.defined(), "call forward() first");
+  const index_t bq = batch_local();
+  const index_t hq = h_local();
+  const index_t c = cfg_.num_classes;
+  cls_pooled_ = TensorT<T>(Shape{bq, hq});
+  for (index_t bi = 0; bi < bq; ++bi) {
+    std::memcpy(cls_pooled_.data() + bi * hq, hidden_.data() + bi * cfg_.seq_len * hq,
+                static_cast<std::size_t>(hq) * sizeof(T));
+  }
+  cls_w_bcast_ = TensorT<T>(Shape{hq, c});
+  if (on_row0()) cls_w_bcast_.copy_from(cls_w_);
+  mesh_->col_comm().broadcast(cls_w_bcast_, 0);
+  TensorT<T> logits(Shape{bq, c});
+  ops::gemm(logits, cls_pooled_, cls_w_bcast_);
+  mesh_->row_comm().all_reduce(logits);  // sum the h/q partial products
+  TensorT<T> bias(Shape{c});
+  if (on_row0()) bias.copy_from(cls_b_);
+  mesh_->col_comm().broadcast(bias, 0);
+  ops::add_bias_(logits, bias);
+  return logits;
+}
+
+template <typename T>
+T OptimusTransformer<T>::cls_loss(const ITensor& labels) {
+  OPT_CHECK(labels.numel() == cfg_.batch, "cls labels must be the global [b]");
+  const index_t bq = batch_local();
+  cls_labels_local_ = tensor::row_block(labels, mesh_->q(), mesh_->row());
+  TensorT<T> logits = cls_logits_block();
+  cls_probs_ = TensorT<T>(logits.shape());
+  T partial{0};
+  {
+    // Sum (not mean) over the local batch block, then sum blocks down the
+    // column and normalise by the global batch.
+    TensorT<T> probs(logits.shape());
+    partial = ops::cross_entropy_forward(logits, cls_labels_local_, probs) *
+              static_cast<T>(bq);
+    cls_probs_ = probs;
+  }
+  mesh_->col_comm().all_reduce(&partial, 1);
+  return partial / static_cast<T>(cfg_.batch);
+}
+
+template <typename T>
+void OptimusTransformer<T>::backward_cls() {
+  OPT_CHECK(cls_probs_.defined(), "call cls_loss() first");
+  OPT_CHECK(!options_.fused_update,
+            "fused-update mode supports the LM branch only (backward_lm_fused_update)");
+  const index_t bq = batch_local();
+  const index_t hq = h_local();
+  const index_t c = cfg_.num_classes;
+  TensorT<T> dlogits(cls_probs_.shape());
+  ops::cross_entropy_backward(cls_probs_, cls_labels_local_,
+                              T{1} / static_cast<T>(cfg_.batch), dlogits);
+  // Weight slice gradient: sum over all batch blocks → column reduce.
+  TensorT<T> dw_part(Shape{hq, c});
+  ops::gemm(dw_part, cls_pooled_, dlogits, ops::Trans::Yes, ops::Trans::No, T{1}, T{0});
+  reduce_to_row0(dw_part, d_cls_w_);
+  TensorT<T> db_part(Shape{c});
+  ops::bias_grad(dlogits, db_part, false);
+  reduce_to_row0(db_part, d_cls_b_);
+
+  TensorT<T> d_pooled(Shape{bq, hq});
+  ops::gemm(d_pooled, dlogits, cls_w_bcast_, ops::Trans::No, ops::Trans::Yes);
+  TensorT<T> d_hidden = TensorT<T>::zeros(Shape{rows_local(), hq});
+  for (index_t bi = 0; bi < bq; ++bi) {
+    std::memcpy(d_hidden.data() + bi * cfg_.seq_len * hq, d_pooled.data() + bi * hq,
+                static_cast<std::size_t>(hq) * sizeof(T));
+  }
+  backward_stem(std::move(d_hidden));
+}
+
+template <typename T>
+void OptimusTransformer<T>::backward_stem(TensorT<T> d_hidden) {
+  const index_t rows = rows_local();
+  const index_t hq = h_local();
+
+  // Final layernorm backward (conjunction buffer holds dx between layers).
+  TensorT<T> conjunction(Shape{rows, hq});
+  {
+    TensorT<T> dgp = TensorT<T>::zeros(Shape{hq});
+    TensorT<T> dbp = TensorT<T>::zeros(Shape{hq});
+    layernorm2d_backward(mesh_->row_comm(), final_xhat_, final_istd_, final_g_bcast_,
+                         d_hidden, cfg_.hidden, conjunction, dgp, dbp);
+    reduce_to_row0(dgp, d_final_ln_g_);
+    reduce_to_row0(dbp, d_final_ln_b_);
+  }
+
+  for (index_t l = cfg_.layers - 1; l >= 0; --l) {
+    if (fwd_) fwd_->reset();
+    if (bwd_) bwd_->reset();
+    if (!acts_[l].full) {
+      // Activation checkpointing: recompute this layer's forward, including
+      // its SUMMA communication (the paper's 3× backward/forward comm ratio).
+      (void)layer_forward(l, acts_[l]);
+    }
+    TensorT<T> din = layer_backward(l, acts_[l], conjunction);
+    conjunction.copy_from(din);  // §3.2.3: copy out before the buffers reset
+    if (fused_lr_ > 0) apply_layer_update(l, fused_lr_);  // §3.2.3 method (2)
+    if (options_.checkpoint) release_layer(acts_[l]);
+  }
+  if (fwd_) fwd_->reset();
+  if (bwd_) bwd_->reset();
+  d_x0_ = conjunction;
+
+  // Embedding backward: one-hotᵀ × dX0 via Algorithm 3, with the one-hot
+  // blocks applied as local scatters and partial tables reduced down columns.
+  const int q = mesh_->q();
+  const index_t vq = vocab_local();
+  {
+    std::optional<ArenaScope> scope;
+    if (ws_) scope.emplace(*ws_);
+    TensorT<T> temp = ws_ ? ws_->template alloc<T>(Shape{vq, hq}) : TensorT<T>(Shape{vq, hq});
+    for (int l = 0; l < q; ++l) {
+      temp.zero();
+      const index_t v_begin = l * vq;
+      for (index_t r = 0; r < rows; ++r) {
+        const index_t tok = tokens_local_[r];
+        if (tok >= v_begin && tok < v_begin + vq) {
+          T* dst = temp.data() + (tok - v_begin) * hq;
+          const T* src = d_x0_.data() + r * hq;
+          for (index_t j = 0; j < hq; ++j) dst[j] += src[j];
+        }
+      }
+      mesh_->col_comm().reduce(temp, /*root=*/l);
+      if (mesh_->row() == l) ops::add_(d_embedding_, temp);
+    }
+    // Positional embedding gradient: batch-sum locally, reduce to row 0.
+    TensorT<T> pos_part =
+        ws_ ? ws_->template alloc<T>(Shape{cfg_.seq_len, hq}) : TensorT<T>(Shape{cfg_.seq_len, hq});
+    pos_part.zero();
+    for (index_t bi = 0; bi < batch_local(); ++bi) {
+      for (index_t t = 0; t < cfg_.seq_len; ++t) {
+        const T* src = d_x0_.data() + (bi * cfg_.seq_len + t) * hq;
+        T* dst = pos_part.data() + t * hq;
+        for (index_t j = 0; j < hq; ++j) dst[j] += src[j];
+      }
+    }
+    reduce_to_row0(pos_part, d_pos_embedding_);
+  }
+}
+
+template <typename T>
+void OptimusTransformer<T>::zero_grads() {
+  if (options_.fused_update) {
+    // Layer gradients alias one shared buffer; zero the distinct tensors.
+    d_embedding_.zero();
+    Layer& g = grads_[0];
+    g.qkv_w.zero();
+    g.proj_w.zero();
+    g.fc1_w.zero();
+    g.fc2_w.zero();
+    if (on_row0()) {
+      for (auto* t : {&g.ln1_g, &g.ln1_b, &g.ln2_g, &g.ln2_b, &g.qkv_b, &g.proj_b, &g.fc1_b,
+                      &g.fc2_b, &d_pos_embedding_, &d_final_ln_g_, &d_final_ln_b_, &d_cls_w_,
+                      &d_cls_b_}) {
+        t->zero();
+      }
+    }
+    return;
+  }
+  for (auto* g : gradients()) g->zero();
+}
+
+template <typename T>
+std::vector<TensorT<T>*> OptimusTransformer<T>::parameters() {
+  std::vector<TensorT<T>*> out{&embedding_};
+  if (on_row0()) out.push_back(&pos_embedding_);
+  for (auto& lp : layers_) {
+    out.insert(out.end(), {&lp.qkv_w, &lp.proj_w, &lp.fc1_w, &lp.fc2_w});
+    if (on_row0()) {
+      out.insert(out.end(), {&lp.ln1_g, &lp.ln1_b, &lp.ln2_g, &lp.ln2_b, &lp.qkv_b, &lp.proj_b,
+                             &lp.fc1_b, &lp.fc2_b});
+    }
+  }
+  if (on_row0()) out.insert(out.end(), {&final_ln_g_, &final_ln_b_, &cls_w_, &cls_b_});
+  return out;
+}
+
+template <typename T>
+std::vector<TensorT<T>*> OptimusTransformer<T>::gradients() {
+  OPT_CHECK(!options_.fused_update,
+            "gradients() is unavailable in fused-update mode: layer gradients share one "
+            "buffer and are consumed inside backward_lm_fused_update()");
+  std::vector<TensorT<T>*> out{&d_embedding_};
+  if (on_row0()) out.push_back(&d_pos_embedding_);
+  for (auto& lg : grads_) {
+    out.insert(out.end(), {&lg.qkv_w, &lg.proj_w, &lg.fc1_w, &lg.fc2_w});
+    if (on_row0()) {
+      out.insert(out.end(), {&lg.ln1_g, &lg.ln1_b, &lg.ln2_g, &lg.ln2_b, &lg.qkv_b, &lg.proj_b,
+                             &lg.fc1_b, &lg.fc2_b});
+    }
+  }
+  if (on_row0()) out.insert(out.end(), {&d_final_ln_g_, &d_final_ln_b_, &d_cls_w_, &d_cls_b_});
+  return out;
+}
+
+template class OptimusTransformer<float>;
+template class OptimusTransformer<double>;
+
+}  // namespace optimus::core

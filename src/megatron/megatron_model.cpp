@@ -1,0 +1,453 @@
+#include "megatron/megatron_model.hpp"
+
+#include <cmath>
+
+#include "model/attention.hpp"
+#include "model/param_init.hpp"
+
+namespace optimus::megatron {
+
+namespace {
+
+using tensor::index_t;
+using tensor::ITensor;
+using tensor::Shape;
+using tensor::TensorT;
+namespace ops = tensor::ops;
+using model::LayerWeight;
+
+}  // namespace
+
+template <typename T>
+MegatronTransformer<T>::MegatronTransformer(const model::TransformerConfig& cfg,
+                                            comm::Communicator& comm, bool checkpoint)
+    : cfg_(cfg), comm_(&comm), checkpoint_(checkpoint) {
+  cfg_.validate_for_1d(comm.size());
+  heads_local_ = cfg_.heads / p();
+  qkv_cols_ = 3 * cfg_.hidden / p();
+  ffn_local_ = cfg_.ffn_hidden() / p();
+  init_parameters();
+}
+
+template <typename T>
+void MegatronTransformer<T>::init_parameters() {
+  const index_t h = cfg_.hidden;
+  const index_t f = cfg_.ffn_hidden();
+  const index_t v = cfg_.vocab;
+  const index_t s = cfg_.seq_len;
+  const index_t c = cfg_.num_classes;
+  const int rank = comm_->rank();
+  const util::CounterRng rng(cfg_.seed);
+  const T scale = static_cast<T>(cfg_.init_scale);
+
+  // Vocab-parallel embedding: rows [rank·v/p, (rank+1)·v/p).
+  embedding_ = TensorT<T>(Shape{v / p(), h});
+  ops::fill_counter_uniform(embedding_, rng, model::kEmbeddingStream, scale,
+                            rank * (v / p()), 0, h);
+  d_embedding_ = TensorT<T>::zeros(embedding_.shape());
+  pos_embedding_ = TensorT<T>(Shape{s, h});
+  ops::fill_counter_uniform(pos_embedding_, rng, model::kPosEmbeddingStream, scale, 0, 0, h);
+  d_pos_embedding_ = TensorT<T>::zeros(pos_embedding_.shape());
+
+  layers_.resize(cfg_.layers);
+  grads_.resize(cfg_.layers);
+  for (index_t l = 0; l < cfg_.layers; ++l) {
+    Layer& lp = layers_[l];
+    lp.ln1_g = TensorT<T>::full(Shape{h}, T{1});
+    lp.ln1_b = TensorT<T>::zeros(Shape{h});
+    lp.ln2_g = TensorT<T>::full(Shape{h}, T{1});
+    lp.ln2_b = TensorT<T>::zeros(Shape{h});
+    // Column-split QKV: global columns [rank·3h/p, (rank+1)·3h/p) — whole
+    // heads thanks to the head-major layout.
+    lp.qkv_w = TensorT<T>(Shape{h, qkv_cols_});
+    ops::fill_counter_uniform(lp.qkv_w, rng, model::layer_weight_stream(l, LayerWeight::kQkv),
+                              scale, 0, rank * qkv_cols_, 3 * h);
+    lp.qkv_b = TensorT<T>::zeros(Shape{qkv_cols_});
+    // Row-split projection: global rows [rank·h/p, ...).
+    lp.proj_w = TensorT<T>(Shape{h / p(), h});
+    ops::fill_counter_uniform(lp.proj_w, rng,
+                              model::layer_weight_stream(l, LayerWeight::kProj), scale,
+                              rank * (h / p()), 0, h);
+    lp.proj_b = TensorT<T>::zeros(Shape{h});
+    lp.fc1_w = TensorT<T>(Shape{h, ffn_local_});
+    ops::fill_counter_uniform(lp.fc1_w, rng, model::layer_weight_stream(l, LayerWeight::kFc1),
+                              scale, 0, rank * ffn_local_, f);
+    lp.fc1_b = TensorT<T>::zeros(Shape{ffn_local_});
+    lp.fc2_w = TensorT<T>(Shape{ffn_local_, h});
+    ops::fill_counter_uniform(lp.fc2_w, rng, model::layer_weight_stream(l, LayerWeight::kFc2),
+                              scale, rank * ffn_local_, 0, h);
+    lp.fc2_b = TensorT<T>::zeros(Shape{h});
+
+    Layer& lg = grads_[l];
+    lg.ln1_g = TensorT<T>::zeros(Shape{h});
+    lg.ln1_b = TensorT<T>::zeros(Shape{h});
+    lg.ln2_g = TensorT<T>::zeros(Shape{h});
+    lg.ln2_b = TensorT<T>::zeros(Shape{h});
+    lg.qkv_w = TensorT<T>::zeros(lp.qkv_w.shape());
+    lg.qkv_b = TensorT<T>::zeros(lp.qkv_b.shape());
+    lg.proj_w = TensorT<T>::zeros(lp.proj_w.shape());
+    lg.proj_b = TensorT<T>::zeros(lp.proj_b.shape());
+    lg.fc1_w = TensorT<T>::zeros(lp.fc1_w.shape());
+    lg.fc1_b = TensorT<T>::zeros(lp.fc1_b.shape());
+    lg.fc2_w = TensorT<T>::zeros(lp.fc2_w.shape());
+    lg.fc2_b = TensorT<T>::zeros(lp.fc2_b.shape());
+  }
+
+  final_ln_g_ = TensorT<T>::full(Shape{h}, T{1});
+  final_ln_b_ = TensorT<T>::zeros(Shape{h});
+  d_final_ln_g_ = TensorT<T>::zeros(Shape{h});
+  d_final_ln_b_ = TensorT<T>::zeros(Shape{h});
+  cls_w_ = TensorT<T>(Shape{h, c});
+  ops::fill_counter_uniform(cls_w_, rng, model::kClsHeadStream, scale, 0, 0, c);
+  cls_b_ = TensorT<T>::zeros(Shape{c});
+  d_cls_w_ = TensorT<T>::zeros(Shape{h, c});
+  d_cls_b_ = TensorT<T>::zeros(Shape{c});
+}
+
+template <typename T>
+TensorT<T> MegatronTransformer<T>::embed(const ITensor& tokens) {
+  const index_t h = cfg_.hidden;
+  const index_t bs = cfg_.tokens_per_batch();
+  const index_t v_begin = vocab_begin();
+  const index_t v_local = vocab_per_rank();
+  // Each rank contributes rows for tokens in its vocab slice; the all-reduce
+  // assembles the full embedding (Megatron's VocabParallelEmbedding).
+  TensorT<T> x = TensorT<T>::zeros(Shape{bs, h});
+  for (index_t r = 0; r < bs; ++r) {
+    const index_t tok = tokens[r];
+    if (tok >= v_begin && tok < v_begin + v_local) {
+      std::memcpy(x.data() + r * h, embedding_.data() + (tok - v_begin) * h,
+                  static_cast<std::size_t>(h) * sizeof(T));
+    }
+  }
+  comm_->all_reduce(x);
+  // Positional embedding is replicated.
+  for (index_t bi = 0; bi < cfg_.batch; ++bi) {
+    for (index_t t = 0; t < cfg_.seq_len; ++t) {
+      T* row = x.data() + (bi * cfg_.seq_len + t) * h;
+      const T* pos = pos_embedding_.data() + t * h;
+      for (index_t j = 0; j < h; ++j) row[j] += pos[j];
+    }
+  }
+  return x;
+}
+
+template <typename T>
+TensorT<T> MegatronTransformer<T>::layer_forward(index_t l, LayerActs& a) {
+  const index_t h = cfg_.hidden;
+  const index_t bs = cfg_.tokens_per_batch();
+  const T eps = static_cast<T>(cfg_.layernorm_eps);
+  Layer& p = layers_[l];
+
+  a.ln1_out = TensorT<T>(Shape{bs, h});
+  a.ln1_xhat = TensorT<T>(Shape{bs, h});
+  a.ln1_istd = TensorT<T>(Shape{bs});
+  ops::layernorm_forward(a.input, p.ln1_g, p.ln1_b, eps, a.ln1_out, a.ln1_xhat, a.ln1_istd);
+
+  a.qkv = TensorT<T>(Shape{bs, qkv_cols_});
+  ops::gemm(a.qkv, a.ln1_out, p.qkv_w);
+  ops::add_bias_(a.qkv, p.qkv_b);
+
+  a.ctx = TensorT<T>(Shape{bs, h / this->p()});
+  a.probs = TensorT<T>(Shape{cfg_.batch * heads_local_, cfg_.seq_len, cfg_.seq_len});
+  model::attention_forward(a.qkv, cfg_.batch, cfg_.seq_len, heads_local_, cfg_.head_dim(),
+                           cfg_.causal, a.ctx, a.probs);
+
+  // Row-parallel projection: partial result then all-reduce (the paper's
+  // forward g-operator).
+  a.x1 = TensorT<T>(Shape{bs, h});
+  ops::gemm(a.x1, a.ctx, p.proj_w);
+  comm_->all_reduce(a.x1);
+  ops::add_bias_(a.x1, p.proj_b);
+  ops::add_(a.x1, a.input);
+
+  a.ln2_out = TensorT<T>(Shape{bs, h});
+  a.ln2_xhat = TensorT<T>(Shape{bs, h});
+  a.ln2_istd = TensorT<T>(Shape{bs});
+  ops::layernorm_forward(a.x1, p.ln2_g, p.ln2_b, eps, a.ln2_out, a.ln2_xhat, a.ln2_istd);
+
+  a.fc1_out = TensorT<T>(Shape{bs, ffn_local_});
+  ops::gemm(a.fc1_out, a.ln2_out, p.fc1_w);
+  ops::add_bias_(a.fc1_out, p.fc1_b);
+  a.gelu_out = TensorT<T>(Shape{bs, ffn_local_});
+  ops::gelu_forward(a.fc1_out, a.gelu_out);
+
+  TensorT<T> out(Shape{bs, h});
+  ops::gemm(out, a.gelu_out, p.fc2_w);
+  comm_->all_reduce(out);
+  ops::add_bias_(out, p.fc2_b);
+  ops::add_(out, a.x1);
+  a.full = true;
+  return out;
+}
+
+template <typename T>
+TensorT<T> MegatronTransformer<T>::layer_backward(index_t l, LayerActs& a,
+                                                  const TensorT<T>& dout) {
+  const index_t h = cfg_.hidden;
+  const index_t bs = cfg_.tokens_per_batch();
+  Layer& p = layers_[l];
+  Layer& g = grads_[l];
+
+  // MLP block.
+  TensorT<T> dg(Shape{bs, ffn_local_});
+  ops::gemm(dg, dout, p.fc2_w, ops::Trans::No, ops::Trans::Yes);
+  ops::gemm(g.fc2_w, a.gelu_out, dout, ops::Trans::Yes, ops::Trans::No, T{1}, T{1});
+  ops::bias_grad(dout, g.fc2_b, /*accumulate=*/true);
+  TensorT<T> dm1(Shape{bs, ffn_local_});
+  ops::gelu_backward(a.fc1_out, dg, dm1, /*accumulate=*/false);
+  TensorT<T> dln2(Shape{bs, h});
+  ops::gemm(dln2, dm1, p.fc1_w, ops::Trans::No, ops::Trans::Yes);
+  comm_->all_reduce(dln2);  // backward f-operator of the column-parallel fc1
+  ops::gemm(g.fc1_w, a.ln2_out, dm1, ops::Trans::Yes, ops::Trans::No, T{1}, T{1});
+  ops::bias_grad(dm1, g.fc1_b, /*accumulate=*/true);
+  TensorT<T> dx1(Shape{bs, h});
+  ops::layernorm_backward(a.ln2_xhat, a.ln2_istd, p.ln2_g, dln2, dx1, g.ln2_g, g.ln2_b, true);
+  ops::add_(dx1, dout);
+
+  // Attention block.
+  TensorT<T> dctx(Shape{bs, h / this->p()});
+  ops::gemm(dctx, dx1, p.proj_w, ops::Trans::No, ops::Trans::Yes);
+  ops::gemm(g.proj_w, a.ctx, dx1, ops::Trans::Yes, ops::Trans::No, T{1}, T{1});
+  ops::bias_grad(dx1, g.proj_b, /*accumulate=*/true);
+  TensorT<T> dqkv(Shape{bs, qkv_cols_});
+  model::attention_backward(a.qkv, a.probs, dctx, cfg_.batch, cfg_.seq_len, heads_local_,
+                            cfg_.head_dim(), dqkv);
+  TensorT<T> dln1(Shape{bs, h});
+  ops::gemm(dln1, dqkv, p.qkv_w, ops::Trans::No, ops::Trans::Yes);
+  comm_->all_reduce(dln1);  // backward f-operator of the column-parallel qkv
+  ops::gemm(g.qkv_w, a.ln1_out, dqkv, ops::Trans::Yes, ops::Trans::No, T{1}, T{1});
+  ops::bias_grad(dqkv, g.qkv_b, /*accumulate=*/true);
+  TensorT<T> din(Shape{bs, h});
+  ops::layernorm_backward(a.ln1_xhat, a.ln1_istd, p.ln1_g, dln1, din, g.ln1_g, g.ln1_b, true);
+  ops::add_(din, dx1);
+  return din;
+}
+
+template <typename T>
+const TensorT<T>& MegatronTransformer<T>::forward(const ITensor& tokens) {
+  OPT_CHECK(tokens.numel() == cfg_.tokens_per_batch(), "tokens must be [b, s]");
+  tokens_ = tokens.clone();
+  x0_ = embed(tokens_);
+
+  acts_.clear();
+  acts_.resize(cfg_.layers);
+  TensorT<T> x = x0_;
+  for (index_t l = 0; l < cfg_.layers; ++l) {
+    acts_[l].input = x.clone();
+    x = layer_forward(l, acts_[l]);
+    if (checkpoint_) {
+      // Keep only the checkpointed input; drop intermediate activations.
+      LayerActs fresh;
+      fresh.input = acts_[l].input;
+      acts_[l] = std::move(fresh);
+    }
+  }
+  stem_out_ = x;
+
+  const index_t bs = cfg_.tokens_per_batch();
+  hidden_ = TensorT<T>(Shape{bs, cfg_.hidden});
+  final_xhat_ = TensorT<T>(Shape{bs, cfg_.hidden});
+  final_istd_ = TensorT<T>(Shape{bs});
+  ops::layernorm_forward(stem_out_, final_ln_g_, final_ln_b_,
+                         static_cast<T>(cfg_.layernorm_eps), hidden_, final_xhat_,
+                         final_istd_);
+  return hidden_;
+}
+
+template <typename T>
+T MegatronTransformer<T>::lm_loss(const ITensor& labels) {
+  OPT_CHECK(hidden_.defined(), "call forward() first");
+  OPT_CHECK(labels.numel() == cfg_.tokens_per_batch(), "labels must be [b, s]");
+  lm_labels_ = labels.clone();
+  const index_t bs = cfg_.tokens_per_batch();
+  const index_t v_local = vocab_per_rank();
+  const index_t v_begin = vocab_begin();
+
+  // Local logits against this rank's vocab slice (tied weights).
+  TensorT<T> logits = ops::matmul(hidden_, embedding_, ops::Trans::No, ops::Trans::Yes);
+
+  // Vocab-parallel softmax statistics.
+  TensorT<T> m(Shape{bs});
+  for (index_t r = 0; r < bs; ++r) {
+    T mx = logits[r * v_local];
+    for (index_t j = 1; j < v_local; ++j) mx = std::max(mx, logits[r * v_local + j]);
+    m[r] = mx;
+  }
+  comm_->all_reduce_max(m);
+  lm_exp_ = TensorT<T>(logits.shape());
+  TensorT<T> z(Shape{bs});
+  for (index_t r = 0; r < bs; ++r) {
+    T sum{0};
+    for (index_t j = 0; j < v_local; ++j) {
+      const T e = std::exp(logits[r * v_local + j] - m[r]);
+      lm_exp_[r * v_local + j] = e;
+      sum += e;
+    }
+    z[r] = sum;
+  }
+  comm_->all_reduce(z);
+  // Label term: exactly one rank owns each label column.
+  TensorT<T> xl = TensorT<T>::zeros(Shape{bs});
+  lm_active_ = 0;
+  for (index_t r = 0; r < bs; ++r) {
+    const index_t label = lm_labels_[r];
+    if (label < 0) continue;
+    ++lm_active_;
+    if (label >= v_begin && label < v_begin + v_local) {
+      xl[r] = logits[r * v_local + (label - v_begin)];
+    }
+  }
+  comm_->all_reduce(xl);
+
+  lm_inv_z_ = TensorT<T>(Shape{bs});
+  T loss{0};
+  for (index_t r = 0; r < bs; ++r) {
+    lm_inv_z_[r] = T{1} / z[r];
+    if (lm_labels_[r] >= 0) loss += std::log(z[r]) + m[r] - xl[r];
+  }
+  return lm_active_ > 0 ? loss / static_cast<T>(lm_active_) : T{0};
+}
+
+template <typename T>
+void MegatronTransformer<T>::backward_lm() {
+  OPT_CHECK(lm_exp_.defined(), "call lm_loss() first");
+  const index_t bs = cfg_.tokens_per_batch();
+  const index_t v_local = vocab_per_rank();
+  const index_t v_begin = vocab_begin();
+  const T scale = lm_active_ > 0 ? T{1} / static_cast<T>(lm_active_) : T{0};
+
+  TensorT<T> dlogits(Shape{bs, v_local});
+  for (index_t r = 0; r < bs; ++r) {
+    const index_t label = lm_labels_[r];
+    T* row = dlogits.data() + r * v_local;
+    if (label < 0) {
+      std::fill(row, row + v_local, T{0});
+      continue;
+    }
+    const T* erow = lm_exp_.data() + r * v_local;
+    for (index_t j = 0; j < v_local; ++j) row[j] = scale * erow[j] * lm_inv_z_[r];
+    if (label >= v_begin && label < v_begin + v_local) row[label - v_begin] -= scale;
+  }
+  // dX partial from this vocab slice, then all-reduce.
+  TensorT<T> d_hidden(Shape{bs, cfg_.hidden});
+  ops::gemm(d_hidden, dlogits, embedding_);
+  comm_->all_reduce(d_hidden);
+  // Tied-weight gradient into the local embedding slice.
+  ops::gemm(d_embedding_, dlogits, hidden_, ops::Trans::Yes, ops::Trans::No, T{1}, T{1});
+  backward_stem(std::move(d_hidden));
+}
+
+template <typename T>
+T MegatronTransformer<T>::cls_loss(const ITensor& labels) {
+  OPT_CHECK(hidden_.defined(), "call forward() first");
+  OPT_CHECK(labels.numel() == cfg_.batch, "cls labels must be [b]");
+  cls_labels_ = labels.clone();
+  const index_t b = cfg_.batch;
+  const index_t h = cfg_.hidden;
+  cls_pooled_ = TensorT<T>(Shape{b, h});
+  for (index_t bi = 0; bi < b; ++bi) {
+    std::memcpy(cls_pooled_.data() + bi * h, hidden_.data() + bi * cfg_.seq_len * h,
+                static_cast<std::size_t>(h) * sizeof(T));
+  }
+  TensorT<T> logits(Shape{b, cfg_.num_classes});
+  ops::gemm(logits, cls_pooled_, cls_w_);
+  ops::add_bias_(logits, cls_b_);
+  cls_probs_ = TensorT<T>(logits.shape());
+  return ops::cross_entropy_forward(logits, cls_labels_, cls_probs_);
+}
+
+template <typename T>
+void MegatronTransformer<T>::backward_cls() {
+  OPT_CHECK(cls_probs_.defined(), "call cls_loss() first");
+  const index_t b = cfg_.batch;
+  const index_t h = cfg_.hidden;
+  TensorT<T> dlogits(cls_probs_.shape());
+  ops::cross_entropy_backward(cls_probs_, cls_labels_, T{1} / static_cast<T>(b), dlogits);
+  ops::gemm(d_cls_w_, cls_pooled_, dlogits, ops::Trans::Yes, ops::Trans::No, T{1}, T{1});
+  ops::bias_grad(dlogits, d_cls_b_, true);
+  TensorT<T> d_pooled(Shape{b, h});
+  ops::gemm(d_pooled, dlogits, cls_w_, ops::Trans::No, ops::Trans::Yes);
+  TensorT<T> d_hidden = TensorT<T>::zeros(Shape{cfg_.tokens_per_batch(), h});
+  for (index_t bi = 0; bi < b; ++bi) {
+    std::memcpy(d_hidden.data() + bi * cfg_.seq_len * h, d_pooled.data() + bi * h,
+                static_cast<std::size_t>(h) * sizeof(T));
+  }
+  backward_stem(std::move(d_hidden));
+}
+
+template <typename T>
+void MegatronTransformer<T>::backward_stem(TensorT<T> d_hidden) {
+  const index_t bs = cfg_.tokens_per_batch();
+  const index_t h = cfg_.hidden;
+
+  TensorT<T> dx(Shape{bs, h});
+  ops::layernorm_backward(final_xhat_, final_istd_, final_ln_g_, d_hidden, dx, d_final_ln_g_,
+                          d_final_ln_b_, true);
+
+  for (index_t l = cfg_.layers - 1; l >= 0; --l) {
+    if (!acts_[l].full) {
+      // Activation checkpointing: recompute this layer's forward (including
+      // its two all-reduces — the paper's 21bsh backward term).
+      (void)layer_forward(l, acts_[l]);
+    }
+    dx = layer_backward(l, acts_[l], dx);
+    if (checkpoint_) {
+      LayerActs fresh;
+      fresh.input = acts_[l].input;
+      acts_[l] = std::move(fresh);  // free recomputed activations immediately
+    }
+  }
+  d_x0_ = dx;
+
+  // Embedding gradients: only this rank's vocab rows.
+  const index_t v_begin = vocab_begin();
+  const index_t v_local = vocab_per_rank();
+  for (index_t r = 0; r < bs; ++r) {
+    const index_t tok = tokens_[r];
+    if (tok >= v_begin && tok < v_begin + v_local) {
+      T* dst = d_embedding_.data() + (tok - v_begin) * h;
+      const T* src = d_x0_.data() + r * h;
+      for (index_t j = 0; j < h; ++j) dst[j] += src[j];
+    }
+  }
+  for (index_t bi = 0; bi < cfg_.batch; ++bi) {
+    for (index_t t = 0; t < cfg_.seq_len; ++t) {
+      const T* src = d_x0_.data() + (bi * cfg_.seq_len + t) * h;
+      T* dst = d_pos_embedding_.data() + t * h;
+      for (index_t j = 0; j < h; ++j) dst[j] += src[j];
+    }
+  }
+}
+
+template <typename T>
+void MegatronTransformer<T>::zero_grads() {
+  for (auto* g : gradients()) g->zero();
+}
+
+template <typename T>
+std::vector<TensorT<T>*> MegatronTransformer<T>::parameters() {
+  std::vector<TensorT<T>*> out{&embedding_, &pos_embedding_};
+  for (auto& lp : layers_) {
+    out.insert(out.end(), {&lp.ln1_g, &lp.ln1_b, &lp.qkv_w, &lp.qkv_b, &lp.proj_w, &lp.proj_b,
+                           &lp.ln2_g, &lp.ln2_b, &lp.fc1_w, &lp.fc1_b, &lp.fc2_w, &lp.fc2_b});
+  }
+  out.insert(out.end(), {&final_ln_g_, &final_ln_b_, &cls_w_, &cls_b_});
+  return out;
+}
+
+template <typename T>
+std::vector<TensorT<T>*> MegatronTransformer<T>::gradients() {
+  std::vector<TensorT<T>*> out{&d_embedding_, &d_pos_embedding_};
+  for (auto& lg : grads_) {
+    out.insert(out.end(), {&lg.ln1_g, &lg.ln1_b, &lg.qkv_w, &lg.qkv_b, &lg.proj_w, &lg.proj_b,
+                           &lg.ln2_g, &lg.ln2_b, &lg.fc1_w, &lg.fc1_b, &lg.fc2_w, &lg.fc2_b});
+  }
+  out.insert(out.end(), {&d_final_ln_g_, &d_final_ln_b_, &d_cls_w_, &d_cls_b_});
+  return out;
+}
+
+template class MegatronTransformer<float>;
+template class MegatronTransformer<double>;
+
+}  // namespace optimus::megatron

@@ -1,0 +1,24 @@
+#include "mesh/mesh.hpp"
+
+namespace optimus::mesh {
+
+int Mesh2D::mesh_side(int p) {
+  OPT_CHECK(p >= 1, "mesh needs at least one device");
+  int q = 1;
+  while (q * q < p) ++q;
+  OPT_CHECK(q * q == p, "world size " << p << " is not a perfect square");
+  return q;
+}
+
+Mesh2D::Mesh2D(comm::Communicator& world)
+    : world_(&world),
+      q_(mesh_side(world.size())),
+      row_(world.rank() / q_),
+      col_(world.rank() % q_),
+      row_comm_(world.split(/*color=*/row_, /*key=*/col_)),
+      col_comm_(world.split(/*color=*/col_, /*key=*/row_)) {
+  OPT_CHECK(row_comm_.size() == q_ && col_comm_.size() == q_, "mesh split inconsistent");
+  OPT_CHECK(row_comm_.rank() == col_ && col_comm_.rank() == row_, "mesh rank mapping broken");
+}
+
+}  // namespace optimus::mesh

@@ -1,0 +1,53 @@
+#pragma once
+
+// 2D device mesh for SUMMA-style algorithms.
+//
+// A world of p = q×q ranks is arranged row-major: rank = row·q + col. The
+// mesh owns one communicator per direction:
+//
+//   * row_comm — the q devices sharing this device's mesh row (varying col);
+//                used for broadcasts of A blocks and the row reductions /
+//                all-reduces of layernorm, softmax and cross-entropy.
+//   * col_comm — the q devices sharing this device's mesh column; used for
+//                broadcasts of B blocks and the Fig.-5 parameter broadcasts
+//                from row 0.
+//
+// How mesh coordinates map onto physical nodes is the Topology's concern
+// (Fig. 8 naive vs bunched); the mesh is purely logical.
+
+#include "comm/cluster.hpp"
+#include "comm/communicator.hpp"
+
+namespace optimus::mesh {
+
+class Mesh2D {
+ public:
+  /// Splits `world` (size must be a perfect square) into row/column
+  /// communicators. Collective: all ranks must construct the mesh together.
+  explicit Mesh2D(comm::Communicator& world);
+
+  int q() const { return q_; }
+  int p() const { return q_ * q_; }
+  int row() const { return row_; }
+  int col() const { return col_; }
+
+  comm::Communicator& world() { return *world_; }
+  comm::Communicator& row_comm() { return row_comm_; }
+  comm::Communicator& col_comm() { return col_comm_; }
+
+  /// Rank (in world order) of mesh coordinate (r, c).
+  int rank_of(int r, int c) const { return r * q_ + c; }
+
+  /// Returns the exact integer square root of p; throws if p is not square.
+  static int mesh_side(int p);
+
+ private:
+  comm::Communicator* world_;
+  int q_;
+  int row_;
+  int col_;
+  comm::Communicator row_comm_;
+  comm::Communicator col_comm_;
+};
+
+}  // namespace optimus::mesh

@@ -1,0 +1,201 @@
+#include "model/attention.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace optimus::model {
+
+namespace {
+
+using tensor::index_t;
+using tensor::Shape;
+using tensor::TensorT;
+namespace ops = tensor::ops;
+
+template <typename T>
+void apply_causal_mask(T* scores, index_t s) {
+  // Row t may attend to columns 0..t. Use a large negative value rather than
+  // −inf so exp() underflows cleanly to zero.
+  const T neg = T{-1e9};
+  for (index_t t = 0; t < s; ++t) {
+    T* row = scores + t * s;
+    for (index_t u = t + 1; u < s; ++u) row[u] = neg;
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void attention_forward(const TensorT<T>& qkv, index_t b, index_t s, index_t heads, index_t d,
+                       bool causal, TensorT<T>& ctx, TensorT<T>& probs) {
+  const index_t qkv_cols = heads * 3 * d;
+  const index_t ctx_cols = heads * d;
+  OPT_CHECK(qkv.numel() == b * s * qkv_cols, "qkv shape mismatch: " << qkv.shape().to_string());
+  OPT_CHECK(ctx.numel() == b * s * ctx_cols, "ctx shape mismatch");
+  OPT_CHECK(probs.numel() == b * heads * s * s, "probs buffer mismatch");
+  const T scale = T{1} / static_cast<T>(std::sqrt(static_cast<double>(d)));
+
+  for (index_t bi = 0; bi < b; ++bi) {
+    for (index_t hi = 0; hi < heads; ++hi) {
+      const T* base = qkv.data() + bi * s * qkv_cols + hi * 3 * d;
+      const T* Q = base;          // [s, d], row stride qkv_cols
+      const T* K = base + d;      // [s, d]
+      const T* V = base + 2 * d;  // [s, d]
+      T* P = probs.data() + (bi * heads + hi) * s * s;  // [s, s]
+      T* C = ctx.data() + bi * s * ctx_cols + hi * d;   // [s, d], row stride ctx_cols
+
+      // scores = scale · Q·Kᵀ, then mask + softmax in place (P doubles as the
+      // score buffer).
+      ops::gemm_raw(P, Q, K, s, s, d, qkv_cols, qkv_cols, s, ops::Trans::No, ops::Trans::Yes,
+                    scale, T{0});
+      if (causal) apply_causal_mask(P, s);
+      // Row-wise softmax over the s columns of P.
+      TensorT<T> p_view = TensorT<T>::wrap(P, Shape{s, s}, nullptr);
+      ops::softmax_lastdim(p_view, p_view);
+      // ctx = P·V.
+      ops::gemm_raw(C, P, V, s, d, s, s, qkv_cols, ctx_cols, ops::Trans::No, ops::Trans::No,
+                    T{1}, T{0});
+    }
+  }
+}
+
+template <typename T>
+void attention_backward(const TensorT<T>& qkv, const TensorT<T>& probs,
+                        const TensorT<T>& dctx, index_t b, index_t s, index_t heads, index_t d,
+                        TensorT<T>& dqkv) {
+  const index_t qkv_cols = heads * 3 * d;
+  const index_t ctx_cols = heads * d;
+  OPT_CHECK(dqkv.numel() == qkv.numel(), "dqkv shape mismatch");
+  OPT_CHECK(dctx.numel() == b * s * ctx_cols, "dctx shape mismatch");
+  const T scale = T{1} / static_cast<T>(std::sqrt(static_cast<double>(d)));
+
+  TensorT<T> dscores(Shape{s, s});
+  for (index_t bi = 0; bi < b; ++bi) {
+    for (index_t hi = 0; hi < heads; ++hi) {
+      const T* base = qkv.data() + bi * s * qkv_cols + hi * 3 * d;
+      const T* Q = base;
+      const T* K = base + d;
+      const T* V = base + 2 * d;
+      T* dbase = dqkv.data() + bi * s * qkv_cols + hi * 3 * d;
+      T* dQ = dbase;
+      T* dK = dbase + d;
+      T* dV = dbase + 2 * d;
+      const T* P = probs.data() + (bi * heads + hi) * s * s;
+      const T* dC = dctx.data() + bi * s * ctx_cols + hi * d;
+
+      // dV = Pᵀ·dC   [s, d]
+      ops::gemm_raw(dV, P, dC, s, d, s, s, ctx_cols, qkv_cols, ops::Trans::Yes, ops::Trans::No,
+                    T{1}, T{0});
+      // dP = dC·Vᵀ   [s, s]
+      ops::gemm_raw(dscores.data(), dC, V, s, s, d, ctx_cols, qkv_cols, s, ops::Trans::No,
+                    ops::Trans::Yes, T{1}, T{0});
+      // dscores = softmax backward through P (in place on dscores).
+      TensorT<T> p_view = TensorT<T>::wrap(const_cast<T*>(P), Shape{s, s}, nullptr);
+      ops::softmax_backward_lastdim(p_view, dscores, dscores);
+      // Masked positions have P = 0, which softmax_backward maps to 0 — no
+      // explicit re-mask needed.
+      // dQ = scale·dscores·K   [s, d]
+      ops::gemm_raw(dQ, dscores.data(), K, s, d, s, s, qkv_cols, qkv_cols, ops::Trans::No,
+                    ops::Trans::No, scale, T{0});
+      // dK = scale·dscoresᵀ·Q  [s, d]
+      ops::gemm_raw(dK, dscores.data(), Q, s, d, s, s, qkv_cols, qkv_cols, ops::Trans::Yes,
+                    ops::Trans::No, scale, T{0});
+    }
+  }
+}
+
+template <typename T>
+void attention_forward_fused(const TensorT<T>& qkv, index_t b, index_t s, index_t heads,
+                             index_t d, bool causal, TensorT<T>& ctx, TensorT<T>& scratch) {
+  const index_t qkv_cols = heads * 3 * d;
+  const index_t ctx_cols = heads * d;
+  OPT_CHECK(qkv.numel() == b * s * qkv_cols, "qkv shape mismatch");
+  OPT_CHECK(ctx.numel() == b * s * ctx_cols, "ctx shape mismatch");
+  OPT_CHECK(scratch.numel() >= s * s, "fused scratch needs >= s*s elements");
+  const T scale = T{1} / static_cast<T>(std::sqrt(static_cast<double>(d)));
+  T* P = scratch.data();
+
+  for (index_t bi = 0; bi < b; ++bi) {
+    for (index_t hi = 0; hi < heads; ++hi) {
+      const T* base = qkv.data() + bi * s * qkv_cols + hi * 3 * d;
+      const T* Q = base;
+      const T* K = base + d;
+      const T* V = base + 2 * d;
+      T* C = ctx.data() + bi * s * ctx_cols + hi * d;
+      ops::gemm_raw(P, Q, K, s, s, d, qkv_cols, qkv_cols, s, ops::Trans::No, ops::Trans::Yes,
+                    scale, T{0});
+      if (causal) apply_causal_mask(P, s);
+      TensorT<T> p_view = TensorT<T>::wrap(P, Shape{s, s}, nullptr);
+      ops::softmax_lastdim(p_view, p_view);
+      ops::gemm_raw(C, P, V, s, d, s, s, qkv_cols, ctx_cols, ops::Trans::No, ops::Trans::No,
+                    T{1}, T{0});
+      // P is overwritten by the next head — never materialised globally.
+    }
+  }
+}
+
+template <typename T>
+void attention_backward_fused(const TensorT<T>& qkv, const TensorT<T>& dctx, index_t b,
+                              index_t s, index_t heads, index_t d, bool causal,
+                              TensorT<T>& dqkv, TensorT<T>& scratch) {
+  const index_t qkv_cols = heads * 3 * d;
+  const index_t ctx_cols = heads * d;
+  OPT_CHECK(dqkv.numel() == qkv.numel(), "dqkv shape mismatch");
+  OPT_CHECK(scratch.numel() >= 2 * s * s, "fused scratch needs >= 2*s*s elements");
+  const T scale = T{1} / static_cast<T>(std::sqrt(static_cast<double>(d)));
+  T* P = scratch.data();
+  T* dS = scratch.data() + s * s;
+
+  for (index_t bi = 0; bi < b; ++bi) {
+    for (index_t hi = 0; hi < heads; ++hi) {
+      const T* base = qkv.data() + bi * s * qkv_cols + hi * 3 * d;
+      const T* Q = base;
+      const T* K = base + d;
+      const T* V = base + 2 * d;
+      T* dbase = dqkv.data() + bi * s * qkv_cols + hi * 3 * d;
+      T* dQ = dbase;
+      T* dK = dbase + d;
+      T* dV = dbase + 2 * d;
+      const T* dC = dctx.data() + bi * s * ctx_cols + hi * d;
+
+      // Recompute this head's probabilities (the fusion trade: bs²h extra
+      // multiplies instead of a b·n·s² resident tensor).
+      ops::gemm_raw(P, Q, K, s, s, d, qkv_cols, qkv_cols, s, ops::Trans::No, ops::Trans::Yes,
+                    scale, T{0});
+      if (causal) apply_causal_mask(P, s);
+      TensorT<T> p_view = TensorT<T>::wrap(P, Shape{s, s}, nullptr);
+      ops::softmax_lastdim(p_view, p_view);
+
+      ops::gemm_raw(dV, P, dC, s, d, s, s, ctx_cols, qkv_cols, ops::Trans::Yes, ops::Trans::No,
+                    T{1}, T{0});
+      ops::gemm_raw(dS, dC, V, s, s, d, ctx_cols, qkv_cols, s, ops::Trans::No,
+                    ops::Trans::Yes, T{1}, T{0});
+      TensorT<T> ds_view = TensorT<T>::wrap(dS, Shape{s, s}, nullptr);
+      ops::softmax_backward_lastdim(p_view, ds_view, ds_view);
+      ops::gemm_raw(dQ, dS, K, s, d, s, s, qkv_cols, qkv_cols, ops::Trans::No, ops::Trans::No,
+                    scale, T{0});
+      ops::gemm_raw(dK, dS, Q, s, d, s, s, qkv_cols, qkv_cols, ops::Trans::Yes,
+                    ops::Trans::No, scale, T{0});
+    }
+  }
+}
+
+#define OPTIMUS_INSTANTIATE_ATTENTION(T)                                                   \
+  template void attention_forward<T>(const TensorT<T>&, index_t, index_t, index_t,        \
+                                     index_t, bool, TensorT<T>&, TensorT<T>&);             \
+  template void attention_backward<T>(const TensorT<T>&, const TensorT<T>&,               \
+                                      const TensorT<T>&, index_t, index_t, index_t,       \
+                                      index_t, TensorT<T>&);                               \
+  template void attention_forward_fused<T>(const TensorT<T>&, index_t, index_t, index_t,  \
+                                           index_t, bool, TensorT<T>&, TensorT<T>&);      \
+  template void attention_backward_fused<T>(const TensorT<T>&, const TensorT<T>&,         \
+                                            index_t, index_t, index_t, index_t, bool,     \
+                                            TensorT<T>&, TensorT<T>&);
+
+OPTIMUS_INSTANTIATE_ATTENTION(float)
+OPTIMUS_INSTANTIATE_ATTENTION(double)
+
+#undef OPTIMUS_INSTANTIATE_ATTENTION
+
+}  // namespace optimus::model

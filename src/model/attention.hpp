@@ -1,0 +1,71 @@
+#pragma once
+
+// Device-local multi-head attention core, shared by every engine.
+//
+// The fused QKV activations are laid out [b_local, s, heads_local·3·d]
+// head-major (see param_init.hpp), with the full sequence present — exactly
+// the Optimus layout (§3.2.1: "a whole s is partitioned to one device", each
+// device owning b/q sequences and n/q heads), of which the serial model
+// (b, n) and Megatron (b, n/p) are special cases.
+//
+// Nonlinear(Q·Kᵀ)·V is computed entirely locally — no communication. The
+// attention probabilities are saved for backward; under activation
+// checkpointing, callers recompute the forward so probs only live during a
+// single layer's backward pass (the paper's §6 fusion discussion).
+
+#include "tensor/tensor.hpp"
+
+namespace optimus::model {
+
+/// scores = softmax(mask(Q·Kᵀ/√d)); ctx = scores·V.
+/// qkv: [b·s, heads·3·d] (head-major), ctx out: [b·s, heads·d],
+/// probs out: [b·heads·s·s] (saved for backward).
+template <typename T>
+void attention_forward(const tensor::TensorT<T>& qkv, tensor::index_t b, tensor::index_t s,
+                       tensor::index_t heads, tensor::index_t d, bool causal,
+                       tensor::TensorT<T>& ctx, tensor::TensorT<T>& probs);
+
+/// Backward of attention_forward. dqkv is written (not accumulated).
+template <typename T>
+void attention_backward(const tensor::TensorT<T>& qkv, const tensor::TensorT<T>& probs,
+                        const tensor::TensorT<T>& dctx, tensor::index_t b, tensor::index_t s,
+                        tensor::index_t heads, tensor::index_t d, tensor::TensorT<T>& dqkv);
+
+/// Elements the probs buffer needs: b·heads·s·s.
+inline tensor::index_t attention_probs_elems(tensor::index_t b, tensor::index_t s,
+                                             tensor::index_t heads) {
+  return b * heads * s * s;
+}
+
+// ---------------------------------------------------------------------------
+// Fused attention (paper §6, "operation fusion")
+// ---------------------------------------------------------------------------
+//
+// The paper observes that the attention scores occupy a [b, n, s, s] tensor —
+// up to 8× the activation footprint at its Table-3 scaling — while their
+// computation is cheap (bs²h multiplies vs. the MLP's 8bsh²), so fusing the
+// score computation into the surrounding products removes the allocation
+// entirely. The fused variants below stream one (batch, head) pair at a time
+// through a single [s, s] scratch: forward saves nothing, backward recomputes
+// the probabilities per head (extra bs²h multiplies, exactly the paper's
+// "computationally cheap intermediate" trade).
+
+/// Forward without saving probabilities. `scratch` must hold ≥ s·s elements.
+template <typename T>
+void attention_forward_fused(const tensor::TensorT<T>& qkv, tensor::index_t b,
+                             tensor::index_t s, tensor::index_t heads, tensor::index_t d,
+                             bool causal, tensor::TensorT<T>& ctx,
+                             tensor::TensorT<T>& scratch);
+
+/// Backward that recomputes the probabilities per head. `scratch` must hold
+/// ≥ 2·s·s elements (probs + dscores).
+template <typename T>
+void attention_backward_fused(const tensor::TensorT<T>& qkv, const tensor::TensorT<T>& dctx,
+                              tensor::index_t b, tensor::index_t s, tensor::index_t heads,
+                              tensor::index_t d, bool causal, tensor::TensorT<T>& dqkv,
+                              tensor::TensorT<T>& scratch);
+
+/// Scratch elements the fused paths need (forward s², backward 2s²).
+inline tensor::index_t attention_fused_scratch_elems(tensor::index_t s) { return 2 * s * s; }
+
+}  // namespace optimus::model

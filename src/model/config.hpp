@@ -1,0 +1,67 @@
+#pragma once
+
+// Transformer configuration shared by the serial oracle and both distributed
+// engines, following the paper's symbol conventions (§2.1):
+//
+//   b = batch, s = sequence length, h = hidden size, n = attention heads,
+//   v = vocabulary, N = transformer layers, p = devices, q = √p.
+
+#include <cstdint>
+
+#include "tensor/shape.hpp"
+#include "util/check.hpp"
+
+namespace optimus::model {
+
+struct TransformerConfig {
+  tensor::index_t batch = 4;      // b
+  tensor::index_t seq_len = 8;    // s
+  tensor::index_t hidden = 16;    // h
+  tensor::index_t heads = 4;      // n
+  tensor::index_t vocab = 32;     // v
+  tensor::index_t layers = 2;     // N
+  tensor::index_t mlp_ratio = 4;  // MLP expands h → mlp_ratio·h
+  tensor::index_t num_classes = 2;  // classification-branch labels
+  bool causal = true;             // causal attention mask (LM convention)
+  double layernorm_eps = 1e-5;
+  double init_scale = 0.05;       // weights ~ U[−init_scale, init_scale]
+  std::uint64_t seed = 1234;      // drives counter-based parameter init
+
+  tensor::index_t head_dim() const { return hidden / heads; }
+  tensor::index_t ffn_hidden() const { return mlp_ratio * hidden; }
+  tensor::index_t tokens_per_batch() const { return batch * seq_len; }
+
+  /// Total parameter count of the stem + embedding + heads.
+  std::uint64_t parameter_count() const;
+
+  /// Validity for serial execution.
+  void validate() const {
+    OPT_CHECK(batch >= 1 && seq_len >= 1 && hidden >= 1 && heads >= 1 && vocab >= 2 &&
+                  layers >= 1 && mlp_ratio >= 1,
+              "non-positive transformer dimension");
+    OPT_CHECK(hidden % heads == 0, "hidden " << hidden << " not divisible by heads " << heads);
+  }
+
+  /// Additional divisibility the q×q Optimus layout needs (§3.2.1): the batch
+  /// and hidden axes split q ways, heads stay whole per device column, and
+  /// the vocabulary splits q ways for the 2D embedding/lm-head.
+  void validate_for_mesh(int q) const {
+    validate();
+    OPT_CHECK(batch % q == 0, "batch " << batch << " not divisible by q " << q);
+    OPT_CHECK(hidden % q == 0, "hidden " << hidden << " not divisible by q " << q);
+    OPT_CHECK(heads % q == 0, "heads " << heads << " not divisible by q " << q);
+    OPT_CHECK(vocab % q == 0, "vocab " << vocab << " not divisible by q " << q);
+    OPT_CHECK(num_classes >= 1, "num_classes");
+  }
+
+  /// Divisibility Megatron's 1D layout needs: every device owns n/p whole
+  /// heads and 1/p of each weight matrix's split dimension.
+  void validate_for_1d(int p) const {
+    validate();
+    OPT_CHECK(heads % p == 0, "heads " << heads << " not divisible by devices " << p);
+    OPT_CHECK(ffn_hidden() % p == 0, "ffn hidden not divisible by devices " << p);
+    OPT_CHECK(vocab % p == 0, "vocab " << vocab << " not divisible by devices " << p);
+  }
+};
+
+}  // namespace optimus::model

@@ -1,0 +1,475 @@
+#include "model/moe.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace optimus::model {
+
+namespace {
+
+using tensor::index_t;
+using tensor::Shape;
+using tensor::TensorT;
+namespace ops = tensor::ops;
+
+}  // namespace
+
+// ===========================================================================
+// SwitchFfn (serial oracle)
+// ===========================================================================
+
+template <typename T>
+SwitchFfn<T>::SwitchFfn(const MoeConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  const index_t h = cfg_.hidden;
+  const index_t f = cfg_.ffn_hidden;
+  const index_t E = cfg_.num_experts;
+  const util::CounterRng rng(cfg_.seed);
+  const T scale = static_cast<T>(cfg_.init_scale);
+
+  gate_w_ = TensorT<T>(Shape{h, E});
+  ops::fill_counter_uniform(gate_w_, rng, kMoeGateStream, scale, 0, 0, E);
+  d_gate_w_ = TensorT<T>::zeros(gate_w_.shape());
+  experts_.resize(E);
+  grads_.resize(E);
+  for (index_t e = 0; e < E; ++e) {
+    experts_[e].w1 = TensorT<T>(Shape{h, f});
+    ops::fill_counter_uniform(experts_[e].w1, rng, moe_expert_stream(e, 0), scale, 0, 0, f);
+    experts_[e].b1 = TensorT<T>::zeros(Shape{f});
+    experts_[e].w2 = TensorT<T>(Shape{f, h});
+    ops::fill_counter_uniform(experts_[e].w2, rng, moe_expert_stream(e, 1), scale, 0, 0, h);
+    experts_[e].b2 = TensorT<T>::zeros(Shape{h});
+    grads_[e].w1 = TensorT<T>::zeros(Shape{h, f});
+    grads_[e].b1 = TensorT<T>::zeros(Shape{f});
+    grads_[e].w2 = TensorT<T>::zeros(Shape{f, h});
+    grads_[e].b2 = TensorT<T>::zeros(Shape{h});
+  }
+}
+
+template <typename T>
+TensorT<T> SwitchFfn<T>::forward(const TensorT<T>& x) {
+  const index_t h = cfg_.hidden;
+  const index_t f = cfg_.ffn_hidden;
+  const index_t E = cfg_.num_experts;
+  OPT_CHECK(x.ndim() == 2 && x.size(1) == h, "SwitchFfn input must be [tokens, h]");
+  const index_t tokens = x.size(0);
+  x_ = x.clone();
+
+  // Gate: softmax(x·W_g); top-1 routing.
+  TensorT<T> logits = ops::matmul(x_, gate_w_);
+  probs_ = TensorT<T>(logits.shape());
+  ops::softmax_lastdim(logits, probs_);
+  assign_.assign(static_cast<std::size_t>(tokens), 0);
+  gate_val_.assign(static_cast<std::size_t>(tokens), T{0});
+  for (index_t t = 0; t < tokens; ++t) {
+    index_t best = 0;
+    for (index_t e = 1; e < E; ++e) {
+      if (probs_.at(t, e) > probs_.at(t, best)) best = e;
+    }
+    assign_[t] = best;
+    gate_val_[t] = probs_.at(t, best);
+  }
+
+  // Expert FFNs, grouped per expert for dense GEMMs.
+  u_pre_ = TensorT<T>(Shape{tokens, f});
+  gelu_u_ = TensorT<T>(Shape{tokens, f});
+  f_out_ = TensorT<T>(Shape{tokens, h});
+  TensorT<T> y(Shape{tokens, h});
+  for (index_t e = 0; e < E; ++e) {
+    std::vector<index_t> mine;
+    for (index_t t = 0; t < tokens; ++t) {
+      if (assign_[t] == e) mine.push_back(t);
+    }
+    if (mine.empty()) continue;
+    const index_t n = static_cast<index_t>(mine.size());
+    TensorT<T> xe(Shape{n, h});
+    for (index_t i = 0; i < n; ++i) {
+      std::memcpy(xe.data() + i * h, x_.data() + mine[i] * h, h * sizeof(T));
+    }
+    TensorT<T> u(Shape{n, f});
+    ops::gemm(u, xe, experts_[e].w1);
+    ops::add_bias_(u, experts_[e].b1);
+    TensorT<T> g(Shape{n, f});
+    ops::gelu_forward(u, g);
+    TensorT<T> o(Shape{n, h});
+    ops::gemm(o, g, experts_[e].w2);
+    ops::add_bias_(o, experts_[e].b2);
+    for (index_t i = 0; i < n; ++i) {
+      const index_t t = mine[i];
+      std::memcpy(u_pre_.data() + t * f, u.data() + i * f, f * sizeof(T));
+      std::memcpy(gelu_u_.data() + t * f, g.data() + i * f, f * sizeof(T));
+      std::memcpy(f_out_.data() + t * h, o.data() + i * h, h * sizeof(T));
+      for (index_t j = 0; j < h; ++j) y.at(t, j) = gate_val_[t] * o.at(i, j);
+    }
+  }
+
+  // Load-balancing auxiliary loss: α·E·Σ_e f_e·P̄_e.
+  const auto counts = expert_counts();
+  T aux{0};
+  for (index_t e = 0; e < E; ++e) {
+    T p_mean{0};
+    for (index_t t = 0; t < tokens; ++t) p_mean += probs_.at(t, e);
+    p_mean /= static_cast<T>(tokens);
+    aux += static_cast<T>(counts[e]) / static_cast<T>(tokens) * p_mean;
+  }
+  aux_loss_ = static_cast<T>(cfg_.aux_loss_coef) * static_cast<T>(E) * aux;
+  return y;
+}
+
+template <typename T>
+TensorT<T> SwitchFfn<T>::backward(const TensorT<T>& dy) {
+  const index_t h = cfg_.hidden;
+  const index_t f = cfg_.ffn_hidden;
+  const index_t E = cfg_.num_experts;
+  OPT_CHECK(x_.defined(), "call forward() first");
+  const index_t tokens = x_.size(0);
+  OPT_CHECK(dy.size(0) == tokens && dy.size(1) == h, "dy shape mismatch");
+
+  TensorT<T> dx = TensorT<T>::zeros(Shape{tokens, h});
+  // dp accumulates the gate-probability gradient (routing + aux paths).
+  TensorT<T> dp = TensorT<T>::zeros(Shape{tokens, E});
+  const auto counts = expert_counts();
+  const T aux_term = static_cast<T>(cfg_.aux_loss_coef) * static_cast<T>(E) /
+                     static_cast<T>(tokens);
+  for (index_t t = 0; t < tokens; ++t) {
+    for (index_t e = 0; e < E; ++e) {
+      dp.at(t, e) = aux_term * static_cast<T>(counts[e]) / static_cast<T>(tokens);
+    }
+  }
+
+  // Expert path: y_t = g_t·F_{e_t}(x_t).
+  for (index_t e = 0; e < E; ++e) {
+    std::vector<index_t> mine;
+    for (index_t t = 0; t < tokens; ++t) {
+      if (assign_[t] == e) mine.push_back(t);
+    }
+    if (mine.empty()) continue;
+    const index_t n = static_cast<index_t>(mine.size());
+    TensorT<T> xe(Shape{n, h}), df(Shape{n, h}), u(Shape{n, f}), g(Shape{n, f});
+    for (index_t i = 0; i < n; ++i) {
+      const index_t t = mine[i];
+      std::memcpy(xe.data() + i * h, x_.data() + t * h, h * sizeof(T));
+      std::memcpy(u.data() + i * f, u_pre_.data() + t * f, f * sizeof(T));
+      std::memcpy(g.data() + i * f, gelu_u_.data() + t * f, f * sizeof(T));
+      // dF = g_t · dy_t; the gate's own gradient is dotted below.
+      for (index_t j = 0; j < h; ++j) df.at(i, j) = gate_val_[t] * dy.at(t, j);
+      T dg{0};
+      for (index_t j = 0; j < h; ++j) dg += dy.at(t, j) * f_out_.at(t, j);
+      dp.at(t, e) += dg;
+    }
+    ops::gemm(grads_[e].w2, g, df, ops::Trans::Yes, ops::Trans::No, T{1}, T{1});
+    ops::bias_grad(df, grads_[e].b2, /*accumulate=*/true);
+    TensorT<T> dgl(Shape{n, f});
+    ops::gemm(dgl, df, experts_[e].w2, ops::Trans::No, ops::Trans::Yes);
+    TensorT<T> du(Shape{n, f});
+    ops::gelu_backward(u, dgl, du, /*accumulate=*/false);
+    ops::gemm(grads_[e].w1, xe, du, ops::Trans::Yes, ops::Trans::No, T{1}, T{1});
+    ops::bias_grad(du, grads_[e].b1, true);
+    TensorT<T> dxe(Shape{n, h});
+    ops::gemm(dxe, du, experts_[e].w1, ops::Trans::No, ops::Trans::Yes);
+    for (index_t i = 0; i < n; ++i) {
+      const index_t t = mine[i];
+      for (index_t j = 0; j < h; ++j) dx.at(t, j) += dxe.at(i, j);
+    }
+  }
+
+  // Gate path through the softmax Jacobian.
+  TensorT<T> dlogits(Shape{tokens, E});
+  ops::softmax_backward_lastdim(probs_, dp, dlogits);
+  ops::gemm(d_gate_w_, x_, dlogits, ops::Trans::Yes, ops::Trans::No, T{1}, T{1});
+  ops::gemm(dx, dlogits, gate_w_, ops::Trans::No, ops::Trans::Yes, T{1}, T{1});
+  return dx;
+}
+
+template <typename T>
+std::vector<index_t> SwitchFfn<T>::expert_counts() const {
+  std::vector<index_t> counts(static_cast<std::size_t>(cfg_.num_experts), 0);
+  for (index_t e : assign_) counts[static_cast<std::size_t>(e)] += 1;
+  return counts;
+}
+
+template <typename T>
+void SwitchFfn<T>::zero_grads() {
+  for (auto* g : gradients()) g->zero();
+}
+
+template <typename T>
+std::vector<TensorT<T>*> SwitchFfn<T>::parameters() {
+  std::vector<TensorT<T>*> out{&gate_w_};
+  for (auto& e : experts_) out.insert(out.end(), {&e.w1, &e.b1, &e.w2, &e.b2});
+  return out;
+}
+
+template <typename T>
+std::vector<TensorT<T>*> SwitchFfn<T>::gradients() {
+  std::vector<TensorT<T>*> out{&d_gate_w_};
+  for (auto& e : grads_) out.insert(out.end(), {&e.w1, &e.b1, &e.w2, &e.b2});
+  return out;
+}
+
+// ===========================================================================
+// ExpertParallelSwitchFfn
+// ===========================================================================
+
+template <typename T>
+ExpertParallelSwitchFfn<T>::ExpertParallelSwitchFfn(const MoeConfig& cfg,
+                                                    comm::Communicator& comm)
+    : cfg_(cfg), comm_(&comm) {
+  cfg_.validate();
+  OPT_CHECK(cfg_.num_experts % comm.size() == 0,
+            "experts " << cfg_.num_experts << " not divisible by ranks " << comm.size());
+  const index_t h = cfg_.hidden;
+  const index_t f = cfg_.ffn_hidden;
+  const index_t e_loc = experts_local();
+  const util::CounterRng rng(cfg_.seed);
+  const T scale = static_cast<T>(cfg_.init_scale);
+
+  gate_w_ = TensorT<T>(Shape{h, cfg_.num_experts});
+  ops::fill_counter_uniform(gate_w_, rng, kMoeGateStream, scale, 0, 0, cfg_.num_experts);
+  d_gate_w_ = TensorT<T>::zeros(gate_w_.shape());
+  experts_.resize(e_loc);
+  grads_.resize(e_loc);
+  for (index_t le = 0; le < e_loc; ++le) {
+    const index_t e = comm.rank() * e_loc + le;  // global expert id
+    experts_[le].w1 = TensorT<T>(Shape{h, f});
+    ops::fill_counter_uniform(experts_[le].w1, rng, moe_expert_stream(e, 0), scale, 0, 0, f);
+    experts_[le].b1 = TensorT<T>::zeros(Shape{f});
+    experts_[le].w2 = TensorT<T>(Shape{f, h});
+    ops::fill_counter_uniform(experts_[le].w2, rng, moe_expert_stream(e, 1), scale, 0, 0, h);
+    experts_[le].b2 = TensorT<T>::zeros(Shape{h});
+    grads_[le].w1 = TensorT<T>::zeros(Shape{h, f});
+    grads_[le].b1 = TensorT<T>::zeros(Shape{f});
+    grads_[le].w2 = TensorT<T>::zeros(Shape{f, h});
+    grads_[le].b2 = TensorT<T>::zeros(Shape{h});
+  }
+}
+
+template <typename T>
+TensorT<T> ExpertParallelSwitchFfn<T>::forward(const TensorT<T>& x) {
+  const index_t h = cfg_.hidden;
+  const index_t f = cfg_.ffn_hidden;
+  const index_t E = cfg_.num_experts;
+  const int p = comm_->size();
+  const index_t e_loc = experts_local();
+  OPT_CHECK(x.ndim() == 2 && x.size(1) == h, "input must be [tokens_local, h]");
+  const index_t tokens = x.size(0);
+  tokens_local_ = tokens;
+  capacity_ = static_cast<index_t>(
+      std::ceil(cfg_.capacity_factor * static_cast<double>(tokens) / E));
+  OPT_CHECK(capacity_ >= 1, "capacity must be at least 1 slot");
+  x_ = x.clone();
+
+  // Local gating with the replicated gate.
+  TensorT<T> logits = ops::matmul(x_, gate_w_);
+  probs_ = TensorT<T>(logits.shape());
+  ops::softmax_lastdim(logits, probs_);
+  assign_.assign(static_cast<std::size_t>(tokens), 0);
+  gate_val_.assign(static_cast<std::size_t>(tokens), T{0});
+  slot_.assign(static_cast<std::size_t>(tokens), -1);
+  std::vector<index_t> used(static_cast<std::size_t>(E), 0);
+  dropped_ = 0;
+  for (index_t t = 0; t < tokens; ++t) {
+    index_t best = 0;
+    for (index_t e = 1; e < E; ++e) {
+      if (probs_.at(t, e) > probs_.at(t, best)) best = e;
+    }
+    assign_[t] = best;
+    gate_val_[t] = probs_.at(t, best);
+    if (used[best] < capacity_) {
+      slot_[t] = slot_of(best, used[best]);
+      used[best] += 1;
+    } else {
+      dropped_ += 1;  // Switch semantics: over-capacity tokens pass through as 0
+    }
+  }
+
+  // Dispatch: send buffer holds, for each destination rank, its e_loc experts
+  // × capacity slots of h-vectors (zero-padded).
+  const index_t chunk = e_loc * capacity_ * h;  // per destination rank
+  TensorT<T> send_buf = TensorT<T>::zeros(Shape{p * chunk});
+  for (index_t t = 0; t < tokens; ++t) {
+    if (slot_[t] < 0) continue;
+    // slot_of(e, i) = e·C + i with e the GLOBAL expert; rebase to the owner.
+    const index_t e = assign_[t];
+    const index_t dst = e / e_loc;
+    const index_t local_slot = (e % e_loc) * capacity_ + (slot_[t] - e * capacity_);
+    std::memcpy(send_buf.data() + dst * chunk + local_slot * h, x_.data() + t * h,
+                h * sizeof(T));
+  }
+  recv_x_ = TensorT<T>(Shape{p * e_loc * capacity_, h});
+  comm_->all_to_all(send_buf.data(), chunk, recv_x_.data());
+
+  // Expert computation over every received slot (padded slots are zeros; the
+  // wasted flops are the standard price of regular-shaped routing).
+  const index_t rows = p * e_loc * capacity_;
+  u_pre_ = TensorT<T>(Shape{rows, f});
+  gelu_u_ = TensorT<T>(Shape{rows, f});
+  TensorT<T> out_rows(Shape{rows, h});
+  for (int src = 0; src < p; ++src) {
+    for (index_t le = 0; le < e_loc; ++le) {
+      const index_t r0 = src * e_loc * capacity_ + le * capacity_;
+      TensorT<T> xe = recv_x_.row_range(r0, r0 + capacity_);
+      TensorT<T> u = u_pre_.row_range(r0, r0 + capacity_);
+      ops::gemm(u, xe, experts_[le].w1);
+      ops::add_bias_(u, experts_[le].b1);
+      TensorT<T> g = gelu_u_.row_range(r0, r0 + capacity_);
+      ops::gelu_forward(u, g);
+      TensorT<T> o = out_rows.row_range(r0, r0 + capacity_);
+      ops::gemm(o, g, experts_[le].w2);
+      ops::add_bias_(o, experts_[le].b2);
+    }
+  }
+
+  // Return trip and combine.
+  TensorT<T> back(Shape{p * chunk});
+  comm_->all_to_all(out_rows.data(), chunk, back.data());
+  f_out_ = TensorT<T>::zeros(Shape{tokens, h});
+  TensorT<T> y = TensorT<T>::zeros(Shape{tokens, h});
+  for (index_t t = 0; t < tokens; ++t) {
+    if (slot_[t] < 0) continue;
+    const index_t e = assign_[t];
+    const index_t dst = e / e_loc;
+    const index_t local_slot = (e % e_loc) * capacity_ + (slot_[t] - e * capacity_);
+    const T* src_row = back.data() + dst * chunk + local_slot * h;
+    std::memcpy(f_out_.data() + t * h, src_row, h * sizeof(T));
+    for (index_t j = 0; j < h; ++j) y.at(t, j) = gate_val_[t] * src_row[j];
+  }
+
+  // Global load-balancing statistics (counts and mean gate probabilities are
+  // over the full batch, so both are all-reduced).
+  std::vector<T> stats(static_cast<std::size_t>(2 * E), T{0});
+  for (index_t t = 0; t < tokens; ++t) stats[static_cast<std::size_t>(assign_[t])] += T{1};
+  for (index_t e = 0; e < E; ++e) {
+    for (index_t t = 0; t < tokens; ++t) stats[E + e] += probs_.at(t, e);
+  }
+  T total_tokens = static_cast<T>(tokens);
+  comm_->all_reduce(stats.data(), 2 * E);
+  comm_->all_reduce(&total_tokens, 1);
+  total_tokens_ = total_tokens;
+  expert_fraction_.assign(static_cast<std::size_t>(E), T{0});
+  T aux{0};
+  for (index_t e = 0; e < E; ++e) {
+    expert_fraction_[e] = stats[e] / total_tokens;
+    aux += expert_fraction_[e] * (stats[E + e] / total_tokens);
+  }
+  aux_loss_ = static_cast<T>(cfg_.aux_loss_coef) * static_cast<T>(E) * aux;
+  return y;
+}
+
+template <typename T>
+TensorT<T> ExpertParallelSwitchFfn<T>::backward(const TensorT<T>& dy) {
+  const index_t h = cfg_.hidden;
+  const index_t f = cfg_.ffn_hidden;
+  const index_t E = cfg_.num_experts;
+  const int p = comm_->size();
+  const index_t e_loc = experts_local();
+  OPT_CHECK(x_.defined(), "call forward() first");
+  const index_t tokens = tokens_local_;
+  OPT_CHECK(dy.size(0) == tokens && dy.size(1) == h, "dy shape mismatch");
+
+  // Gate-probability gradient: routing dot products + the aux term. The aux
+  // loss is a global mean, so its per-token derivative uses the all-reduced
+  // global token count from forward (shards need not be equal).
+  TensorT<T> dp = TensorT<T>::zeros(Shape{tokens, E});
+  const T aux_term =
+      static_cast<T>(cfg_.aux_loss_coef) * static_cast<T>(E) / total_tokens_;
+  for (index_t t = 0; t < tokens; ++t) {
+    for (index_t e = 0; e < E; ++e) dp.at(t, e) = aux_term * expert_fraction_[e];
+    if (slot_[t] >= 0) {
+      T dg{0};
+      for (index_t j = 0; j < h; ++j) dg += dy.at(t, j) * f_out_.at(t, j);
+      dp.at(t, assign_[t]) += dg;
+    }
+  }
+
+  // Ship dF = g·dy to the experts along the same routes.
+  const index_t chunk = e_loc * capacity_ * h;
+  TensorT<T> send_buf = TensorT<T>::zeros(Shape{p * chunk});
+  for (index_t t = 0; t < tokens; ++t) {
+    if (slot_[t] < 0) continue;
+    const index_t e = assign_[t];
+    const index_t dst = e / e_loc;
+    const index_t local_slot = (e % e_loc) * capacity_ + (slot_[t] - e * capacity_);
+    T* row = send_buf.data() + dst * chunk + local_slot * h;
+    for (index_t j = 0; j < h; ++j) row[j] = gate_val_[t] * dy.at(t, j);
+  }
+  const index_t rows = p * e_loc * capacity_;
+  TensorT<T> df_rows(Shape{rows, h});
+  comm_->all_to_all(send_buf.data(), chunk, df_rows.data());
+
+  // Expert backward per (source, local expert) block.
+  TensorT<T> dx_rows(Shape{rows, h});
+  for (int src = 0; src < p; ++src) {
+    for (index_t le = 0; le < e_loc; ++le) {
+      const index_t r0 = src * e_loc * capacity_ + le * capacity_;
+      TensorT<T> xe = recv_x_.row_range(r0, r0 + capacity_);
+      TensorT<T> u = u_pre_.row_range(r0, r0 + capacity_);
+      TensorT<T> g = gelu_u_.row_range(r0, r0 + capacity_);
+      TensorT<T> df = df_rows.row_range(r0, r0 + capacity_);
+      ops::gemm(grads_[le].w2, g, df, ops::Trans::Yes, ops::Trans::No, T{1}, T{1});
+      ops::bias_grad(df, grads_[le].b2, true);
+      TensorT<T> dgl(Shape{capacity_, f});
+      ops::gemm(dgl, df, experts_[le].w2, ops::Trans::No, ops::Trans::Yes);
+      TensorT<T> du(Shape{capacity_, f});
+      ops::gelu_backward(u, dgl, du, false);
+      ops::gemm(grads_[le].w1, xe, du, ops::Trans::Yes, ops::Trans::No, T{1}, T{1});
+      ops::bias_grad(du, grads_[le].b1, true);
+      TensorT<T> dxe = dx_rows.row_range(r0, r0 + capacity_);
+      ops::gemm(dxe, du, experts_[le].w1, ops::Trans::No, ops::Trans::Yes);
+    }
+  }
+  // Padded slots carried zero dF but b1/b2 gradients still saw their bias-only
+  // activations' derivative = 0 because dF = 0 ⇒ df, dgl, du are all zero for
+  // those rows. dx for them is zero too.
+
+  // Route input gradients back to the token owners.
+  TensorT<T> back(Shape{p * chunk});
+  comm_->all_to_all(dx_rows.data(), chunk, back.data());
+  TensorT<T> dx = TensorT<T>::zeros(Shape{tokens, h});
+  for (index_t t = 0; t < tokens; ++t) {
+    if (slot_[t] < 0) continue;
+    const index_t e = assign_[t];
+    const index_t dst = e / e_loc;
+    const index_t local_slot = (e % e_loc) * capacity_ + (slot_[t] - e * capacity_);
+    std::memcpy(dx.data() + t * h, back.data() + dst * chunk + local_slot * h,
+                h * sizeof(T));
+  }
+
+  // Gate backward; the gate is replicated, so this step's *delta* is summed
+  // across shards before accumulating (accumulation itself must not be
+  // re-reduced on later steps).
+  TensorT<T> dlogits(Shape{tokens, E});
+  ops::softmax_backward_lastdim(probs_, dp, dlogits);
+  TensorT<T> dgw(Shape{h, E});
+  ops::gemm(dgw, x_, dlogits, ops::Trans::Yes, ops::Trans::No, T{1}, T{0});
+  comm_->all_reduce(dgw);
+  ops::add_(d_gate_w_, dgw);
+  ops::gemm(dx, dlogits, gate_w_, ops::Trans::No, ops::Trans::Yes, T{1}, T{1});
+  return dx;
+}
+
+template <typename T>
+void ExpertParallelSwitchFfn<T>::zero_grads() {
+  for (auto* g : gradients()) g->zero();
+}
+
+template <typename T>
+std::vector<TensorT<T>*> ExpertParallelSwitchFfn<T>::parameters() {
+  std::vector<TensorT<T>*> out{&gate_w_};
+  for (auto& e : experts_) out.insert(out.end(), {&e.w1, &e.b1, &e.w2, &e.b2});
+  return out;
+}
+
+template <typename T>
+std::vector<TensorT<T>*> ExpertParallelSwitchFfn<T>::gradients() {
+  std::vector<TensorT<T>*> out{&d_gate_w_};
+  for (auto& e : grads_) out.insert(out.end(), {&e.w1, &e.b1, &e.w2, &e.b2});
+  return out;
+}
+
+template class SwitchFfn<float>;
+template class SwitchFfn<double>;
+template class ExpertParallelSwitchFfn<float>;
+template class ExpertParallelSwitchFfn<double>;
+
+}  // namespace optimus::model

@@ -1,0 +1,166 @@
+#pragma once
+
+// Mixture-of-Experts feed-forward layers — the paper's §6 future-work
+// direction ("MoE is prevailing … we suggest future work to streamline the
+// communication and reduce memory redundancy in such models").
+//
+// Two implementations of a Switch-style top-1 gated FFN
+// (Fedus, Zoph & Shazeer 2021 — ref. [7] of the paper):
+//
+//   * SwitchFfn                — single-device reference: per token, a linear
+//     gate picks one expert; the token passes through that expert's
+//     GELU-MLP and is scaled by its gate probability. Includes the standard
+//     differentiable load-balancing auxiliary loss  aux = α·E·Σ_e f_e·P̄_e.
+//
+//   * ExpertParallelSwitchFfn  — experts partitioned across the p ranks of a
+//     communicator (E/p each); tokens are sharded by rank. Routing uses a
+//     fixed per-(source, expert) capacity  C = ⌈capacity_factor·T_local/E⌉
+//     so the exchange is a regular all_to_all (tokens over capacity are
+//     dropped and contribute zero, exactly Switch's behaviour); the gate is
+//     replicated and its gradient all-reduced. With enough capacity the
+//     output is bitwise-equal to the serial layer on the same tokens.
+//
+// Both are standalone layers (x [tokens, h] → y [tokens, h]) with explicit
+// forward/backward, matching the repository's hand-managed style.
+
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace optimus::model {
+
+struct MoeConfig {
+  tensor::index_t hidden = 16;        // h
+  tensor::index_t ffn_hidden = 32;    // f (per expert)
+  tensor::index_t num_experts = 4;    // E
+  double capacity_factor = 2.0;       // expert-parallel slots per source rank
+  double aux_loss_coef = 0.01;        // α of the load-balancing loss
+  double init_scale = 0.05;
+  std::uint64_t seed = 99;
+
+  void validate() const {
+    OPT_CHECK(hidden >= 1 && ffn_hidden >= 1 && num_experts >= 2, "bad MoE dims");
+    OPT_CHECK(capacity_factor > 0, "capacity factor must be positive");
+  }
+};
+
+// Counter-RNG streams (shared by both implementations so their parameters
+// are identical).
+inline constexpr std::uint64_t kMoeGateStream = 1000;
+inline std::uint64_t moe_expert_stream(tensor::index_t expert, int which /*0=w1,1=w2*/) {
+  return 1024 + 2 * static_cast<std::uint64_t>(expert) + static_cast<std::uint64_t>(which);
+}
+
+/// Single-device Switch FFN (the oracle).
+template <typename T>
+class SwitchFfn {
+ public:
+  explicit SwitchFfn(const MoeConfig& cfg);
+
+  /// x: [tokens, h] → y: [tokens, h]. Retains state for backward.
+  tensor::TensorT<T> forward(const tensor::TensorT<T>& x);
+
+  /// Load-balancing loss of the last forward (already scaled by α).
+  T aux_loss() const { return aux_loss_; }
+
+  /// dy → dx; parameter gradients accumulate. Includes the aux-loss gradient.
+  tensor::TensorT<T> backward(const tensor::TensorT<T>& dy);
+
+  void zero_grads();
+  std::vector<tensor::TensorT<T>*> parameters();
+  std::vector<tensor::TensorT<T>*> gradients();
+
+  /// Expert chosen for each token of the last forward.
+  const std::vector<tensor::index_t>& assignments() const { return assign_; }
+  /// Tokens routed to each expert in the last forward.
+  std::vector<tensor::index_t> expert_counts() const;
+
+  tensor::TensorT<T>& gate_w() { return gate_w_; }
+  tensor::TensorT<T>& expert_w1(tensor::index_t e) { return experts_[e].w1; }
+  tensor::TensorT<T>& expert_w1_grad(tensor::index_t e) { return grads_[e].w1; }
+  tensor::TensorT<T>& gate_w_grad() { return d_gate_w_; }
+
+ private:
+  struct Expert {
+    tensor::TensorT<T> w1, b1, w2, b2;  // [h,f], [f], [f,h], [h]
+  };
+
+  MoeConfig cfg_;
+  tensor::TensorT<T> gate_w_, d_gate_w_;  // [h, E]
+  std::vector<Expert> experts_, grads_;
+
+  // Forward state.
+  tensor::TensorT<T> x_, probs_;          // [T, h], [T, E]
+  tensor::TensorT<T> u_pre_, gelu_u_, f_out_;  // [T, f], [T, f], [T, h]
+  std::vector<tensor::index_t> assign_;   // [T]
+  std::vector<T> gate_val_;               // [T]
+  T aux_loss_ = 0;
+};
+
+/// Expert-parallel Switch FFN over a 1D communicator.
+template <typename T>
+class ExpertParallelSwitchFfn {
+ public:
+  /// Collective. num_experts % comm.size() == 0; each rank owns E/p experts
+  /// and processes its own token shard.
+  ExpertParallelSwitchFfn(const MoeConfig& cfg, comm::Communicator& comm);
+
+  /// x: this rank's [tokens_local, h] shard → y of the same shape. Dropped
+  /// tokens (over capacity) produce zero rows, as in Switch.
+  tensor::TensorT<T> forward(const tensor::TensorT<T>& x);
+
+  T aux_loss() const { return aux_loss_; }
+  /// Tokens dropped on this rank in the last forward.
+  tensor::index_t dropped() const { return dropped_; }
+
+  tensor::TensorT<T> backward(const tensor::TensorT<T>& dy);
+
+  void zero_grads();
+  /// Owned parameters: the replicated gate (grad all-reduced in backward) and
+  /// this rank's E/p experts.
+  std::vector<tensor::TensorT<T>*> parameters();
+  std::vector<tensor::TensorT<T>*> gradients();
+
+  tensor::index_t experts_local() const { return cfg_.num_experts / comm_->size(); }
+  tensor::index_t capacity() const { return capacity_; }
+  tensor::TensorT<T>& gate_w_grad() { return d_gate_w_; }
+  /// Local expert le's first-layer weight gradient.
+  tensor::TensorT<T>& expert_w1_grad(tensor::index_t le) { return grads_[le].w1; }
+
+ private:
+  struct Expert {
+    tensor::TensorT<T> w1, b1, w2, b2;
+  };
+
+  /// Slot index within the dispatch buffer for (destination expert e, i-th
+  /// accepted token for e from this rank).
+  tensor::index_t slot_of(tensor::index_t e, tensor::index_t i) const {
+    return e * capacity_ + i;
+  }
+
+  MoeConfig cfg_;
+  comm::Communicator* comm_;
+  tensor::index_t tokens_local_ = 0;  // fixed at first forward
+  tensor::index_t capacity_ = 0;
+
+  tensor::TensorT<T> gate_w_, d_gate_w_;  // replicated [h, E]
+  std::vector<Expert> experts_, grads_;   // E/p local experts
+
+  // Forward state.
+  tensor::TensorT<T> x_, probs_;
+  std::vector<tensor::index_t> assign_;      // expert per token (global id)
+  std::vector<tensor::index_t> slot_;        // slot per token, −1 if dropped
+  std::vector<T> gate_val_;
+  tensor::TensorT<T> f_out_;                 // [T_local, h] expert outputs per token
+  tensor::TensorT<T> recv_x_;                // [p·E_loc·C, h] expert-side inputs
+  tensor::TensorT<T> u_pre_, gelu_u_;        // expert-side intermediates
+  tensor::index_t dropped_ = 0;
+  T aux_loss_ = 0;
+  T total_tokens_ = 0;                       // all-reduced batch size (aux backward)
+  std::vector<T> expert_fraction_;           // global f_e (for aux backward)
+};
+
+}  // namespace optimus::model

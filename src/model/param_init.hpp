@@ -1,0 +1,41 @@
+#pragma once
+
+// Parameter initialisation conventions shared by every engine.
+//
+// All weights of the *global* (unpartitioned) model are defined as pure
+// functions of (seed, stream, flat index) via util::CounterRng. A device
+// holding only a block of a matrix fills it with ops::fill_counter_uniform
+// using the block's global offsets, and is guaranteed bit-identical values to
+// the serial oracle — no initialisation broadcast is ever needed.
+//
+// Stream assignment (must never change once tests encode it):
+//   1              — embedding table [v, h] (tied with the lm-head)
+//   2              — classification head weight [h, num_classes]
+//   16 + 4·layer + k — layer weights, k: 0 = W_qkv, 1 = W_proj, 2 = W_fc1,
+//                                       3 = W_fc2
+//
+// Biases start at zero and layernorm gains at one, so they need no streams.
+//
+// Global QKV layout: W_qkv is [h, 3h] with output columns ordered
+// head-major — column (head·3·d + which·d + i) with which ∈ {0=Q, 1=K, 2=V}.
+// This keeps each head's Q, K and V contiguous, so any contiguous column
+// range covering whole heads (Megatron's 1/p slice, Optimus's 1/q slice)
+// contains complete heads.
+
+#include <cstdint>
+
+#include "tensor/shape.hpp"
+
+namespace optimus::model {
+
+inline constexpr std::uint64_t kEmbeddingStream = 1;
+inline constexpr std::uint64_t kClsHeadStream = 2;
+inline constexpr std::uint64_t kPosEmbeddingStream = 3;
+
+enum class LayerWeight : int { kQkv = 0, kProj = 1, kFc1 = 2, kFc2 = 3 };
+
+inline std::uint64_t layer_weight_stream(tensor::index_t layer, LayerWeight which) {
+  return 16 + 4 * static_cast<std::uint64_t>(layer) + static_cast<std::uint64_t>(which);
+}
+
+}  // namespace optimus::model

@@ -1,0 +1,123 @@
+#include "perfmodel/costs.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace optimus::perfmodel {
+
+namespace {
+
+double log2d(double x) { return std::log2(x); }
+
+double bsh(const Workload& w) {
+  return static_cast<double>(w.b) * static_cast<double>(w.s) * static_cast<double>(w.h);
+}
+
+double h2(const Workload& w) {
+  return static_cast<double>(w.h) * static_cast<double>(w.h);
+}
+
+}  // namespace
+
+double megatron_fwd_comm(const Workload& w, int p) {
+  OPT_CHECK(p >= 1, "p must be positive");
+  if (p == 1) return 0;
+  return 4.0 * (p - 1) / p * bsh(w);
+}
+
+double megatron_bwd_comm(const Workload& w, int p) { return 2.0 * megatron_fwd_comm(w, p); }
+
+double optimus_fwd_comm(const Workload& w, int p) {
+  OPT_CHECK(p >= 1, "p must be positive");
+  if (p == 1) return 0;
+  const double factor = log2d(p) / (2.0 * std::sqrt(static_cast<double>(p)));
+  return factor * (7.0 * bsh(w) + 12.0 * h2(w));
+}
+
+double optimus_bwd_comm(const Workload& w, int p) {
+  if (p == 1) return 0;
+  const double factor = log2d(p) / (2.0 * std::sqrt(static_cast<double>(p)));
+  return factor * (21.0 * bsh(w) + 36.0 * h2(w));
+}
+
+double fwd_compute(const Workload& w, int p) {
+  const double b = w.b, s = w.s, h = w.h;
+  return (12.0 * b * s * h * h + 2.0 * b * s * s * h) / p;
+}
+
+double bwd_compute(const Workload& w, int p) { return 3.0 * fwd_compute(w, p); }
+
+double total_compute(const Workload& w) {
+  const double b = w.b, s = w.s, h = w.h;
+  return static_cast<double>(w.layers) * (28.0 * b * s * h * h + 8.0 * b * s * s * h);
+}
+
+double beta_eff_megatron(const Machine& m, int p) {
+  return p <= m.gpus_per_node ? m.beta_intra : m.beta_inter;
+}
+
+double beta_eff_optimus(const Machine& m, int p, comm::Arrangement arrangement) {
+  const int q = static_cast<int>(std::lround(std::sqrt(static_cast<double>(p))));
+  OPT_CHECK(q * q == p, "optimus needs a square p, got " << p);
+  if (q <= 1) return 0.0;
+  if (p <= m.gpus_per_node) return m.beta_intra;  // whole mesh on one node
+
+  // Build the actual topology and average the row-group and column-group
+  // effective βs — SUMMA moves symmetric volume along both directions.
+  comm::Topology topo(p, m.gpus_per_node, arrangement, q);
+  comm::MachineParams mp;
+  mp.beta_intra = m.beta_intra;
+  mp.beta_inter = m.beta_inter;
+  comm::CostModel cost(topo, mp);
+  std::vector<int> row(q), col(q);
+  for (int i = 0; i < q; ++i) {
+    row[i] = i;          // mesh row 0
+    col[i] = i * q;      // mesh column 0
+  }
+  return 0.5 * (cost.beta_eff(row) + cost.beta_eff(col));
+}
+
+StepTime megatron_step_time(const Workload& w, int p, const Machine& m) {
+  const double beta = beta_eff_megatron(m, p);
+  const double N = static_cast<double>(w.layers);
+  StepTime t;
+  t.fwd_s = N * (fwd_compute(w, p) / m.flop_rate + megatron_fwd_comm(w, p) * beta +
+                 /*2 all-reduces*/ (p > 1 ? 2.0 * 2.0 * (p - 1) * m.alpha : 0.0));
+  t.bwd_s = m.bwd_overhead *
+            N * (bwd_compute(w, p) / m.flop_rate + megatron_bwd_comm(w, p) * beta +
+                 (p > 1 ? 4.0 * 2.0 * (p - 1) * m.alpha : 0.0));
+  return t;
+}
+
+StepTime optimus_step_time(const Workload& w, int p, const Machine& m,
+                           comm::Arrangement arrangement) {
+  double beta = beta_eff_optimus(m, p, arrangement);
+  const int q = static_cast<int>(std::lround(std::sqrt(static_cast<double>(p))));
+  const double N = static_cast<double>(w.layers);
+  // Pipelined broadcast/reduce: the per-byte factor drops from log₂q (eq. 4,
+  // baked into optimus_*_comm) to 2(q−1)/q.
+  if (m.pipelined_collectives && q > 1) {
+    const double lg = std::log2(static_cast<double>(q));
+    const double pipe = 2.0 * (q - 1) / q;
+    if (pipe < lg) beta *= pipe / lg;
+  }
+  // Latency: 8q broadcasts/reduces per layer forward (4 SUMMA calls × 2q
+  // collectives each ≈ 8q), each a log₂q-round tree.
+  const double lat_fwd = q > 1 ? 8.0 * q * std::log2(static_cast<double>(q)) * m.alpha : 0.0;
+  StepTime t;
+  t.fwd_s = N * (fwd_compute(w, p) / m.flop_rate + optimus_fwd_comm(w, p) * beta + lat_fwd);
+  t.bwd_s = m.bwd_overhead *
+            N * (bwd_compute(w, p) / m.flop_rate + optimus_bwd_comm(w, p) * beta +
+                 3.0 * lat_fwd);
+  return t;
+}
+
+StepTime serial_step_time(const Workload& w, const Machine& m) {
+  StepTime t;
+  t.fwd_s = static_cast<double>(w.layers) * fwd_compute(w, 1) / m.flop_rate;
+  t.bwd_s = m.bwd_overhead * 3.0 * t.fwd_s;
+  return t;
+}
+
+}  // namespace optimus::perfmodel

@@ -1,0 +1,55 @@
+#pragma once
+
+// Per-device memory model for both schemes (drives the Figure-9 experiment).
+//
+// The formulas mirror the actual engines in this repository (validated
+// against the allocator's measured peaks by tests/perfmodel_test.cpp):
+//
+//   Megatron — parameters and gradients are 1/p except the replicated
+//     layernorms/biases/positional table; activations are FULL on every
+//     device: the N checkpointed layer inputs plus one layer's working set.
+//     (Note: Megatron-LM can shard the checkpoints p ways; the paper assumes
+//     that — §3.1.1's Nbsh/p — but the ≥3bsh per-layer working set dominates
+//     either way, so the Figure-9 trend is unchanged. We model our engine.)
+//
+//   Optimus — everything is 1/p: parameters, gradients, the N checkpointed
+//     inputs, and the single-layer forward/backward arenas plus the SUMMA
+//     workspace (§3.2.3).
+//
+// All sizes in bytes, fp32 elements.
+
+#include <cstdint>
+
+#include "perfmodel/costs.hpp"
+
+namespace optimus::perfmodel {
+
+struct MemoryBreakdown {
+  std::uint64_t params = 0;
+  std::uint64_t grads = 0;
+  std::uint64_t checkpoints = 0;  // persistent layer inputs (+ stem/final state)
+  std::uint64_t working = 0;      // one layer's transient activations + grads
+  std::uint64_t workspace = 0;    // SUMMA/communication scratch
+  std::uint64_t loss_head = 0;    // logits / softmax state of the lm-head
+
+  std::uint64_t total() const {
+    return params + grads + checkpoints + working + workspace + loss_head;
+  }
+};
+
+/// Per-device footprint of the Megatron engine at scale p.
+MemoryBreakdown megatron_memory(const Workload& w, int p,
+                                std::size_t elem_size = sizeof(float));
+
+/// Per-device footprint of the Optimus engine at scale p = q².
+MemoryBreakdown optimus_memory(const Workload& w, int p,
+                               std::size_t elem_size = sizeof(float));
+
+enum class Scheme { kMegatron, kOptimus };
+
+/// Largest global batch b (multiple of `granularity`) whose footprint fits in
+/// `budget_bytes` per device; 0 if none fits. Binary search over b.
+tensor::index_t max_batch(Scheme scheme, Workload w, int p, std::uint64_t budget_bytes,
+                          tensor::index_t granularity = 1);
+
+}  // namespace optimus::perfmodel

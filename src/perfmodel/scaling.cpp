@@ -1,0 +1,260 @@
+#include "perfmodel/scaling.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "perfmodel/memory.hpp"
+#include "util/check.hpp"
+
+namespace optimus::perfmodel {
+
+// ---------------------------------------------------------------------------
+// Paper data (Tables 2 and 3, transcribed verbatim)
+// ---------------------------------------------------------------------------
+
+const std::vector<PaperRow>& paper_weak_megatron() {
+  static const std::vector<PaperRow> rows{
+      {4, 60, 2048, 32, 0.0793, 0.2613, 2.9363, 13.1047},
+      {16, 60, 4096, 64, 0.2081, 0.5149, 1.3831, 4.8046},
+      {36, 40, 6120, 72, 0.3379, 0.7955, 0.8823, 2.9596},
+      {64, 30, 8192, 128, 0.4638, 1.0963, 0.6410, 2.1560},
+  };
+  return rows;
+}
+
+const std::vector<PaperRow>& paper_weak_optimus() {
+  static const std::vector<PaperRow> rows{
+      {4, 96, 2048, 32, 0.0985, 0.2979, 2.5229, 10.1502},
+      {16, 192, 4096, 64, 0.1764, 0.5312, 1.4134, 5.6704},
+      {36, 288, 6120, 72, 0.1901, 0.5759, 1.3055, 5.2593},
+      {64, 384, 8192, 128, 0.2589, 0.7935, 0.9502, 3.8625},
+  };
+  return rows;
+}
+
+const std::vector<PaperRow>& paper_strong_megatron() {
+  static const std::vector<PaperRow> rows{
+      {4, 12, 3072, 64, 0.1225, 0.4749, 1.6737, 8.1616},
+      {16, 12, 3072, 64, 0.1143, 0.4293, 1.8397, 8.7521},
+      {36, 12, 3096, 72, 0.1212, 0.4512, 1.7470, 8.2503},
+      {64, 12, 3072, 64, 0.1195, 0.5306, 1.8180, 8.3711},
+  };
+  return rows;
+}
+
+const std::vector<PaperRow>& paper_strong_optimus() {
+  static const std::vector<PaperRow> rows{
+      // The paper prints 0.4415 seq/s inference at 4 GPUs — inconsistent with
+      // its own forward time (1/0.1888 ≈ 5.3 per sequence would give ~4.4);
+      // we keep the printed value and note the likely typo in EXPERIMENTS.md.
+      {4, 24, 3072, 24, 0.1888, 0.5691, 1.3195, 0.4415},
+      {16, 24, 3072, 24, 0.1950, 0.5704, 1.4095, 5.1285},
+      {36, 24, 3072, 24, 0.1625, 0.4764, 1.5653, 6.1542},
+      {64, 24, 3072, 24, 0.1253, 0.3716, 2.0123, 7.9808},
+  };
+  return rows;
+}
+
+namespace {
+
+const PaperRow& find_row(const std::vector<PaperRow>& rows, int gpus) {
+  for (const auto& r : rows) {
+    if (r.gpus == gpus) return r;
+  }
+  OPT_CHECK(false, "no paper row for " << gpus << " GPUs");
+}
+
+}  // namespace
+
+Workload weak_scaling_workload(int gpus, Scheme scheme) {
+  const auto& rows = scheme == Scheme::kMegatron ? paper_weak_megatron() : paper_weak_optimus();
+  const PaperRow& r = find_row(rows, gpus);
+  Workload w;
+  w.b = r.batch;
+  w.s = 512;
+  w.h = r.hidden;
+  w.n = r.heads;
+  w.layers = 24;
+  return w;
+}
+
+Workload strong_scaling_workload(int gpus, Scheme scheme) {
+  const auto& rows =
+      scheme == Scheme::kMegatron ? paper_strong_megatron() : paper_strong_optimus();
+  const PaperRow& r = find_row(rows, gpus);
+  Workload w;
+  w.b = r.batch;
+  w.s = 512;
+  w.h = r.hidden;
+  w.n = r.heads;
+  w.layers = 24;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Efficiency
+// ---------------------------------------------------------------------------
+
+namespace {
+
+StepTime parallel_step(Scheme scheme, const Workload& w, int p, const Machine& m,
+                       comm::Arrangement arrangement) {
+  return scheme == Scheme::kMegatron ? megatron_step_time(w, p, m)
+                                     : optimus_step_time(w, p, m, arrangement);
+}
+
+}  // namespace
+
+double efficiency(Scheme scheme, const Workload& w, int p, const Machine& m,
+                  comm::Arrangement arrangement) {
+  const double serial = serial_step_time(w, m).total();
+  const double parallel = parallel_step(scheme, w, p, m, arrangement).total();
+  return serial / (p * parallel);
+}
+
+double speedup(Scheme scheme, const Workload& w, int p, const Machine& m,
+               comm::Arrangement arrangement) {
+  const double serial = serial_step_time(w, m).total();
+  const double parallel = parallel_step(scheme, w, p, m, arrangement).total();
+  return serial / parallel;
+}
+
+// ---------------------------------------------------------------------------
+// Isoefficiency
+// ---------------------------------------------------------------------------
+
+index_t isoefficiency_hidden(Scheme scheme, int p, const Machine& m, double target_e,
+                             index_t step, index_t h_cap) {
+  // The paper's scaling assumption: b and n grow with h, s and N fixed. The
+  // efficiency ratio is independent of b for Megatron and nearly so for
+  // Optimus once b ∝ h, so we tie b = max(1, h/512).
+  for (index_t h = step; h <= h_cap; h *= 2) {
+    Workload w;
+    w.h = h;
+    w.b = std::max<index_t>(1, h / 512);
+    w.s = 512;
+    w.layers = 24;
+    if (efficiency(scheme, w, p, m) >= target_e) {
+      // Binary refine between h/2 and h.
+      index_t lo = h / 2, hi = h;
+      while (lo + step < hi) {
+        const index_t mid = (lo + hi) / 2 / step * step;
+        Workload wm = w;
+        wm.h = mid;
+        wm.b = std::max<index_t>(1, mid / 512);
+        if (efficiency(scheme, wm, p, m) >= target_e) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      return hi;
+    }
+  }
+  return 0;
+}
+
+double isoefficiency_reference(Scheme scheme, int p) {
+  if (scheme == Scheme::kMegatron) return std::pow(static_cast<double>(p), 3.0);
+  const double root = std::sqrt(static_cast<double>(p));
+  return std::pow(root * std::log2(static_cast<double>(p)), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Calibration: least squares over the paper's Megatron rows
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Solves the 2×2 normal equations (AᵀA)x = Aᵀy.
+std::array<double, 2> solve_least_squares_2(const std::vector<std::array<double, 2>>& A,
+                                            const std::vector<double>& y) {
+  double a00 = 0, a01 = 0, a11 = 0, b0 = 0, b1 = 0;
+  for (std::size_t r = 0; r < A.size(); ++r) {
+    a00 += A[r][0] * A[r][0];
+    a01 += A[r][0] * A[r][1];
+    a11 += A[r][1] * A[r][1];
+    b0 += A[r][0] * y[r];
+    b1 += A[r][1] * y[r];
+  }
+  const double det = a00 * a11 - a01 * a01;
+  OPT_CHECK(std::abs(det) > 1e-300, "degenerate calibration system");
+  return {(b0 * a11 - b1 * a01) / det, (a00 * b1 - a01 * b0) / det};
+}
+
+}  // namespace
+
+Machine calibrate_from_paper() {
+  // Staged fit on the paper's Megatron weak-scaling rows (Table 2) only; all
+  // Optimus predictions stay out-of-sample.
+  //
+  // Stage 1 — flop rate and inter-node β from the multi-node *forward* rows
+  // (p = 16, 36, 64). Their per-device compute varies ~2× while the per-device
+  // all-reduce volume is nearly constant, so the 2-parameter system
+  //   T_fwd(p) = N·[C(p)/R + V(p)·β_inter]
+  // is well conditioned (a joint fit over all rows and both phases is
+  // rank-deficient: compute and volume are collinear there).
+  Machine m;  // defaults for alpha / gpus_per_node
+  std::vector<std::array<double, 2>> A;
+  std::vector<double> y;
+  for (const PaperRow& r : paper_weak_megatron()) {
+    if (r.gpus <= m.gpus_per_node) continue;
+    Workload w = weak_scaling_workload(r.gpus, Scheme::kMegatron);
+    const double N = static_cast<double>(w.layers);
+    A.push_back({N * fwd_compute(w, r.gpus), N * megatron_fwd_comm(w, r.gpus)});
+    y.push_back(r.fwd_per_seq_s * static_cast<double>(r.batch));
+  }
+  // Physical bound: a Quadro RTX 5000 peaks at ~11.2 fp32 TFLOP/s, i.e.
+  // ~5.6e12 multiply-accumulates/s. The unconstrained fit can push compute to
+  // zero (the rows are nearly comm-dominated); cap the rate and re-solve β
+  // under the cap in that case.
+  constexpr double kMaxFlopRate = 5.6e12;
+  const auto x = solve_least_squares_2(A, y);
+  if (x[0] > 1.0 / kMaxFlopRate) {
+    m.flop_rate = 1.0 / x[0];
+    m.beta_inter = std::max(x[1], 1e-13);
+  } else {
+    m.flop_rate = kMaxFlopRate;
+    double num = 0, den = 0;
+    for (std::size_t r = 0; r < A.size(); ++r) {
+      num += A[r][1] * (y[r] - A[r][0] / kMaxFlopRate);
+      den += A[r][1] * A[r][1];
+    }
+    m.beta_inter = std::max(num / den, 1e-13);
+  }
+
+  // Stage 2 — intra-node β as the residual of the single-node (p = 4) forward
+  // row after compute is removed.
+  {
+    const PaperRow& r = paper_weak_megatron().front();
+    Workload w = weak_scaling_workload(r.gpus, Scheme::kMegatron);
+    const double N = static_cast<double>(w.layers);
+    const double t_fwd = r.fwd_per_seq_s * static_cast<double>(r.batch);
+    const double residual = t_fwd - N * fwd_compute(w, r.gpus) / m.flop_rate;
+    const double volume = N * megatron_fwd_comm(w, r.gpus);
+    m.beta_intra =
+        std::clamp(residual / volume, 1e-13, m.beta_inter);  // intra ≤ inter
+  }
+
+  // Stage 3 — backward overhead: the paper's backward/forward ratios exceed
+  // the ideal 3×-compute + 2×-comm model (backward kernels are slower
+  // flop-for-flop); absorb the mean multiplicative gap.
+  {
+    double ratio_sum = 0;
+    int count = 0;
+    for (const PaperRow& r : paper_weak_megatron()) {
+      Workload w = weak_scaling_workload(r.gpus, Scheme::kMegatron);
+      const double N = static_cast<double>(w.layers);
+      const double beta = beta_eff_megatron(m, r.gpus);
+      const double raw =
+          N * (bwd_compute(w, r.gpus) / m.flop_rate + megatron_bwd_comm(w, r.gpus) * beta);
+      ratio_sum += r.bwd_per_seq_s * static_cast<double>(r.batch) / raw;
+      ++count;
+    }
+    m.bwd_overhead = std::max(1.0, ratio_sum / count);
+  }
+  return m;
+}
+
+}  // namespace optimus::perfmodel

@@ -1,0 +1,66 @@
+#pragma once
+
+// Scaling analysis: weak/strong scaling efficiency (Fig. 7), the
+// isoefficiency functions of §3.1.2, and calibration of the machine model
+// against the paper's own Megatron measurements (Table 2).
+
+#include <vector>
+
+#include "perfmodel/costs.hpp"
+#include "perfmodel/memory.hpp"
+
+namespace optimus::perfmodel {
+
+// -- Paper reference data (Tables 2 and 3) -----------------------------------
+
+struct PaperRow {
+  int gpus;
+  index_t batch, hidden, heads;
+  double fwd_per_seq_s;   // "forward time / batch size"
+  double bwd_per_seq_s;   // "backward time / batch size"
+  double throughput;      // sequences per second (train)
+  double inference;       // sequences per second (forward only)
+};
+
+/// Table 2 (weak scaling), s = 512, N = 24.
+const std::vector<PaperRow>& paper_weak_megatron();
+const std::vector<PaperRow>& paper_weak_optimus();
+/// Table 3 (strong scaling), s = 512, N = 24.
+const std::vector<PaperRow>& paper_strong_megatron();
+const std::vector<PaperRow>& paper_strong_optimus();
+
+/// The Table-2 workload at a given device count (h ∝ q, n ∝ p, b per table).
+Workload weak_scaling_workload(int gpus, Scheme scheme);
+/// The Table-3 workload (fixed size; b = 24 Optimus / 12 Megatron).
+Workload strong_scaling_workload(int gpus, Scheme scheme);
+
+// -- Efficiency ---------------------------------------------------------------
+
+/// Parallel efficiency E = T_serial / (p · T_parallel) for a whole step.
+double efficiency(Scheme scheme, const Workload& w, int p, const Machine& m,
+                  comm::Arrangement arrangement = comm::Arrangement::kBunched);
+
+/// Speedup T_serial / T_parallel.
+double speedup(Scheme scheme, const Workload& w, int p, const Machine& m,
+               comm::Arrangement arrangement = comm::Arrangement::kBunched);
+
+// -- Isoefficiency (§3.1.2) ---------------------------------------------------
+
+/// Smallest hidden size h (multiple of `step`, with b = n = h scaling as the
+/// paper assumes) at which the scheme reaches efficiency ≥ target at scale p.
+/// Returns 0 if not reached below `h_cap`.
+index_t isoefficiency_hidden(Scheme scheme, int p, const Machine& m, double target_e,
+                             index_t step = 64, index_t h_cap = 1 << 22);
+
+/// The paper's asymptotic isoefficiency W(p): p³ for Megatron,
+/// (√p·log₂ p)³ for Optimus — used to check measured growth exponents.
+double isoefficiency_reference(Scheme scheme, int p);
+
+// -- Calibration ---------------------------------------------------------------
+
+/// Fits (flop_rate, beta_intra, beta_inter) by least squares to the paper's
+/// Megatron weak-scaling forward times (Table 2). Optimus is *never* fitted —
+/// all its predictions are out-of-sample. alpha/gpus_per_node keep defaults.
+Machine calibrate_from_paper();
+
+}  // namespace optimus::perfmodel

@@ -1,0 +1,106 @@
+#include "runtime/checkpoint_io.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace optimus::runtime {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'P', 'T', 'C', 'K', 'P', 'T', '1'};
+
+template <typename V>
+void write_pod(std::ostream& os, const V& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(V));
+}
+
+template <typename V>
+V read_pod(std::istream& is) {
+  V v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(V));
+  OPT_CHECK(is.good(), "checkpoint stream truncated");
+  return v;
+}
+
+}  // namespace
+
+template <typename T>
+void save_tensors(std::ostream& os, const std::vector<tensor::TensorT<T>*>& tensors) {
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, static_cast<std::uint32_t>(sizeof(T)));
+  write_pod(os, static_cast<std::uint64_t>(tensors.size()));
+  for (const auto* t : tensors) {
+    OPT_CHECK(t != nullptr && t->defined(), "cannot save an undefined tensor");
+    write_pod(os, static_cast<std::uint32_t>(t->ndim()));
+    for (int d = 0; d < t->ndim(); ++d) {
+      write_pod(os, static_cast<std::int64_t>(t->shape()[d]));
+    }
+    os.write(reinterpret_cast<const char*>(t->data()),
+             static_cast<std::streamsize>(t->numel() * sizeof(T)));
+  }
+  OPT_CHECK(os.good(), "checkpoint write failed");
+}
+
+template <typename T>
+void load_tensors(std::istream& is, const std::vector<tensor::TensorT<T>*>& tensors) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  OPT_CHECK(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+            "not an Optimus checkpoint (bad magic)");
+  const auto elem = read_pod<std::uint32_t>(is);
+  OPT_CHECK(elem == sizeof(T),
+            "checkpoint element size " << elem << " != model's " << sizeof(T));
+  const auto count = read_pod<std::uint64_t>(is);
+  OPT_CHECK(count == tensors.size(),
+            "checkpoint holds " << count << " tensors, model expects " << tensors.size());
+  for (auto* t : tensors) {
+    const auto ndim = read_pod<std::uint32_t>(is);
+    OPT_CHECK(static_cast<int>(ndim) == t->ndim(),
+              "checkpoint tensor ndim " << ndim << " != model's " << t->ndim());
+    for (int d = 0; d < t->ndim(); ++d) {
+      const auto dim = read_pod<std::int64_t>(is);
+      OPT_CHECK(dim == t->shape()[d], "checkpoint dim " << dim << " != model's "
+                                                        << t->shape()[d] << " at axis " << d);
+    }
+    is.read(reinterpret_cast<char*>(t->data()),
+            static_cast<std::streamsize>(t->numel() * sizeof(T)));
+    OPT_CHECK(is.good(), "checkpoint data truncated");
+  }
+}
+
+template <typename T>
+void save_checkpoint(const std::string& path,
+                     const std::vector<tensor::TensorT<T>*>& tensors) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  OPT_CHECK(os.is_open(), "cannot open '" << path << "' for writing");
+  save_tensors(os, tensors);
+}
+
+template <typename T>
+void load_checkpoint(const std::string& path,
+                     const std::vector<tensor::TensorT<T>*>& tensors) {
+  std::ifstream is(path, std::ios::binary);
+  OPT_CHECK(is.is_open(), "cannot open '" << path << "' for reading");
+  load_tensors(is, tensors);
+}
+
+std::string shard_path(const std::string& base, int rank) {
+  return base + ".rank" + std::to_string(rank);
+}
+
+#define OPTIMUS_INSTANTIATE_CKPT(T)                                                       \
+  template void save_tensors<T>(std::ostream&, const std::vector<tensor::TensorT<T>*>&);  \
+  template void load_tensors<T>(std::istream&, const std::vector<tensor::TensorT<T>*>&);  \
+  template void save_checkpoint<T>(const std::string&,                                    \
+                                   const std::vector<tensor::TensorT<T>*>&);              \
+  template void load_checkpoint<T>(const std::string&,                                    \
+                                   const std::vector<tensor::TensorT<T>*>&);
+
+OPTIMUS_INSTANTIATE_CKPT(float)
+OPTIMUS_INSTANTIATE_CKPT(double)
+
+#undef OPTIMUS_INSTANTIATE_CKPT
+
+}  // namespace optimus::runtime

@@ -1,0 +1,41 @@
+#pragma once
+
+// Model checkpoint serialization.
+//
+// Works on the parameters() vector every engine exposes, so the same code
+// saves/loads the serial oracle or one *shard* of a distributed engine (each
+// rank writes its own file — the natural format for fully-distributed
+// parameters; rank 0's file of a q=1 run is a full serial checkpoint).
+//
+// Format (little-endian, versioned):
+//   magic "OPTCKPT1" | elem_size u32 | tensor_count u64 |
+//   per tensor: ndim u32, dims i64[ndim], raw data
+// Shapes are validated on load against the receiving model.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace optimus::runtime {
+
+template <typename T>
+void save_tensors(std::ostream& os, const std::vector<tensor::TensorT<T>*>& tensors);
+
+/// Loads into pre-built tensors; shapes must match exactly.
+template <typename T>
+void load_tensors(std::istream& is, const std::vector<tensor::TensorT<T>*>& tensors);
+
+/// File-path conveniences. For distributed engines pass a per-rank path,
+/// e.g. shard_path("model.ckpt", rank).
+template <typename T>
+void save_checkpoint(const std::string& path, const std::vector<tensor::TensorT<T>*>& tensors);
+
+template <typename T>
+void load_checkpoint(const std::string& path, const std::vector<tensor::TensorT<T>*>& tensors);
+
+/// "base" → "base.rankN".
+std::string shard_path(const std::string& base, int rank);
+
+}  // namespace optimus::runtime

@@ -1,0 +1,135 @@
+#include "runtime/data.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace optimus::runtime {
+
+namespace {
+
+using tensor::index_t;
+using tensor::ITensor;
+using tensor::Shape;
+
+}  // namespace
+
+LmBatch RandomLmWorkload::next() {
+  LmBatch batch;
+  batch.tokens = ITensor(Shape{batch_, seq_len_});
+  batch.labels = ITensor(Shape{batch_, seq_len_});
+  for (index_t b = 0; b < batch_; ++b) {
+    for (index_t t = 0; t < seq_len_; ++t) {
+      batch.tokens.at(b, t) = static_cast<std::int32_t>(rng_.uniform_index(vocab_));
+    }
+  }
+  for (index_t b = 0; b < batch_; ++b) {
+    for (index_t t = 0; t < seq_len_; ++t) {
+      batch.labels.at(b, t) = t + 1 < seq_len_ ? batch.tokens.at(b, t + 1) : -1;
+    }
+  }
+  return batch;
+}
+
+LmBatch PatternLmWorkload::next() {
+  LmBatch batch;
+  batch.tokens = ITensor(Shape{batch_, seq_len_});
+  batch.labels = ITensor(Shape{batch_, seq_len_});
+  for (index_t b = 0; b < batch_; ++b) {
+    const index_t offset = static_cast<index_t>(rng_.uniform_index(period_));
+    for (index_t t = 0; t < seq_len_; ++t) {
+      batch.tokens.at(b, t) = static_cast<std::int32_t>((offset + t) % period_);
+    }
+  }
+  for (index_t b = 0; b < batch_; ++b) {
+    for (index_t t = 0; t < seq_len_; ++t) {
+      batch.labels.at(b, t) = t + 1 < seq_len_ ? batch.tokens.at(b, t + 1) : -1;
+    }
+  }
+  return batch;
+}
+
+ClsBatch SyntheticClsWorkload::next() {
+  ClsBatch batch;
+  batch.tokens = ITensor(Shape{batch_, seq_len_});
+  batch.labels = ITensor(Shape{batch_});
+  const index_t band = vocab_ / classes_;
+  for (index_t b = 0; b < batch_; ++b) {
+    const index_t cls = static_cast<index_t>(rng_.uniform_index(classes_));
+    batch.labels[b] = static_cast<std::int32_t>(cls);
+    for (index_t t = 0; t < seq_len_; ++t) {
+      if (rng_.uniform() < purity_) {
+        batch.tokens.at(b, t) =
+            static_cast<std::int32_t>(cls * band + rng_.uniform_index(band));
+      } else {
+        batch.tokens.at(b, t) = static_cast<std::int32_t>(rng_.uniform_index(vocab_));
+      }
+    }
+  }
+  return batch;
+}
+
+CharCorpus::CharCorpus(std::string text) {
+  OPT_CHECK(text.size() >= 2, "corpus too small");
+  to_index_.fill(-1);
+  std::set<char> distinct(text.begin(), text.end());
+  chars_.assign(distinct.begin(), distinct.end());
+  for (std::size_t i = 0; i < chars_.size(); ++i) {
+    to_index_[static_cast<unsigned char>(chars_[i])] = static_cast<std::int32_t>(i);
+  }
+  encoded_.reserve(text.size());
+  for (char c : text) encoded_.push_back(to_index_[static_cast<unsigned char>(c)]);
+}
+
+LmBatch CharCorpus::sample(index_t batch, index_t seq_len, util::Rng& rng) const {
+  OPT_CHECK(length() > seq_len + 1, "corpus shorter than one window");
+  LmBatch out;
+  out.tokens = ITensor(Shape{batch, seq_len});
+  out.labels = ITensor(Shape{batch, seq_len});
+  for (index_t b = 0; b < batch; ++b) {
+    const index_t start =
+        static_cast<index_t>(rng.uniform_index(static_cast<std::uint64_t>(length() - seq_len - 1)));
+    for (index_t t = 0; t < seq_len; ++t) {
+      out.tokens.at(b, t) = encoded_[static_cast<std::size_t>(start + t)];
+      out.labels.at(b, t) = encoded_[static_cast<std::size_t>(start + t + 1)];
+    }
+  }
+  return out;
+}
+
+std::int32_t CharCorpus::encode(char c) const {
+  const std::int32_t idx = to_index_[static_cast<unsigned char>(c)];
+  OPT_CHECK(idx >= 0, "character not in corpus vocabulary");
+  return idx;
+}
+
+char CharCorpus::decode(std::int32_t token) const {
+  OPT_CHECK(token >= 0 && token < static_cast<std::int32_t>(chars_.size()),
+            "token " << token << " out of vocab");
+  return chars_[static_cast<std::size_t>(token)];
+}
+
+std::string CharCorpus::decode(const std::vector<std::int32_t>& tokens) const {
+  std::string out;
+  out.reserve(tokens.size());
+  for (std::int32_t t : tokens) out.push_back(decode(t));
+  return out;
+}
+
+const char* CharCorpus::builtin_text() {
+  // A small rhythmic snippet with heavy repetition: a char-level model learns
+  // visible structure within a few hundred steps.
+  return "the wheels on the bus go round and round, round and round, round and round. "
+         "the wheels on the bus go round and round, all through the town. "
+         "the wipers on the bus go swish swish swish, swish swish swish, swish swish swish. "
+         "the wipers on the bus go swish swish swish, all through the town. "
+         "the horn on the bus goes beep beep beep, beep beep beep, beep beep beep. "
+         "the horn on the bus goes beep beep beep, all through the town. "
+         "the doors on the bus go open and shut, open and shut, open and shut. "
+         "the doors on the bus go open and shut, all through the town. "
+         "the driver on the bus says move on back, move on back, move on back. "
+         "the driver on the bus says move on back, all through the town. "
+         "the people on the bus go up and down, up and down, up and down. "
+         "the people on the bus go up and down, all through the town. ";
+}
+
+}  // namespace optimus::runtime

@@ -1,0 +1,65 @@
+#pragma once
+
+// Hybrid data × tensor parallelism.
+//
+// The paper's model parallelism is orthogonal to data parallelism (§1 lists
+// the techniques it composes with); production systems (Megatron-LM,
+// Colossal-AI) run dp replicas of a p-device tensor-parallel group. This
+// header provides the composition for the simulated cluster:
+//
+//   world (dp·p ranks)
+//     ├── tp group: ranks [r·p, (r+1)·p) — a full Optimus mesh / Megatron
+//     │             group for replica r
+//     └── dp group: the dp ranks holding the SAME parameter shard across
+//                   replicas — gradient averaging runs here, one ring
+//                   all-reduce per owned tensor per step
+//
+// Because every engine shards its parameters identically given the same mesh
+// coordinates, rank k of every replica owns the same blocks, so the dp group
+// world.split(rank % p, rank) aligns shards exactly.
+
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace optimus::runtime {
+
+struct HybridGroups {
+  comm::Communicator tp;  // tensor-parallel group (size p): build the engine here
+  comm::Communicator dp;  // data-parallel group (size world/p): all-reduce grads here
+  int replica;            // which data-parallel replica this rank belongs to
+  int replicas;           // dp degree
+};
+
+/// Splits `world` into replicas of `tp_size` ranks each. Collective.
+inline HybridGroups make_hybrid_groups(comm::Communicator& world, int tp_size) {
+  OPT_CHECK(tp_size >= 1 && world.size() % tp_size == 0,
+            "world " << world.size() << " not divisible by tensor-parallel size " << tp_size);
+  const int replica = world.rank() / tp_size;
+  return HybridGroups{
+      world.split(/*color=*/replica, /*key=*/world.rank()),
+      world.split(/*color=*/world.rank() % tp_size, /*key=*/world.rank()),
+      replica,
+      world.size() / tp_size,
+  };
+}
+
+/// Ring-all-reduces every owned gradient across the data-parallel group and
+/// (by default) divides by the replica count, turning per-replica micro-batch
+/// gradients into the full-batch-mean gradient. Call between backward and the
+/// optimizer step.
+template <typename T>
+void allreduce_gradients(comm::Communicator& dp,
+                         const std::vector<tensor::TensorT<T>*>& grads,
+                         bool average = true) {
+  if (dp.size() == 1) return;
+  const T inv = T{1} / static_cast<T>(dp.size());
+  for (auto* g : grads) {
+    dp.all_reduce(*g);
+    if (average) tensor::ops::scale_(*g, inv);
+  }
+}
+
+}  // namespace optimus::runtime

@@ -1,0 +1,72 @@
+#pragma once
+
+// Learning-rate schedules, evaluated as pure functions of the step index.
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace optimus::runtime {
+
+/// Constant learning rate.
+class ConstantLr {
+ public:
+  explicit ConstantLr(double lr) : lr_(lr) {}
+  double operator()(long long /*step*/) const { return lr_; }
+
+ private:
+  double lr_;
+};
+
+/// Linear warmup to `peak` over `warmup_steps`, then cosine decay to
+/// `floor_fraction·peak` at `total_steps`, flat afterwards.
+class WarmupCosineLr {
+ public:
+  WarmupCosineLr(double peak, long long warmup_steps, long long total_steps,
+                 double floor_fraction = 0.1)
+      : peak_(peak),
+        warmup_(warmup_steps),
+        total_(total_steps),
+        floor_(peak * floor_fraction) {
+    OPT_CHECK(total_steps > warmup_steps, "total_steps must exceed warmup_steps");
+    OPT_CHECK(warmup_steps >= 0, "negative warmup");
+  }
+
+  double operator()(long long step) const {
+    if (warmup_ > 0 && step < warmup_) {
+      return peak_ * static_cast<double>(step + 1) / static_cast<double>(warmup_);
+    }
+    if (step >= total_) return floor_;
+    const double progress =
+        static_cast<double>(step - warmup_) / static_cast<double>(total_ - warmup_);
+    const double cosine = 0.5 * (1.0 + std::cos(std::numbers::pi * progress));
+    return floor_ + (peak_ - floor_) * cosine;
+  }
+
+ private:
+  double peak_;
+  long long warmup_;
+  long long total_;
+  double floor_;
+};
+
+/// Step decay: lr = base · gamma^(step / interval).
+class StepDecayLr {
+ public:
+  StepDecayLr(double base, double gamma, long long interval)
+      : base_(base), gamma_(gamma), interval_(interval) {
+    OPT_CHECK(interval > 0, "decay interval must be positive");
+  }
+
+  double operator()(long long step) const {
+    return base_ * std::pow(gamma_, static_cast<double>(step / interval_));
+  }
+
+ private:
+  double base_;
+  double gamma_;
+  long long interval_;
+};
+
+}  // namespace optimus::runtime

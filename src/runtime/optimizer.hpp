@@ -1,0 +1,77 @@
+#pragma once
+
+// Optimizers over flat parameter/gradient tensor lists.
+//
+// Both engines expose parameters()/gradients() as parallel vectors of the
+// tensors *owned* by the local device, so the same optimizer code serves the
+// serial oracle, Megatron and Optimus: each device steps its own shards and
+// no optimizer communication is needed (replicated Megatron parameters
+// receive bit-identical updates because their gradients are bit-identical in
+// this deterministic runtime).
+
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace optimus::runtime {
+
+/// Plain SGD with optional momentum and decoupled weight decay.
+template <typename T>
+class Sgd {
+ public:
+  struct Options {
+    double momentum = 0.0;
+    double weight_decay = 0.0;
+  };
+
+  explicit Sgd(Options options = {}) : options_(options) {}
+
+  /// params[i] -= lr * (grads[i] + wd·params[i]) (with momentum buffering).
+  void step(const std::vector<tensor::TensorT<T>*>& params,
+            const std::vector<tensor::TensorT<T>*>& grads, double lr);
+
+ private:
+  Options options_;
+  std::vector<tensor::TensorT<T>> velocity_;  // lazily shaped to params
+};
+
+/// Adam (Kingma & Ba) with bias correction and decoupled weight decay
+/// (AdamW-style).
+template <typename T>
+class Adam {
+ public:
+  struct Options {
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 0.0;
+  };
+
+  explicit Adam(Options options = {}) : options_(options) {}
+
+  void step(const std::vector<tensor::TensorT<T>*>& params,
+            const std::vector<tensor::TensorT<T>*>& grads, double lr);
+
+  long long steps_taken() const { return t_; }
+
+ private:
+  Options options_;
+  long long t_ = 0;
+  std::vector<tensor::TensorT<T>> m_, v_;
+};
+
+/// ‖g‖₂ over a gradient list; with a communicator, the squared partial sums
+/// are all-reduced so fully-sharded engines (Optimus) get the global norm.
+template <typename T>
+T global_grad_norm(const std::vector<tensor::TensorT<T>*>& grads,
+                   comm::Communicator* world = nullptr);
+
+/// Scales gradients in place so the global norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+template <typename T>
+T clip_grad_norm(const std::vector<tensor::TensorT<T>*>& grads, T max_norm,
+                 comm::Communicator* world = nullptr);
+
+}  // namespace optimus::runtime

@@ -1,0 +1,111 @@
+#pragma once
+
+// Generic training loops.
+//
+// All three engines (SerialTransformer, MegatronTransformer,
+// OptimusTransformer) expose the same step surface — forward / lm_loss /
+// backward_lm / zero_grads / parameters / gradients — so one templated loop
+// drives any of them. In distributed settings the loop runs identically on
+// every rank (collectives inside the engine keep them in lockstep), and each
+// rank's optimizer steps only the shards it owns.
+
+#include <functional>
+#include <vector>
+
+#include "runtime/data.hpp"
+#include "util/logging.hpp"
+
+namespace optimus::runtime {
+
+/// One LM training step; returns the loss.
+template <typename Engine, typename Optimizer, typename T = float>
+double lm_step(Engine& engine, Optimizer& opt, const LmBatch& batch, double lr) {
+  engine.forward(batch.tokens);
+  const double loss = static_cast<double>(engine.lm_loss(batch.labels));
+  engine.zero_grads();
+  engine.backward_lm();
+  opt.step(engine.parameters(), engine.gradients(), lr);
+  return loss;
+}
+
+/// Runs `steps` LM steps pulling batches from `next_batch`; returns the loss
+/// trace. `schedule` maps step index → learning rate.
+template <typename Engine, typename Optimizer, typename Schedule>
+std::vector<double> train_lm(Engine& engine, Optimizer& opt, const Schedule& schedule,
+                             const std::function<LmBatch()>& next_batch, int steps,
+                             int log_every = 0) {
+  std::vector<double> losses;
+  losses.reserve(static_cast<std::size_t>(steps));
+  for (int step = 0; step < steps; ++step) {
+    const LmBatch batch = next_batch();
+    const double loss = lm_step(engine, opt, batch, schedule(step));
+    losses.push_back(loss);
+    if (log_every > 0 && step % log_every == 0) {
+      OPT_LOG(Info) << "step " << step << " lm_loss " << loss;
+    }
+  }
+  return losses;
+}
+
+/// One classification step; returns the loss.
+template <typename Engine, typename Optimizer>
+double cls_step(Engine& engine, Optimizer& opt, const ClsBatch& batch, double lr) {
+  engine.forward(batch.tokens);
+  const double loss = static_cast<double>(engine.cls_loss(batch.labels));
+  engine.zero_grads();
+  engine.backward_cls();
+  opt.step(engine.parameters(), engine.gradients(), lr);
+  return loss;
+}
+
+template <typename Engine, typename Optimizer, typename Schedule>
+std::vector<double> train_cls(Engine& engine, Optimizer& opt, const Schedule& schedule,
+                              const std::function<ClsBatch()>& next_batch, int steps,
+                              int log_every = 0) {
+  std::vector<double> losses;
+  losses.reserve(static_cast<std::size_t>(steps));
+  for (int step = 0; step < steps; ++step) {
+    const ClsBatch batch = next_batch();
+    const double loss = cls_step(engine, opt, batch, schedule(step));
+    losses.push_back(loss);
+    if (log_every > 0 && step % log_every == 0) {
+      OPT_LOG(Info) << "step " << step << " cls_loss " << loss;
+    }
+  }
+  return losses;
+}
+
+/// Gradient accumulation: runs one forward/backward per micro-batch without
+/// stepping, then rescales the accumulated gradients by 1/k so they equal the
+/// full-batch mean gradient (exact when every micro-batch has the same number
+/// of unmasked labels, as the standard next-token masking gives). Returns the
+/// mean micro-batch loss; call the optimizer step afterwards.
+template <typename Engine>
+double accumulate_lm_gradients(Engine& engine, const std::vector<LmBatch>& micro_batches) {
+  OPT_CHECK(!micro_batches.empty(), "need at least one micro-batch");
+  engine.zero_grads();
+  double loss_sum = 0;
+  for (const LmBatch& batch : micro_batches) {
+    engine.forward(batch.tokens);
+    loss_sum += static_cast<double>(engine.lm_loss(batch.labels));
+    engine.backward_lm();
+  }
+  const auto k = micro_batches.size();
+  for (auto* g : engine.gradients()) {
+    tensor::ops::scale_(*g,
+                        static_cast<typename std::remove_reference_t<decltype(*g)>::value_type>(
+                            1.0 / static_cast<double>(k)));
+  }
+  return loss_sum / static_cast<double>(k);
+}
+
+/// Mean of the last `k` entries (loss-trace convergence summaries).
+inline double tail_mean(const std::vector<double>& xs, std::size_t k) {
+  if (xs.empty()) return 0.0;
+  k = std::min(k, xs.size());
+  double acc = 0;
+  for (std::size_t i = xs.size() - k; i < xs.size(); ++i) acc += xs[i];
+  return acc / static_cast<double>(k);
+}
+
+}  // namespace optimus::runtime

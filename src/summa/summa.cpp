@@ -1,0 +1,197 @@
+#include "summa/summa.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "tensor/ops.hpp"
+
+namespace optimus::summa {
+
+namespace {
+
+using tensor::Arena;
+using tensor::ArenaScope;
+using tensor::Shape;
+using tensor::TensorT;
+namespace ops = tensor::ops;
+
+/// Allocates a temporary either from the workspace arena or the heap.
+template <typename T>
+TensorT<T> make_temp(Arena* workspace, Shape shape) {
+  if (workspace != nullptr) return workspace->alloc<T>(shape);
+  return TensorT<T>(shape);
+}
+
+}  // namespace
+
+template <typename T>
+void summa_ab(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B, TensorT<T>& C,
+              bool accumulate, Arena* workspace) {
+  const int q = mesh.q();
+  OPT_CHECK(A.ndim() == 2 && B.ndim() == 2 && C.ndim() == 2, "summa_ab needs 2-D blocks");
+  OPT_CHECK(A.size(0) == C.size(0) && B.size(1) == C.size(1) && A.size(1) == B.size(0),
+            "summa_ab block shapes: A " << A.shape().to_string() << " B "
+                                        << B.shape().to_string() << " C "
+                                        << C.shape().to_string());
+  std::optional<ArenaScope> scope;
+  if (workspace != nullptr) scope.emplace(*workspace);
+  TensorT<T> a_buf = make_temp<T>(workspace, A.shape());
+  TensorT<T> b_buf = make_temp<T>(workspace, B.shape());
+
+  for (int l = 0; l < q; ++l) {
+    // Column l of the mesh owns the A blocks for this outer-product step;
+    // row l owns the B blocks (paper Fig. 3).
+    if (mesh.col() == l) a_buf.copy_from(A);
+    mesh.row_comm().broadcast(a_buf, /*root=*/l);
+    if (mesh.row() == l) b_buf.copy_from(B);
+    mesh.col_comm().broadcast(b_buf, /*root=*/l);
+    const T beta = (l == 0 && !accumulate) ? T{0} : T{1};
+    ops::gemm(C, a_buf, b_buf, ops::Trans::No, ops::Trans::No, T{1}, beta);
+  }
+}
+
+template <typename T>
+void summa_abt(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B, TensorT<T>& C,
+               bool accumulate, Arena* workspace) {
+  const int q = mesh.q();
+  OPT_CHECK(A.ndim() == 2 && B.ndim() == 2 && C.ndim() == 2, "summa_abt needs 2-D blocks");
+  OPT_CHECK(A.size(0) == C.size(0) && A.size(1) == B.size(1) && B.size(0) == C.size(1),
+            "summa_abt block shapes: A " << A.shape().to_string() << " B "
+                                         << B.shape().to_string() << " C "
+                                         << C.shape().to_string());
+  std::optional<ArenaScope> scope;
+  if (workspace != nullptr) scope.emplace(*workspace);
+  TensorT<T> b_buf = make_temp<T>(workspace, B.shape());
+  TensorT<T> c_tmp = make_temp<T>(workspace, C.shape());
+
+  for (int l = 0; l < q; ++l) {
+    // Step l computes column-block l of C: broadcast B_l· down columns,
+    // multiply locally, reduce partial C blocks across the row to column l.
+    if (mesh.row() == l) b_buf.copy_from(B);
+    mesh.col_comm().broadcast(b_buf, /*root=*/l);
+    ops::gemm(c_tmp, A, b_buf, ops::Trans::No, ops::Trans::Yes, T{1}, T{0});
+    mesh.row_comm().reduce(c_tmp, /*root=*/l);
+    if (mesh.col() == l) {
+      if (accumulate) {
+        ops::add_(C, c_tmp);
+      } else {
+        C.copy_from(c_tmp);
+      }
+    }
+  }
+}
+
+template <typename T>
+void summa_atb(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B, TensorT<T>& C,
+               bool accumulate, Arena* workspace) {
+  const int q = mesh.q();
+  OPT_CHECK(A.ndim() == 2 && B.ndim() == 2 && C.ndim() == 2, "summa_atb needs 2-D blocks");
+  OPT_CHECK(A.size(1) == C.size(0) && B.size(1) == C.size(1) && A.size(0) == B.size(0),
+            "summa_atb block shapes: A " << A.shape().to_string() << " B "
+                                         << B.shape().to_string() << " C "
+                                         << C.shape().to_string());
+  std::optional<ArenaScope> scope;
+  if (workspace != nullptr) scope.emplace(*workspace);
+  TensorT<T> a_buf = make_temp<T>(workspace, A.shape());
+  TensorT<T> c_tmp = make_temp<T>(workspace, C.shape());
+
+  for (int l = 0; l < q; ++l) {
+    // Step l computes row-block l of C: broadcast A_·l across rows, multiply
+    // locally, reduce partial C blocks down the column to row l.
+    if (mesh.col() == l) a_buf.copy_from(A);
+    mesh.row_comm().broadcast(a_buf, /*root=*/l);
+    ops::gemm(c_tmp, a_buf, B, ops::Trans::Yes, ops::Trans::No, T{1}, T{0});
+    mesh.col_comm().reduce(c_tmp, /*root=*/l);
+    if (mesh.row() == l) {
+      if (accumulate) {
+        ops::add_(C, c_tmp);
+      } else {
+        C.copy_from(c_tmp);
+      }
+    }
+  }
+}
+
+template <typename T>
+void cannon_ab(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B, TensorT<T>& C,
+               bool accumulate, Arena* workspace) {
+  const int q = mesh.q();
+  OPT_CHECK(A.ndim() == 2 && B.ndim() == 2 && C.ndim() == 2, "cannon_ab needs 2-D blocks");
+  OPT_CHECK(A.size(0) == C.size(0) && B.size(1) == C.size(1) && A.size(1) == B.size(0),
+            "cannon_ab block shapes: A " << A.shape().to_string() << " B "
+                                         << B.shape().to_string() << " C "
+                                         << C.shape().to_string());
+  if (q == 1) {
+    ops::gemm(C, A, B, ops::Trans::No, ops::Trans::No, T{1},
+              accumulate ? T{1} : T{0});
+    return;
+  }
+  std::optional<ArenaScope> scope;
+  if (workspace != nullptr) scope.emplace(*workspace);
+  TensorT<T> a_buf = make_temp<T>(workspace, A.shape());
+  TensorT<T> b_buf = make_temp<T>(workspace, B.shape());
+  a_buf.copy_from(A);
+  b_buf.copy_from(B);
+
+  const int i = mesh.row();
+  const int j = mesh.col();
+  comm::Communicator& row = mesh.row_comm();
+  comm::Communicator& col = mesh.col_comm();
+  // Tags: 0/1 alignment, 2/3 shifting rounds. FIFO matching per (src, tag)
+  // makes reuse across calls and rounds safe.
+  const auto shift_left = [&](TensorT<T>& buf, int steps, int tag) {
+    if (steps % q == 0) return;
+    const int dst = ((j - steps) % q + q) % q;
+    const int src = (j + steps) % q;
+    row.send(dst, tag, buf.data(), buf.numel());   // payload copied at send
+    row.recv(src, tag, buf.data(), buf.numel());
+  };
+  const auto shift_up = [&](TensorT<T>& buf, int steps, int tag) {
+    if (steps % q == 0) return;
+    const int dst = ((i - steps) % q + q) % q;
+    const int src = (i + steps) % q;
+    col.send(dst, tag, buf.data(), buf.numel());
+    col.recv(src, tag, buf.data(), buf.numel());
+  };
+
+  // Initial alignment: A_ij moves i steps left, B_ij moves j steps up, so
+  // device (i, j) starts with A_{i,(i+j) mod q} · B_{(i+j) mod q, j}.
+  shift_left(a_buf, i, /*tag=*/0);
+  shift_up(b_buf, j, /*tag=*/1);
+
+  for (int l = 0; l < q; ++l) {
+    const T beta = (l == 0 && !accumulate) ? T{0} : T{1};
+    ops::gemm(C, a_buf, b_buf, ops::Trans::No, ops::Trans::No, T{1}, beta);
+    if (l + 1 < q) {
+      shift_left(a_buf, 1, /*tag=*/2);
+      shift_up(b_buf, 1, /*tag=*/3);
+    }
+  }
+}
+
+std::uint64_t workspace_bytes(std::uint64_t a_block_elems, std::uint64_t b_block_elems,
+                              std::uint64_t c_block_elems, std::size_t elem_size) {
+  const auto align = [](std::uint64_t n) { return (n + 63) & ~std::uint64_t{63}; };
+  // Worst case across the three forms: two of the three block sizes at once.
+  const std::uint64_t ab = align(a_block_elems * elem_size) + align(b_block_elems * elem_size);
+  const std::uint64_t bc = align(b_block_elems * elem_size) + align(c_block_elems * elem_size);
+  const std::uint64_t ac = align(a_block_elems * elem_size) + align(c_block_elems * elem_size);
+  return std::max({ab, bc, ac});
+}
+
+#define OPTIMUS_INSTANTIATE_SUMMA(T)                                                     \
+  template void summa_ab<T>(mesh::Mesh2D&, const TensorT<T>&, const TensorT<T>&,         \
+                            TensorT<T>&, bool, Arena*);                                  \
+  template void summa_abt<T>(mesh::Mesh2D&, const TensorT<T>&, const TensorT<T>&,        \
+                             TensorT<T>&, bool, Arena*);                                 \
+  template void summa_atb<T>(mesh::Mesh2D&, const TensorT<T>&, const TensorT<T>&,        \
+                             TensorT<T>&, bool, Arena*);                                 \
+  template void cannon_ab<T>(mesh::Mesh2D&, const TensorT<T>&, const TensorT<T>&,        \
+                             TensorT<T>&, bool, Arena*);
+
+OPTIMUS_INSTANTIATE_SUMMA(float)
+OPTIMUS_INSTANTIATE_SUMMA(double)
+
+#undef OPTIMUS_INSTANTIATE_SUMMA
+
+}  // namespace optimus::summa

@@ -1,0 +1,71 @@
+#pragma once
+
+// SUMMA: Scalable Universal Matrix Multiplication Algorithm over a q×q mesh
+// (van de Geijn & Watts 1997), in the three product forms the paper uses,
+// which form a closed set under differentiation (paper eqs. 1–3):
+//
+//   summa_ab  :  C = A·B    (Algorithm 1 — forward products)
+//   summa_abt :  C = A·Bᵀ   (Algorithm 2 — dA = dC·Bᵀ, lm-head logits)
+//   summa_atb :  C = Aᵀ·B   (Algorithm 3 — dB = Aᵀ·dC)
+//
+// Every global operand is split into q×q blocks; each device passes only its
+// own block. Global shapes (with per-device blocks 1/q of each dimension):
+//
+//   summa_ab  : A [M, K] · B [K, N] → C [M, N]
+//   summa_abt : A [M, N] · Bᵀ, B [K, N] → C [M, K]
+//   summa_atb : Aᵀ, A [M, N] · B [M, K] → C [N, K]
+//
+// Communication per device per call (the Table-1 terms):
+//   summa_ab  : q row-broadcasts of A blocks + q column-broadcasts of B blocks
+//   summa_abt : q column-broadcasts of B blocks + q row-reduces of C blocks
+//   summa_atb : q row-broadcasts of A blocks + q column-reduces of C blocks
+//
+// If `workspace` is non-null the broadcast/reduce temporaries are carved from
+// it (and released on return), implementing the paper's §3.2.3 pre-allocated
+// workspace buffer; otherwise plain allocations are used.
+
+#include "mesh/mesh.hpp"
+#include "tensor/arena.hpp"
+#include "tensor/tensor.hpp"
+
+namespace optimus::summa {
+
+/// C (+)= A·B. Blocks: A [m_b, k_b], B [k_b, n_b], C [m_b, n_b].
+template <typename T>
+void summa_ab(mesh::Mesh2D& mesh, const tensor::TensorT<T>& A, const tensor::TensorT<T>& B,
+              tensor::TensorT<T>& C, bool accumulate = false,
+              tensor::Arena* workspace = nullptr);
+
+/// C (+)= A·Bᵀ. Blocks: A [m_b, n_b], B [k_b, n_b], C [m_b, k_b].
+template <typename T>
+void summa_abt(mesh::Mesh2D& mesh, const tensor::TensorT<T>& A, const tensor::TensorT<T>& B,
+               tensor::TensorT<T>& C, bool accumulate = false,
+               tensor::Arena* workspace = nullptr);
+
+/// C (+)= Aᵀ·B. Blocks: A [m_b, n_b], B [m_b, k_b], C [n_b, k_b].
+template <typename T>
+void summa_atb(mesh::Mesh2D& mesh, const tensor::TensorT<T>& A, const tensor::TensorT<T>& B,
+               tensor::TensorT<T>& C, bool accumulate = false,
+               tensor::Arena* workspace = nullptr);
+
+/// Cannon's algorithm (1969) for C (+)= A·B — the other classic 2D matmul the
+/// paper cites (§1, §2.4). After an initial alignment (A's blocks shift left
+/// by their row index, B's shift up by their column index), q rounds of
+/// local-multiply + single-step shifts complete the product using only
+/// point-to-point transfers — no broadcasts at all. Per device it moves
+/// 2(q−1)·(|A_block| + |B_block|) scalars (alignment + shifts), versus
+/// SUMMA's q·log₂(q)-weighted broadcast volume; bench_summa compares them.
+/// Blocks as in summa_ab: A [m_b, k_b], B [k_b, n_b], C [m_b, n_b].
+template <typename T>
+void cannon_ab(mesh::Mesh2D& mesh, const tensor::TensorT<T>& A, const tensor::TensorT<T>& B,
+               tensor::TensorT<T>& C, bool accumulate = false,
+               tensor::Arena* workspace = nullptr);
+
+/// Bytes of workspace one summa_* call needs for blocks of the given sizes
+/// (two temporaries, 64-byte aligned). Engines size their workspace arenas as
+/// the max over the calls they make — matmuls run sequentially, so one
+/// workspace serves all of them (paper §3.2.3).
+std::uint64_t workspace_bytes(std::uint64_t a_block_elems, std::uint64_t b_block_elems,
+                              std::uint64_t c_block_elems, std::size_t elem_size);
+
+}  // namespace optimus::summa

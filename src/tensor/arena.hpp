@@ -1,0 +1,103 @@
+#pragma once
+
+// Bump allocator over a pre-allocated slab.
+//
+// This implements the paper's §3.2.3 memory pre-allocation: the workspace,
+// forward, backward, parameter-gradient and conjunction buffers are each one
+// Arena. Tensors carved from an arena cost no allocation, and reset() makes
+// the whole slab reusable for the next layer — eliminating the fragmentation
+// the paper attributes to naive per-op allocation.
+//
+// Ownership: tensors pin the slab via shared_ptr, so the memory stays valid
+// even if the Arena object dies; but after reset() the *contents* of earlier
+// tensors are free to be overwritten. Engines must sequence resets exactly as
+// Figure 6 prescribes. OPT_DCHECKs catch over-allocation.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace optimus::tensor {
+
+class Arena {
+ public:
+  /// Pre-allocates `capacity_bytes`, charged to the current DeviceContext once.
+  Arena(std::string name, std::uint64_t capacity_bytes)
+      : name_(std::move(name)), capacity_(capacity_bytes) {
+    auto counters = DeviceContext::current().counters();
+    counters->on_alloc(capacity_bytes);
+    slab_ = std::shared_ptr<std::byte[]>(
+        new std::byte[capacity_bytes],
+        [counters, capacity = capacity_bytes](std::byte* p) {
+          counters->on_free(capacity);
+          delete[] p;
+        });
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Carves a tensor out of the slab. Contents are uninitialised (or stale).
+  template <typename T>
+  TensorT<T> alloc(Shape shape) {
+    const std::uint64_t bytes = align_up(static_cast<std::uint64_t>(shape.numel()) * sizeof(T));
+    OPT_CHECK(offset_ + bytes <= capacity_,
+              "arena '" << name_ << "' exhausted: want " << bytes << " more at offset "
+                        << offset_ << " of " << capacity_);
+    T* ptr = reinterpret_cast<T*>(slab_.get() + offset_);
+    offset_ += bytes;
+    if (offset_ > high_water_) high_water_ = offset_;
+    return TensorT<T>::wrap(ptr, shape, std::shared_ptr<void>(slab_));
+  }
+
+  /// Zero-filled variant.
+  template <typename T>
+  TensorT<T> alloc_zeros(Shape shape) {
+    TensorT<T> t = alloc<T>(shape);
+    t.zero();
+    return t;
+  }
+
+  /// Makes the whole slab reusable. Previously carved tensors become stale.
+  void reset() { offset_ = 0; }
+
+  /// Current bump position, restorable with reset_to (stack discipline).
+  std::uint64_t mark() const { return offset_; }
+  void reset_to(std::uint64_t m) {
+    OPT_CHECK(m <= offset_, "arena '" << name_ << "' reset_to(" << m << ") above offset "
+                                      << offset_);
+    offset_ = m;
+  }
+
+  std::uint64_t used() const { return offset_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t high_water() const { return high_water_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  static std::uint64_t align_up(std::uint64_t n) { return (n + 63) & ~std::uint64_t{63}; }
+
+  std::string name_;
+  std::uint64_t capacity_;
+  std::uint64_t offset_ = 0;
+  std::uint64_t high_water_ = 0;
+  std::shared_ptr<std::byte[]> slab_;
+};
+
+/// RAII stack frame over an arena: everything allocated while the scope is
+/// alive is released when it dies.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(&arena), mark_(arena.mark()) {}
+  ~ArenaScope() { arena_->reset_to(mark_); }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena* arena_;
+  std::uint64_t mark_;
+};
+
+}  // namespace optimus::tensor

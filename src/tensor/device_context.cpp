@@ -1,0 +1,18 @@
+#include "tensor/device_context.hpp"
+
+namespace optimus::tensor {
+
+DeviceContext*& DeviceContext::current_slot() {
+  thread_local DeviceContext* slot = nullptr;
+  return slot;
+}
+
+DeviceContext& DeviceContext::current() {
+  DeviceContext* ctx = current_slot();
+  if (ctx != nullptr) return *ctx;
+  // Fallback context for threads that never installed one (host-side code).
+  thread_local DeviceContext fallback;
+  return fallback;
+}
+
+}  // namespace optimus::tensor

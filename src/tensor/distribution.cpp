@@ -1,0 +1,119 @@
+#include "tensor/distribution.hpp"
+
+#include <cstring>
+
+namespace optimus::tensor {
+
+namespace {
+
+void check_divisible(index_t value, index_t q, const char* what) {
+  OPT_CHECK(value % q == 0, what << " = " << value << " not divisible by q = " << q);
+}
+
+}  // namespace
+
+template <typename T>
+TensorT<T> matrix_block(const TensorT<T>& global, index_t q, index_t bi, index_t bj) {
+  OPT_CHECK(global.ndim() == 2, "matrix_block needs 2-D, got " << global.shape().to_string());
+  OPT_CHECK(0 <= bi && bi < q && 0 <= bj && bj < q, "block (" << bi << ", " << bj << ") of q=" << q);
+  const index_t R = global.size(0);
+  const index_t C = global.size(1);
+  check_divisible(R, q, "rows");
+  check_divisible(C, q, "cols");
+  const index_t br = R / q;
+  const index_t bc = C / q;
+  TensorT<T> block(Shape{br, bc});
+  for (index_t r = 0; r < br; ++r) {
+    std::memcpy(block.data() + r * bc, global.data() + (bi * br + r) * C + bj * bc,
+                static_cast<std::size_t>(bc) * sizeof(T));
+  }
+  return block;
+}
+
+template <typename T>
+void set_matrix_block(TensorT<T>& global, index_t q, index_t bi, index_t bj,
+                      const TensorT<T>& block) {
+  OPT_CHECK(global.ndim() == 2 && block.ndim() == 2, "set_matrix_block needs 2-D tensors");
+  const index_t R = global.size(0);
+  const index_t C = global.size(1);
+  check_divisible(R, q, "rows");
+  check_divisible(C, q, "cols");
+  const index_t br = R / q;
+  const index_t bc = C / q;
+  OPT_CHECK(block.size(0) == br && block.size(1) == bc,
+            "block shape " << block.shape().to_string() << ", expected [" << br << ", " << bc
+                           << "]");
+  for (index_t r = 0; r < br; ++r) {
+    std::memcpy(global.data() + (bi * br + r) * C + bj * bc, block.data() + r * bc,
+                static_cast<std::size_t>(bc) * sizeof(T));
+  }
+}
+
+template <typename T>
+TensorT<T> activation_block(const TensorT<T>& global, index_t q, index_t bi, index_t bj) {
+  OPT_CHECK(global.ndim() == 3, "activation_block needs [b, s, h], got "
+                                    << global.shape().to_string());
+  const index_t b = global.size(0);
+  const index_t s = global.size(1);
+  const index_t h = global.size(2);
+  check_divisible(b, q, "batch");
+  check_divisible(h, q, "hidden");
+  const index_t bb = b / q;
+  const index_t bh = h / q;
+  TensorT<T> block(Shape{bb, s, bh});
+  for (index_t r = 0; r < bb; ++r) {
+    for (index_t t = 0; t < s; ++t) {
+      std::memcpy(block.data() + (r * s + t) * bh,
+                  global.data() + ((bi * bb + r) * s + t) * h + bj * bh,
+                  static_cast<std::size_t>(bh) * sizeof(T));
+    }
+  }
+  return block;
+}
+
+template <typename T>
+void set_activation_block(TensorT<T>& global, index_t q, index_t bi, index_t bj,
+                          const TensorT<T>& block) {
+  OPT_CHECK(global.ndim() == 3 && block.ndim() == 3, "set_activation_block needs 3-D tensors");
+  const index_t b = global.size(0);
+  const index_t s = global.size(1);
+  const index_t h = global.size(2);
+  check_divisible(b, q, "batch");
+  check_divisible(h, q, "hidden");
+  const index_t bb = b / q;
+  const index_t bh = h / q;
+  OPT_CHECK(block.size(0) == bb && block.size(1) == s && block.size(2) == bh,
+            "activation block shape " << block.shape().to_string());
+  for (index_t r = 0; r < bb; ++r) {
+    for (index_t t = 0; t < s; ++t) {
+      std::memcpy(global.data() + ((bi * bb + r) * s + t) * h + bj * bh,
+                  block.data() + (r * s + t) * bh, static_cast<std::size_t>(bh) * sizeof(T));
+    }
+  }
+}
+
+template <typename T>
+TensorT<T> row_block(const TensorT<T>& global, index_t q, index_t bi) {
+  OPT_CHECK(global.ndim() >= 1, "row_block needs at least 1-D");
+  const index_t b = global.size(0);
+  check_divisible(b, q, "rows");
+  const index_t bb = b / q;
+  return global.row_range(bi * bb, (bi + 1) * bb).clone();
+}
+
+#define OPTIMUS_INSTANTIATE_DIST(T)                                                       \
+  template TensorT<T> matrix_block<T>(const TensorT<T>&, index_t, index_t, index_t);      \
+  template void set_matrix_block<T>(TensorT<T>&, index_t, index_t, index_t,               \
+                                    const TensorT<T>&);                                   \
+  template TensorT<T> activation_block<T>(const TensorT<T>&, index_t, index_t, index_t);  \
+  template void set_activation_block<T>(TensorT<T>&, index_t, index_t, index_t,           \
+                                        const TensorT<T>&);                               \
+  template TensorT<T> row_block<T>(const TensorT<T>&, index_t, index_t);
+
+OPTIMUS_INSTANTIATE_DIST(float)
+OPTIMUS_INSTANTIATE_DIST(double)
+OPTIMUS_INSTANTIATE_DIST(std::int32_t)
+
+#undef OPTIMUS_INSTANTIATE_DIST
+
+}  // namespace optimus::tensor

@@ -1,0 +1,47 @@
+#pragma once
+
+// Block distribution helpers for the q×q mesh layout.
+//
+// These are pure local routines (no communication): tests and oracles use
+// them to scatter a global tensor into the block each simulated device owns,
+// and to gather device blocks back into a global tensor for comparison.
+//
+// Layouts used by the engines:
+//   * matrix_block      — a [R, C] matrix split into q×q equal blocks; device
+//                         (i, j) owns rows [i·R/q, (i+1)·R/q) and columns
+//                         [j·C/q, (j+1)·C/q). Used for parameters, and for
+//                         activations viewed as [b·s, h] (the b split is the
+//                         mesh row, the h split the mesh column).
+//   * activation_block  — a [b, s, h] tensor; device (i, j) owns batch rows
+//                         [i·b/q, ...) and hidden slice [j·h/q, ...), with s
+//                         whole (the Optimus attention layout).
+//   * row_block         — a [b, s] integer tensor split along b only; every
+//                         device in mesh row i holds the same [b/q, s] block.
+
+#include "tensor/tensor.hpp"
+
+namespace optimus::tensor {
+
+/// Extracts the (bi, bj) block of a [R, C] matrix split q×q.
+template <typename T>
+TensorT<T> matrix_block(const TensorT<T>& global, index_t q, index_t bi, index_t bj);
+
+/// Writes `block` into the (bi, bj) position of the q×q-split `global`.
+template <typename T>
+void set_matrix_block(TensorT<T>& global, index_t q, index_t bi, index_t bj,
+                      const TensorT<T>& block);
+
+/// Extracts device (bi, bj)'s [b/q, s, h/q] slice of a [b, s, h] activation.
+template <typename T>
+TensorT<T> activation_block(const TensorT<T>& global, index_t q, index_t bi, index_t bj);
+
+/// Writes an activation block back into its global position.
+template <typename T>
+void set_activation_block(TensorT<T>& global, index_t q, index_t bi, index_t bj,
+                          const TensorT<T>& block);
+
+/// Extracts row-block bi of a [b, s] tensor split along b into q blocks.
+template <typename T>
+TensorT<T> row_block(const TensorT<T>& global, index_t q, index_t bi);
+
+}  // namespace optimus::tensor

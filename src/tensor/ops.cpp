@@ -1,0 +1,566 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace optimus::tensor::ops {
+
+namespace {
+
+// Blocked micro-kernel sizes for the NN case. On the simulation host only
+// correctness and flop counts matter, but a blocked loop keeps moderate
+// problem sizes (tests sweep up to h≈256) fast enough to iterate on.
+constexpr index_t kBlockM = 32;
+constexpr index_t kBlockN = 64;
+constexpr index_t kBlockK = 64;
+
+template <typename T>
+inline T element(const T* M, index_t ld, Trans trans, index_t r, index_t c) {
+  return trans == Trans::No ? M[r * ld + c] : M[c * ld + r];
+}
+
+}  // namespace
+
+template <typename T>
+void gemm_raw(T* C, const T* A, const T* B, index_t m, index_t n, index_t k, index_t lda,
+              index_t ldb, index_t ldc, Trans trans_a, Trans trans_b, T alpha, T beta) {
+  DeviceContext::current().on_mults(static_cast<std::uint64_t>(m) * n * k);
+
+  // Scale C by beta first so the accumulation loops can always +=.
+  for (index_t i = 0; i < m; ++i) {
+    T* c_row = C + i * ldc;
+    if (beta == T{0}) {
+      std::fill(c_row, c_row + n, T{0});
+    } else if (beta != T{1}) {
+      for (index_t j = 0; j < n; ++j) c_row[j] *= beta;
+    }
+  }
+
+  if (trans_a == Trans::No && trans_b == Trans::No) {
+    // Blocked i-k-j with the innermost loop streaming rows of B: cache friendly
+    // and auto-vectorisable.
+    for (index_t i0 = 0; i0 < m; i0 += kBlockM) {
+      const index_t i1 = std::min(i0 + kBlockM, m);
+      for (index_t k0 = 0; k0 < k; k0 += kBlockK) {
+        const index_t k1 = std::min(k0 + kBlockK, k);
+        for (index_t j0 = 0; j0 < n; j0 += kBlockN) {
+          const index_t j1 = std::min(j0 + kBlockN, n);
+          for (index_t i = i0; i < i1; ++i) {
+            T* c_row = C + i * ldc;
+            for (index_t kk = k0; kk < k1; ++kk) {
+              const T a = alpha * A[i * lda + kk];
+              const T* b_row = B + kk * ldb;
+              for (index_t j = j0; j < j1; ++j) c_row[j] += a * b_row[j];
+            }
+          }
+        }
+      }
+    }
+    return;
+  }
+
+  if (trans_a == Trans::No && trans_b == Trans::Yes) {
+    // C[i,j] += alpha * dot(A[i,:], B[j,:]) — both operands row-streamed.
+    for (index_t i = 0; i < m; ++i) {
+      const T* a_row = A + i * lda;
+      T* c_row = C + i * ldc;
+      for (index_t j = 0; j < n; ++j) {
+        const T* b_row = B + j * ldb;
+        T acc{0};
+        for (index_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
+        c_row[j] += alpha * acc;
+      }
+    }
+    return;
+  }
+
+  if (trans_a == Trans::Yes && trans_b == Trans::No) {
+    // C[i,j] += alpha * sum_k A[k,i] * B[k,j] — k-outer keeps both row-major.
+    for (index_t kk = 0; kk < k; ++kk) {
+      const T* a_row = A + kk * lda;
+      const T* b_row = B + kk * ldb;
+      for (index_t i = 0; i < m; ++i) {
+        const T a = alpha * a_row[i];
+        T* c_row = C + i * ldc;
+        for (index_t j = 0; j < n; ++j) c_row[j] += a * b_row[j];
+      }
+    }
+    return;
+  }
+
+  // Trans::Yes / Trans::Yes — rare; simple triple loop.
+  for (index_t i = 0; i < m; ++i) {
+    T* c_row = C + i * ldc;
+    for (index_t j = 0; j < n; ++j) {
+      T acc{0};
+      for (index_t kk = 0; kk < k; ++kk) {
+        acc += element(A, lda, Trans::Yes, i, kk) * element(B, ldb, Trans::Yes, kk, j);
+      }
+      c_row[j] += alpha * acc;
+    }
+  }
+}
+
+template <typename T>
+TensorT<T> as_matrix(const TensorT<T>& t) {
+  OPT_CHECK(t.ndim() >= 2, "as_matrix needs ndim >= 2, got " << t.shape().to_string());
+  return t.reshape(Shape{t.numel() / t.shape().last(), t.shape().last()});
+}
+
+template <typename T>
+void gemm(TensorT<T>& C, const TensorT<T>& A, const TensorT<T>& B, Trans trans_a, Trans trans_b,
+          T alpha, T beta) {
+  OPT_CHECK(A.ndim() == 2 && B.ndim() == 2 && C.ndim() == 2,
+            "gemm operands must be 2-D: " << A.shape().to_string() << " x "
+                                          << B.shape().to_string() << " -> "
+                                          << C.shape().to_string());
+  const index_t m = trans_a == Trans::No ? A.size(0) : A.size(1);
+  const index_t k = trans_a == Trans::No ? A.size(1) : A.size(0);
+  const index_t kb = trans_b == Trans::No ? B.size(0) : B.size(1);
+  const index_t n = trans_b == Trans::No ? B.size(1) : B.size(0);
+  OPT_CHECK(k == kb, "gemm inner-dim mismatch: " << k << " vs " << kb);
+  OPT_CHECK(C.size(0) == m && C.size(1) == n,
+            "gemm output shape " << C.shape().to_string() << ", expected [" << m << ", " << n
+                                 << "]");
+  gemm_raw(C.data(), A.data(), B.data(), m, n, k, A.size(1), B.size(1), C.size(1), trans_a,
+           trans_b, alpha, beta);
+}
+
+template <typename T>
+TensorT<T> matmul(const TensorT<T>& A, const TensorT<T>& B, Trans trans_a, Trans trans_b) {
+  const index_t m = trans_a == Trans::No ? A.size(0) : A.size(1);
+  const index_t n = trans_b == Trans::No ? B.size(1) : B.size(0);
+  TensorT<T> C(Shape{m, n});
+  gemm(C, A, B, trans_a, trans_b, T{1}, T{0});
+  return C;
+}
+
+template <typename T>
+void add_(TensorT<T>& y, const TensorT<T>& x) {
+  OPT_CHECK(y.numel() == x.numel(), "add_ size mismatch");
+  T* yp = y.data();
+  const T* xp = x.data();
+  const index_t n = y.numel();
+  for (index_t i = 0; i < n; ++i) yp[i] += xp[i];
+}
+
+template <typename T>
+void sub_(TensorT<T>& y, const TensorT<T>& x) {
+  OPT_CHECK(y.numel() == x.numel(), "sub_ size mismatch");
+  T* yp = y.data();
+  const T* xp = x.data();
+  const index_t n = y.numel();
+  for (index_t i = 0; i < n; ++i) yp[i] -= xp[i];
+}
+
+template <typename T>
+void axpy_(TensorT<T>& y, T alpha, const TensorT<T>& x) {
+  OPT_CHECK(y.numel() == x.numel(), "axpy_ size mismatch");
+  T* yp = y.data();
+  const T* xp = x.data();
+  const index_t n = y.numel();
+  for (index_t i = 0; i < n; ++i) yp[i] += alpha * xp[i];
+}
+
+template <typename T>
+void scale_(TensorT<T>& y, T alpha) {
+  T* yp = y.data();
+  const index_t n = y.numel();
+  for (index_t i = 0; i < n; ++i) yp[i] *= alpha;
+}
+
+template <typename T>
+TensorT<T> add(const TensorT<T>& a, const TensorT<T>& b) {
+  OPT_CHECK(a.shape() == b.shape(), "add shape mismatch");
+  TensorT<T> y = a.clone();
+  add_(y, b);
+  return y;
+}
+
+template <typename T>
+void add_bias_(TensorT<T>& y, const TensorT<T>& bias) {
+  const index_t cols = y.shape().last();
+  OPT_CHECK(bias.numel() == cols,
+            "bias size " << bias.numel() << " != last dim " << cols);
+  const index_t rows = y.numel() / cols;
+  T* yp = y.data();
+  const T* bp = bias.data();
+  for (index_t r = 0; r < rows; ++r) {
+    T* row = yp + r * cols;
+    for (index_t j = 0; j < cols; ++j) row[j] += bp[j];
+  }
+}
+
+template <typename T>
+void bias_grad(const TensorT<T>& dy, TensorT<T>& dbias, bool accumulate) {
+  const index_t cols = dy.shape().last();
+  OPT_CHECK(dbias.numel() == cols, "bias_grad size mismatch");
+  const index_t rows = dy.numel() / cols;
+  if (!accumulate) dbias.zero();
+  const T* dp = dy.data();
+  T* bp = dbias.data();
+  for (index_t r = 0; r < rows; ++r) {
+    const T* row = dp + r * cols;
+    for (index_t j = 0; j < cols; ++j) bp[j] += row[j];
+  }
+}
+
+namespace {
+
+// GELU tanh approximation and its derivative.
+template <typename T>
+inline T gelu_scalar(T x) {
+  const T c = T{0.7978845608028654};  // sqrt(2/pi)
+  const T inner = c * (x + T{0.044715} * x * x * x);
+  return T{0.5} * x * (T{1} + std::tanh(inner));
+}
+
+template <typename T>
+inline T gelu_grad_scalar(T x) {
+  const T c = T{0.7978845608028654};
+  const T x3 = x * x * x;
+  const T inner = c * (x + T{0.044715} * x3);
+  const T t = std::tanh(inner);
+  const T dinner = c * (T{1} + T{3} * T{0.044715} * x * x);
+  return T{0.5} * (T{1} + t) + T{0.5} * x * (T{1} - t * t) * dinner;
+}
+
+}  // namespace
+
+template <typename T>
+void gelu_forward(const TensorT<T>& x, TensorT<T>& y) {
+  OPT_CHECK(x.numel() == y.numel(), "gelu size mismatch");
+  const T* xp = x.data();
+  T* yp = y.data();
+  const index_t n = x.numel();
+  for (index_t i = 0; i < n; ++i) yp[i] = gelu_scalar(xp[i]);
+}
+
+template <typename T>
+void gelu_backward(const TensorT<T>& x, const TensorT<T>& dy, TensorT<T>& dx, bool accumulate) {
+  OPT_CHECK(x.numel() == dy.numel() && x.numel() == dx.numel(), "gelu size mismatch");
+  const T* xp = x.data();
+  const T* dyp = dy.data();
+  T* dxp = dx.data();
+  const index_t n = x.numel();
+  if (accumulate) {
+    for (index_t i = 0; i < n; ++i) dxp[i] += gelu_grad_scalar(xp[i]) * dyp[i];
+  } else {
+    for (index_t i = 0; i < n; ++i) dxp[i] = gelu_grad_scalar(xp[i]) * dyp[i];
+  }
+}
+
+template <typename T>
+void softmax_lastdim(const TensorT<T>& x, TensorT<T>& y) {
+  OPT_CHECK(x.numel() == y.numel(), "softmax size mismatch");
+  const index_t cols = x.shape().last();
+  const index_t rows = x.numel() / cols;
+  const T* xp = x.data();
+  T* yp = y.data();
+  for (index_t r = 0; r < rows; ++r) {
+    const T* in = xp + r * cols;
+    T* out = yp + r * cols;
+    T mx = in[0];
+    for (index_t j = 1; j < cols; ++j) mx = std::max(mx, in[j]);
+    T sum{0};
+    for (index_t j = 0; j < cols; ++j) {
+      out[j] = std::exp(in[j] - mx);
+      sum += out[j];
+    }
+    const T inv = T{1} / sum;
+    for (index_t j = 0; j < cols; ++j) out[j] *= inv;
+  }
+}
+
+template <typename T>
+void softmax_backward_lastdim(const TensorT<T>& y, const TensorT<T>& dy, TensorT<T>& dx) {
+  OPT_CHECK(y.numel() == dy.numel() && y.numel() == dx.numel(), "softmax size mismatch");
+  const index_t cols = y.shape().last();
+  const index_t rows = y.numel() / cols;
+  const T* yp = y.data();
+  const T* dyp = dy.data();
+  T* dxp = dx.data();
+  for (index_t r = 0; r < rows; ++r) {
+    const T* yr = yp + r * cols;
+    const T* dyr = dyp + r * cols;
+    T* dxr = dxp + r * cols;
+    T dot{0};
+    for (index_t j = 0; j < cols; ++j) dot += yr[j] * dyr[j];
+    for (index_t j = 0; j < cols; ++j) dxr[j] = yr[j] * (dyr[j] - dot);
+  }
+}
+
+template <typename T>
+void layernorm_forward(const TensorT<T>& x, const TensorT<T>& gamma, const TensorT<T>& beta,
+                       T eps, TensorT<T>& y, TensorT<T>& xhat, TensorT<T>& inv_std) {
+  const index_t h = x.shape().last();
+  const index_t rows = x.numel() / h;
+  OPT_CHECK(gamma.numel() == h && beta.numel() == h, "layernorm param size mismatch");
+  OPT_CHECK(y.numel() == x.numel() && xhat.numel() == x.numel(), "layernorm buffer mismatch");
+  OPT_CHECK(inv_std.numel() == rows, "inv_std must have one entry per row");
+  const T* xp = x.data();
+  const T* gp = gamma.data();
+  const T* bp = beta.data();
+  T* yp = y.data();
+  T* hp = xhat.data();
+  T* sp = inv_std.data();
+  for (index_t r = 0; r < rows; ++r) {
+    const T* in = xp + r * h;
+    T sum{0}, sum_sq{0};
+    for (index_t j = 0; j < h; ++j) {
+      sum += in[j];
+      sum_sq += in[j] * in[j];
+    }
+    const T mean = sum / static_cast<T>(h);
+    const T var = sum_sq / static_cast<T>(h) - mean * mean;
+    const T istd = T{1} / std::sqrt(var + eps);
+    sp[r] = istd;
+    T* hr = hp + r * h;
+    T* yr = yp + r * h;
+    for (index_t j = 0; j < h; ++j) {
+      hr[j] = (in[j] - mean) * istd;
+      yr[j] = gp[j] * hr[j] + bp[j];
+    }
+  }
+}
+
+template <typename T>
+void layernorm_backward(const TensorT<T>& xhat, const TensorT<T>& inv_std,
+                        const TensorT<T>& gamma, const TensorT<T>& dy, TensorT<T>& dx,
+                        TensorT<T>& dgamma, TensorT<T>& dbeta, bool accumulate_params) {
+  const index_t h = xhat.shape().last();
+  const index_t rows = xhat.numel() / h;
+  OPT_CHECK(dy.numel() == xhat.numel() && dx.numel() == xhat.numel(), "layernorm grad mismatch");
+  OPT_CHECK(dgamma.numel() == h && dbeta.numel() == h, "layernorm param grad mismatch");
+  if (!accumulate_params) {
+    dgamma.zero();
+    dbeta.zero();
+  }
+  const T* hp = xhat.data();
+  const T* sp = inv_std.data();
+  const T* gp = gamma.data();
+  const T* dyp = dy.data();
+  T* dxp = dx.data();
+  T* dgp = dgamma.data();
+  T* dbp = dbeta.data();
+  for (index_t r = 0; r < rows; ++r) {
+    const T* hr = hp + r * h;
+    const T* dyr = dyp + r * h;
+    T* dxr = dxp + r * h;
+    // dxhat = dy * gamma; two row statistics then the closed form from §3.2.2.
+    T sum_dxhat{0}, sum_dxhat_xhat{0};
+    for (index_t j = 0; j < h; ++j) {
+      const T dxh = dyr[j] * gp[j];
+      sum_dxhat += dxh;
+      sum_dxhat_xhat += dxh * hr[j];
+      dgp[j] += dyr[j] * hr[j];
+      dbp[j] += dyr[j];
+    }
+    const T inv_h = T{1} / static_cast<T>(h);
+    for (index_t j = 0; j < h; ++j) {
+      const T dxh = dyr[j] * gp[j];
+      dxr[j] = sp[r] * (dxh - inv_h * sum_dxhat - inv_h * sum_dxhat_xhat * hr[j]);
+    }
+  }
+}
+
+template <typename T>
+T cross_entropy_forward(const TensorT<T>& logits, const ITensor& labels, TensorT<T>& probs) {
+  const index_t v = logits.shape().last();
+  const index_t rows = logits.numel() / v;
+  OPT_CHECK(labels.numel() == rows, "labels size " << labels.numel() << " != rows " << rows);
+  OPT_CHECK(probs.numel() == logits.numel(), "probs buffer mismatch");
+  softmax_lastdim(logits, probs);
+  const T* pp = probs.data();
+  const std::int32_t* lp = labels.data();
+  T loss{0};
+  index_t active = 0;
+  for (index_t r = 0; r < rows; ++r) {
+    const std::int32_t label = lp[r];
+    if (label < 0) continue;  // masked
+    OPT_DCHECK(label < v, "label " << label << " out of vocab " << v);
+    const T q = std::max(pp[r * v + label], std::numeric_limits<T>::min());
+    loss -= std::log(q);
+    ++active;
+  }
+  return active == 0 ? T{0} : loss / static_cast<T>(active);
+}
+
+template <typename T>
+void cross_entropy_backward(const TensorT<T>& probs, const ITensor& labels, T scale,
+                            TensorT<T>& dlogits) {
+  const index_t v = probs.shape().last();
+  const index_t rows = probs.numel() / v;
+  OPT_CHECK(dlogits.numel() == probs.numel(), "dlogits buffer mismatch");
+  const T* pp = probs.data();
+  const std::int32_t* lp = labels.data();
+  T* dp = dlogits.data();
+  for (index_t r = 0; r < rows; ++r) {
+    const std::int32_t label = lp[r];
+    T* drow = dp + r * v;
+    if (label < 0) {
+      std::fill(drow, drow + v, T{0});
+      continue;
+    }
+    const T* prow = pp + r * v;
+    for (index_t j = 0; j < v; ++j) drow[j] = scale * prow[j];
+    drow[label] -= scale;
+  }
+}
+
+template <typename T>
+void embedding_forward(const TensorT<T>& table, const ITensor& tokens, TensorT<T>& y) {
+  OPT_CHECK(table.ndim() == 2, "embedding table must be 2-D");
+  [[maybe_unused]] const index_t v = table.size(0);
+  const index_t h = table.size(1);
+  const index_t rows = tokens.numel();
+  OPT_CHECK(y.numel() == rows * h, "embedding output mismatch");
+  const std::int32_t* tp = tokens.data();
+  for (index_t r = 0; r < rows; ++r) {
+    const std::int32_t tok = tp[r];
+    OPT_DCHECK(tok >= 0 && tok < v, "token " << tok << " out of vocab " << v);
+    std::memcpy(y.data() + r * h, table.data() + static_cast<index_t>(tok) * h,
+                static_cast<std::size_t>(h) * sizeof(T));
+  }
+}
+
+template <typename T>
+void embedding_backward(const ITensor& tokens, const TensorT<T>& dy, TensorT<T>& dtable) {
+  OPT_CHECK(dtable.ndim() == 2, "embedding table grad must be 2-D");
+  const index_t h = dtable.size(1);
+  const index_t rows = tokens.numel();
+  OPT_CHECK(dy.numel() == rows * h, "embedding grad mismatch");
+  const std::int32_t* tp = tokens.data();
+  const T* dp = dy.data();
+  for (index_t r = 0; r < rows; ++r) {
+    T* target = dtable.data() + static_cast<index_t>(tp[r]) * h;
+    const T* src = dp + r * h;
+    for (index_t j = 0; j < h; ++j) target[j] += src[j];
+  }
+}
+
+template <typename T>
+T sum_all(const TensorT<T>& x) {
+  const T* p = x.data();
+  T acc{0};
+  const index_t n = x.numel();
+  for (index_t i = 0; i < n; ++i) acc += p[i];
+  return acc;
+}
+
+template <typename T>
+T max_abs(const TensorT<T>& x) {
+  const T* p = x.data();
+  T acc{0};
+  const index_t n = x.numel();
+  for (index_t i = 0; i < n; ++i) acc = std::max(acc, std::abs(p[i]));
+  return acc;
+}
+
+template <typename T>
+T max_abs_diff(const TensorT<T>& a, const TensorT<T>& b) {
+  OPT_CHECK(a.numel() == b.numel(), "max_abs_diff size mismatch");
+  const T* ap = a.data();
+  const T* bp = b.data();
+  T acc{0};
+  const index_t n = a.numel();
+  for (index_t i = 0; i < n; ++i) acc = std::max(acc, std::abs(ap[i] - bp[i]));
+  return acc;
+}
+
+template <typename T>
+T l2_norm(const TensorT<T>& x) {
+  const T* p = x.data();
+  T acc{0};
+  const index_t n = x.numel();
+  for (index_t i = 0; i < n; ++i) acc += p[i] * p[i];
+  return std::sqrt(acc);
+}
+
+template <typename T>
+TensorT<T> transpose2d(const TensorT<T>& x) {
+  OPT_CHECK(x.ndim() == 2, "transpose2d needs 2-D");
+  TensorT<T> y(Shape{x.size(1), x.size(0)});
+  for (index_t i = 0; i < x.size(0); ++i) {
+    for (index_t j = 0; j < x.size(1); ++j) y.at(j, i) = x.at(i, j);
+  }
+  return y;
+}
+
+template <typename T>
+void fill_counter_uniform(TensorT<T>& block, const util::CounterRng& rng, std::uint64_t stream,
+                          T scale, index_t row0, index_t col0, index_t global_cols) {
+  OPT_CHECK(block.ndim() == 2, "fill_counter_uniform needs a 2-D block");
+  const index_t rows = block.size(0);
+  const index_t cols = block.size(1);
+  OPT_CHECK(col0 + cols <= global_cols, "block exceeds global matrix width");
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t c = 0; c < cols; ++c) {
+      const std::uint64_t idx =
+          static_cast<std::uint64_t>(row0 + r) * global_cols + (col0 + c);
+      block.at(r, c) = static_cast<T>(rng.symmetric_at(stream, idx, scale));
+    }
+  }
+}
+
+template <typename T, typename U>
+TensorT<U> cast(const TensorT<T>& src) {
+  TensorT<U> dst(src.shape());
+  const T* sp = src.data();
+  U* dp = dst.data();
+  const index_t n = src.numel();
+  for (index_t i = 0; i < n; ++i) dp[i] = static_cast<U>(sp[i]);
+  return dst;
+}
+
+// ---------------------------------------------------------------------------
+// Explicit instantiations
+// ---------------------------------------------------------------------------
+
+#define OPTIMUS_INSTANTIATE_OPS(T)                                                             \
+  template void gemm_raw<T>(T*, const T*, const T*, index_t, index_t, index_t, index_t,       \
+                            index_t, index_t, Trans, Trans, T, T);                             \
+  template void gemm<T>(TensorT<T>&, const TensorT<T>&, const TensorT<T>&, Trans, Trans, T,   \
+                        T);                                                                    \
+  template TensorT<T> matmul<T>(const TensorT<T>&, const TensorT<T>&, Trans, Trans);          \
+  template TensorT<T> as_matrix<T>(const TensorT<T>&);                                        \
+  template void add_<T>(TensorT<T>&, const TensorT<T>&);                                      \
+  template void sub_<T>(TensorT<T>&, const TensorT<T>&);                                      \
+  template void axpy_<T>(TensorT<T>&, T, const TensorT<T>&);                                  \
+  template void scale_<T>(TensorT<T>&, T);                                                    \
+  template TensorT<T> add<T>(const TensorT<T>&, const TensorT<T>&);                           \
+  template void add_bias_<T>(TensorT<T>&, const TensorT<T>&);                                 \
+  template void bias_grad<T>(const TensorT<T>&, TensorT<T>&, bool);                           \
+  template void gelu_forward<T>(const TensorT<T>&, TensorT<T>&);                              \
+  template void gelu_backward<T>(const TensorT<T>&, const TensorT<T>&, TensorT<T>&, bool);    \
+  template void softmax_lastdim<T>(const TensorT<T>&, TensorT<T>&);                           \
+  template void softmax_backward_lastdim<T>(const TensorT<T>&, const TensorT<T>&,             \
+                                            TensorT<T>&);                                     \
+  template void layernorm_forward<T>(const TensorT<T>&, const TensorT<T>&, const TensorT<T>&, \
+                                     T, TensorT<T>&, TensorT<T>&, TensorT<T>&);               \
+  template void layernorm_backward<T>(const TensorT<T>&, const TensorT<T>&, const TensorT<T>&,\
+                                      const TensorT<T>&, TensorT<T>&, TensorT<T>&,            \
+                                      TensorT<T>&, bool);                                     \
+  template T cross_entropy_forward<T>(const TensorT<T>&, const ITensor&, TensorT<T>&);        \
+  template void cross_entropy_backward<T>(const TensorT<T>&, const ITensor&, T, TensorT<T>&); \
+  template void embedding_forward<T>(const TensorT<T>&, const ITensor&, TensorT<T>&);         \
+  template void embedding_backward<T>(const ITensor&, const TensorT<T>&, TensorT<T>&);        \
+  template T sum_all<T>(const TensorT<T>&);                                                   \
+  template T max_abs<T>(const TensorT<T>&);                                                   \
+  template T max_abs_diff<T>(const TensorT<T>&, const TensorT<T>&);                           \
+  template T l2_norm<T>(const TensorT<T>&);                                                   \
+  template TensorT<T> transpose2d<T>(const TensorT<T>&);                                      \
+  template void fill_counter_uniform<T>(TensorT<T>&, const util::CounterRng&, std::uint64_t,  \
+                                        T, index_t, index_t, index_t);
+
+OPTIMUS_INSTANTIATE_OPS(float)
+OPTIMUS_INSTANTIATE_OPS(double)
+
+template TensorT<double> cast<float, double>(const TensorT<float>&);
+template TensorT<float> cast<double, float>(const TensorT<double>&);
+
+#undef OPTIMUS_INSTANTIATE_OPS
+
+}  // namespace optimus::tensor::ops

@@ -1,0 +1,70 @@
+#pragma once
+
+// Shape of a dense, row-major tensor. Up to kMaxDims dimensions.
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace optimus::tensor {
+
+using index_t = std::int64_t;
+
+class Shape {
+ public:
+  static constexpr int kMaxDims = 4;
+
+  Shape() = default;
+
+  Shape(std::initializer_list<index_t> dims) {
+    OPT_CHECK(static_cast<int>(dims.size()) <= kMaxDims,
+              "at most " << kMaxDims << " dims supported, got " << dims.size());
+    for (index_t d : dims) {
+      OPT_CHECK(d >= 0, "negative dimension " << d);
+      dims_[ndim_++] = d;
+    }
+  }
+
+  int ndim() const { return ndim_; }
+
+  index_t operator[](int i) const {
+    OPT_DCHECK(i >= 0 && i < ndim_, "dim index " << i << " out of range for ndim " << ndim_);
+    return dims_[i];
+  }
+
+  index_t numel() const {
+    index_t n = 1;
+    for (int i = 0; i < ndim_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  /// Size of the trailing dimension (1 for scalars/empty shapes).
+  index_t last() const { return ndim_ == 0 ? 1 : dims_[ndim_ - 1]; }
+
+  bool operator==(const Shape& other) const {
+    if (ndim_ != other.ndim_) return false;
+    for (int i = 0; i < ndim_; ++i) {
+      if (dims_[i] != other.dims_[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string to_string() const {
+    std::string s = "[";
+    for (int i = 0; i < ndim_; ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  std::array<index_t, kMaxDims> dims_{};
+  int ndim_ = 0;
+};
+
+}  // namespace optimus::tensor

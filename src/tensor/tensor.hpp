@@ -1,0 +1,189 @@
+#pragma once
+#include <cstdint>
+
+// Dense, contiguous, row-major tensor.
+//
+// TensorT<T> is a reference-counted view over a flat buffer plus a Shape.
+// Copying a TensorT copies the handle, not the data (clone() deep-copies).
+// Storage is either
+//   * owned:  heap allocation charged to the current DeviceContext, or
+//   * arena:  a slice of a pre-allocated Arena slab (the paper's §3.2.3
+//             buffering scheme) — no per-tensor allocation at all.
+//
+// Only contiguous tensors exist; reshape() is free, and row_range() gives a
+// contiguous sub-view along the outermost dimension.
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "tensor/device_context.hpp"
+#include "tensor/shape.hpp"
+#include "util/check.hpp"
+
+namespace optimus::tensor {
+
+template <typename T>
+class TensorT {
+ public:
+  using value_type = T;
+
+  /// Empty handle; data() must not be called until assigned.
+  TensorT() = default;
+
+  /// Allocates an uninitialised tensor, charging the current DeviceContext.
+  explicit TensorT(Shape shape) : shape_(shape) {
+    const index_t n = shape.numel();
+    const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
+    // The deleter holds a shared handle to the accounting block, so it
+    // balances correctly even if the tensor outlives the DeviceContext (e.g.
+    // results copied out of a Cluster::run body) or dies on another thread.
+    auto counters = DeviceContext::current().counters();
+    counters->on_alloc(bytes);
+    data_ = std::shared_ptr<T[]>(new T[static_cast<std::size_t>(n)],
+                                 [counters, bytes](T* p) {
+                                   counters->on_free(bytes);
+                                   delete[] p;
+                                 });
+  }
+
+  /// Wraps caller-owned memory (used by Arena). `keepalive` pins the slab.
+  static TensorT wrap(T* data, Shape shape, std::shared_ptr<void> keepalive) {
+    TensorT t;
+    t.shape_ = shape;
+    t.data_ = std::shared_ptr<T[]>(std::move(keepalive), data);
+    return t;
+  }
+
+  static TensorT zeros(Shape shape) {
+    TensorT t(shape);
+    std::memset(t.data(), 0, static_cast<std::size_t>(t.numel()) * sizeof(T));
+    return t;
+  }
+
+  static TensorT full(Shape shape, T value) {
+    TensorT t(shape);
+    t.fill(value);
+    return t;
+  }
+
+  static TensorT from_vector(Shape shape, const std::vector<T>& values) {
+    OPT_CHECK(static_cast<index_t>(values.size()) == shape.numel(),
+              "vector size " << values.size() << " != shape numel " << shape.numel());
+    TensorT t(shape);
+    std::memcpy(t.data(), values.data(), values.size() * sizeof(T));
+    return t;
+  }
+
+  const Shape& shape() const { return shape_; }
+  int ndim() const { return shape_.ndim(); }
+  index_t size(int dim) const { return shape_[dim]; }
+  index_t numel() const { return shape_.numel(); }
+  bool defined() const { return data_ != nullptr; }
+
+  T* data() {
+    OPT_DCHECK(defined(), "tensor has no storage");
+    return data_.get();
+  }
+  const T* data() const {
+    OPT_DCHECK(defined(), "tensor has no storage");
+    return data_.get();
+  }
+
+  T& operator[](index_t i) {
+    OPT_DCHECK(i >= 0 && i < numel(), "flat index " << i << " out of " << numel());
+    return data()[i];
+  }
+  T operator[](index_t i) const {
+    OPT_DCHECK(i >= 0 && i < numel(), "flat index " << i << " out of " << numel());
+    return data()[i];
+  }
+
+  T& at(index_t i, index_t j) {
+    OPT_DCHECK(ndim() == 2, "at(i,j) on " << shape_.to_string());
+    return data()[i * shape_[1] + j];
+  }
+  T at(index_t i, index_t j) const {
+    OPT_DCHECK(ndim() == 2, "at(i,j) on " << shape_.to_string());
+    return data()[i * shape_[1] + j];
+  }
+  T& at(index_t i, index_t j, index_t k) {
+    OPT_DCHECK(ndim() == 3, "at(i,j,k) on " << shape_.to_string());
+    return data()[(i * shape_[1] + j) * shape_[2] + k];
+  }
+  T at(index_t i, index_t j, index_t k) const {
+    OPT_DCHECK(ndim() == 3, "at(i,j,k) on " << shape_.to_string());
+    return data()[(i * shape_[1] + j) * shape_[2] + k];
+  }
+
+  void fill(T value) {
+    T* p = data();
+    const index_t n = numel();
+    for (index_t i = 0; i < n; ++i) p[i] = value;
+  }
+
+  void zero() { std::memset(data(), 0, static_cast<std::size_t>(numel()) * sizeof(T)); }
+
+  /// Same storage, new shape (numel must match).
+  TensorT reshape(Shape new_shape) const {
+    OPT_CHECK(new_shape.numel() == numel(),
+              "reshape " << shape_.to_string() << " -> " << new_shape.to_string());
+    TensorT t = *this;
+    t.shape_ = new_shape;
+    return t;
+  }
+
+  /// Contiguous sub-view of rows [begin, end) along the outermost dimension.
+  TensorT row_range(index_t begin, index_t end) const {
+    OPT_CHECK(ndim() >= 1, "row_range on scalar");
+    OPT_CHECK(0 <= begin && begin <= end && end <= shape_[0],
+              "row_range [" << begin << ", " << end << ") of " << shape_.to_string());
+    const index_t row_stride = numel() / (shape_[0] == 0 ? 1 : shape_[0]);
+    Shape s = shape_;
+    // Rebuild shape with the first dim replaced.
+    Shape out = make_shape_with_first(s, end - begin);
+    TensorT t;
+    t.shape_ = out;
+    t.data_ = std::shared_ptr<T[]>(data_, data_.get() + begin * row_stride);
+    return t;
+  }
+
+  /// Deep copy into freshly allocated storage.
+  TensorT clone() const {
+    TensorT t(shape_);
+    std::memcpy(t.data(), data(), static_cast<std::size_t>(numel()) * sizeof(T));
+    return t;
+  }
+
+  /// Copies `src`'s contents into this tensor (shapes must match).
+  void copy_from(const TensorT& src) {
+    OPT_CHECK(shape_ == src.shape_,
+              "copy_from shape mismatch " << shape_.to_string() << " vs "
+                                          << src.shape_.to_string());
+    std::memcpy(data(), src.data(), static_cast<std::size_t>(numel()) * sizeof(T));
+  }
+
+  std::vector<T> to_vector() const {
+    return std::vector<T>(data(), data() + numel());
+  }
+
+ private:
+  static Shape make_shape_with_first(const Shape& s, index_t first) {
+    switch (s.ndim()) {
+      case 1: return Shape{first};
+      case 2: return Shape{first, s[1]};
+      case 3: return Shape{first, s[1], s[2]};
+      case 4: return Shape{first, s[1], s[2], s[3]};
+      default: OPT_CHECK(false, "row_range on 0-dim tensor");
+    }
+  }
+
+  Shape shape_;
+  std::shared_ptr<T[]> data_;
+};
+
+using Tensor = TensorT<float>;
+using DTensor = TensorT<double>;
+using ITensor = TensorT<std::int32_t>;
+
+}  // namespace optimus::tensor

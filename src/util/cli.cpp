@@ -1,0 +1,72 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace optimus::util {
+
+Cli::Cli(int argc, char** argv) {
+  OPT_CHECK(argc >= 1, "argc must include the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    OPT_CHECK(arg.rfind("--", 0) == 0, "expected --flag, got '" << arg << "'");
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+std::optional<std::string> Cli::raw(const std::string& name) {
+  consumed_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+int Cli::get_int(const std::string& name, int default_value) {
+  const auto v = raw(name);
+  if (!v) return default_value;
+  return std::stoi(*v);
+}
+
+long long Cli::get_i64(const std::string& name, long long default_value) {
+  const auto v = raw(name);
+  if (!v) return default_value;
+  return std::stoll(*v);
+}
+
+double Cli::get_double(const std::string& name, double default_value) {
+  const auto v = raw(name);
+  if (!v) return default_value;
+  return std::stod(*v);
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& default_value) {
+  const auto v = raw(name);
+  return v ? *v : default_value;
+}
+
+bool Cli::get_bool(const std::string& name, bool default_value) {
+  const auto v = raw(name);
+  if (!v) return default_value;
+  return *v == "true" || *v == "1" || *v == "yes";
+}
+
+bool Cli::has(const std::string& name) const { return values_.count(name) > 0; }
+
+void Cli::finish() const {
+  for (const auto& [name, value] : values_) {
+    OPT_CHECK(consumed_.count(name) > 0,
+              "unknown flag --" << name << "=" << value << " for " << program_);
+  }
+}
+
+}  // namespace optimus::util

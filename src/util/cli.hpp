@@ -1,0 +1,44 @@
+#pragma once
+
+// Tiny command-line flag parser for the example binaries and benches.
+//
+//   util::Cli cli(argc, argv);
+//   const int steps = cli.get_int("steps", 100);
+//   const std::string mode = cli.get_string("engine", "optimus");
+//   cli.finish();  // rejects unknown flags
+//
+// Flags are written --name=value or --name value. Boolean flags accept bare
+// --name as true.
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace optimus::util {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  int get_int(const std::string& name, int default_value);
+  long long get_i64(const std::string& name, long long default_value);
+  double get_double(const std::string& name, double default_value);
+  std::string get_string(const std::string& name, const std::string& default_value);
+  bool get_bool(const std::string& name, bool default_value);
+
+  /// True if the flag appeared on the command line at all.
+  bool has(const std::string& name) const;
+
+  /// Throws if any supplied flag was never consumed (catches typos).
+  void finish() const;
+
+ private:
+  std::optional<std::string> raw(const std::string& name);
+
+  std::map<std::string, std::string> values_;
+  std::set<std::string> consumed_;
+  std::string program_;
+};
+
+}  // namespace optimus::util

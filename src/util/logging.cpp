@@ -1,0 +1,73 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iomanip>
+
+#include "util/check.hpp"
+
+namespace optimus::util {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?????";
+}
+
+double seconds_since_start() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off") return LogLevel::Off;
+  OPT_CHECK(false, "unknown log level '" << name << "'");
+}
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >= g_level.load(std::memory_order_relaxed)) {
+  if (!enabled_) return;
+  const char* base = file;
+  for (const char* c = file; *c; ++c) {
+    if (*c == '/') base = c + 1;
+  }
+  os_ << "[" << level_name(level) << " " << std::fixed << std::setprecision(3)
+      << seconds_since_start() << "s " << base << ":" << line << "] ";
+}
+
+LogLine::~LogLine() {
+  if (!enabled_) return;
+  os_ << "\n";
+  // One fwrite keeps concurrent lines from interleaving mid-line.
+  const std::string text = os_.str();
+  std::fwrite(text.data(), 1, text.size(), stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace detail
+}  // namespace optimus::util

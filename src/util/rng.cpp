@@ -1,0 +1,23 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace optimus::util {
+
+double Rng::normal() {
+  // Box–Muller; guard against log(0).
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double CounterRng::normal_at(std::uint64_t stream, std::uint64_t index) const {
+  double u1 = uniform_at(stream, 2 * index);
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform_at(stream, 2 * index + 1);
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace optimus::util

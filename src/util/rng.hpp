@@ -1,0 +1,91 @@
+#pragma once
+
+// Deterministic random number generation.
+//
+// Two generators are provided:
+//
+//  * Rng         — a sequential SplitMix64 stream, used for workload synthesis
+//                  (token streams, labels) where only per-rank determinism matters.
+//  * CounterRng  — a counter-based ("stateless") generator: the value at logical
+//                  coordinate (stream, index) is a pure hash of (seed, stream, index).
+//
+// CounterRng is what makes distributed/serial equivalence testable without any
+// communication at initialisation time: every engine materialises parameter
+// matrix `m` entry (r, c) as counter_normal(seed, m, r * cols + c), so a device
+// holding only a sub-block produces bit-identical values to the serial oracle.
+
+#include <cstdint>
+
+namespace optimus::util {
+
+/// SplitMix64 step: advances the state and returns a 64-bit pseudo-random value.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of three 64-bit words into one; the core of CounterRng.
+inline std::uint64_t mix3(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t s = a;
+  s ^= splitmix64(b);
+  std::uint64_t t = s + 0x632BE59BD9B4E019ULL + (c * 0x9E3779B97F4A7C15ULL);
+  return splitmix64(t);
+}
+
+/// Sequential pseudo-random stream (SplitMix64).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ^ 0xD1B54A32D192ED03ULL) {}
+
+  std::uint64_t next_u64() { return splitmix64(state_); }
+
+  /// Uniform in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box–Muller (one value per call; the pair's twin is dropped
+  /// to keep the stream position independent of call parity).
+  double normal();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Counter-based generator: values are pure functions of (seed, stream, index).
+class CounterRng {
+ public:
+  explicit CounterRng(std::uint64_t seed) : seed_(seed) {}
+
+  std::uint64_t u64_at(std::uint64_t stream, std::uint64_t index) const {
+    return mix3(seed_, stream, index);
+  }
+
+  /// Uniform in [0, 1) at logical coordinate (stream, index).
+  double uniform_at(std::uint64_t stream, std::uint64_t index) const {
+    return static_cast<double>(u64_at(stream, index) >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [-scale, scale) — the initialisation distribution used for
+  /// parameter matrices throughout the library.
+  double symmetric_at(std::uint64_t stream, std::uint64_t index, double scale) const {
+    return scale * (2.0 * uniform_at(stream, index) - 1.0);
+  }
+
+  /// Standard normal at (stream, index): Box–Muller over two derived uniforms.
+  double normal_at(std::uint64_t stream, std::uint64_t index) const;
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace optimus::util

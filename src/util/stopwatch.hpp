@@ -1,0 +1,26 @@
+#pragma once
+
+// Wall-clock stopwatch for host-side measurements (build/bench bookkeeping).
+// Simulated-device time lives in comm::SimClock, not here.
+
+#include <chrono>
+
+namespace optimus::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace optimus::util

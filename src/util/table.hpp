@@ -1,0 +1,31 @@
+#pragma once
+
+// Column-aligned plain-text table printer, used by the bench harness to emit
+// the same rows the paper's tables report.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace optimus::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt(long long v);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace optimus::util

@@ -1,0 +1,389 @@
+// Tests for the simulated communication substrate: topology/cost model,
+// fabric point-to-point, every collective on group sizes 1..8 (including
+// non-powers-of-two), communicator split, clock synchronisation and stats.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "comm/cluster.hpp"
+#include "comm/communicator.hpp"
+#include "comm/fabric.hpp"
+#include "comm/topology.hpp"
+#include "util/rng.hpp"
+
+namespace oc = optimus::comm;
+
+// ---------------------------------------------------------------------------
+// Topology and cost model
+// ---------------------------------------------------------------------------
+
+TEST(Topology, NaivePacksRanksSequentially) {
+  oc::Topology topo(16, 4, oc::Arrangement::kNaive, /*mesh_q=*/4);
+  EXPECT_EQ(topo.num_nodes(), 4);
+  EXPECT_EQ(topo.node_of(0), 0);
+  EXPECT_EQ(topo.node_of(3), 0);
+  EXPECT_EQ(topo.node_of(4), 1);
+  EXPECT_EQ(topo.node_of(15), 3);
+}
+
+TEST(Topology, NaiveMeshRowsAreIntraNodeColumnsAreNot) {
+  // Fig. 8a: with row-major ranks and 4 GPUs per node, a mesh row is one node
+  // and a mesh column touches every node.
+  oc::Topology topo(16, 4, oc::Arrangement::kNaive, 4);
+  const std::vector<int> row0{0, 1, 2, 3};
+  const std::vector<int> col0{0, 4, 8, 12};
+  EXPECT_TRUE(topo.single_node(row0));
+  EXPECT_FALSE(topo.single_node(col0));
+  EXPECT_EQ(topo.max_members_per_node(col0), 1);
+}
+
+TEST(Topology, BunchedTilesKeepSubSquaresTogether) {
+  // Fig. 8b: 2×2 mesh tiles per node; both rows and columns then span exactly
+  // two nodes with two members on each.
+  oc::Topology topo(16, 4, oc::Arrangement::kBunched, 4);
+  EXPECT_EQ(topo.node_of(0), topo.node_of(1));   // (0,0) and (0,1)
+  EXPECT_EQ(topo.node_of(0), topo.node_of(4));   // (0,0) and (1,0)
+  EXPECT_EQ(topo.node_of(0), topo.node_of(5));   // (0,0) and (1,1)
+  EXPECT_NE(topo.node_of(0), topo.node_of(2));
+  const std::vector<int> row0{0, 1, 2, 3};
+  const std::vector<int> col0{0, 4, 8, 12};
+  EXPECT_EQ(topo.max_members_per_node(row0), 2);
+  EXPECT_EQ(topo.max_members_per_node(col0), 2);
+}
+
+TEST(Topology, BunchedWithoutMeshFallsBackToNaive) {
+  oc::Topology topo(8, 4, oc::Arrangement::kBunched, /*mesh_q=*/0);
+  EXPECT_EQ(topo.node_of(5), 1);
+}
+
+TEST(Topology, ParseArrangement) {
+  EXPECT_EQ(oc::parse_arrangement("naive"), oc::Arrangement::kNaive);
+  EXPECT_EQ(oc::parse_arrangement("bunched"), oc::Arrangement::kBunched);
+  EXPECT_THROW(oc::parse_arrangement("fancy"), optimus::util::CheckError);
+}
+
+TEST(CostModel, TreeTimeFollowsLogFormula) {
+  oc::Topology topo(8, 8, oc::Arrangement::kNaive);  // all on one node
+  oc::MachineParams mp;
+  mp.alpha = 0.0;
+  mp.beta_intra = 2.0;
+  oc::CostModel cost(topo, mp);
+  const std::vector<int> group{0, 1, 2, 3};
+  // ceil(log2 4) = 2 rounds × β × B
+  EXPECT_DOUBLE_EQ(cost.tree_time(group, 10), 2 * 2.0 * 10);
+  const std::vector<int> three{0, 1, 2};
+  EXPECT_DOUBLE_EQ(cost.tree_time(three, 10), 2 * 2.0 * 10);  // ceil(log2 3) = 2
+}
+
+TEST(CostModel, RingAllReduceMatchesPaperEq5) {
+  oc::Topology topo(4, 4, oc::Arrangement::kNaive);
+  oc::MachineParams mp;
+  mp.alpha = 0.0;
+  mp.beta_intra = 1.0;
+  oc::CostModel cost(topo, mp);
+  const std::vector<int> group{0, 1, 2, 3};
+  // 2(p−1)βB/p with p=4, B=100 → 150.
+  EXPECT_DOUBLE_EQ(cost.ring_allreduce_time(group, 100), 150.0);
+}
+
+TEST(CostModel, ContentionPenalisesNaiveColumns) {
+  // Naive columns put 1 member per node → all 4 columns share each NIC → 4×.
+  // Bunched puts 2 members per node → pipelined trees hide the sharing
+  // (gpn/m² = 1, matching the paper's measured bunched runs).
+  oc::MachineParams mp;
+  mp.alpha = 0.0;
+  mp.beta_intra = 1.0;
+  mp.beta_inter = 1.0;
+  oc::Topology naive(16, 4, oc::Arrangement::kNaive, 4);
+  oc::Topology bunched(16, 4, oc::Arrangement::kBunched, 4);
+  oc::CostModel cn(naive, mp), cb(bunched, mp);
+  const std::vector<int> col0{0, 4, 8, 12};
+  EXPECT_DOUBLE_EQ(cn.beta_eff(col0), 4.0);
+  EXPECT_DOUBLE_EQ(cb.beta_eff(col0), 1.0);
+}
+
+TEST(CostModel, SingleRankGroupsAreFree) {
+  oc::Topology topo(4, 4, oc::Arrangement::kNaive);
+  oc::CostModel cost(topo, oc::MachineParams{});
+  EXPECT_DOUBLE_EQ(cost.tree_time({2}, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(cost.ring_allreduce_time({2}, 1000), 0.0);
+}
+
+TEST(CostModel, Log2Ceil) {
+  EXPECT_EQ(oc::log2_ceil(1), 0);
+  EXPECT_EQ(oc::log2_ceil(2), 1);
+  EXPECT_EQ(oc::log2_ceil(3), 2);
+  EXPECT_EQ(oc::log2_ceil(8), 3);
+  EXPECT_EQ(oc::log2_ceil(9), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Fabric point-to-point
+// ---------------------------------------------------------------------------
+
+TEST(Fabric, TagMatchingAllowsOutOfOrderArrival) {
+  oc::Fabric fabric(2);
+  const int a = 1, b = 2;
+  fabric.send(0, 1, /*tag=*/20, &b, sizeof(b));
+  fabric.send(0, 1, /*tag=*/10, &a, sizeof(a));
+  int out = 0;
+  fabric.recv(1, 0, 10, &out, sizeof(out));
+  EXPECT_EQ(out, 1);
+  fabric.recv(1, 0, 20, &out, sizeof(out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(Fabric, FifoPerSourceAndTag) {
+  oc::Fabric fabric(2);
+  for (int i = 0; i < 5; ++i) fabric.send(0, 1, 7, &i, sizeof(i));
+  for (int i = 0; i < 5; ++i) {
+    int out = -1;
+    fabric.recv(1, 0, 7, &out, sizeof(out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(Fabric, SizeMismatchThrows) {
+  oc::Fabric fabric(2);
+  const double x = 1.0;
+  fabric.send(0, 1, 3, &x, sizeof(x));
+  float out;
+  EXPECT_THROW(fabric.recv(1, 0, 3, &out, sizeof(out)), optimus::util::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Collectives
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class CollectiveSweep : public ::testing::TestWithParam<int> {};
+
+}  // namespace
+
+TEST_P(CollectiveSweep, BroadcastDeliversRootData) {
+  const int p = GetParam();
+  for (int root = 0; root < p; root += std::max(1, p - 1)) {
+    oc::run_cluster(p, [&](oc::Context& ctx) {
+      std::vector<double> data(17, ctx.rank == root ? 3.25 : 0.0);
+      ctx.world.broadcast(data.data(), 17, root);
+      for (double v : data) ASSERT_DOUBLE_EQ(v, 3.25);
+    });
+  }
+}
+
+TEST_P(CollectiveSweep, ReduceSumsAtRoot) {
+  const int p = GetParam();
+  const int root = p - 1;
+  oc::run_cluster(p, [&](oc::Context& ctx) {
+    std::vector<double> data(9);
+    for (int i = 0; i < 9; ++i) data[i] = ctx.rank + i * 0.5;
+    ctx.world.reduce(data.data(), 9, root);
+    if (ctx.rank == root) {
+      const double rank_sum = p * (p - 1) / 2.0;
+      for (int i = 0; i < 9; ++i) ASSERT_NEAR(data[i], rank_sum + p * i * 0.5, 1e-12);
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AllReduceSumsEverywhere) {
+  const int p = GetParam();
+  oc::run_cluster(p, [&](oc::Context& ctx) {
+    // 23 elements exercises uneven ring chunks for every p in the sweep.
+    std::vector<double> data(23);
+    for (int i = 0; i < 23; ++i) data[i] = (ctx.rank + 1) * (i + 1);
+    ctx.world.all_reduce(data.data(), 23);
+    const double rank_sum = p * (p + 1) / 2.0;
+    for (int i = 0; i < 23; ++i) ASSERT_NEAR(data[i], rank_sum * (i + 1), 1e-12);
+  });
+}
+
+TEST_P(CollectiveSweep, AllReduceMax) {
+  const int p = GetParam();
+  oc::run_cluster(p, [&](oc::Context& ctx) {
+    std::vector<double> data{static_cast<double>(ctx.rank), -static_cast<double>(ctx.rank)};
+    ctx.world.all_reduce_max(data.data(), 2);
+    ASSERT_DOUBLE_EQ(data[0], p - 1);
+    ASSERT_DOUBLE_EQ(data[1], 0.0);
+  });
+}
+
+TEST_P(CollectiveSweep, AllGatherOrdersByRank) {
+  const int p = GetParam();
+  oc::run_cluster(p, [&](oc::Context& ctx) {
+    std::vector<double> mine(3, ctx.rank * 10.0);
+    std::vector<double> out(3 * p, -1.0);
+    ctx.world.all_gather(mine.data(), 3, out.data());
+    for (int r = 0; r < p; ++r) {
+      for (int i = 0; i < 3; ++i) ASSERT_DOUBLE_EQ(out[r * 3 + i], r * 10.0);
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, ReduceScatterDeliversOwnChunk) {
+  const int p = GetParam();
+  oc::run_cluster(p, [&](oc::Context& ctx) {
+    const int n = 4;  // per-chunk elements
+    std::vector<double> data(n * p);
+    for (int c = 0; c < p; ++c) {
+      for (int i = 0; i < n; ++i) data[c * n + i] = (ctx.rank + 1) + c * 100.0 + i;
+    }
+    std::vector<double> out(n, -1);
+    ctx.world.reduce_scatter(data.data(), n, out.data());
+    const double rank_sum = p * (p + 1) / 2.0;
+    for (int i = 0; i < n; ++i) {
+      ASSERT_NEAR(out[i], rank_sum + p * (ctx.rank * 100.0 + i), 1e-12);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, CollectiveSweep, ::testing::Values(1, 2, 3, 4, 5, 7, 8));
+
+TEST(Collectives, SplitFormsRowGroups) {
+  oc::run_cluster(6, [](oc::Context& ctx) {
+    // Two colors: {0,1,2} and {3,4,5}.
+    const int color = ctx.rank / 3;
+    auto sub = ctx.world.split(color, ctx.rank);
+    ASSERT_EQ(sub.size(), 3);
+    ASSERT_EQ(sub.rank(), ctx.rank % 3);
+    // A collective on the sub-communicator stays inside the color group.
+    std::vector<double> v{static_cast<double>(ctx.rank)};
+    sub.all_reduce(v.data(), 1);
+    const double expected = color == 0 ? 0 + 1 + 2 : 3 + 4 + 5;
+    ASSERT_DOUBLE_EQ(v[0], expected);
+  });
+}
+
+TEST(Collectives, SplitOrdersByKeyThenRank) {
+  oc::run_cluster(4, [](oc::Context& ctx) {
+    // Reverse ordering via key.
+    auto sub = ctx.world.split(0, -ctx.rank);
+    ASSERT_EQ(sub.size(), 4);
+    ASSERT_EQ(sub.rank(), 3 - ctx.rank);
+  });
+}
+
+TEST(Collectives, ClocksAgreeAfterCollective) {
+  oc::run_cluster(4, [](oc::Context& ctx) {
+    // Give ranks wildly different amounts of "compute" first.
+    ctx.device.on_mults(1000000ull * (ctx.rank + 1));
+    std::vector<double> v(8, 1.0);
+    ctx.world.all_reduce(v.data(), 8);
+    const double mine = ctx.clock.now();
+    std::vector<double> times(4, 0.0);
+    // Compare through a side gather (max == min means all equal).
+    times[ctx.rank] = mine;
+    std::vector<double> all(4 * 4);
+    ctx.world.all_gather(times.data(), 4, all.data());
+    double mx = 0, mn = 1e300;
+    for (int r = 0; r < 4; ++r) {
+      const double t = all[r * 4 + r];
+      mx = std::max(mx, t);
+      mn = std::min(mn, t);
+    }
+    // All clocks were aligned by the first collective, then advanced by the
+    // same (deterministic) amounts.
+    ASSERT_NEAR(mx, mn, 1e-15);
+  });
+}
+
+TEST(Collectives, ClockAdvancesByModelledTimes) {
+  oc::Topology topo(4, 4, oc::Arrangement::kNaive);
+  oc::MachineParams mp;
+  mp.alpha = 0.0;
+  mp.beta_intra = 1.0;
+  mp.beta_inter = 1.0;
+  mp.flop_rate = 1e30;
+  oc::Cluster cluster(4, topo, mp);
+  auto report = cluster.run([](oc::Context& ctx) {
+    std::vector<float> v(100, 1.0f);
+    ctx.world.all_reduce(v.data(), 100);  // 2·3/4 · 400 bytes = 600
+    ctx.world.broadcast(v.data(), 100, 0);  // 2 rounds · 400 bytes = 800
+  });
+  for (const auto& r : report.ranks) EXPECT_DOUBLE_EQ(r.sim_time, 600.0 + 800.0);
+}
+
+TEST(Collectives, StatsRecordWeightedUnits) {
+  auto report = oc::run_cluster(4, [](oc::Context& ctx) {
+    std::vector<float> v(100, 1.0f);
+    ctx.world.broadcast(v.data(), 100, 0);
+    ctx.world.all_reduce(v.data(), 100);
+  });
+  const auto& s = report.ranks[0].stats;
+  EXPECT_EQ(s.broadcast.calls, 1u);
+  EXPECT_EQ(s.broadcast.elems, 100u);
+  EXPECT_DOUBLE_EQ(s.broadcast.weighted, 100.0 * 2);       // log2(4) = 2
+  EXPECT_DOUBLE_EQ(s.allreduce.weighted, 100.0 * 2 * 3 / 4.0);  // 2(p−1)/p
+}
+
+TEST(Collectives, DistributedReduceIsDeterministic) {
+  // Same inputs, two runs → bitwise identical results (fixed reduce order).
+  std::vector<float> first;
+  for (int run = 0; run < 2; ++run) {
+    oc::run_cluster(5, [&](oc::Context& ctx) {
+      std::vector<float> data(31);
+      optimus::util::Rng rng(900 + ctx.rank);
+      for (auto& v : data) v = static_cast<float>(rng.uniform(-1, 1));
+      ctx.world.all_reduce(data.data(), 31);
+      if (ctx.rank == 0) {
+        if (run == 0) {
+          first = data;
+        } else {
+          for (int i = 0; i < 31; ++i) ASSERT_EQ(data[i], first[i]);
+        }
+      }
+    });
+  }
+}
+
+TEST(Collectives, UserPointToPointAdvancesClock) {
+  auto report = oc::run_cluster(2, [](oc::Context& ctx) {
+    double x = 42.0;
+    if (ctx.rank == 0) {
+      ctx.world.send(1, 5, &x, 1);
+    } else {
+      double y = 0;
+      ctx.world.recv(0, 5, &y, 1);
+      ASSERT_DOUBLE_EQ(y, 42.0);
+    }
+  });
+  EXPECT_GT(report.ranks[0].sim_time, 0.0);
+  EXPECT_EQ(report.ranks[0].stats.p2p_bytes, sizeof(double));
+}
+
+TEST(Cluster, BodyExceptionPropagates) {
+  EXPECT_THROW(oc::run_cluster(1,
+                               [](oc::Context&) {
+                                 OPT_CHECK(false, "rank failure");
+                               }),
+               optimus::util::CheckError);
+}
+
+TEST(Cluster, ReportAggregatesPerRankAccounting) {
+  auto report = oc::run_cluster(3, [](oc::Context& ctx) {
+    optimus::tensor::Tensor t(optimus::tensor::Shape{256});  // 1 KiB
+    ctx.device.on_mults(100 * (ctx.rank + 1));
+    ctx.world.barrier();
+  });
+  ASSERT_EQ(report.ranks.size(), 3u);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(report.ranks[r].mults, 100u * (r + 1));
+    EXPECT_GE(report.ranks[r].peak_bytes, 1024u);
+    EXPECT_EQ(report.ranks[r].live_bytes, 0u);
+  }
+  EXPECT_EQ(report.total_mults(), 600u);
+}
+
+TEST(Cluster, BarrierSynchronisesClocks) {
+  oc::Topology topo(3, 4, oc::Arrangement::kNaive);
+  oc::MachineParams mp;  // defaults, nonzero alpha
+  oc::Cluster cluster(3, topo, mp);
+  auto report = cluster.run([](oc::Context& ctx) {
+    ctx.device.on_mults(5000000ull * (ctx.rank + 1));
+    ctx.world.barrier();
+  });
+  const double t0 = report.ranks[0].sim_time;
+  for (const auto& r : report.ranks) EXPECT_DOUBLE_EQ(r.sim_time, t0);
+}

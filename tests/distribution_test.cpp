@@ -1,0 +1,87 @@
+// Tests for block scatter/gather helpers used to move tensors between the
+// global (oracle) layout and the per-device q×q block layout.
+
+#include <gtest/gtest.h>
+
+#include "tensor/distribution.hpp"
+#include "test_helpers.hpp"
+
+namespace ot = optimus::tensor;
+using ot::DTensor;
+using ot::ITensor;
+using ot::Shape;
+
+namespace {
+
+class BlockRoundTrip : public ::testing::TestWithParam<int> {};
+
+}  // namespace
+
+TEST_P(BlockRoundTrip, MatrixScatterGatherIsIdentity) {
+  const int q = GetParam();
+  optimus::util::Rng rng(100 + q);
+  DTensor global = optimus::testing::random_dtensor(Shape{4 * q, 6 * q}, rng);
+  DTensor rebuilt = DTensor::zeros(global.shape());
+  for (int i = 0; i < q; ++i) {
+    for (int j = 0; j < q; ++j) {
+      DTensor block = ot::matrix_block(global, q, i, j);
+      EXPECT_EQ(block.shape(), (Shape{4, 6}));
+      ot::set_matrix_block(rebuilt, q, i, j, block);
+    }
+  }
+  EXPECT_EQ(ot::ops::max_abs_diff(global, rebuilt), 0.0);
+}
+
+TEST_P(BlockRoundTrip, ActivationScatterGatherIsIdentity) {
+  const int q = GetParam();
+  optimus::util::Rng rng(200 + q);
+  DTensor global = optimus::testing::random_dtensor(Shape{2 * q, 5, 3 * q}, rng);
+  DTensor rebuilt = DTensor::zeros(global.shape());
+  for (int i = 0; i < q; ++i) {
+    for (int j = 0; j < q; ++j) {
+      DTensor block = ot::activation_block(global, q, i, j);
+      EXPECT_EQ(block.shape(), (Shape{2, 5, 3}));
+      ot::set_activation_block(rebuilt, q, i, j, block);
+    }
+  }
+  EXPECT_EQ(ot::ops::max_abs_diff(global, rebuilt), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(MeshSides, BlockRoundTrip, ::testing::Values(1, 2, 3, 4));
+
+TEST(Distribution, MatrixBlockContents) {
+  DTensor g = DTensor::from_vector(Shape{4, 4}, {0,  1,  2,  3,  4,  5,  6,  7,
+                                                 8,  9,  10, 11, 12, 13, 14, 15});
+  DTensor b = ot::matrix_block(g, 2, 1, 0);
+  EXPECT_DOUBLE_EQ(b.at(0, 0), 8);
+  EXPECT_DOUBLE_EQ(b.at(1, 1), 13);
+}
+
+TEST(Distribution, RowBlockSplitsBatchOnly) {
+  ITensor tokens = ITensor::from_vector(Shape{4, 3}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  ITensor block = ot::row_block(tokens, 2, 1);
+  EXPECT_EQ(block.shape(), (Shape{2, 3}));
+  EXPECT_EQ(block.at(0, 0), 6);
+  EXPECT_EQ(block.at(1, 2), 11);
+}
+
+TEST(Distribution, IndivisibleShapesThrow) {
+  DTensor g(Shape{5, 4});
+  EXPECT_THROW(ot::matrix_block(g, 2, 0, 0), optimus::util::CheckError);
+  DTensor a(Shape{4, 3, 5});
+  EXPECT_THROW(ot::activation_block(a, 2, 0, 0), optimus::util::CheckError);
+}
+
+TEST(Distribution, ActivationBlockKeepsWholeSequence) {
+  // The Optimus attention layout: s stays intact on every device.
+  optimus::util::Rng rng(3);
+  DTensor g = optimus::testing::random_dtensor(Shape{4, 7, 8}, rng);
+  DTensor block = ot::activation_block(g, 2, 1, 1);
+  for (int b = 0; b < 2; ++b) {
+    for (int t = 0; t < 7; ++t) {
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_DOUBLE_EQ(block.at(b, t, j), g.at(2 + b, t, 4 + j));
+      }
+    }
+  }
+}

@@ -1,0 +1,300 @@
+// Tests for the analytic performance model: Table-1 closed forms validated
+// against the *measured* communication of the real engines, the memory model
+// validated against the real allocator peaks, isoefficiency ordering, and
+// calibration sanity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/cluster.hpp"
+#include "core/optimus_model.hpp"
+#include "megatron/megatron_model.hpp"
+#include "mesh/mesh.hpp"
+#include "perfmodel/costs.hpp"
+#include "perfmodel/memory.hpp"
+#include "perfmodel/scaling.hpp"
+#include "runtime/data.hpp"
+
+namespace oc = optimus::comm;
+namespace om = optimus::model;
+namespace opm = optimus::perfmodel;
+namespace ort = optimus::runtime;
+
+namespace {
+
+om::TransformerConfig engine_config() {
+  om::TransformerConfig cfg;
+  cfg.batch = 4;
+  cfg.seq_len = 8;
+  cfg.hidden = 16;
+  cfg.heads = 4;
+  cfg.vocab = 16;
+  cfg.layers = 2;
+  cfg.seed = 5;
+  return cfg;
+}
+
+opm::Workload to_workload(const om::TransformerConfig& cfg) {
+  opm::Workload w;
+  w.b = cfg.batch;
+  w.s = cfg.seq_len;
+  w.h = cfg.hidden;
+  w.n = cfg.heads;
+  w.v = cfg.vocab;
+  w.layers = cfg.layers;
+  return w;
+}
+
+}  // namespace
+
+TEST(Table1, ClosedFormsAtPaperScale) {
+  opm::Workload w;
+  w.b = 30;
+  w.s = 512;
+  w.h = 8192;
+  w.layers = 1;
+  // Megatron forward at p=64: 4·63/64·bsh.
+  EXPECT_NEAR(opm::megatron_fwd_comm(w, 64), 4.0 * 63 / 64 * 30.0 * 512 * 8192, 1.0);
+  EXPECT_DOUBLE_EQ(opm::megatron_bwd_comm(w, 64), 2 * opm::megatron_fwd_comm(w, 64));
+  // Optimus forward at p=64: log2(64)/(2·8)·(7bsh + 12h²) = 3/8·(…).
+  const double bsh = 30.0 * 512 * 8192;
+  const double h2 = 8192.0 * 8192;
+  EXPECT_NEAR(opm::optimus_fwd_comm(w, 64), 6.0 / 16.0 * (7 * bsh + 12 * h2), 1.0);
+  EXPECT_NEAR(opm::optimus_bwd_comm(w, 64), 6.0 / 16.0 * (21 * bsh + 36 * h2), 1.0);
+  // Compute identical for both schemes.
+  EXPECT_NEAR(opm::fwd_compute(w, 64), (12 * bsh * 8192 + 2 * 30.0 * 512 * 512 * 8192) / 64,
+              1.0);
+  EXPECT_DOUBLE_EQ(opm::bwd_compute(w, 64), 3 * opm::fwd_compute(w, 64));
+}
+
+TEST(Table1, MegatronEngineMatchesClosedForm) {
+  // Measured all-reduce weighted units of one fwd+bwd through the real engine
+  // must equal the Table-1 forward+backward forms (stem only; the embedding
+  // assembly, lm-head and d_hidden all-reduces are accounted separately).
+  const auto cfg = engine_config();
+  const int p = 4;
+  ort::RandomLmWorkload workload(cfg.batch, cfg.seq_len, cfg.vocab, 3);
+  const auto batch = workload.next();
+  auto report = oc::run_cluster(p, [&](oc::Context& ctx) {
+    optimus::megatron::MegatronTransformer<float> engine(cfg, ctx.world);
+    engine.forward(batch.tokens);
+    (void)engine.lm_loss(batch.labels);
+    engine.backward_lm();
+  });
+  const opm::Workload w = to_workload(cfg);
+  const double stem =
+      cfg.layers * (opm::megatron_fwd_comm(w, p) + opm::megatron_bwd_comm(w, p));
+  const double ar = 2.0 * (p - 1) / p;
+  const double bsh = static_cast<double>(cfg.batch * cfg.seq_len * cfg.hidden);
+  const double bs = static_cast<double>(cfg.batch * cfg.seq_len);
+  // embedding assembly (bsh) + d_hidden (bsh) + vocab-CE stats (3·bs: max is
+  // counted with the same ring weight by our stats).
+  const double extras = ar * (2.0 * bsh + 3.0 * bs);
+  EXPECT_NEAR(report.ranks[0].stats.allreduce.weighted, stem + extras, 1e-6);
+}
+
+TEST(Table1, OptimusEngineMatchesClosedForm) {
+  // The SUMMA broadcast/reduce weighted units of fwd+bwd through the real
+  // engine must equal the Table-1 Optimus forms, once the small non-SUMMA
+  // terms (bias/LN-slice broadcasts and reductions, embedding table
+  // broadcasts) are added. The paper calls these "negligible"; here we
+  // account for them exactly.
+  const auto cfg = engine_config();
+  const int q = 2, p = q * q;
+  ort::RandomLmWorkload workload(cfg.batch, cfg.seq_len, cfg.vocab, 3);
+  const auto batch = workload.next();
+  auto report = oc::run_cluster(p, [&](oc::Context& ctx) {
+    optimus::mesh::Mesh2D mesh(ctx.world);
+    optimus::core::OptimusTransformer<float> engine(cfg, mesh);
+    engine.forward(batch.tokens);
+    (void)engine.lm_loss(batch.labels);
+    engine.backward_lm();
+  });
+  const opm::Workload w = to_workload(cfg);
+  const double lg = std::log2(static_cast<double>(q));
+  const double hq = static_cast<double>(cfg.hidden) / q;
+  const double fq = 4.0 * hq;
+  const double tq = 3.0 * hq;
+  const double vq = static_cast<double>(cfg.vocab) / q;
+  const double s = cfg.seq_len;
+  const double N = cfg.layers;
+
+  // SUMMA stem terms (Table 1; fwd runs once, and with checkpointing the
+  // backward includes one recomputed forward).
+  const double stem_summa =
+      N * (opm::optimus_fwd_comm(w, p) + opm::optimus_bwd_comm(w, p));
+  // lm-head: Alg-2 logits (fwd), Alg-1 dX and Alg-3 dE (bwd). Per device each
+  // moves q·(block + block) weighted by log2 q … written out per call:
+  const double rows = static_cast<double>(cfg.batch) / q * s;
+  const double lm_fwd = lg * q * (vq * hq + rows * vq);          // abt: bcast E + reduce C
+  const double lm_bwd = lg * q * (rows * vq + vq * hq)           // ab: bcast dlogits + E
+                        + lg * q * (rows * vq + vq * hq);        // atb: bcast dlogits + reduce dE
+  // Hosted-slice broadcasts per layer fwd (and again in the recompute):
+  // 4 LN slices (hq each) + biases (tq + hq + fq + hq).
+  const double hosted_fwd = lg * (4 * hq + tq + 2 * hq + fq);
+  // Hosted gradient reductions per layer bwd: same volumes.
+  const double hosted_bwd = lg * (4 * hq + tq + 2 * hq + fq);
+  const double hosted = N * (2 * hosted_fwd + hosted_bwd);  // fwd + recompute + bwd
+  // Final layernorm: 2 slice broadcasts fwd, 2 partial reductions bwd.
+  const double final_ln = lg * (2 * hq) + lg * (2 * hq);
+  // Embedding: q table-block broadcasts + pos slice fwd; q reduces + pos bwd.
+  const double embed = lg * (q * vq * hq + s * hq) + lg * (q * vq * hq + s * hq);
+  const double expected_bcast_reduce =
+      stem_summa + lm_fwd + lm_bwd + hosted + final_ln + embed;
+
+  const auto& st = report.ranks[0].stats;
+  EXPECT_NEAR(st.broadcast.weighted + st.reduce.weighted, expected_bcast_reduce,
+              expected_bcast_reduce * 1e-9);
+  // And the non-SUMMA all-reduce traffic (layernorm stats, CE stats) is small
+  // relative to SUMMA, as §3.2.2 claims.
+  EXPECT_LT(st.allreduce.weighted, 0.2 * (st.broadcast.weighted + st.reduce.weighted));
+}
+
+TEST(Memory, ModelTracksRealMegatronPeak) {
+  const auto cfg = engine_config();
+  const int p = 4;
+  ort::RandomLmWorkload workload(cfg.batch, cfg.seq_len, cfg.vocab, 3);
+  const auto batch = workload.next();
+  auto report = oc::run_cluster(p, [&](oc::Context& ctx) {
+    optimus::megatron::MegatronTransformer<float> engine(cfg, ctx.world);
+    engine.forward(batch.tokens);
+    (void)engine.lm_loss(batch.labels);
+    engine.backward_lm();
+  });
+  const auto mem = opm::megatron_memory(to_workload(cfg), p);
+  const double measured = static_cast<double>(report.max_peak_bytes());
+  const double modelled = static_cast<double>(mem.total());
+  EXPECT_GT(modelled, 0.5 * measured);
+  EXPECT_LT(modelled, 2.0 * measured);
+}
+
+TEST(Memory, ModelTracksRealOptimusPeak) {
+  const auto cfg = engine_config();
+  const int q = 2;
+  ort::RandomLmWorkload workload(cfg.batch, cfg.seq_len, cfg.vocab, 3);
+  const auto batch = workload.next();
+  auto report = oc::run_cluster(q * q, [&](oc::Context& ctx) {
+    optimus::mesh::Mesh2D mesh(ctx.world);
+    optimus::core::OptimusTransformer<float> engine(cfg, mesh);
+    engine.forward(batch.tokens);
+    (void)engine.lm_loss(batch.labels);
+    engine.backward_lm();
+  });
+  const auto mem = opm::optimus_memory(to_workload(cfg), q * q);
+  const double measured = static_cast<double>(report.max_peak_bytes());
+  const double modelled = static_cast<double>(mem.total());
+  EXPECT_GT(modelled, 0.5 * measured);
+  EXPECT_LT(modelled, 2.0 * measured);
+}
+
+TEST(Memory, Figure9TrendsReproduce) {
+  // Fixed per-device budget, paper weak-scaling dims: Optimus's max batch
+  // grows with p, Megatron's shrinks, and the p=64 ratio is large (paper: 8×).
+  const std::uint64_t budget = 16ull << 30;  // 16 GB per device
+  std::vector<optimus::tensor::index_t> mega, opti;
+  for (int p : {4, 16, 36, 64}) {
+    opm::Workload w = opm::weak_scaling_workload(p, opm::Scheme::kMegatron);
+    mega.push_back(opm::max_batch(opm::Scheme::kMegatron, w, p, budget));
+    w = opm::weak_scaling_workload(p, opm::Scheme::kOptimus);
+    const int q = static_cast<int>(std::sqrt(p));
+    opti.push_back(opm::max_batch(opm::Scheme::kOptimus, w, p, budget, q));
+  }
+  for (std::size_t i = 1; i < mega.size(); ++i) EXPECT_LE(mega[i], mega[i - 1]);
+  for (std::size_t i = 1; i < opti.size(); ++i) EXPECT_GE(opti[i], opti[i - 1]);
+  EXPECT_GE(opti.back(), 4 * mega.back());
+}
+
+TEST(Memory, MaxBatchRespectsGranularity) {
+  opm::Workload w = opm::weak_scaling_workload(16, opm::Scheme::kOptimus);
+  const auto b = opm::max_batch(opm::Scheme::kOptimus, w, 16, 8ull << 30, 4);
+  EXPECT_EQ(b % 4, 0);
+  EXPECT_GT(b, 0);
+}
+
+TEST(Scaling, IsoefficiencyGrowthRatesMatchPaper) {
+  // §3.1.2: the problem size Megatron needs to hold efficiency grows like
+  // W ~ p³ (h ∝ p), Optimus like W ~ (√p·log p)³ (h ∝ √p·log p). Check the
+  // measured growth of the required hidden size over a 16× increase in p:
+  // Megatron's factor ≈ 16, Optimus's ≈ √16·(log 256 / log 16) = 8.
+  // §3.1.2's exponents follow from the paper's eq-4 tree model; with the
+  // pipelined-collectives refinement Optimus grows even slower (h ∝ √p).
+  opm::Machine m = opm::calibrate_from_paper();
+  m.pipelined_collectives = false;
+  const double target = 0.5;
+  const auto h_meg_16 = opm::isoefficiency_hidden(opm::Scheme::kMegatron, 16, m, target);
+  const auto h_meg_256 = opm::isoefficiency_hidden(opm::Scheme::kMegatron, 256, m, target);
+  const auto h_opt_16 = opm::isoefficiency_hidden(opm::Scheme::kOptimus, 16, m, target);
+  const auto h_opt_256 = opm::isoefficiency_hidden(opm::Scheme::kOptimus, 256, m, target);
+  ASSERT_GT(h_meg_16, 0);
+  ASSERT_GT(h_opt_16, 0);
+  const double growth_meg = static_cast<double>(h_meg_256) / h_meg_16;
+  const double growth_opt = static_cast<double>(h_opt_256) / h_opt_16;
+  EXPECT_NEAR(growth_meg, 16.0, 3.0);
+  EXPECT_NEAR(growth_opt, 8.0, 2.0);
+  EXPECT_LT(growth_opt, growth_meg);
+  // And at very large p the faster Megatron growth makes it infeasible first:
+  // below the same h cap, Optimus still reaches the target efficiency while
+  // Megatron no longer can.
+  const auto cap = optimus::tensor::index_t{1} << 22;
+  EXPECT_EQ(opm::isoefficiency_hidden(opm::Scheme::kMegatron, 4096, m, target, 64, cap), 0);
+  EXPECT_GT(opm::isoefficiency_hidden(opm::Scheme::kOptimus, 4096, m, target, 64, cap), 0);
+}
+
+TEST(Scaling, ReferenceIsoefficiencyGrowth) {
+  // W ~ p³ vs (√p·log p)³ — Megatron's requirement explodes faster.
+  const double r64 = opm::isoefficiency_reference(opm::Scheme::kMegatron, 64) /
+                     opm::isoefficiency_reference(opm::Scheme::kOptimus, 64);
+  const double r256 = opm::isoefficiency_reference(opm::Scheme::kMegatron, 256) /
+                      opm::isoefficiency_reference(opm::Scheme::kOptimus, 256);
+  EXPECT_GT(r256, r64);
+  EXPECT_GT(r64, 1.0);
+}
+
+TEST(Calibration, FitsPaperMegatronRows) {
+  const opm::Machine m = opm::calibrate_from_paper();
+  EXPECT_GT(m.flop_rate, 1e11);  // a plausible GPU
+  EXPECT_LT(m.flop_rate, 1e14);
+  EXPECT_GT(m.beta_inter, m.beta_intra * 0.5);  // inter-node no cheaper than intra
+  // Reproduce the fitted rows within 35% (4 rows × 2 phases, 3 parameters).
+  for (const auto& row : opm::paper_weak_megatron()) {
+    const opm::Workload w = opm::weak_scaling_workload(row.gpus, opm::Scheme::kMegatron);
+    const opm::StepTime t = opm::megatron_step_time(w, row.gpus, m);
+    const double fwd_ref = row.fwd_per_seq_s * row.batch;
+    EXPECT_NEAR(t.fwd_s, fwd_ref, 0.35 * fwd_ref) << row.gpus << " GPUs";
+  }
+}
+
+TEST(Calibration, PredictsOptimusAdvantageAt64GpusOutOfSample) {
+  // The headline result: with the machine fitted ONLY on Megatron data, the
+  // model must predict Optimus overtaking Megatron in weak-scaling throughput
+  // by 64 GPUs (paper: 1.48× train, 1.79× inference).
+  const opm::Machine m = opm::calibrate_from_paper();
+  const opm::Workload wm = opm::weak_scaling_workload(64, opm::Scheme::kMegatron);
+  const opm::Workload wo = opm::weak_scaling_workload(64, opm::Scheme::kOptimus);
+  const opm::StepTime tm = opm::megatron_step_time(wm, 64, m);
+  const opm::StepTime to = opm::optimus_step_time(wo, 64, m);
+  const double thr_m = wm.b / tm.total();
+  const double thr_o = wo.b / to.total();
+  EXPECT_GT(thr_o, thr_m);
+  const double inf_m = wm.b / tm.fwd_s;
+  const double inf_o = wo.b / to.fwd_s;
+  EXPECT_GT(inf_o, inf_m);
+}
+
+TEST(CostModel, BunchedArrangementBeatsNaive) {
+  opm::Machine m;
+  const double naive = opm::beta_eff_optimus(m, 16, oc::Arrangement::kNaive);
+  const double bunched = opm::beta_eff_optimus(m, 16, oc::Arrangement::kBunched);
+  EXPECT_LT(bunched, naive);
+}
+
+TEST(CostModel, SingleDeviceHasNoCommunication) {
+  opm::Workload w;
+  EXPECT_DOUBLE_EQ(opm::megatron_fwd_comm(w, 1), 0.0);
+  EXPECT_DOUBLE_EQ(opm::optimus_fwd_comm(w, 1), 0.0);
+  opm::Machine m;
+  const auto t = opm::optimus_step_time(w, 1, m);
+  const auto ts = opm::serial_step_time(w, m);
+  EXPECT_DOUBLE_EQ(t.total(), ts.total());
+}

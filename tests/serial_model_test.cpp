@@ -1,0 +1,264 @@
+// Tests for the serial reference Transformer: shape invariants, determinism,
+// and full finite-difference validation of every parameter gradient for both
+// the language-model and classification branches.
+
+#include <gtest/gtest.h>
+
+#include "model/attention.hpp"
+#include "model/serial_model.hpp"
+#include "test_helpers.hpp"
+
+namespace om = optimus::model;
+namespace ot = optimus::tensor;
+namespace ops = optimus::tensor::ops;
+using ot::DTensor;
+using ot::ITensor;
+using ot::Shape;
+
+namespace {
+
+om::TransformerConfig tiny_config() {
+  om::TransformerConfig cfg;
+  cfg.batch = 2;
+  cfg.seq_len = 5;
+  cfg.hidden = 8;
+  cfg.heads = 2;
+  cfg.vocab = 11;
+  cfg.layers = 2;
+  cfg.num_classes = 3;
+  cfg.seed = 99;
+  return cfg;
+}
+
+ITensor random_tokens(const om::TransformerConfig& cfg, std::uint64_t seed) {
+  optimus::util::Rng rng(seed);
+  ITensor t(Shape{cfg.batch, cfg.seq_len});
+  for (ot::index_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<std::int32_t>(rng.uniform_index(cfg.vocab));
+  }
+  return t;
+}
+
+ITensor shifted_labels(const ITensor& tokens, const om::TransformerConfig& cfg) {
+  // Next-token labels; the last position of each sequence is masked.
+  ITensor labels(tokens.shape());
+  for (ot::index_t b = 0; b < cfg.batch; ++b) {
+    for (ot::index_t t = 0; t < cfg.seq_len; ++t) {
+      labels.at(b, t) =
+          t + 1 < cfg.seq_len ? tokens.at(b, t + 1) : static_cast<std::int32_t>(-1);
+    }
+  }
+  return labels;
+}
+
+}  // namespace
+
+TEST(AttentionCore, CausalMaskBlocksFutureTokens) {
+  // With a causal mask, changing token t's QKV must not change outputs at
+  // positions before t.
+  const ot::index_t b = 1, s = 4, heads = 2, d = 3;
+  optimus::util::Rng rng(1);
+  DTensor qkv = optimus::testing::random_dtensor(Shape{b * s, heads * 3 * d}, rng);
+  DTensor ctx1(Shape{b * s, heads * d}), probs1(Shape{b * heads, s, s});
+  om::attention_forward(qkv, b, s, heads, d, /*causal=*/true, ctx1, probs1);
+
+  DTensor qkv2 = qkv.clone();
+  for (ot::index_t j = 0; j < heads * 3 * d; ++j) qkv2.at(3, j) += 10.0;  // perturb t=3
+  DTensor ctx2(ctx1.shape()), probs2(probs1.shape());
+  om::attention_forward(qkv2, b, s, heads, d, true, ctx2, probs2);
+  for (ot::index_t t = 0; t < 3; ++t) {
+    for (ot::index_t j = 0; j < heads * d; ++j) {
+      EXPECT_DOUBLE_EQ(ctx1.at(t, j), ctx2.at(t, j)) << "leak at t=" << t;
+    }
+  }
+  // And position 3 itself must change.
+  double diff = 0;
+  for (ot::index_t j = 0; j < heads * d; ++j) diff += std::abs(ctx1.at(3, j) - ctx2.at(3, j));
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(AttentionCore, ProbRowsSumToOne) {
+  const ot::index_t b = 2, s = 5, heads = 3, d = 4;
+  optimus::util::Rng rng(2);
+  DTensor qkv = optimus::testing::random_dtensor(Shape{b * s, heads * 3 * d}, rng);
+  DTensor ctx(Shape{b * s, heads * d}), probs(Shape{b * heads, s, s});
+  om::attention_forward(qkv, b, s, heads, d, true, ctx, probs);
+  for (ot::index_t r = 0; r < b * heads * s; ++r) {
+    double sum = 0;
+    for (ot::index_t c = 0; c < s; ++c) sum += probs[r * s + c];
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(AttentionCore, GradientMatchesFiniteDifference) {
+  const ot::index_t b = 1, s = 3, heads = 2, d = 2;
+  optimus::util::Rng rng(3);
+  DTensor qkv = optimus::testing::random_dtensor(Shape{b * s, heads * 3 * d}, rng);
+  DTensor dctx = optimus::testing::random_dtensor(Shape{b * s, heads * d}, rng);
+  DTensor ctx(dctx.shape()), probs(Shape{b * heads, s, s});
+  om::attention_forward(qkv, b, s, heads, d, true, ctx, probs);
+  DTensor dqkv(qkv.shape());
+  om::attention_backward(qkv, probs, dctx, b, s, heads, d, dqkv);
+  auto loss = [&] {
+    DTensor c(dctx.shape()), p(probs.shape());
+    om::attention_forward(qkv, b, s, heads, d, true, c, p);
+    double acc = 0;
+    for (ot::index_t i = 0; i < c.numel(); ++i) acc += c[i] * dctx[i];
+    return acc;
+  };
+  optimus::testing::check_gradient(qkv, loss, dqkv, 1e-6, 1e-6);
+}
+
+TEST(SerialModel, ForwardShapesAndDeterminism) {
+  const auto cfg = tiny_config();
+  om::SerialTransformer<double> model(cfg);
+  ITensor tokens = random_tokens(cfg, 5);
+  const DTensor& h1 = model.forward(tokens);
+  EXPECT_EQ(h1.shape(), (Shape{cfg.tokens_per_batch(), cfg.hidden}));
+  DTensor copy = h1.clone();
+  om::SerialTransformer<double> model2(cfg);
+  const DTensor& h2 = model2.forward(tokens);
+  EXPECT_EQ(ops::max_abs_diff(copy, h2), 0.0);  // identical init → identical output
+}
+
+TEST(SerialModel, ParameterCountMatchesFormula) {
+  const auto cfg = tiny_config();
+  om::SerialTransformer<double> model(cfg);
+  std::uint64_t total = 0;
+  for (auto* p : model.parameters()) total += p->numel();
+  EXPECT_EQ(total, cfg.parameter_count());
+  EXPECT_EQ(model.parameters().size(), model.parameter_names().size());
+  EXPECT_EQ(model.parameters().size(), model.gradients().size());
+}
+
+TEST(SerialModel, LmLossDecreasesAlongGradient) {
+  const auto cfg = tiny_config();
+  om::SerialTransformer<double> model(cfg);
+  ITensor tokens = random_tokens(cfg, 6);
+  ITensor labels = shifted_labels(tokens, cfg);
+  model.forward(tokens);
+  const double loss0 = model.lm_loss(labels);
+  model.backward_lm();
+  // One small SGD step on all parameters.
+  auto params = model.parameters();
+  auto grads = model.gradients();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    ops::axpy_(*params[i], -0.05, *grads[i]);
+  }
+  model.forward(tokens);
+  const double loss1 = model.lm_loss(labels);
+  EXPECT_LT(loss1, loss0);
+}
+
+TEST(SerialModel, MaskedLabelsDoNotContribute) {
+  const auto cfg = tiny_config();
+  om::SerialTransformer<double> model(cfg);
+  ITensor tokens = random_tokens(cfg, 7);
+  ITensor all_masked(tokens.shape());
+  all_masked.fill(-1);
+  model.forward(tokens);
+  EXPECT_DOUBLE_EQ(model.lm_loss(all_masked), 0.0);
+}
+
+TEST(SerialModel, LmGradientsMatchFiniteDifference) {
+  // Full end-to-end gradient check of every parameter tensor through
+  // embedding, two transformer layers, final LN and the tied lm-head.
+  om::TransformerConfig cfg = tiny_config();
+  cfg.batch = 1;
+  cfg.seq_len = 3;
+  cfg.hidden = 6;
+  cfg.heads = 2;
+  cfg.vocab = 7;
+  cfg.layers = 1;
+  om::SerialTransformer<double> model(cfg);
+  ITensor tokens = random_tokens(cfg, 8);
+  ITensor labels = shifted_labels(tokens, cfg);
+
+  model.forward(tokens);
+  (void)model.lm_loss(labels);
+  model.zero_grads();
+  model.backward_lm();
+
+  auto params = model.parameters();
+  auto grads = model.gradients();
+  auto names = model.parameter_names();
+  auto loss = [&] {
+    model.forward(tokens);
+    return model.lm_loss(labels);
+  };
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    SCOPED_TRACE(names[i]);
+    optimus::testing::check_gradient(*params[i], loss, *grads[i], 1e-5, 2e-5);
+  }
+}
+
+TEST(SerialModel, ClsGradientsMatchFiniteDifference) {
+  om::TransformerConfig cfg = tiny_config();
+  cfg.batch = 2;
+  cfg.seq_len = 3;
+  cfg.hidden = 6;
+  cfg.heads = 2;
+  cfg.vocab = 7;
+  cfg.layers = 1;
+  cfg.num_classes = 3;
+  om::SerialTransformer<double> model(cfg);
+  ITensor tokens = random_tokens(cfg, 9);
+  ITensor labels = ITensor::from_vector(Shape{2}, {1, 2});
+
+  model.forward(tokens);
+  (void)model.cls_loss(labels);
+  model.zero_grads();
+  model.backward_cls();
+
+  auto params = model.parameters();
+  auto grads = model.gradients();
+  auto names = model.parameter_names();
+  auto loss = [&] {
+    model.forward(tokens);
+    return model.cls_loss(labels);
+  };
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    SCOPED_TRACE(names[i]);
+    optimus::testing::check_gradient(*params[i], loss, *grads[i], 1e-5, 2e-5);
+  }
+}
+
+TEST(SerialModel, GradAccumulationIsAdditive) {
+  const auto cfg = tiny_config();
+  om::SerialTransformer<double> model(cfg);
+  ITensor tokens = random_tokens(cfg, 10);
+  ITensor labels = shifted_labels(tokens, cfg);
+
+  model.forward(tokens);
+  (void)model.lm_loss(labels);
+  model.zero_grads();
+  model.backward_lm();
+  DTensor once = model.layer_grad(0).qkv_w.clone();
+
+  model.forward(tokens);
+  (void)model.lm_loss(labels);
+  model.backward_lm();  // second accumulation, no zero in between
+  DTensor twice = model.layer_grad(0).qkv_w;
+  for (ot::index_t i = 0; i < once.numel(); ++i) EXPECT_NEAR(twice[i], 2 * once[i], 1e-12);
+}
+
+TEST(SerialModel, FloatAndDoubleAgreeLoosely) {
+  const auto cfg = tiny_config();
+  om::SerialTransformer<double> dmodel(cfg);
+  om::SerialTransformer<float> fmodel(cfg);
+  ITensor tokens = random_tokens(cfg, 11);
+  ITensor labels = shifted_labels(tokens, cfg);
+  dmodel.forward(tokens);
+  fmodel.forward(tokens);
+  const double dl = dmodel.lm_loss(labels);
+  const float fl = fmodel.lm_loss(labels);
+  EXPECT_NEAR(dl, static_cast<double>(fl), 1e-4 * std::max(1.0, std::abs(dl)));
+}
+
+TEST(SerialModel, ClsLogitsShape) {
+  const auto cfg = tiny_config();
+  om::SerialTransformer<double> model(cfg);
+  model.forward(random_tokens(cfg, 12));
+  DTensor logits = model.cls_logits();
+  EXPECT_EQ(logits.shape(), (Shape{cfg.batch, cfg.num_classes}));
+}

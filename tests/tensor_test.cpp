@@ -1,0 +1,177 @@
+// Tests for the tensor container, arena allocator and device accounting.
+
+#include <gtest/gtest.h>
+
+#include "tensor/arena.hpp"
+#include "tensor/device_context.hpp"
+#include "tensor/tensor.hpp"
+#include "util/check.hpp"
+
+namespace ot = optimus::tensor;
+using ot::Shape;
+using ot::Tensor;
+
+TEST(Shape, BasicProperties) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.ndim(), 3);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[2], 4);
+  EXPECT_EQ(s.last(), 4);
+  EXPECT_EQ(s.to_string(), "[2, 3, 4]");
+}
+
+TEST(Shape, EqualityAndEmpty) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+  EXPECT_NE((Shape{2, 3}), (Shape{2, 3, 1}));
+  Shape scalar;
+  EXPECT_EQ(scalar.ndim(), 0);
+  EXPECT_EQ(scalar.numel(), 1);
+}
+
+TEST(Shape, RejectsNegativeDims) { EXPECT_THROW(Shape({-1, 2}), optimus::util::CheckError); }
+
+TEST(Tensor, FillAndIndex) {
+  Tensor t(Shape{2, 3});
+  t.fill(1.5f);
+  EXPECT_FLOAT_EQ(t.at(1, 2), 1.5f);
+  t.at(0, 1) = 7.0f;
+  EXPECT_FLOAT_EQ(t[1], 7.0f);  // row-major flat index
+}
+
+TEST(Tensor, CopySemanticsShareStorage) {
+  Tensor a = Tensor::zeros(Shape{4});
+  Tensor b = a;  // shallow
+  b[0] = 9.0f;
+  EXPECT_FLOAT_EQ(a[0], 9.0f);
+  Tensor c = a.clone();  // deep
+  c[1] = 3.0f;
+  EXPECT_FLOAT_EQ(a[1], 0.0f);
+}
+
+TEST(Tensor, ReshapeSharesStorageAndChecksNumel) {
+  Tensor a = Tensor::zeros(Shape{2, 6});
+  Tensor b = a.reshape(Shape{3, 4});
+  b.at(2, 3) = 5.0f;
+  EXPECT_FLOAT_EQ(a.at(1, 5), 5.0f);
+  EXPECT_THROW(a.reshape(Shape{5, 5}), optimus::util::CheckError);
+}
+
+TEST(Tensor, RowRangeViewsOuterDim) {
+  Tensor a(Shape{4, 3});
+  for (int i = 0; i < 12; ++i) a[i] = static_cast<float>(i);
+  Tensor mid = a.row_range(1, 3);
+  EXPECT_EQ(mid.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(mid.at(0, 0), 3.0f);
+  mid.at(1, 2) = -1.0f;  // view writes through
+  EXPECT_FLOAT_EQ(a.at(2, 2), -1.0f);
+}
+
+TEST(Tensor, FromVectorRoundTrip) {
+  const std::vector<float> v{1, 2, 3, 4, 5, 6};
+  Tensor t = Tensor::from_vector(Shape{2, 3}, v);
+  EXPECT_EQ(t.to_vector(), v);
+  EXPECT_THROW(Tensor::from_vector(Shape{2, 2}, v), optimus::util::CheckError);
+}
+
+TEST(Tensor, CopyFromChecksShape) {
+  Tensor a = Tensor::zeros(Shape{2, 2});
+  Tensor b = Tensor::full(Shape{2, 2}, 3.0f);
+  a.copy_from(b);
+  EXPECT_FLOAT_EQ(a.at(1, 1), 3.0f);
+  Tensor c(Shape{4});
+  EXPECT_THROW(a.copy_from(c), optimus::util::CheckError);
+}
+
+TEST(DeviceContext, TracksLiveAndPeakBytes) {
+  ot::DeviceContext ctx;
+  {
+    ot::ScopedDevice scoped(ctx);
+    Tensor a(Shape{256});  // 1 KiB
+    EXPECT_EQ(ctx.bytes_live(), 1024u);
+    {
+      Tensor b(Shape{512});  // 2 KiB
+      EXPECT_EQ(ctx.bytes_live(), 3072u);
+      EXPECT_EQ(ctx.bytes_peak(), 3072u);
+    }
+    EXPECT_EQ(ctx.bytes_live(), 1024u);
+    EXPECT_EQ(ctx.bytes_peak(), 3072u);
+  }
+  EXPECT_EQ(ctx.bytes_live(), 0u);
+}
+
+TEST(DeviceContext, ScopedInstallationNests) {
+  ot::DeviceContext outer, inner;
+  ot::ScopedDevice a(outer);
+  Tensor t1(Shape{1});
+  {
+    ot::ScopedDevice b(inner);
+    Tensor t2(Shape{2});
+    EXPECT_EQ(inner.bytes_live(), 8u);
+  }
+  EXPECT_EQ(outer.bytes_live(), 4u);
+  EXPECT_EQ(inner.bytes_live(), 0u);  // t2 freed inside
+}
+
+TEST(DeviceContext, TakeMultsDrainsIncrementally) {
+  ot::DeviceContext ctx;
+  ot::ScopedDevice scoped(ctx);
+  ctx.on_mults(100);
+  EXPECT_EQ(ctx.take_mults(), 100u);
+  EXPECT_EQ(ctx.take_mults(), 0u);
+  ctx.on_mults(50);
+  EXPECT_EQ(ctx.take_mults(), 50u);
+  EXPECT_EQ(ctx.mults_total(), 150u);
+}
+
+TEST(Arena, BumpAllocationAndReset) {
+  ot::Arena arena("test", 1 << 12);
+  auto a = arena.alloc<float>(Shape{16});
+  auto b = arena.alloc<float>(Shape{16});
+  EXPECT_NE(a.data(), b.data());
+  const auto used = arena.used();
+  EXPECT_GE(used, 2 * 16 * sizeof(float));
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  auto c = arena.alloc<float>(Shape{16});
+  EXPECT_EQ(c.data(), a.data());  // slab reused from the start
+  EXPECT_EQ(arena.high_water(), used);
+}
+
+TEST(Arena, ExhaustionThrows) {
+  ot::Arena arena("tiny", 128);
+  (void)arena.alloc<float>(Shape{16});  // 64 bytes aligned
+  EXPECT_THROW(arena.alloc<float>(Shape{32}), optimus::util::CheckError);
+}
+
+TEST(Arena, ChargedOnceToDeviceContext) {
+  ot::DeviceContext ctx;
+  ot::ScopedDevice scoped(ctx);
+  {
+    ot::Arena arena("acct", 4096);
+    EXPECT_EQ(ctx.bytes_live(), 4096u);
+    auto t = arena.alloc<float>(Shape{64});
+    EXPECT_EQ(ctx.bytes_live(), 4096u);  // carving adds nothing
+  }
+  EXPECT_EQ(ctx.bytes_live(), 0u);
+}
+
+TEST(Arena, TensorsPinSlabBeyondArenaLifetime) {
+  Tensor survivor;
+  {
+    ot::Arena arena("pin", 1024);
+    survivor = arena.alloc<float>(Shape{8});
+    survivor.fill(2.5f);
+  }
+  EXPECT_FLOAT_EQ(survivor[7], 2.5f);  // slab kept alive by the tensor
+}
+
+TEST(Arena, ZeroedAllocation) {
+  ot::Arena arena("z", 1024);
+  auto t = arena.alloc<float>(Shape{32});
+  t.fill(9.0f);
+  arena.reset();
+  auto u = arena.alloc_zeros<float>(Shape{32});
+  for (int i = 0; i < 32; ++i) EXPECT_FLOAT_EQ(u[i], 0.0f);
+}

@@ -1,0 +1,54 @@
+#pragma once
+
+// Shared helpers for the test suite: finite-difference gradient checking and
+// random tensor construction in double precision.
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace optimus::testing {
+
+inline tensor::DTensor random_dtensor(tensor::Shape shape, util::Rng& rng, double scale = 1.0) {
+  tensor::DTensor t(shape);
+  for (tensor::index_t i = 0; i < t.numel(); ++i) {
+    t[i] = rng.uniform(-scale, scale);
+  }
+  return t;
+}
+
+inline tensor::Tensor random_tensor(tensor::Shape shape, util::Rng& rng, float scale = 1.0f) {
+  tensor::Tensor t(shape);
+  for (tensor::index_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-scale, scale));
+  }
+  return t;
+}
+
+/// Central-difference gradient of a scalar-valued function with respect to
+/// `x`, compared against `analytic`. `f` must not retain state across calls.
+inline void check_gradient(tensor::DTensor& x,
+                           const std::function<double()>& f,
+                           const tensor::DTensor& analytic, double eps = 1e-5,
+                           double tol = 1e-6) {
+  ASSERT_EQ(x.numel(), analytic.numel());
+  for (tensor::index_t i = 0; i < x.numel(); ++i) {
+    const double saved = x[i];
+    x[i] = saved + eps;
+    const double up = f();
+    x[i] = saved - eps;
+    const double down = f();
+    x[i] = saved;
+    const double numeric = (up - down) / (2 * eps);
+    const double scale = std::max({1.0, std::abs(numeric), std::abs(analytic[i])});
+    EXPECT_NEAR(numeric, analytic[i], tol * scale)
+        << "gradient mismatch at flat index " << i;
+  }
+}
+
+}  // namespace optimus::testing
