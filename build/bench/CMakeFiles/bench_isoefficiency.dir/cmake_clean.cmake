@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_isoefficiency.dir/bench_isoefficiency.cpp.o"
+  "CMakeFiles/bench_isoefficiency.dir/bench_isoefficiency.cpp.o.d"
+  "bench_isoefficiency"
+  "bench_isoefficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_isoefficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

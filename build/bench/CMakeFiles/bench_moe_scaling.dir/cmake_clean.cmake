@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_moe_scaling.dir/bench_moe_scaling.cpp.o"
+  "CMakeFiles/bench_moe_scaling.dir/bench_moe_scaling.cpp.o.d"
+  "bench_moe_scaling"
+  "bench_moe_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_moe_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

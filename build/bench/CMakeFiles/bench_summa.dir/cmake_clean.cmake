@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_summa.dir/bench_summa.cpp.o"
+  "CMakeFiles/bench_summa.dir/bench_summa.cpp.o.d"
+  "bench_summa"
+  "bench_summa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_summa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_classification.dir/sequence_classification.cpp.o"
+  "CMakeFiles/sequence_classification.dir/sequence_classification.cpp.o.d"
+  "sequence_classification"
+  "sequence_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

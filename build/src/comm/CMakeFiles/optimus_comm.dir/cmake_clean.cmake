@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_comm.dir/cluster.cpp.o"
+  "CMakeFiles/optimus_comm.dir/cluster.cpp.o.d"
+  "CMakeFiles/optimus_comm.dir/communicator.cpp.o"
+  "CMakeFiles/optimus_comm.dir/communicator.cpp.o.d"
+  "CMakeFiles/optimus_comm.dir/fabric.cpp.o"
+  "CMakeFiles/optimus_comm.dir/fabric.cpp.o.d"
+  "CMakeFiles/optimus_comm.dir/topology.cpp.o"
+  "CMakeFiles/optimus_comm.dir/topology.cpp.o.d"
+  "liboptimus_comm.a"
+  "liboptimus_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

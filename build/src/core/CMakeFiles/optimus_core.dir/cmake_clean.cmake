@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_core.dir/layernorm2d.cpp.o"
+  "CMakeFiles/optimus_core.dir/layernorm2d.cpp.o.d"
+  "CMakeFiles/optimus_core.dir/optimus_model.cpp.o"
+  "CMakeFiles/optimus_core.dir/optimus_model.cpp.o.d"
+  "liboptimus_core.a"
+  "liboptimus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_megatron.dir/megatron_model.cpp.o"
+  "CMakeFiles/optimus_megatron.dir/megatron_model.cpp.o.d"
+  "liboptimus_megatron.a"
+  "liboptimus_megatron.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_megatron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_mesh.dir/mesh.cpp.o"
+  "CMakeFiles/optimus_mesh.dir/mesh.cpp.o.d"
+  "liboptimus_mesh.a"
+  "liboptimus_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_model.dir/attention.cpp.o"
+  "CMakeFiles/optimus_model.dir/attention.cpp.o.d"
+  "CMakeFiles/optimus_model.dir/moe.cpp.o"
+  "CMakeFiles/optimus_model.dir/moe.cpp.o.d"
+  "CMakeFiles/optimus_model.dir/serial_model.cpp.o"
+  "CMakeFiles/optimus_model.dir/serial_model.cpp.o.d"
+  "liboptimus_model.a"
+  "liboptimus_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfmodel/costs.cpp" "src/perfmodel/CMakeFiles/optimus_perfmodel.dir/costs.cpp.o" "gcc" "src/perfmodel/CMakeFiles/optimus_perfmodel.dir/costs.cpp.o.d"
+  "/root/repo/src/perfmodel/memory.cpp" "src/perfmodel/CMakeFiles/optimus_perfmodel.dir/memory.cpp.o" "gcc" "src/perfmodel/CMakeFiles/optimus_perfmodel.dir/memory.cpp.o.d"
+  "/root/repo/src/perfmodel/scaling.cpp" "src/perfmodel/CMakeFiles/optimus_perfmodel.dir/scaling.cpp.o" "gcc" "src/perfmodel/CMakeFiles/optimus_perfmodel.dir/scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/optimus_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/optimus_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/optimus_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

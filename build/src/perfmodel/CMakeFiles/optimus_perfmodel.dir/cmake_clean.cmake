@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_perfmodel.dir/costs.cpp.o"
+  "CMakeFiles/optimus_perfmodel.dir/costs.cpp.o.d"
+  "CMakeFiles/optimus_perfmodel.dir/memory.cpp.o"
+  "CMakeFiles/optimus_perfmodel.dir/memory.cpp.o.d"
+  "CMakeFiles/optimus_perfmodel.dir/scaling.cpp.o"
+  "CMakeFiles/optimus_perfmodel.dir/scaling.cpp.o.d"
+  "liboptimus_perfmodel.a"
+  "liboptimus_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

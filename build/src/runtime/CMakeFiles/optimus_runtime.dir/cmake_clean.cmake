@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_runtime.dir/checkpoint_io.cpp.o"
+  "CMakeFiles/optimus_runtime.dir/checkpoint_io.cpp.o.d"
+  "CMakeFiles/optimus_runtime.dir/data.cpp.o"
+  "CMakeFiles/optimus_runtime.dir/data.cpp.o.d"
+  "CMakeFiles/optimus_runtime.dir/optimizer.cpp.o"
+  "CMakeFiles/optimus_runtime.dir/optimizer.cpp.o.d"
+  "liboptimus_runtime.a"
+  "liboptimus_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

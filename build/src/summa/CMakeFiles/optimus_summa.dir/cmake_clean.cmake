@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_summa.dir/summa.cpp.o"
+  "CMakeFiles/optimus_summa.dir/summa.cpp.o.d"
+  "liboptimus_summa.a"
+  "liboptimus_summa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_summa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_tensor.dir/device_context.cpp.o"
+  "CMakeFiles/optimus_tensor.dir/device_context.cpp.o.d"
+  "CMakeFiles/optimus_tensor.dir/distribution.cpp.o"
+  "CMakeFiles/optimus_tensor.dir/distribution.cpp.o.d"
+  "CMakeFiles/optimus_tensor.dir/ops.cpp.o"
+  "CMakeFiles/optimus_tensor.dir/ops.cpp.o.d"
+  "liboptimus_tensor.a"
+  "liboptimus_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_util.dir/cli.cpp.o"
+  "CMakeFiles/optimus_util.dir/cli.cpp.o.d"
+  "CMakeFiles/optimus_util.dir/logging.cpp.o"
+  "CMakeFiles/optimus_util.dir/logging.cpp.o.d"
+  "CMakeFiles/optimus_util.dir/rng.cpp.o"
+  "CMakeFiles/optimus_util.dir/rng.cpp.o.d"
+  "CMakeFiles/optimus_util.dir/table.cpp.o"
+  "CMakeFiles/optimus_util.dir/table.cpp.o.d"
+  "liboptimus_util.a"
+  "liboptimus_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_test.dir/optimus_test.cpp.o"
+  "CMakeFiles/optimus_test.dir/optimus_test.cpp.o.d"
+  "optimus_test"
+  "optimus_test.pdb"
+  "optimus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serial_model_test.dir/serial_model_test.cpp.o"
+  "CMakeFiles/serial_model_test.dir/serial_model_test.cpp.o.d"
+  "serial_model_test"
+  "serial_model_test.pdb"
+  "serial_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serial_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

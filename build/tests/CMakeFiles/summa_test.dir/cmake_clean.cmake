@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summa_test.dir/summa_test.cpp.o"
+  "CMakeFiles/summa_test.dir/summa_test.cpp.o.d"
+  "summa_test"
+  "summa_test.pdb"
+  "summa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
