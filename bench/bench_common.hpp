@@ -1,10 +1,15 @@
 #pragma once
 
-// Shared helpers for the bench harness: config construction and
-// paper-vs-measured table assembly.
+// Shared helpers for the bench harness: config construction, paper-vs-measured
+// table assembly, and a minimal JSON results emitter so perf numbers can be
+// tracked across commits (BENCH_*.json at the repo root / cwd).
 
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "model/config.hpp"
 #include "perfmodel/costs.hpp"
@@ -42,5 +47,57 @@ inline perfmodel::Workload to_workload(const model::TransformerConfig& cfg) {
 inline void print_header(const std::string& title) {
   std::cout << "\n==== " << title << " ====\n\n";
 }
+
+// Accumulates benchmark records and writes them as a JSON array with a fixed
+// schema: [{"name", "shape", "gflops", "wall_ms", "sim_ms"}, ...]. Records
+// where a field does not apply (e.g. sim_ms for host-only kernels) carry 0.
+class JsonWriter {
+ public:
+  struct Record {
+    std::string name;   // benchmark id, e.g. "gemm_packed_f32"
+    std::string shape;  // human-readable problem shape, e.g. "1024x1024x1024"
+    double gflops = 0;  // useful-flop throughput (2mnk / wall)
+    double wall_ms = 0; // measured host wall time per repetition
+    double sim_ms = 0;  // simulated device time, when a sim clock is involved
+  };
+
+  void add(std::string name, std::string shape, double gflops, double wall_ms,
+           double sim_ms = 0) {
+    records_.push_back({std::move(name), std::move(shape), gflops, wall_ms, sim_ms});
+  }
+
+  const std::vector<Record>& records() const { return records_; }
+
+  // Writes the array to `path`. Returns false (and prints a warning) on I/O
+  // failure so benches never abort just because the cwd is read-only.
+  bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path << "\n";
+      return false;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      out << "  {\"name\": \"" << r.name << "\", \"shape\": \"" << r.shape
+          << "\", \"gflops\": " << format_double(r.gflops)
+          << ", \"wall_ms\": " << format_double(r.wall_ms)
+          << ", \"sim_ms\": " << format_double(r.sim_ms) << "}";
+      out << (i + 1 < records_.size() ? ",\n" : "\n");
+    }
+    out << "]\n";
+    std::cout << "wrote " << path << " (" << records_.size() << " records)\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  static std::string format_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  std::vector<Record> records_;
+};
 
 }  // namespace optimus::bench

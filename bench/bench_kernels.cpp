@@ -1,0 +1,132 @@
+// GFLOP/s microbenchmark for the dense kernel layer (DESIGN.md §3).
+//
+// Compares three GEMM paths on identical problems:
+//   * naive    — the seed's blocked scalar loop (ops::gemm_naive_raw), built
+//                with the portable project flags; this is the baseline every
+//                optimisation is measured against.
+//   * packed   — kernel::gemm_packed, the cache-blocked panel-packing
+//                microkernel on one thread.
+//   * threadN  — kernel::gemm with the thread budget forced to N (the packed
+//                slab algorithm fanned out over M/N tiles).
+//
+// Results go to stdout as a table and to BENCH_kernels.json
+// ({name, shape, gflops, wall_ms, sim_ms}); sim_ms is 0 here because these
+// are host-only kernels with no simulated cluster in the loop.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "kernel/gemm.hpp"
+#include "kernel/thread_pool.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+namespace ok = optimus::kernel;
+namespace ops = optimus::tensor::ops;
+using optimus::bench::JsonWriter;
+using index_t = ok::index_t;
+
+template <typename T>
+std::vector<T> random_buffer(index_t n, std::uint64_t seed) {
+  optimus::util::Rng rng(seed);
+  std::vector<T> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<T>(rng.uniform(-1, 1));
+  return v;
+}
+
+// Times `fn` adaptively: one warm-up/calibration rep, then enough reps to
+// cover ~0.3 s of wall time (min 1, max 50). Returns ms per rep.
+double time_ms(const std::function<void()>& fn) {
+  optimus::util::Stopwatch sw;
+  fn();
+  const double first_s = sw.elapsed_s();
+  int reps = 1;
+  if (first_s < 0.3) reps = static_cast<int>(0.3 / (first_s + 1e-9)) + 1;
+  if (reps > 50) reps = 50;
+  optimus::util::Stopwatch sw2;
+  for (int i = 0; i < reps; ++i) fn();
+  return sw2.elapsed_s() * 1000.0 / reps;
+}
+
+template <typename T>
+struct Problem {
+  std::string tag;  // shape string "m x n x k"
+  index_t m, n, k;
+};
+
+template <typename T>
+void run_gemm_suite(const char* dtype, const std::vector<Problem<T>>& problems,
+                    const std::vector<int>& thread_counts, JsonWriter& json) {
+  std::printf("%-26s %-18s %12s %12s\n", "name", "shape", "wall_ms", "GFLOP/s");
+  for (const auto& p : problems) {
+    const index_t m = p.m, n = p.n, k = p.k;
+    auto A = random_buffer<T>(m * k, 1);
+    auto B = random_buffer<T>(k * n, 2);
+    std::vector<T> C(static_cast<std::size_t>(m * n), T{0});
+    const double flops = 2.0 * static_cast<double>(m) * n * k;
+
+    auto record = [&](const std::string& name, double ms) {
+      const double gflops = flops / (ms * 1e-3) / 1e9;
+      std::printf("%-26s %-18s %12.3f %12.2f\n", name.c_str(), p.tag.c_str(), ms, gflops);
+      json.add(name, p.tag, gflops, ms);
+    };
+
+    record(std::string("gemm_naive_") + dtype, time_ms([&] {
+             ops::gemm_naive_raw(C.data(), A.data(), B.data(), m, n, k, k, n, n,
+                                 ops::Trans::No, ops::Trans::No, T{1}, T{0});
+           }));
+    record(std::string("gemm_packed_") + dtype, time_ms([&] {
+             ok::gemm_packed(C.data(), A.data(), B.data(), m, n, k, k, n, n,
+                             ok::Trans::No, ok::Trans::No, T{1}, T{0});
+           }));
+    for (int t : thread_counts) {
+      ok::set_threads(t);
+      record(std::string("gemm_threads") + std::to_string(t) + "_" + dtype, time_ms([&] {
+               ok::gemm(C.data(), A.data(), B.data(), m, n, k, k, n, n, ok::Trans::No,
+                        ok::Trans::No, T{1}, T{0});
+             }));
+      ok::set_threads(0);  // back to env/hardware default
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  optimus::bench::print_header("Kernel GFLOP/s: naive vs packed vs packed+threaded");
+  std::printf("hardware threads: %d, default budget: %d\n\n", ok::hardware_threads(),
+              ok::effective_threads());
+
+  JsonWriter json;
+  const std::vector<int> threads = {1, 2, 4};
+
+  // f32: square problems (256³ warms caches, 1024³ is the acceptance shape),
+  // a transformer forward slab (b·s=2048 rows against h=1024..4096 weights),
+  // and a skinny vocab-projection shape.
+  std::vector<Problem<float>> f32 = {
+      {"256x256x256", 256, 256, 256},
+      {"512x512x512", 512, 512, 512},
+      {"1024x1024x1024", 1024, 1024, 1024},
+      {"2048x1024x1024", 2048, 1024, 1024},
+      {"2048x4096x1024", 2048, 4096, 1024},
+      {"512x8192x512", 512, 8192, 512},
+  };
+  run_gemm_suite<float>("f32", f32, threads, json);
+
+  // f64 spot checks: half the SIMD width, same blocking.
+  std::vector<Problem<double>> f64 = {
+      {"512x512x512", 512, 512, 512},
+      {"1024x1024x1024", 1024, 1024, 1024},
+  };
+  run_gemm_suite<double>("f64", f64, threads, json);
+
+  json.write("BENCH_kernels.json");
+  return 0;
+}

@@ -12,13 +12,16 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <string>
 
+#include "bench_common.hpp"
 #include "comm/cluster.hpp"
 #include "mesh/mesh.hpp"
 #include "summa/summa.hpp"
 #include "tensor/distribution.hpp"
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
@@ -115,6 +118,49 @@ BENCHMARK(BM_Summa<0>)->Args({1, 96})->Args({2, 96})->Args({3, 96})->Args({4, 96
 BENCHMARK(BM_Summa<1>)->Args({2, 96})->Args({4, 96});
 BENCHMARK(BM_Summa<2>)->Args({2, 96})->Args({4, 96});
 
+// Manual sweep mirroring BM_Summa<0> that lands in BENCH_summa.json so SUMMA
+// perf is tracked across commits alongside BENCH_kernels.json. wall_ms is
+// host time for the whole simulated cluster step; sim_ms is the simulated
+// per-device critical path (max over ranks).
+void write_summa_json() {
+  optimus::bench::JsonWriter json;
+  const ot::index_t n = 96;
+  Tensor A_global = random_tensor(Shape{n, n}, 3);
+  Tensor B_global = random_tensor(Shape{n, n}, 4);
+  for (int q : {1, 2, 4}) {
+    const int p = q * q;
+    double wall_ms = 0, sim_ms = 0;
+    const int reps = 3;
+    for (int i = 0; i < reps; ++i) {
+      optimus::util::Stopwatch sw;
+      auto report = oc::run_cluster(p, [&](oc::Context& ctx) {
+        optimus::mesh::Mesh2D mesh(ctx.world);
+        Tensor A = ot::matrix_block(A_global, q, mesh.row(), mesh.col());
+        Tensor B = ot::matrix_block(B_global, q, mesh.row(), mesh.col());
+        Tensor C = Tensor::zeros(Shape{n / q, n / q});
+        optimus::summa::summa_ab(mesh, A, B, C);
+        benchmark::DoNotOptimize(C.data());
+      });
+      wall_ms += sw.elapsed_s() * 1000.0;
+      sim_ms += report.max_sim_time() * 1000.0;
+    }
+    wall_ms /= reps;
+    sim_ms /= reps;
+    const double gflops = 2.0 * n * n * n / (wall_ms * 1e-3) / 1e9;
+    json.add("summa_ab_q" + std::to_string(q),
+             std::to_string(n) + "x" + std::to_string(n) + "x" + std::to_string(n), gflops,
+             wall_ms, sim_ms);
+  }
+  json.write("BENCH_summa.json");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_summa_json();
+  return 0;
+}

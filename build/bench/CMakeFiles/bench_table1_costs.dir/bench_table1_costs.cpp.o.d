@@ -177,14 +177,18 @@ bench/CMakeFiles/bench_table1_costs.dir/bench_table1_costs.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /root/repo/bench/bench_common.hpp \
- /root/repo/src/model/config.hpp /root/repo/src/tensor/shape.hpp \
- /usr/include/c++/12/array /root/repo/src/util/check.hpp \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/perfmodel/costs.hpp /root/repo/src/comm/topology.hpp \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/runtime/data.hpp \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/model/config.hpp \
+ /root/repo/src/tensor/shape.hpp /usr/include/c++/12/array \
+ /root/repo/src/util/check.hpp /root/repo/src/perfmodel/costs.hpp \
+ /root/repo/src/comm/topology.hpp /root/repo/src/runtime/data.hpp \
  /root/repo/src/tensor/tensor.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \

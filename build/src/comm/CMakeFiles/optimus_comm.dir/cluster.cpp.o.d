@@ -234,4 +234,4 @@ src/comm/CMakeFiles/optimus_comm.dir/cluster.cpp.o: \
  /root/repo/src/comm/topology.hpp \
  /root/repo/src/tensor/device_context.hpp \
  /root/repo/src/tensor/tensor.hpp /root/repo/src/tensor/shape.hpp \
- /usr/include/c++/12/thread
+ /usr/include/c++/12/thread /root/repo/src/kernel/thread_pool.hpp

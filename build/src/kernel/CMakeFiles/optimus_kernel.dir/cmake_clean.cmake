@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_kernel.dir/gemm.cpp.o"
+  "CMakeFiles/optimus_kernel.dir/gemm.cpp.o.d"
+  "CMakeFiles/optimus_kernel.dir/thread_pool.cpp.o"
+  "CMakeFiles/optimus_kernel.dir/thread_pool.cpp.o.d"
+  "liboptimus_kernel.a"
+  "liboptimus_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

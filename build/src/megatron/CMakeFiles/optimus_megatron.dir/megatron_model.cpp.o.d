@@ -252,4 +252,11 @@ src/megatron/CMakeFiles/optimus_megatron.dir/megatron_model.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/model/attention.hpp /root/repo/src/model/param_init.hpp
+ /root/repo/src/model/attention.hpp /root/repo/src/model/param_init.hpp \
+ /root/repo/src/tensor/parallel.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/kernel/thread_pool.hpp

@@ -5,6 +5,7 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
 include("/root/repo/build/tests/tensor_test[1]_include.cmake")
 include("/root/repo/build/tests/ops_test[1]_include.cmake")
 include("/root/repo/build/tests/distribution_test[1]_include.cmake")

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a sanitizer pass over the memory-heavy layers.
+#
+#   1. Configure + build the default preset and run the full ctest suite
+#      (the ROADMAP tier-1 gate).
+#   2. Build the tensor/kernel tests under ASan+UBSan (the `asan` preset in
+#      CMakePresets.json) and run them — the kernel layer hands raw pointers
+#      and thread-shared buffers around, exactly where sanitizers earn their
+#      keep.
+#
+# Usage: scripts/check.sh [--skip-asan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_ASAN=0
+[[ "${1:-}" == "--skip-asan" ]] && SKIP_ASAN=1
+
+echo "==> tier-1: configure + build (default preset)"
+cmake --preset default
+cmake --build --preset default -j"$(nproc)"
+
+echo "==> tier-1: ctest"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+if [[ "$SKIP_ASAN" == "1" ]]; then
+  echo "==> asan pass skipped (--skip-asan)"
+  exit 0
+fi
+
+echo "==> sanitizer pass: asan preset (tensor + kernel tests)"
+cmake --preset asan
+cmake --build --preset asan -j"$(nproc)" --target kernel_test tensor_test ops_test
+
+./build-asan/tests/kernel_test
+./build-asan/tests/tensor_test
+./build-asan/tests/ops_test
+
+echo "==> all checks passed"

@@ -4,6 +4,8 @@
 #include <exception>
 #include <thread>
 
+#include "kernel/thread_pool.hpp"
+
 namespace optimus::comm {
 
 double Cluster::Report::max_sim_time() const {
@@ -43,6 +45,11 @@ Cluster::Cluster(int world_size, const Topology& topology, const MachineParams& 
 }
 
 Cluster::Report Cluster::run(const std::function<void(Context&)>& body) {
+  // Register the simulated devices against the shared kernel thread budget:
+  // while they run, each device's intra-op kernels get at most
+  // OPTIMUS_KERNEL_THREADS / world_size workers, so device threads × kernel
+  // workers never oversubscribe the host.
+  kernel::ActiveDevicesGuard devices_guard(world_size_);
   Fabric fabric(world_size_);
   const std::uint64_t world_comm_id = fabric.next_comm_id();
   std::vector<int> world_group(world_size_);

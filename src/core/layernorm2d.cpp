@@ -3,6 +3,8 @@
 #include <cmath>
 #include <vector>
 
+#include "tensor/parallel.hpp"
+
 namespace optimus::core {
 
 namespace {
@@ -26,16 +28,18 @@ void layernorm2d_forward(comm::Communicator& row_comm, const TensorT<T>& x,
   // Pack Σx and Σx² into one buffer: a single row all-reduce per call.
   std::vector<T> sums(static_cast<std::size_t>(2 * rows), T{0});
   const T* xp = x.data();
-  for (index_t r = 0; r < rows; ++r) {
-    const T* row = xp + r * hq;
-    T s{0}, ss{0};
-    for (index_t j = 0; j < hq; ++j) {
-      s += row[j];
-      ss += row[j] * row[j];
+  tensor::parallel_rows(rows, hq, [&](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      const T* row = xp + r * hq;
+      T s{0}, ss{0};
+      for (index_t j = 0; j < hq; ++j) {
+        s += row[j];
+        ss += row[j] * row[j];
+      }
+      sums[r] = s;
+      sums[rows + r] = ss;
     }
-    sums[r] = s;
-    sums[rows + r] = ss;
-  }
+  });
   row_comm.all_reduce(sums.data(), 2 * rows);
 
   const T* gp = gamma_slice.data();
@@ -44,19 +48,21 @@ void layernorm2d_forward(comm::Communicator& row_comm, const TensorT<T>& x,
   T* hp = xhat.data();
   T* sp = inv_std.data();
   const T inv_h = T{1} / static_cast<T>(h_global);
-  for (index_t r = 0; r < rows; ++r) {
-    const T mean = sums[r] * inv_h;
-    const T var = sums[rows + r] * inv_h - mean * mean;
-    const T istd = T{1} / std::sqrt(var + eps);
-    sp[r] = istd;
-    const T* row = xp + r * hq;
-    T* hr = hp + r * hq;
-    T* yr = yp + r * hq;
-    for (index_t j = 0; j < hq; ++j) {
-      hr[j] = (row[j] - mean) * istd;
-      yr[j] = gp[j] * hr[j] + bp[j];
+  tensor::parallel_rows(rows, hq, [&](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      const T mean = sums[r] * inv_h;
+      const T var = sums[rows + r] * inv_h - mean * mean;
+      const T istd = T{1} / std::sqrt(var + eps);
+      sp[r] = istd;
+      const T* row = xp + r * hq;
+      T* hr = hp + r * hq;
+      T* yr = yp + r * hq;
+      for (index_t j = 0; j < hq; ++j) {
+        hr[j] = (row[j] - mean) * istd;
+        yr[j] = gp[j] * hr[j] + bp[j];
+      }
     }
-  }
+  });
 }
 
 template <typename T>
@@ -76,34 +82,50 @@ void layernorm2d_backward(comm::Communicator& row_comm, const TensorT<T>& xhat,
   const T* gp = gamma_slice.data();
   T* dgp = dgamma_partial.data();
   T* dbp = dbeta_partial.data();
-  for (index_t r = 0; r < rows; ++r) {
-    const T* hr = hp + r * hq;
-    const T* dyr = dyp + r * hq;
-    T s_dxhat{0}, s_dxhat_xhat{0};
-    for (index_t j = 0; j < hq; ++j) {
-      const T dxh = dyr[j] * gp[j];
-      s_dxhat += dxh;
-      s_dxhat_xhat += dxh * hr[j];
-      dgp[j] += dyr[j] * hr[j];
-      dbp[j] += dyr[j];
+  // Pass 1a: per-row reductions (disjoint writes to sums → row-parallel).
+  tensor::parallel_rows(rows, hq, [&](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      const T* hr = hp + r * hq;
+      const T* dyr = dyp + r * hq;
+      T s_dxhat{0}, s_dxhat_xhat{0};
+      for (index_t j = 0; j < hq; ++j) {
+        const T dxh = dyr[j] * gp[j];
+        s_dxhat += dxh;
+        s_dxhat_xhat += dxh * hr[j];
+      }
+      sums[r] = s_dxhat;
+      sums[rows + r] = s_dxhat_xhat;
     }
-    sums[r] = s_dxhat;
-    sums[rows + r] = s_dxhat_xhat;
-  }
+  });
+  // Pass 1b: cross-row param grads. Parallel over column chunks; each chunk
+  // walks rows in order, so the per-column accumulation order — and hence the
+  // floating-point result — matches the serial loop exactly.
+  tensor::parallel_for(hq, /*grain=*/64, [&](index_t j0, index_t j1) {
+    for (index_t r = 0; r < rows; ++r) {
+      const T* hr = hp + r * hq;
+      const T* dyr = dyp + r * hq;
+      for (index_t j = j0; j < j1; ++j) {
+        dgp[j] += dyr[j] * hr[j];
+        dbp[j] += dyr[j];
+      }
+    }
+  });
   row_comm.all_reduce(sums.data(), 2 * rows);
 
   const T* sp = inv_std.data();
   T* dxp = dx.data();
   const T inv_h = T{1} / static_cast<T>(h_global);
-  for (index_t r = 0; r < rows; ++r) {
-    const T* hr = hp + r * hq;
-    const T* dyr = dyp + r * hq;
-    T* dxr = dxp + r * hq;
-    for (index_t j = 0; j < hq; ++j) {
-      const T dxh = dyr[j] * gp[j];
-      dxr[j] = sp[r] * (dxh - inv_h * sums[r] - inv_h * sums[rows + r] * hr[j]);
+  tensor::parallel_rows(rows, hq, [&](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      const T* hr = hp + r * hq;
+      const T* dyr = dyp + r * hq;
+      T* dxr = dxp + r * hq;
+      for (index_t j = 0; j < hq; ++j) {
+        const T dxh = dyr[j] * gp[j];
+        dxr[j] = sp[r] * (dxh - inv_h * sums[r] - inv_h * sums[rows + r] * hr[j]);
+      }
     }
-  }
+  });
 }
 
 #define OPTIMUS_INSTANTIATE_LN2D(T)                                                        \

@@ -1,0 +1,309 @@
+#include "kernel/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "kernel/thread_pool.hpp"
+
+namespace optimus::kernel {
+
+namespace {
+
+// Register tile: MR×NR accumulators. NR spans one 64-byte cache line so the
+// inner loop is a whole-line FMA; 4×NR accumulators fit the vector register
+// file for both AVX2 and AVX-512 without spilling.
+template <typename T>
+struct Tile;
+template <>
+struct Tile<float> {
+  static constexpr index_t MR = 4;
+  static constexpr index_t NR = 16;
+};
+template <>
+struct Tile<double> {
+  static constexpr index_t MR = 4;
+  static constexpr index_t NR = 8;
+};
+
+// Cache blocking: the packed A panel (MC×KC) targets L2, the packed B panel
+// (KC×NC) L3, and one B strip (KC×NR) stays L1-resident across an MC sweep.
+constexpr index_t kMC = 64;
+constexpr index_t kKC = 256;
+constexpr index_t kNC = 1024;
+
+template <typename T>
+inline T load_a(const T* A, index_t lda, Trans ta, index_t i, index_t kk) {
+  return ta == Trans::No ? A[i * lda + kk] : A[kk * lda + i];
+}
+
+template <typename T>
+inline T load_b(const T* B, index_t ldb, Trans tb, index_t kk, index_t j) {
+  return tb == Trans::No ? B[kk * ldb + j] : B[j * ldb + kk];
+}
+
+// Packs op(A)[i0:i0+mc, k0:k0+kc], scaled by alpha, into MR-row strips:
+// strip s holds columns k in order, MR consecutive rows per column, rows past
+// mc zero-padded so the microkernel never branches on the edge.
+template <typename T>
+void pack_a(const T* A, index_t lda, Trans ta, index_t i0, index_t k0, index_t mc, index_t kc,
+            T alpha, T* Ap) {
+  constexpr index_t MR = Tile<T>::MR;
+  for (index_t is = 0; is < mc; is += MR) {
+    const index_t mr = std::min(MR, mc - is);
+    if (ta == Trans::Yes) {
+      // op(A)(i, k) = A[k, i]: rows of the stored matrix are contiguous in i.
+      for (index_t l = 0; l < kc; ++l) {
+        const T* src = A + (k0 + l) * lda + i0 + is;
+        for (index_t i = 0; i < mr; ++i) Ap[i] = alpha * src[i];
+        for (index_t i = mr; i < MR; ++i) Ap[i] = T{0};
+        Ap += MR;
+      }
+    } else {
+      for (index_t l = 0; l < kc; ++l) {
+        const T* src = A + (i0 + is) * lda + k0 + l;
+        for (index_t i = 0; i < mr; ++i) Ap[i] = src[i * lda];
+        for (index_t i = 0; i < mr; ++i) Ap[i] *= alpha;
+        for (index_t i = mr; i < MR; ++i) Ap[i] = T{0};
+        Ap += MR;
+      }
+    }
+  }
+}
+
+// Packs op(B)[k0:k0+kc, j0:j0+nc] into NR-column strips: strip s holds rows k
+// in order, NR consecutive columns per row, columns past nc zero-padded.
+template <typename T>
+void pack_b(const T* B, index_t ldb, Trans tb, index_t k0, index_t j0, index_t kc, index_t nc,
+            T* Bp) {
+  constexpr index_t NR = Tile<T>::NR;
+  for (index_t js = 0; js < nc; js += NR) {
+    const index_t nr = std::min(NR, nc - js);
+    if (tb == Trans::No) {
+      for (index_t l = 0; l < kc; ++l) {
+        const T* src = B + (k0 + l) * ldb + j0 + js;
+        for (index_t j = 0; j < nr; ++j) Bp[j] = src[j];
+        for (index_t j = nr; j < NR; ++j) Bp[j] = T{0};
+        Bp += NR;
+      }
+    } else {
+      // op(B)(k, j) = B[j, k]: gather one stored row per packed column.
+      for (index_t l = 0; l < kc; ++l) {
+        const T* src = B + (j0 + js) * ldb + k0 + l;
+        for (index_t j = 0; j < nr; ++j) Bp[j] = src[j * ldb];
+        for (index_t j = nr; j < NR; ++j) Bp[j] = T{0};
+        Bp += NR;
+      }
+    }
+  }
+}
+
+// The register-tiled core: acc[MR][NR] += sum_l Ap[l][·] ⊗ Bp[l][·].
+//
+// Written with GNU vector extensions (GCC/Clang): one NR-wide accumulator row
+// is exactly 64 bytes for both element types, so each row is a single vector
+// the compiler maps onto whatever the target has (1 zmm, 2 ymm, 4 xmm, or
+// plain scalars elsewhere). Auto-vectorization of the equivalent scalar loop
+// is not reliable across types — GCC 12 vectorizes the f64 instantiation but
+// leaves f32 scalar — so the vector form is spelled out, with a scalar
+// fallback for other compilers.
+#if defined(__GNUC__) || defined(__clang__)
+#define OPTIMUS_KERNEL_VECTOR_EXT 1
+#endif
+
+#ifdef OPTIMUS_KERNEL_VECTOR_EXT
+// aligned(alignof(T)): the packed buffers are only element-aligned; may_alias
+// because these lvalues access plain T arrays.
+typedef float vec_f32 __attribute__((vector_size(64), aligned(4), may_alias));
+typedef double vec_f64 __attribute__((vector_size(64), aligned(8), may_alias));
+template <typename T>
+struct VecOf;
+template <>
+struct VecOf<float> {
+  using type = vec_f32;
+};
+template <>
+struct VecOf<double> {
+  using type = vec_f64;
+};
+
+template <typename T>
+inline void micro_kernel(index_t kc, const T* __restrict Ap, const T* __restrict Bp,
+                         T* __restrict acc) {
+  constexpr index_t MR = Tile<T>::MR;
+  constexpr index_t NR = Tile<T>::NR;
+  using vec = typename VecOf<T>::type;
+  static_assert(sizeof(vec) == NR * sizeof(T));
+  vec vacc[MR];
+  for (index_t i = 0; i < MR; ++i) vacc[i] = vec{};
+  for (index_t l = 0; l < kc; ++l) {
+    const vec b = *reinterpret_cast<const vec*>(Bp + l * NR);
+    const T* a = Ap + l * MR;
+    for (index_t i = 0; i < MR; ++i) vacc[i] += a[i] * b;
+  }
+  for (index_t i = 0; i < MR; ++i) *reinterpret_cast<vec*>(acc + i * NR) = vacc[i];
+}
+#else
+template <typename T>
+inline void micro_kernel(index_t kc, const T* __restrict Ap, const T* __restrict Bp,
+                         T* __restrict acc) {
+  constexpr index_t MR = Tile<T>::MR;
+  constexpr index_t NR = Tile<T>::NR;
+  for (index_t i = 0; i < MR * NR; ++i) acc[i] = T{0};
+  for (index_t l = 0; l < kc; ++l) {
+    const T* a = Ap + l * MR;
+    const T* b = Bp + l * NR;
+    for (index_t i = 0; i < MR; ++i) {
+      const T ai = a[i];
+      for (index_t j = 0; j < NR; ++j) acc[i * NR + j] += ai * b[j];
+    }
+  }
+}
+#endif
+
+// Writes an mr×nr corner of the accumulator tile back into C. The first K
+// panel applies beta (beta == 0 stores, never scales — NaN/Inf in C must not
+// survive); later panels accumulate.
+template <typename T>
+void write_tile(T* C, index_t ldc, const T* acc, index_t mr, index_t nr, T beta,
+                bool first_panel) {
+  constexpr index_t NR = Tile<T>::NR;
+  for (index_t i = 0; i < mr; ++i) {
+    T* c = C + i * ldc;
+    const T* a = acc + i * NR;
+    if (!first_panel || beta == T{1}) {
+      for (index_t j = 0; j < nr; ++j) c[j] += a[j];
+    } else if (beta == T{0}) {
+      for (index_t j = 0; j < nr; ++j) c[j] = a[j];
+    } else {
+      for (index_t j = 0; j < nr; ++j) c[j] = beta * c[j] + a[j];
+    }
+  }
+}
+
+// C = beta·C (beta == 0 stores zeros) — the k == 0 / alpha == 0 degenerate.
+template <typename T>
+void scale_c(T* C, index_t ldc, index_t m, index_t n, T beta) {
+  for (index_t i = 0; i < m; ++i) {
+    T* c = C + i * ldc;
+    if (beta == T{0}) {
+      std::fill(c, c + n, T{0});
+    } else if (beta != T{1}) {
+      for (index_t j = 0; j < n; ++j) c[j] *= beta;
+    }
+  }
+}
+
+template <typename T>
+std::vector<T>& pack_buffer_a() {
+  thread_local std::vector<T> buf;
+  return buf;
+}
+
+template <typename T>
+std::vector<T>& pack_buffer_b() {
+  thread_local std::vector<T> buf;
+  return buf;
+}
+
+}  // namespace
+
+template <typename T>
+void gemm_packed(T* C, const T* A, const T* B, index_t m, index_t n, index_t k, index_t lda,
+                 index_t ldb, index_t ldc, Trans trans_a, Trans trans_b, T alpha, T beta) {
+  constexpr index_t MR = Tile<T>::MR;
+  constexpr index_t NR = Tile<T>::NR;
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0 || alpha == T{0}) {
+    scale_c(C, ldc, m, n, beta);
+    return;
+  }
+
+  std::vector<T>& abuf = pack_buffer_a<T>();
+  std::vector<T>& bbuf = pack_buffer_b<T>();
+  abuf.resize(static_cast<std::size_t>(kMC * kKC));
+  bbuf.resize(static_cast<std::size_t>(kKC * kNC));
+
+  for (index_t jc = 0; jc < n; jc += kNC) {
+    const index_t nc = std::min(kNC, n - jc);
+    const index_t nc_strips = (nc + NR - 1) / NR;
+    for (index_t pc = 0; pc < k; pc += kKC) {
+      const index_t kc = std::min(kKC, k - pc);
+      const bool first_panel = pc == 0;
+      pack_b(B, ldb, trans_b, pc, jc, kc, nc, bbuf.data());
+      for (index_t ic = 0; ic < m; ic += kMC) {
+        const index_t mc = std::min(kMC, m - ic);
+        pack_a(A, lda, trans_a, ic, pc, mc, kc, alpha, abuf.data());
+        for (index_t js = 0; js < nc_strips; ++js) {
+          const index_t jr = js * NR;
+          const index_t nr = std::min(NR, nc - jr);
+          const T* bp = bbuf.data() + js * kc * NR;
+          for (index_t ir = 0; ir < mc; ir += MR) {
+            const index_t mr = std::min(MR, mc - ir);
+            const T* ap = abuf.data() + (ir / MR) * kc * MR;
+            // micro_kernel fully writes acc (it owns the zero-init).
+            alignas(64) T acc[Tile<T>::MR * Tile<T>::NR];
+            micro_kernel<T>(kc, ap, bp, acc);
+            write_tile(C + (ic + ir) * ldc + jc + jr, ldc, acc, mr, nr, beta, first_panel);
+          }
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void gemm(T* C, const T* A, const T* B, index_t m, index_t n, index_t k, index_t lda,
+          index_t ldb, index_t ldc, Trans trans_a, Trans trans_b, T alpha, T beta) {
+  constexpr index_t MR = Tile<T>::MR;
+  constexpr index_t NR = Tile<T>::NR;
+  // Below ~two slabs of work per thread the fork/join overhead dominates.
+  constexpr double kMinWorkPerThread = 64.0 * 64.0 * 64.0;
+
+  const double work = static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k);
+  int threads = effective_threads();
+  if (threads > 1) {
+    threads = static_cast<int>(
+        std::min<double>(threads, std::max(1.0, work / kMinWorkPerThread)));
+  }
+  if (threads <= 1 || ThreadPool::on_worker_thread()) {
+    gemm_packed(C, A, B, m, n, k, lda, ldb, ldc, trans_a, trans_b, alpha, beta);
+    return;
+  }
+
+  if (m >= n) {
+    // Slab the M dimension: each worker owns a contiguous band of C rows.
+    const index_t tiles = (m + MR - 1) / MR;
+    ThreadPool::global().parallel_ranges(tiles, threads, [&](index_t t0, index_t t1) {
+      const index_t i0 = t0 * MR;
+      const index_t i1 = std::min(m, t1 * MR);
+      if (i0 >= i1) return;
+      const T* a_sub = trans_a == Trans::No ? A + i0 * lda : A + i0;
+      gemm_packed(C + i0 * ldc, a_sub, B, i1 - i0, n, k, lda, ldb, ldc, trans_a, trans_b,
+                  alpha, beta);
+    });
+  } else {
+    // Skinny-tall case (e.g. vocab-sized logits): slab the N dimension.
+    const index_t tiles = (n + NR - 1) / NR;
+    ThreadPool::global().parallel_ranges(tiles, threads, [&](index_t t0, index_t t1) {
+      const index_t j0 = t0 * NR;
+      const index_t j1 = std::min(n, t1 * NR);
+      if (j0 >= j1) return;
+      const T* b_sub = trans_b == Trans::No ? B + j0 : B + j0 * ldb;
+      gemm_packed(C + j0, A, b_sub, m, j1 - j0, k, lda, ldb, ldc, trans_a, trans_b, alpha,
+                  beta);
+    });
+  }
+}
+
+#define OPTIMUS_INSTANTIATE_KERNEL_GEMM(T)                                                   \
+  template void gemm<T>(T*, const T*, const T*, index_t, index_t, index_t, index_t, index_t, \
+                        index_t, Trans, Trans, T, T);                                        \
+  template void gemm_packed<T>(T*, const T*, const T*, index_t, index_t, index_t, index_t,   \
+                               index_t, index_t, Trans, Trans, T, T);
+
+OPTIMUS_INSTANTIATE_KERNEL_GEMM(float)
+OPTIMUS_INSTANTIATE_KERNEL_GEMM(double)
+
+#undef OPTIMUS_INSTANTIATE_KERNEL_GEMM
+
+}  // namespace optimus::kernel

@@ -1,0 +1,41 @@
+#pragma once
+
+// Cache-blocked, panel-packed GEMM with a register-tiled microkernel.
+//
+// This is the dense-compute floor under every engine in the repo: the BLIS
+// decomposition (NC → KC → MC panels, packed A/B, an MR×NR register tile)
+// written in portable C++ so the compiler auto-vectorizes the microkernel.
+// All four transpose forms are handled in the packing routines, so one
+// microkernel serves NN/NT/TN/TT.
+//
+// Threading (gemm): the M or N dimension — whichever is larger — is split
+// into tile-aligned slabs, one per worker, each running the full packed
+// serial algorithm on its slab. No worker ever shares an output element and
+// the K reduction order is fixed by the blocking constants, so results are
+// bitwise identical for every thread count.
+//
+// Semantics: C = alpha·op(A)·op(B) + beta·C on row-major buffers with row
+// strides lda/ldb/ldc (of the *stored* matrices, pre-transpose). beta == 0
+// *stores* — C may hold NaN/Inf garbage (e.g. an uninitialised Arena slab)
+// and must still come out clean.
+
+#include <cstdint>
+
+namespace optimus::kernel {
+
+using index_t = std::int64_t;
+
+enum class Trans : std::uint8_t { No, Yes };
+
+/// Threaded entry point: packed GEMM over up to effective_threads() workers.
+template <typename T>
+void gemm(T* C, const T* A, const T* B, index_t m, index_t n, index_t k, index_t lda,
+          index_t ldb, index_t ldc, Trans trans_a, Trans trans_b, T alpha, T beta);
+
+/// Single-thread packed path (what each worker slab runs). Exposed for the
+/// bench harness and the kernel tests.
+template <typename T>
+void gemm_packed(T* C, const T* A, const T* B, index_t m, index_t n, index_t k, index_t lda,
+                 index_t ldb, index_t ldc, Trans trans_a, Trans trans_b, T alpha, T beta);
+
+}  // namespace optimus::kernel

@@ -1,0 +1,234 @@
+#include "kernel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace optimus::kernel {
+
+namespace {
+
+constexpr int kMaxWorkers = 256;
+
+std::atomic<int> g_override{0};        // 0 = no programmatic override
+std::atomic<int> g_active_devices{0};  // simulated devices currently running
+thread_local bool tl_on_worker = false;
+
+int env_threads() {
+  static const int value = [] {
+    const char* s = std::getenv("OPTIMUS_KERNEL_THREADS");
+    if (s == nullptr || *s == '\0') return 0;
+    const long v = std::strtol(s, nullptr, 10);
+    if (v <= 0) return 0;
+    return static_cast<int>(std::min<long>(v, kMaxWorkers));
+  }();
+  return value;
+}
+
+}  // namespace
+
+int hardware_threads() {
+  static const int value =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  return value;
+}
+
+void set_threads(int n) {
+  g_override.store(std::clamp(n, 0, kMaxWorkers), std::memory_order_relaxed);
+}
+
+int configured_threads() {
+  const int o = g_override.load(std::memory_order_relaxed);
+  if (o > 0) return o;
+  const int e = env_threads();
+  return e > 0 ? e : hardware_threads();
+}
+
+int active_devices() { return g_active_devices.load(std::memory_order_relaxed); }
+
+int effective_threads() {
+  return std::max(1, configured_threads() / std::max(1, active_devices()));
+}
+
+ActiveDevicesGuard::ActiveDevicesGuard(int n) : n_(std::max(0, n)) {
+  g_active_devices.fetch_add(n_, std::memory_order_relaxed);
+}
+
+ActiveDevicesGuard::~ActiveDevicesGuard() {
+  g_active_devices.fetch_sub(n_, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+struct ThreadPool::Impl {
+  // One parallel region. Chunks are claimed from `next` by workers and the
+  // submitting thread alike; completion is tracked under `m`.
+  struct Call {
+    std::function<void(index_t, index_t)> body;
+    index_t n = 0;
+    index_t num_chunks = 0;
+    index_t grain = 0;       // fixed-grain mode when > 0
+    index_t base = 0;        // near-equal split mode otherwise
+    index_t rem = 0;
+    std::atomic<index_t> next{0};
+    index_t done = 0;        // guarded by m
+    std::exception_ptr error;  // first failure, guarded by m
+    std::mutex m;
+    std::condition_variable cv;
+
+    void range_of(index_t c, index_t* begin, index_t* end) const {
+      if (grain > 0) {
+        *begin = c * grain;
+        *end = std::min(n, *begin + grain);
+      } else {
+        *begin = c * base + std::min(c, rem);
+        *end = *begin + base + (c < rem ? 1 : 0);
+      }
+    }
+  };
+
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<std::shared_ptr<Call>> queue;
+  std::vector<std::thread> workers;
+  bool stop = false;
+
+  static void execute_chunk(Call& call, index_t c) {
+    index_t begin = 0, end = 0;
+    call.range_of(c, &begin, &end);
+    try {
+      call.body(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(call.m);
+      if (!call.error) call.error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(call.m);
+      if (++call.done == call.num_chunks) call.cv.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    tl_on_worker = true;
+    std::unique_lock<std::mutex> lock(queue_mutex);
+    for (;;) {
+      queue_cv.wait(lock, [&] { return stop || !queue.empty(); });
+      if (stop) return;
+      std::shared_ptr<Call> call = queue.front();
+      if (call->next.load(std::memory_order_relaxed) >= call->num_chunks) {
+        // Exhausted: retire it (the submitter may already have erased it).
+        if (!queue.empty() && queue.front() == call) queue.pop_front();
+        continue;
+      }
+      lock.unlock();
+      for (;;) {
+        const index_t c = call->next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= call->num_chunks) break;
+        execute_chunk(*call, c);
+      }
+      lock.lock();
+    }
+  }
+};
+
+ThreadPool& ThreadPool::global() {
+  // Leaked on purpose: joining workers during static destruction is a classic
+  // shutdown hazard, and the pool must outlive every user.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+bool ThreadPool::on_worker_thread() { return tl_on_worker; }
+
+ThreadPool::~ThreadPool() {
+  if (impl_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->queue_mutex);
+    impl_->stop = true;
+  }
+  impl_->queue_cv.notify_all();
+  for (auto& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+void ThreadPool::ensure_workers(int count) {
+  if (impl_ == nullptr) impl_ = new Impl();
+  count = std::min(count, kMaxWorkers);
+  std::lock_guard<std::mutex> lock(impl_->queue_mutex);
+  while (static_cast<int>(impl_->workers.size()) < count) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+void ThreadPool::run_call(const std::function<void(index_t, index_t)>& body,
+                          index_t num_chunks, index_t grain, index_t n, int max_threads) {
+  auto call = std::make_shared<Impl::Call>();
+  call->body = body;
+  call->n = n;
+  call->num_chunks = num_chunks;
+  call->grain = grain;
+  if (grain <= 0) {
+    call->base = n / num_chunks;
+    call->rem = n % num_chunks;
+  }
+
+  ensure_workers(max_threads - 1);
+  {
+    std::lock_guard<std::mutex> lock(impl_->queue_mutex);
+    impl_->queue.push_back(call);
+  }
+  impl_->queue_cv.notify_all();
+
+  // The submitting thread works too.
+  for (;;) {
+    const index_t c = call->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= num_chunks) break;
+    Impl::execute_chunk(*call, c);
+  }
+  {
+    std::unique_lock<std::mutex> lock(call->m);
+    call->cv.wait(lock, [&] { return call->done == num_chunks; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->queue_mutex);
+    auto it = std::find(impl_->queue.begin(), impl_->queue.end(), call);
+    if (it != impl_->queue.end()) impl_->queue.erase(it);
+  }
+  if (call->error) std::rethrow_exception(call->error);
+}
+
+void ThreadPool::parallel_for(index_t n, index_t grain,
+                              const std::function<void(index_t, index_t)>& body) {
+  if (n <= 0) return;
+  grain = std::max<index_t>(1, grain);
+  const index_t chunks = (n + grain - 1) / grain;
+  const int threads =
+      static_cast<int>(std::min<index_t>(effective_threads(), chunks));
+  if (threads <= 1 || tl_on_worker) {
+    body(0, n);
+    return;
+  }
+  run_call(body, chunks, grain, n, threads);
+}
+
+void ThreadPool::parallel_ranges(index_t n, int parts,
+                                 const std::function<void(index_t, index_t)>& body) {
+  if (n <= 0) return;
+  const int threads = static_cast<int>(
+      std::min<index_t>(std::min(parts, effective_threads()), n));
+  if (threads <= 1 || tl_on_worker) {
+    body(0, n);
+    return;
+  }
+  run_call(body, threads, /*grain=*/0, n, threads);
+}
+
+}  // namespace optimus::kernel

@@ -1,0 +1,97 @@
+#pragma once
+
+// Intra-op thread pool and the process-wide kernel thread budget.
+//
+// The simulated cluster already runs one std::thread per device; the kernel
+// layer adds *intra-op* workers underneath each device. To keep p devices ×
+// intra-op workers from oversubscribing the host, both layers share one
+// budget:
+//
+//   * `OPTIMUS_KERNEL_THREADS` (env) or set_threads(n) fixes the *global*
+//     intra-op worker budget for the whole process;
+//   * unset, the budget defaults to std::thread::hardware_concurrency();
+//   * each kernel invocation may use at most
+//       effective_threads() = max(1, budget / max(1, active_devices()))
+//     workers, where active_devices() counts simulated devices currently
+//     running (comm::Cluster registers them via ActiveDevicesGuard).
+//
+// Determinism: the pool never changes *what* is computed, only *where*.
+// Kernels partition work so every output element is produced by exactly one
+// task with a serial inner loop, and reductions use partitions that are a
+// function of the problem size only — results are bitwise identical for any
+// thread count (DESIGN.md §5).
+//
+// Nesting: a task submitted to the pool that itself calls parallel_* runs the
+// nested region inline on the worker thread (no recursive fan-out, no
+// deadlock).
+
+#include <cstdint>
+#include <functional>
+
+namespace optimus::kernel {
+
+using index_t = std::int64_t;
+
+/// Cached std::thread::hardware_concurrency() (floor 1).
+int hardware_threads();
+
+/// Overrides the global intra-op worker budget. 0 restores the default
+/// (env OPTIMUS_KERNEL_THREADS if set, else hardware_concurrency).
+void set_threads(int n);
+
+/// The global budget currently in force (after env/override resolution).
+int configured_threads();
+
+/// Number of simulated devices currently registered (see ActiveDevicesGuard).
+int active_devices();
+
+/// Per-invocation parallelism: max(1, configured_threads() / active devices).
+int effective_threads();
+
+/// RAII registration of `n` simulated devices against the shared budget.
+/// comm::Cluster::run holds one for its whole world.
+class ActiveDevicesGuard {
+ public:
+  explicit ActiveDevicesGuard(int n);
+  ~ActiveDevicesGuard();
+  ActiveDevicesGuard(const ActiveDevicesGuard&) = delete;
+  ActiveDevicesGuard& operator=(const ActiveDevicesGuard&) = delete;
+
+ private:
+  int n_;
+};
+
+class ThreadPool {
+ public:
+  /// The process-wide pool. Workers are spawned lazily, up to the budget.
+  static ThreadPool& global();
+
+  /// True on a pool worker thread (used to run nested regions inline).
+  static bool on_worker_thread();
+
+  /// Splits [0, n) into ceil(n / grain) fixed-size chunks and runs
+  /// body(begin, end) for each, using up to effective_threads() threads
+  /// (the caller participates). Runs inline when parallelism is 1, the work
+  /// is a single chunk, or we are already on a worker thread.
+  void parallel_for(index_t n, index_t grain,
+                    const std::function<void(index_t, index_t)>& body);
+
+  /// Splits [0, n) into at most `parts` contiguous ranges of near-equal size
+  /// and runs body(begin, end) for each. Used by GEMM to hand each thread one
+  /// tile-aligned slab.
+  void parallel_ranges(index_t n, int parts,
+                       const std::function<void(index_t, index_t)>& body);
+
+  ~ThreadPool();
+
+ private:
+  ThreadPool() = default;
+  void run_call(const std::function<void(index_t, index_t)>& body, index_t num_chunks,
+                index_t grain, index_t n, int max_threads);
+  void ensure_workers(int count);
+
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+}  // namespace optimus::kernel

@@ -4,6 +4,7 @@
 
 #include "model/attention.hpp"
 #include "model/param_init.hpp"
+#include "tensor/parallel.hpp"
 
 namespace optimus::megatron {
 
@@ -269,23 +270,27 @@ T MegatronTransformer<T>::lm_loss(const ITensor& labels) {
 
   // Vocab-parallel softmax statistics.
   TensorT<T> m(Shape{bs});
-  for (index_t r = 0; r < bs; ++r) {
-    T mx = logits[r * v_local];
-    for (index_t j = 1; j < v_local; ++j) mx = std::max(mx, logits[r * v_local + j]);
-    m[r] = mx;
-  }
+  tensor::parallel_rows(bs, v_local, [&](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      T mx = logits[r * v_local];
+      for (index_t j = 1; j < v_local; ++j) mx = std::max(mx, logits[r * v_local + j]);
+      m[r] = mx;
+    }
+  });
   comm_->all_reduce_max(m);
   lm_exp_ = TensorT<T>(logits.shape());
   TensorT<T> z(Shape{bs});
-  for (index_t r = 0; r < bs; ++r) {
-    T sum{0};
-    for (index_t j = 0; j < v_local; ++j) {
-      const T e = std::exp(logits[r * v_local + j] - m[r]);
-      lm_exp_[r * v_local + j] = e;
-      sum += e;
+  tensor::parallel_rows(bs, v_local, [&](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      T sum{0};
+      for (index_t j = 0; j < v_local; ++j) {
+        const T e = std::exp(logits[r * v_local + j] - m[r]);
+        lm_exp_[r * v_local + j] = e;
+        sum += e;
+      }
+      z[r] = sum;
     }
-    z[r] = sum;
-  }
+  });
   comm_->all_reduce(z);
   // Label term: exactly one rank owns each label column.
   TensorT<T> xl = TensorT<T>::zeros(Shape{bs});
@@ -318,17 +323,19 @@ void MegatronTransformer<T>::backward_lm() {
   const T scale = lm_active_ > 0 ? T{1} / static_cast<T>(lm_active_) : T{0};
 
   TensorT<T> dlogits(Shape{bs, v_local});
-  for (index_t r = 0; r < bs; ++r) {
-    const index_t label = lm_labels_[r];
-    T* row = dlogits.data() + r * v_local;
-    if (label < 0) {
-      std::fill(row, row + v_local, T{0});
-      continue;
+  tensor::parallel_rows(bs, v_local, [&](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      const index_t label = lm_labels_[r];
+      T* row = dlogits.data() + r * v_local;
+      if (label < 0) {
+        std::fill(row, row + v_local, T{0});
+        continue;
+      }
+      const T* erow = lm_exp_.data() + r * v_local;
+      for (index_t j = 0; j < v_local; ++j) row[j] = scale * erow[j] * lm_inv_z_[r];
+      if (label >= v_begin && label < v_begin + v_local) row[label - v_begin] -= scale;
     }
-    const T* erow = lm_exp_.data() + r * v_local;
-    for (index_t j = 0; j < v_local; ++j) row[j] = scale * erow[j] * lm_inv_z_[r];
-    if (label >= v_begin && label < v_begin + v_local) row[label - v_begin] -= scale;
-  }
+  });
   // dX partial from this vocab slice, then all-reduce.
   TensorT<T> d_hidden(Shape{bs, cfg_.hidden});
   ops::gemm(d_hidden, dlogits, embedding_);

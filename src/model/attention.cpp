@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
 
 namespace optimus::model {
 
@@ -36,8 +37,13 @@ void attention_forward(const TensorT<T>& qkv, index_t b, index_t s, index_t head
   OPT_CHECK(probs.numel() == b * heads * s * s, "probs buffer mismatch");
   const T scale = T{1} / static_cast<T>(std::sqrt(static_cast<double>(d)));
 
-  for (index_t bi = 0; bi < b; ++bi) {
-    for (index_t hi = 0; hi < heads; ++hi) {
+  // Heads are fully independent (disjoint P and C slices, no allocation in
+  // the body), so the (batch, head) loop is the natural intra-op parallel
+  // axis; the per-head GEMMs then run serially on their worker.
+  tensor::parallel_for(b * heads, /*grain=*/1, [&](index_t w0, index_t w1) {
+    for (index_t w = w0; w < w1; ++w) {
+      const index_t bi = w / heads;
+      const index_t hi = w % heads;
       const T* base = qkv.data() + bi * s * qkv_cols + hi * 3 * d;
       const T* Q = base;          // [s, d], row stride qkv_cols
       const T* K = base + d;      // [s, d]
@@ -57,7 +63,7 @@ void attention_forward(const TensorT<T>& qkv, index_t b, index_t s, index_t head
       ops::gemm_raw(C, P, V, s, d, s, s, qkv_cols, ctx_cols, ops::Trans::No, ops::Trans::No,
                     T{1}, T{0});
     }
-  }
+  });
 }
 
 template <typename T>

@@ -5,16 +5,25 @@
 #include <cstring>
 #include <limits>
 
+#include "kernel/gemm.hpp"
+#include "tensor/parallel.hpp"
+
 namespace optimus::tensor::ops {
 
 namespace {
 
-// Blocked micro-kernel sizes for the NN case. On the simulation host only
-// correctness and flop counts matter, but a blocked loop keeps moderate
-// problem sizes (tests sweep up to h≈256) fast enough to iterate on.
+// Blocked micro-kernel sizes for the naive reference path. The production
+// path lives in src/kernel/ (packed panels + register tiling + intra-op
+// threading); this blocked loop is kept as the bench baseline and the
+// correctness oracle for the kernel tests.
 constexpr index_t kBlockM = 32;
 constexpr index_t kBlockN = 64;
 constexpr index_t kBlockK = 64;
+
+// Below this many multiplications the kernel layer's packing overhead is not
+// worth it; the naive blocked loop wins. Shape-only rule, so dispatch is
+// deterministic.
+constexpr index_t kKernelDispatchCutoff = 16 * 16 * 16;
 
 template <typename T>
 inline T element(const T* M, index_t ld, Trans trans, index_t r, index_t c) {
@@ -27,8 +36,21 @@ template <typename T>
 void gemm_raw(T* C, const T* A, const T* B, index_t m, index_t n, index_t k, index_t lda,
               index_t ldb, index_t ldc, Trans trans_a, Trans trans_b, T alpha, T beta) {
   DeviceContext::current().on_mults(static_cast<std::uint64_t>(m) * n * k);
+  if (m * n * k >= kKernelDispatchCutoff) {
+    kernel::gemm(C, A, B, m, n, k, lda, ldb, ldc,
+                 trans_a == Trans::No ? kernel::Trans::No : kernel::Trans::Yes,
+                 trans_b == Trans::No ? kernel::Trans::No : kernel::Trans::Yes, alpha, beta);
+    return;
+  }
+  gemm_naive_raw(C, A, B, m, n, k, lda, ldb, ldc, trans_a, trans_b, alpha, beta);
+}
 
-  // Scale C by beta first so the accumulation loops can always +=.
+template <typename T>
+void gemm_naive_raw(T* C, const T* A, const T* B, index_t m, index_t n, index_t k, index_t lda,
+                    index_t ldb, index_t ldc, Trans trans_a, Trans trans_b, T alpha, T beta) {
+  // Apply beta first so the accumulation loops can always +=. beta == 0
+  // stores (never scales): C may legitimately hold NaN/Inf garbage, e.g. an
+  // uninitialised Arena slab handed out by summa::make_temp.
   for (index_t i = 0; i < m; ++i) {
     T* c_row = C + i * ldc;
     if (beta == T{0}) {
@@ -137,13 +159,22 @@ TensorT<T> matmul(const TensorT<T>& A, const TensorT<T>& B, Trans trans_a, Trans
   return C;
 }
 
+namespace {
+
+// Flat elementwise chunking: big enough to amortise pool dispatch, small
+// enough to spread medium tensors across workers.
+constexpr index_t kElemGrain = 1 << 14;
+
+}  // namespace
+
 template <typename T>
 void add_(TensorT<T>& y, const TensorT<T>& x) {
   OPT_CHECK(y.numel() == x.numel(), "add_ size mismatch");
   T* yp = y.data();
   const T* xp = x.data();
-  const index_t n = y.numel();
-  for (index_t i = 0; i < n; ++i) yp[i] += xp[i];
+  parallel_for(y.numel(), kElemGrain, [&](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i) yp[i] += xp[i];
+  });
 }
 
 template <typename T>
@@ -151,8 +182,9 @@ void sub_(TensorT<T>& y, const TensorT<T>& x) {
   OPT_CHECK(y.numel() == x.numel(), "sub_ size mismatch");
   T* yp = y.data();
   const T* xp = x.data();
-  const index_t n = y.numel();
-  for (index_t i = 0; i < n; ++i) yp[i] -= xp[i];
+  parallel_for(y.numel(), kElemGrain, [&](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i) yp[i] -= xp[i];
+  });
 }
 
 template <typename T>
@@ -160,15 +192,17 @@ void axpy_(TensorT<T>& y, T alpha, const TensorT<T>& x) {
   OPT_CHECK(y.numel() == x.numel(), "axpy_ size mismatch");
   T* yp = y.data();
   const T* xp = x.data();
-  const index_t n = y.numel();
-  for (index_t i = 0; i < n; ++i) yp[i] += alpha * xp[i];
+  parallel_for(y.numel(), kElemGrain, [&](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i) yp[i] += alpha * xp[i];
+  });
 }
 
 template <typename T>
 void scale_(TensorT<T>& y, T alpha) {
   T* yp = y.data();
-  const index_t n = y.numel();
-  for (index_t i = 0; i < n; ++i) yp[i] *= alpha;
+  parallel_for(y.numel(), kElemGrain, [&](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i) yp[i] *= alpha;
+  });
 }
 
 template <typename T>
@@ -187,10 +221,12 @@ void add_bias_(TensorT<T>& y, const TensorT<T>& bias) {
   const index_t rows = y.numel() / cols;
   T* yp = y.data();
   const T* bp = bias.data();
-  for (index_t r = 0; r < rows; ++r) {
-    T* row = yp + r * cols;
-    for (index_t j = 0; j < cols; ++j) row[j] += bp[j];
-  }
+  parallel_rows(rows, cols, [&](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      T* row = yp + r * cols;
+      for (index_t j = 0; j < cols; ++j) row[j] += bp[j];
+    }
+  });
 }
 
 template <typename T>
@@ -201,10 +237,14 @@ void bias_grad(const TensorT<T>& dy, TensorT<T>& dbias, bool accumulate) {
   if (!accumulate) dbias.zero();
   const T* dp = dy.data();
   T* bp = dbias.data();
-  for (index_t r = 0; r < rows; ++r) {
-    const T* row = dp + r * cols;
-    for (index_t j = 0; j < cols; ++j) bp[j] += row[j];
-  }
+  // Parallel over column blocks, rows accumulated in order inside each —
+  // bitwise identical to the serial loop for any thread count.
+  parallel_for(cols, /*grain=*/64, [&](index_t j0, index_t j1) {
+    for (index_t r = 0; r < rows; ++r) {
+      const T* row = dp + r * cols;
+      for (index_t j = j0; j < j1; ++j) bp[j] += row[j];
+    }
+  });
 }
 
 namespace {
@@ -234,8 +274,9 @@ void gelu_forward(const TensorT<T>& x, TensorT<T>& y) {
   OPT_CHECK(x.numel() == y.numel(), "gelu size mismatch");
   const T* xp = x.data();
   T* yp = y.data();
-  const index_t n = x.numel();
-  for (index_t i = 0; i < n; ++i) yp[i] = gelu_scalar(xp[i]);
+  parallel_for(x.numel(), kElemGrain, [&](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i) yp[i] = gelu_scalar(xp[i]);
+  });
 }
 
 template <typename T>
@@ -244,12 +285,13 @@ void gelu_backward(const TensorT<T>& x, const TensorT<T>& dy, TensorT<T>& dx, bo
   const T* xp = x.data();
   const T* dyp = dy.data();
   T* dxp = dx.data();
-  const index_t n = x.numel();
-  if (accumulate) {
-    for (index_t i = 0; i < n; ++i) dxp[i] += gelu_grad_scalar(xp[i]) * dyp[i];
-  } else {
-    for (index_t i = 0; i < n; ++i) dxp[i] = gelu_grad_scalar(xp[i]) * dyp[i];
-  }
+  parallel_for(x.numel(), kElemGrain, [&](index_t i0, index_t i1) {
+    if (accumulate) {
+      for (index_t i = i0; i < i1; ++i) dxp[i] += gelu_grad_scalar(xp[i]) * dyp[i];
+    } else {
+      for (index_t i = i0; i < i1; ++i) dxp[i] = gelu_grad_scalar(xp[i]) * dyp[i];
+    }
+  });
 }
 
 template <typename T>
@@ -259,19 +301,21 @@ void softmax_lastdim(const TensorT<T>& x, TensorT<T>& y) {
   const index_t rows = x.numel() / cols;
   const T* xp = x.data();
   T* yp = y.data();
-  for (index_t r = 0; r < rows; ++r) {
-    const T* in = xp + r * cols;
-    T* out = yp + r * cols;
-    T mx = in[0];
-    for (index_t j = 1; j < cols; ++j) mx = std::max(mx, in[j]);
-    T sum{0};
-    for (index_t j = 0; j < cols; ++j) {
-      out[j] = std::exp(in[j] - mx);
-      sum += out[j];
+  parallel_rows(rows, cols, [&](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      const T* in = xp + r * cols;
+      T* out = yp + r * cols;
+      T mx = in[0];
+      for (index_t j = 1; j < cols; ++j) mx = std::max(mx, in[j]);
+      T sum{0};
+      for (index_t j = 0; j < cols; ++j) {
+        out[j] = std::exp(in[j] - mx);
+        sum += out[j];
+      }
+      const T inv = T{1} / sum;
+      for (index_t j = 0; j < cols; ++j) out[j] *= inv;
     }
-    const T inv = T{1} / sum;
-    for (index_t j = 0; j < cols; ++j) out[j] *= inv;
-  }
+  });
 }
 
 template <typename T>
@@ -282,14 +326,16 @@ void softmax_backward_lastdim(const TensorT<T>& y, const TensorT<T>& dy, TensorT
   const T* yp = y.data();
   const T* dyp = dy.data();
   T* dxp = dx.data();
-  for (index_t r = 0; r < rows; ++r) {
-    const T* yr = yp + r * cols;
-    const T* dyr = dyp + r * cols;
-    T* dxr = dxp + r * cols;
-    T dot{0};
-    for (index_t j = 0; j < cols; ++j) dot += yr[j] * dyr[j];
-    for (index_t j = 0; j < cols; ++j) dxr[j] = yr[j] * (dyr[j] - dot);
-  }
+  parallel_rows(rows, cols, [&](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      const T* yr = yp + r * cols;
+      const T* dyr = dyp + r * cols;
+      T* dxr = dxp + r * cols;
+      T dot{0};
+      for (index_t j = 0; j < cols; ++j) dot += yr[j] * dyr[j];
+      for (index_t j = 0; j < cols; ++j) dxr[j] = yr[j] * (dyr[j] - dot);
+    }
+  });
 }
 
 template <typename T>
@@ -306,24 +352,26 @@ void layernorm_forward(const TensorT<T>& x, const TensorT<T>& gamma, const Tenso
   T* yp = y.data();
   T* hp = xhat.data();
   T* sp = inv_std.data();
-  for (index_t r = 0; r < rows; ++r) {
-    const T* in = xp + r * h;
-    T sum{0}, sum_sq{0};
-    for (index_t j = 0; j < h; ++j) {
-      sum += in[j];
-      sum_sq += in[j] * in[j];
+  parallel_rows(rows, h, [&](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      const T* in = xp + r * h;
+      T sum{0}, sum_sq{0};
+      for (index_t j = 0; j < h; ++j) {
+        sum += in[j];
+        sum_sq += in[j] * in[j];
+      }
+      const T mean = sum / static_cast<T>(h);
+      const T var = sum_sq / static_cast<T>(h) - mean * mean;
+      const T istd = T{1} / std::sqrt(var + eps);
+      sp[r] = istd;
+      T* hr = hp + r * h;
+      T* yr = yp + r * h;
+      for (index_t j = 0; j < h; ++j) {
+        hr[j] = (in[j] - mean) * istd;
+        yr[j] = gp[j] * hr[j] + bp[j];
+      }
     }
-    const T mean = sum / static_cast<T>(h);
-    const T var = sum_sq / static_cast<T>(h) - mean * mean;
-    const T istd = T{1} / std::sqrt(var + eps);
-    sp[r] = istd;
-    T* hr = hp + r * h;
-    T* yr = yp + r * h;
-    for (index_t j = 0; j < h; ++j) {
-      hr[j] = (in[j] - mean) * istd;
-      yr[j] = gp[j] * hr[j] + bp[j];
-    }
-  }
+  });
 }
 
 template <typename T>
@@ -345,25 +393,38 @@ void layernorm_backward(const TensorT<T>& xhat, const TensorT<T>& inv_std,
   T* dxp = dx.data();
   T* dgp = dgamma.data();
   T* dbp = dbeta.data();
-  for (index_t r = 0; r < rows; ++r) {
-    const T* hr = hp + r * h;
-    const T* dyr = dyp + r * h;
-    T* dxr = dxp + r * h;
-    // dxhat = dy * gamma; two row statistics then the closed form from §3.2.2.
-    T sum_dxhat{0}, sum_dxhat_xhat{0};
-    for (index_t j = 0; j < h; ++j) {
-      const T dxh = dyr[j] * gp[j];
-      sum_dxhat += dxh;
-      sum_dxhat_xhat += dxh * hr[j];
-      dgp[j] += dyr[j] * hr[j];
-      dbp[j] += dyr[j];
+  // Pass 1 — dx, row-parallel: dxhat = dy * gamma, two row statistics, then
+  // the closed form from §3.2.2.
+  parallel_rows(rows, h, [&](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      const T* hr = hp + r * h;
+      const T* dyr = dyp + r * h;
+      T* dxr = dxp + r * h;
+      T sum_dxhat{0}, sum_dxhat_xhat{0};
+      for (index_t j = 0; j < h; ++j) {
+        const T dxh = dyr[j] * gp[j];
+        sum_dxhat += dxh;
+        sum_dxhat_xhat += dxh * hr[j];
+      }
+      const T inv_h = T{1} / static_cast<T>(h);
+      for (index_t j = 0; j < h; ++j) {
+        const T dxh = dyr[j] * gp[j];
+        dxr[j] = sp[r] * (dxh - inv_h * sum_dxhat - inv_h * sum_dxhat_xhat * hr[j]);
+      }
     }
-    const T inv_h = T{1} / static_cast<T>(h);
-    for (index_t j = 0; j < h; ++j) {
-      const T dxh = dyr[j] * gp[j];
-      dxr[j] = sp[r] * (dxh - inv_h * sum_dxhat - inv_h * sum_dxhat_xhat * hr[j]);
+  });
+  // Pass 2 — parameter grads, column-parallel with rows accumulated in order:
+  // bitwise identical to the serial loop for any thread count.
+  parallel_for(h, /*grain=*/64, [&](index_t j0, index_t j1) {
+    for (index_t r = 0; r < rows; ++r) {
+      const T* hr = hp + r * h;
+      const T* dyr = dyp + r * h;
+      for (index_t j = j0; j < j1; ++j) {
+        dgp[j] += dyr[j] * hr[j];
+        dbp[j] += dyr[j];
+      }
     }
-  }
+  });
 }
 
 template <typename T>
@@ -397,17 +458,19 @@ void cross_entropy_backward(const TensorT<T>& probs, const ITensor& labels, T sc
   const T* pp = probs.data();
   const std::int32_t* lp = labels.data();
   T* dp = dlogits.data();
-  for (index_t r = 0; r < rows; ++r) {
-    const std::int32_t label = lp[r];
-    T* drow = dp + r * v;
-    if (label < 0) {
-      std::fill(drow, drow + v, T{0});
-      continue;
+  parallel_rows(rows, v, [&](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      const std::int32_t label = lp[r];
+      T* drow = dp + r * v;
+      if (label < 0) {
+        std::fill(drow, drow + v, T{0});
+        continue;
+      }
+      const T* prow = pp + r * v;
+      for (index_t j = 0; j < v; ++j) drow[j] = scale * prow[j];
+      drow[label] -= scale;
     }
-    const T* prow = pp + r * v;
-    for (index_t j = 0; j < v; ++j) drow[j] = scale * prow[j];
-    drow[label] -= scale;
-  }
+  });
 }
 
 template <typename T>
@@ -418,12 +481,14 @@ void embedding_forward(const TensorT<T>& table, const ITensor& tokens, TensorT<T
   const index_t rows = tokens.numel();
   OPT_CHECK(y.numel() == rows * h, "embedding output mismatch");
   const std::int32_t* tp = tokens.data();
-  for (index_t r = 0; r < rows; ++r) {
-    const std::int32_t tok = tp[r];
-    OPT_DCHECK(tok >= 0 && tok < v, "token " << tok << " out of vocab " << v);
-    std::memcpy(y.data() + r * h, table.data() + static_cast<index_t>(tok) * h,
-                static_cast<std::size_t>(h) * sizeof(T));
-  }
+  parallel_rows(rows, h, [&](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      const std::int32_t tok = tp[r];
+      OPT_DCHECK(tok >= 0 && tok < v, "token " << tok << " out of vocab " << v);
+      std::memcpy(y.data() + r * h, table.data() + static_cast<index_t>(tok) * h,
+                  static_cast<std::size_t>(h) * sizeof(T));
+    }
+  });
 }
 
 template <typename T>
@@ -496,13 +561,17 @@ void fill_counter_uniform(TensorT<T>& block, const util::CounterRng& rng, std::u
   const index_t rows = block.size(0);
   const index_t cols = block.size(1);
   OPT_CHECK(col0 + cols <= global_cols, "block exceeds global matrix width");
-  for (index_t r = 0; r < rows; ++r) {
-    for (index_t c = 0; c < cols; ++c) {
-      const std::uint64_t idx =
-          static_cast<std::uint64_t>(row0 + r) * global_cols + (col0 + c);
-      block.at(r, c) = static_cast<T>(rng.symmetric_at(stream, idx, scale));
+  // Counter-based RNG is a pure function of the global index, so rows can be
+  // filled in parallel without changing a single value.
+  parallel_rows(rows, cols, [&](index_t rb, index_t re) {
+    for (index_t r = rb; r < re; ++r) {
+      for (index_t c = 0; c < cols; ++c) {
+        const std::uint64_t idx =
+            static_cast<std::uint64_t>(row0 + r) * global_cols + (col0 + c);
+        block.at(r, c) = static_cast<T>(rng.symmetric_at(stream, idx, scale));
+      }
     }
-  }
+  });
 }
 
 template <typename T, typename U>
@@ -510,8 +579,9 @@ TensorT<U> cast(const TensorT<T>& src) {
   TensorT<U> dst(src.shape());
   const T* sp = src.data();
   U* dp = dst.data();
-  const index_t n = src.numel();
-  for (index_t i = 0; i < n; ++i) dp[i] = static_cast<U>(sp[i]);
+  parallel_for(src.numel(), kElemGrain, [&](index_t i0, index_t i1) {
+    for (index_t i = i0; i < i1; ++i) dp[i] = static_cast<U>(sp[i]);
+  });
   return dst;
 }
 
@@ -522,6 +592,8 @@ TensorT<U> cast(const TensorT<T>& src) {
 #define OPTIMUS_INSTANTIATE_OPS(T)                                                             \
   template void gemm_raw<T>(T*, const T*, const T*, index_t, index_t, index_t, index_t,       \
                             index_t, index_t, Trans, Trans, T, T);                             \
+  template void gemm_naive_raw<T>(T*, const T*, const T*, index_t, index_t, index_t,          \
+                                  index_t, index_t, index_t, Trans, Trans, T, T);              \
   template void gemm<T>(TensorT<T>&, const TensorT<T>&, const TensorT<T>&, Trans, Trans, T,   \
                         T);                                                                    \
   template TensorT<T> matmul<T>(const TensorT<T>&, const TensorT<T>&, Trans, Trans);          \

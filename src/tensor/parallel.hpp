@@ -1,0 +1,47 @@
+#pragma once
+
+// Accounting-aware bridge from the tensor layer onto the kernel thread pool.
+//
+// Pool workers have no ScopedDevice installed, so anything they run that
+// allocates tensors or charges mults would be billed to the process-default
+// DeviceContext — invisible to the simulated clock and the memory accountant.
+// These wrappers capture the submitting thread's context and install it
+// around every chunk, so ops parallelised under a simulated device keep
+// charging that device (the counters are atomics; concurrent charging from
+// several workers is safe).
+//
+// Determinism contract (DESIGN.md §5): bodies must write disjoint outputs
+// per chunk and keep any reduction's accumulation order a function of the
+// problem size only — never of the chunking or thread count.
+
+#include <functional>
+
+#include "kernel/thread_pool.hpp"
+#include "tensor/device_context.hpp"
+#include "tensor/shape.hpp"
+
+namespace optimus::tensor {
+
+/// Runs body(begin, end) over [0, n) in fixed `grain`-sized chunks on the
+/// kernel pool, with the caller's DeviceContext installed on every worker.
+inline void parallel_for(index_t n, index_t grain,
+                         const std::function<void(index_t, index_t)>& body) {
+  DeviceContext& dev = DeviceContext::current();
+  kernel::ThreadPool::global().parallel_for(
+      n, grain, [&dev, &body](kernel::index_t begin, kernel::index_t end) {
+        ScopedDevice scoped(dev);
+        body(begin, end);
+      });
+}
+
+/// parallel_for with the grain chosen so one chunk covers roughly
+/// `target_elems` scalars of `row_width`-wide rows — keeps per-chunk work
+/// large enough to amortise dispatch for both skinny and wide rows.
+inline void parallel_rows(index_t rows, index_t row_width,
+                          const std::function<void(index_t, index_t)>& body,
+                          index_t target_elems = 1 << 14) {
+  const index_t grain = std::max<index_t>(1, target_elems / std::max<index_t>(1, row_width));
+  parallel_for(rows, grain, body);
+}
+
+}  // namespace optimus::tensor

@@ -1,0 +1,319 @@
+// Tests for the dense kernel layer (src/kernel/): packed GEMM correctness
+// across all transpose forms / odd shapes / alpha-beta combinations, bitwise
+// determinism across thread counts, beta==0 store semantics over poisoned
+// memory, the shared thread budget, and the pool itself.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "kernel/gemm.hpp"
+#include "kernel/thread_pool.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace ok = optimus::kernel;
+namespace ops = optimus::tensor::ops;
+using index_t = ok::index_t;
+
+template <typename T>
+std::vector<T> random_buffer(index_t n, std::uint64_t seed) {
+  optimus::util::Rng rng(seed);
+  std::vector<T> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<T>(rng.uniform(-1, 1));
+  return v;
+}
+
+// Textbook reference: C = alpha·op(A)·op(B) + beta·C, beta == 0 stores.
+template <typename T>
+void gemm_reference(T* C, const T* A, const T* B, index_t m, index_t n, index_t k,
+                    index_t lda, index_t ldb, index_t ldc, ok::Trans ta, ok::Trans tb,
+                    T alpha, T beta) {
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      T acc{0};
+      for (index_t p = 0; p < k; ++p) {
+        const T a = ta == ok::Trans::No ? A[i * lda + p] : A[p * lda + i];
+        const T b = tb == ok::Trans::No ? B[p * ldb + j] : B[j * ldb + p];
+        acc += a * b;
+      }
+      T& c = C[i * ldc + j];
+      c = beta == T{0} ? alpha * acc : alpha * acc + beta * c;
+    }
+  }
+}
+
+template <typename T>
+T tolerance(index_t k);
+template <>
+float tolerance<float>(index_t k) {
+  return 1e-5f * static_cast<float>(k + 1);
+}
+template <>
+double tolerance<double>(index_t k) {
+  return 1e-12 * static_cast<double>(k + 1);
+}
+
+// Runs one (m, n, k, ta, tb, alpha, beta) case against the reference, on both
+// the packed single-thread path and the threaded entry point, with padded row
+// strides to exercise non-contiguous layouts.
+template <typename T>
+void check_case(index_t m, index_t n, index_t k, ok::Trans ta, ok::Trans tb, T alpha,
+                T beta) {
+  const index_t pad = 3;
+  const index_t lda = (ta == ok::Trans::No ? k : m) + pad;
+  const index_t ldb = (tb == ok::Trans::No ? n : k) + pad;
+  const index_t ldc = n + pad;
+  const index_t a_rows = ta == ok::Trans::No ? m : k;
+  const index_t b_rows = tb == ok::Trans::No ? k : n;
+
+  auto A = random_buffer<T>(a_rows * lda, 11);
+  auto B = random_buffer<T>(b_rows * ldb, 22);
+  auto C0 = random_buffer<T>(m * ldc, 33);
+
+  std::vector<T> want = C0;
+  gemm_reference(want.data(), A.data(), B.data(), m, n, k, lda, ldb, ldc, ta, tb, alpha,
+                 beta);
+
+  const T tol = tolerance<T>(k) * (std::abs(alpha) + std::abs(beta) + T{1});
+  SCOPED_TRACE(::testing::Message()
+               << "m=" << m << " n=" << n << " k=" << k << " ta=" << int(ta)
+               << " tb=" << int(tb) << " alpha=" << alpha << " beta=" << beta);
+
+  std::vector<T> got = C0;
+  ok::gemm_packed(got.data(), A.data(), B.data(), m, n, k, lda, ldb, ldc, ta, tb, alpha,
+                  beta);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      ASSERT_NEAR(got[i * ldc + j], want[i * ldc + j], tol) << "packed at " << i << "," << j;
+    }
+  }
+  // Padding bytes must be untouched.
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = n; j < ldc; ++j) {
+      ASSERT_EQ(got[i * ldc + j], C0[i * ldc + j]) << "padding clobbered at " << i << "," << j;
+    }
+  }
+
+  ok::set_threads(4);
+  std::vector<T> got_mt = C0;
+  ok::gemm(got_mt.data(), A.data(), B.data(), m, n, k, lda, ldb, ldc, ta, tb, alpha, beta);
+  ok::set_threads(0);
+  EXPECT_EQ(0, std::memcmp(got_mt.data(), got.data(), got.size() * sizeof(T)))
+      << "threaded result differs from packed";
+}
+
+TEST(KernelGemm, SmallShapeSweepF32) {
+  const index_t sizes[] = {1, 2, 3, 5, 8, 13, 17, 33};
+  const ok::Trans forms[] = {ok::Trans::No, ok::Trans::Yes};
+  int case_idx = 0;
+  for (index_t m : sizes) {
+    for (index_t n : sizes) {
+      for (index_t k : sizes) {
+        // Rotate through transpose forms and alpha/beta pairs so the sweep
+        // stays fast but every combination appears many times across shapes.
+        const ok::Trans ta = forms[case_idx % 2];
+        const ok::Trans tb = forms[(case_idx / 2) % 2];
+        const float alphas[] = {1.0f, -0.5f, 0.0f};
+        const float betas[] = {0.0f, 1.0f, -0.5f};
+        const float alpha = alphas[case_idx % 3];
+        const float beta = betas[(case_idx / 3) % 3];
+        check_case<float>(m, n, k, ta, tb, alpha, beta);
+        ++case_idx;
+      }
+    }
+  }
+}
+
+TEST(KernelGemm, AllTransposeFormsAllAlphaBetaF32) {
+  // One fixed odd shape, the full 4×9 cross product.
+  for (ok::Trans ta : {ok::Trans::No, ok::Trans::Yes}) {
+    for (ok::Trans tb : {ok::Trans::No, ok::Trans::Yes}) {
+      for (float alpha : {0.0f, 1.0f, -0.5f}) {
+        for (float beta : {0.0f, 1.0f, -0.5f}) {
+          check_case<float>(13, 19, 29, ta, tb, alpha, beta);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelGemm, AllTransposeFormsF64) {
+  for (ok::Trans ta : {ok::Trans::No, ok::Trans::Yes}) {
+    for (ok::Trans tb : {ok::Trans::No, ok::Trans::Yes}) {
+      check_case<double>(17, 23, 31, ta, tb, 1.0, 0.0);
+      check_case<double>(5, 67, 7, ta, tb, -0.5, 1.0);
+    }
+  }
+}
+
+TEST(KernelGemm, LargerThanOnePanel) {
+  // Crosses the kMC/kKC/kNC panel boundaries (and the microkernel edge
+  // handling) in one go.
+  check_case<float>(131, 1031, 261, ok::Trans::No, ok::Trans::No, 1.0f, 0.0f);
+  check_case<float>(70, 90, 300, ok::Trans::Yes, ok::Trans::Yes, -0.5f, 1.0f);
+}
+
+TEST(KernelGemm, DeterministicAcrossThreadCounts) {
+  // Bitwise identical output for 1 vs 4 threads (DESIGN.md §5).
+  const index_t m = 137, n = 93, k = 211;
+  auto A = random_buffer<float>(m * k, 7);
+  auto B = random_buffer<float>(k * n, 8);
+  std::vector<float> c1(static_cast<std::size_t>(m * n)), c4 = c1;
+
+  ok::set_threads(1);
+  ok::gemm(c1.data(), A.data(), B.data(), m, n, k, k, n, n, ok::Trans::No, ok::Trans::No,
+           1.0f, 0.0f);
+  ok::set_threads(4);
+  ok::gemm(c4.data(), A.data(), B.data(), m, n, k, k, n, n, ok::Trans::No, ok::Trans::No,
+           1.0f, 0.0f);
+  ok::set_threads(0);
+  EXPECT_EQ(0, std::memcmp(c1.data(), c4.data(), c1.size() * sizeof(float)));
+}
+
+TEST(KernelGemm, BetaZeroStoresOverNaN) {
+  // beta == 0 must *store*, never scale: a C buffer full of NaN (as carved
+  // from an uninitialised Arena) must come out finite.
+  const index_t m = 37, n = 41, k = 53;
+  auto A = random_buffer<float>(m * k, 1);
+  auto B = random_buffer<float>(k * n, 2);
+  std::vector<float> want(static_cast<std::size_t>(m * n), 0.0f);
+  gemm_reference(want.data(), A.data(), B.data(), m, n, k, k, n, n, ok::Trans::No,
+                 ok::Trans::No, 1.0f, 0.0f);
+
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (auto* path : {"packed", "threaded", "dispatch"}) {
+    std::vector<float> C(static_cast<std::size_t>(m * n), nan);
+    if (std::string(path) == "packed") {
+      ok::gemm_packed(C.data(), A.data(), B.data(), m, n, k, k, n, n, ok::Trans::No,
+                      ok::Trans::No, 1.0f, 0.0f);
+    } else if (std::string(path) == "threaded") {
+      ok::set_threads(4);
+      ok::gemm(C.data(), A.data(), B.data(), m, n, k, k, n, n, ok::Trans::No, ok::Trans::No,
+               1.0f, 0.0f);
+      ok::set_threads(0);
+    } else {
+      ops::gemm_raw(C.data(), A.data(), B.data(), m, n, k, k, n, n, ops::Trans::No,
+                    ops::Trans::No, 1.0f, 0.0f);
+    }
+    for (std::size_t i = 0; i < C.size(); ++i) {
+      ASSERT_TRUE(std::isfinite(C[i])) << path << " left non-finite at " << i;
+      ASSERT_NEAR(C[i], want[i], 1e-4f) << path << " wrong at " << i;
+    }
+  }
+  // Degenerate k == 0 with beta == 0 must also store zeros, not NaN·0.
+  std::vector<float> C(static_cast<std::size_t>(m * n), nan);
+  ok::gemm_packed(C.data(), A.data(), B.data(), m, n, /*k=*/0, k, n, n, ok::Trans::No,
+                  ok::Trans::No, 1.0f, 0.0f);
+  for (float v : C) ASSERT_EQ(v, 0.0f);
+}
+
+TEST(KernelRowOps, DeterministicAcrossThreadCounts) {
+  // A row-parallel kernel (softmax) and a column-parallel reduction
+  // (bias_grad) must both be bitwise thread-count independent.
+  using optimus::tensor::Shape;
+  using optimus::tensor::TensorT;
+  const index_t rows = 97, cols = 201;
+  TensorT<float> x(Shape{rows, cols});
+  optimus::util::Rng rng(3);
+  for (index_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(rng.uniform(-4, 4));
+
+  TensorT<float> y1(Shape{rows, cols}), y4(Shape{rows, cols});
+  TensorT<float> g1(Shape{cols}), g4(Shape{cols});
+
+  ok::set_threads(1);
+  ops::softmax_lastdim(x, y1);
+  ops::bias_grad(x, g1, /*accumulate=*/false);
+  ok::set_threads(4);
+  ops::softmax_lastdim(x, y4);
+  ops::bias_grad(x, g4, /*accumulate=*/false);
+  ok::set_threads(0);
+
+  EXPECT_EQ(0, std::memcmp(y1.data(), y4.data(), sizeof(float) * y1.numel()));
+  EXPECT_EQ(0, std::memcmp(g1.data(), g4.data(), sizeof(float) * g1.numel()));
+}
+
+TEST(KernelThreadBudget, SharedWithDevices) {
+  ok::set_threads(8);
+  EXPECT_EQ(ok::configured_threads(), 8);
+  EXPECT_EQ(ok::effective_threads(), 8);
+  {
+    ok::ActiveDevicesGuard guard(4);
+    EXPECT_EQ(ok::active_devices(), 4);
+    EXPECT_EQ(ok::effective_threads(), 2);  // 8 / 4
+    {
+      ok::ActiveDevicesGuard nested(12);
+      EXPECT_EQ(ok::active_devices(), 16);
+      EXPECT_EQ(ok::effective_threads(), 1);  // floor at 1
+    }
+    EXPECT_EQ(ok::active_devices(), 4);
+  }
+  EXPECT_EQ(ok::active_devices(), 0);
+  ok::set_threads(0);
+  EXPECT_GE(ok::configured_threads(), 1);
+}
+
+TEST(KernelThreadPool, CoversEveryChunkExactlyOnce) {
+  ok::set_threads(4);
+  const index_t n = 1000, grain = 7;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  for (auto& h : hits) h.store(0);
+  ok::ThreadPool::global().parallel_for(n, grain, [&](index_t b, index_t e) {
+    EXPECT_LT(b, e);
+    EXPECT_LE(e - b, grain);
+    for (index_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (index_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+  ok::set_threads(0);
+}
+
+TEST(KernelThreadPool, ParallelRangesCoverAndAreContiguous) {
+  ok::set_threads(4);
+  std::vector<std::atomic<int>> hits(103);
+  for (auto& h : hits) h.store(0);
+  ok::ThreadPool::global().parallel_ranges(103, 4, [&](index_t b, index_t e) {
+    for (index_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+  ok::set_threads(0);
+}
+
+TEST(KernelThreadPool, PropagatesExceptions) {
+  ok::set_threads(4);
+  EXPECT_THROW(
+      ok::ThreadPool::global().parallel_for(100, 1,
+                                            [&](index_t b, index_t) {
+                                              if (b == 57) throw std::runtime_error("boom");
+                                            }),
+      std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::atomic<int> count{0};
+  ok::ThreadPool::global().parallel_for(10, 1, [&](index_t, index_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+  ok::set_threads(0);
+}
+
+TEST(KernelThreadPool, NestedRegionsRunInline) {
+  // A nested region on a worker thread may be collapsed to a single inline
+  // body(0, n) call, so count *covered indices*, not invocations: the range
+  // must be covered exactly once either way, with no deadlock.
+  ok::set_threads(4);
+  std::atomic<int> total{0};
+  ok::ThreadPool::global().parallel_for(8, 1, [&](index_t, index_t) {
+    ok::ThreadPool::global().parallel_for(
+        5, 1, [&](index_t b, index_t e) { total += static_cast<int>(e - b); });
+  });
+  EXPECT_EQ(total.load(), 40);
+  ok::set_threads(0);
+}
+
+}  // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <mutex>
 
 #include "comm/cluster.hpp"
@@ -206,4 +208,45 @@ TEST(Summa, CommunicationVolumeMatchesAlgorithm1Accounting) {
   // log2(2) = 1 per broadcast in a group of 2.
   EXPECT_DOUBLE_EQ(s.broadcast.weighted, q * 24.0 + q * 48.0);
   EXPECT_EQ(s.reduce.calls, 0u);
+}
+
+TEST(Summa, NanPoisonedWorkspaceIsHarmless) {
+  // Regression for beta semantics in the kernel layer: with accumulate=false
+  // the first SUMMA step runs beta == 0, which must *store* into C and into
+  // any workspace-carved temporaries — never scale them. Poison the whole
+  // arena slab with NaN first; any read-before-write of workspace memory (or
+  // a beta path that multiplies stale C) surfaces as NaN in the result.
+  const int q = 2;
+  const ot::index_t m = 8, k = 12, n = 16;
+  optimus::util::Rng rng(29);
+  DTensor A_global = optimus::testing::random_dtensor(Shape{m, k}, rng);
+  DTensor B_global = optimus::testing::random_dtensor(Shape{k, n}, rng);
+  DTensor C_global = DTensor::zeros(Shape{m, n});
+  std::mutex mu;
+  oc::run_cluster(q * q, [&](oc::Context& ctx) {
+    om::Mesh2D mesh(ctx.world);
+    DTensor A = ot::matrix_block(A_global, q, mesh.row(), mesh.col());
+    DTensor B = ot::matrix_block(B_global, q, mesh.row(), mesh.col());
+    const std::uint64_t cap =
+        os::workspace_bytes(A.numel(), B.numel(), (m / q) * (n / q), sizeof(double));
+    ot::Arena ws("poisoned", cap);
+    {
+      // Fill the entire slab with NaN, then reset so SUMMA re-carves it.
+      DTensor poison = ws.alloc<double>(Shape{static_cast<ot::index_t>(cap / sizeof(double))});
+      const double nan = std::numeric_limits<double>::quiet_NaN();
+      for (ot::index_t i = 0; i < poison.numel(); ++i) poison[i] = nan;
+      ws.reset();
+    }
+    // C itself is also NaN-poisoned: accumulate=false must overwrite it.
+    DTensor C(Shape{m / q, n / q});
+    for (ot::index_t i = 0; i < C.numel(); ++i) C[i] = std::numeric_limits<double>::quiet_NaN();
+    os::summa_ab(mesh, A, B, C, /*accumulate=*/false, &ws);
+    std::lock_guard<std::mutex> lock(mu);
+    ot::set_matrix_block(C_global, q, mesh.row(), mesh.col(), C);
+  });
+  for (ot::index_t i = 0; i < C_global.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(C_global[i])) << "NaN leaked into C at " << i;
+  }
+  DTensor ref = ops::matmul(A_global, B_global);
+  EXPECT_LT(ops::max_abs_diff(C_global, ref), 1e-11);
 }
