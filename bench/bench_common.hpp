@@ -9,6 +9,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "model/config.hpp"
@@ -49,21 +50,27 @@ inline void print_header(const std::string& title) {
 }
 
 // Accumulates benchmark records and writes them as a JSON array with a fixed
-// schema: [{"name", "shape", "gflops", "wall_ms", "sim_ms"}, ...]. Records
-// where a field does not apply (e.g. sim_ms for host-only kernels) carry 0.
+// schema: [{"name", "shape", "gflops", "wall_ms", "sim_ms", ...}, ...].
+// Records where a field does not apply (e.g. sim_ms for host-only kernels)
+// carry 0. Each record may attach extra numeric metrics (collective bytes,
+// pool utilization, …) emitted as additional keys after the fixed ones.
 class JsonWriter {
  public:
+  using Metrics = std::vector<std::pair<std::string, double>>;
+
   struct Record {
     std::string name;   // benchmark id, e.g. "gemm_packed_f32"
     std::string shape;  // human-readable problem shape, e.g. "1024x1024x1024"
     double gflops = 0;  // useful-flop throughput (2mnk / wall)
     double wall_ms = 0; // measured host wall time per repetition
     double sim_ms = 0;  // simulated device time, when a sim clock is involved
+    Metrics metrics;    // extra per-record observability numbers
   };
 
   void add(std::string name, std::string shape, double gflops, double wall_ms,
-           double sim_ms = 0) {
-    records_.push_back({std::move(name), std::move(shape), gflops, wall_ms, sim_ms});
+           double sim_ms = 0, Metrics metrics = {}) {
+    records_.push_back({std::move(name), std::move(shape), gflops, wall_ms, sim_ms,
+                        std::move(metrics)});
   }
 
   const std::vector<Record>& records() const { return records_; }
@@ -82,7 +89,11 @@ class JsonWriter {
       out << "  {\"name\": \"" << r.name << "\", \"shape\": \"" << r.shape
           << "\", \"gflops\": " << format_double(r.gflops)
           << ", \"wall_ms\": " << format_double(r.wall_ms)
-          << ", \"sim_ms\": " << format_double(r.sim_ms) << "}";
+          << ", \"sim_ms\": " << format_double(r.sim_ms);
+      for (const auto& [key, value] : r.metrics) {
+        out << ", \"" << key << "\": " << format_double(value);
+      }
+      out << "}";
       out << (i + 1 < records_.size() ? ",\n" : "\n");
     }
     out << "]\n";

@@ -71,26 +71,35 @@ void run_gemm_suite(const char* dtype, const std::vector<Problem<T>>& problems,
     std::vector<T> C(static_cast<std::size_t>(m * n), T{0});
     const double flops = 2.0 * static_cast<double>(m) * n * k;
 
-    auto record = [&](const std::string& name, double ms) {
+    // Pool counters are reset per measurement so each record's worker_share /
+    // chunk counts describe that kernel variant alone.
+    auto record = [&](const std::string& name, const std::function<void()>& body) {
+      ok::reset_pool_stats();
+      const double ms = time_ms(body);
+      const ok::PoolStats ps = ok::pool_stats();
       const double gflops = flops / (ms * 1e-3) / 1e9;
       std::printf("%-26s %-18s %12.3f %12.2f\n", name.c_str(), p.tag.c_str(), ms, gflops);
-      json.add(name, p.tag, gflops, ms);
+      json.add(name, p.tag, gflops, ms, 0.0,
+               {{"pool_regions", static_cast<double>(ps.regions)},
+                {"pool_chunks", static_cast<double>(ps.chunks)},
+                {"pool_worker_share", ps.worker_share()},
+                {"pool_submit_wait_ms", static_cast<double>(ps.submit_wait_ns) / 1e6}});
     };
 
-    record(std::string("gemm_naive_") + dtype, time_ms([&] {
-             ops::gemm_naive_raw(C.data(), A.data(), B.data(), m, n, k, k, n, n,
-                                 ops::Trans::No, ops::Trans::No, T{1}, T{0});
-           }));
-    record(std::string("gemm_packed_") + dtype, time_ms([&] {
-             ok::gemm_packed(C.data(), A.data(), B.data(), m, n, k, k, n, n,
-                             ok::Trans::No, ok::Trans::No, T{1}, T{0});
-           }));
+    record(std::string("gemm_naive_") + dtype, [&] {
+      ops::gemm_naive_raw(C.data(), A.data(), B.data(), m, n, k, k, n, n,
+                          ops::Trans::No, ops::Trans::No, T{1}, T{0});
+    });
+    record(std::string("gemm_packed_") + dtype, [&] {
+      ok::gemm_packed(C.data(), A.data(), B.data(), m, n, k, k, n, n,
+                      ok::Trans::No, ok::Trans::No, T{1}, T{0});
+    });
     for (int t : thread_counts) {
       ok::set_threads(t);
-      record(std::string("gemm_threads") + std::to_string(t) + "_" + dtype, time_ms([&] {
-               ok::gemm(C.data(), A.data(), B.data(), m, n, k, k, n, n, ok::Trans::No,
-                        ok::Trans::No, T{1}, T{0});
-             }));
+      record(std::string("gemm_threads") + std::to_string(t) + "_" + dtype, [&] {
+        ok::gemm(C.data(), A.data(), B.data(), m, n, k, k, n, n, ok::Trans::No,
+                 ok::Trans::No, T{1}, T{0});
+      });
       ok::set_threads(0);  // back to env/hardware default
     }
   }

@@ -8,3 +8,4 @@ subdirs("src")
 subdirs("tests")
 subdirs("bench")
 subdirs("examples")
+subdirs("tools")

@@ -186,7 +186,8 @@ bench/CMakeFiles/bench_fusion_ablation.dir/bench_fusion_ablation.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
@@ -262,7 +263,8 @@ bench/CMakeFiles/bench_fusion_ablation.dir/bench_fusion_ablation.cpp.o: \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/comm/sim_clock.hpp /root/repo/src/core/optimus_model.hpp \
+ /root/repo/src/comm/sim_clock.hpp /root/repo/src/obs/trace.hpp \
+ /root/repo/src/obs/json.hpp /root/repo/src/core/optimus_model.hpp \
  /root/repo/src/mesh/mesh.hpp /root/repo/src/tensor/arena.hpp \
  /root/repo/src/tensor/ops.hpp /root/repo/src/summa/summa.hpp \
  /root/repo/src/tensor/distribution.hpp

@@ -178,6 +178,7 @@ bench/CMakeFiles/bench_kernels.dir/bench_kernels.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/iostream \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/model/config.hpp /root/repo/src/tensor/shape.hpp \
  /root/repo/src/util/check.hpp /root/repo/src/perfmodel/costs.hpp \
  /root/repo/src/comm/topology.hpp /root/repo/src/runtime/data.hpp \

@@ -265,6 +265,7 @@ bench/CMakeFiles/bench_summa.dir/bench_summa.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /root/repo/src/comm/sim_clock.hpp \
+ /root/repo/src/obs/trace.hpp /root/repo/src/obs/json.hpp \
  /root/repo/src/mesh/mesh.hpp /root/repo/src/summa/summa.hpp \
  /root/repo/src/tensor/arena.hpp /root/repo/src/tensor/distribution.hpp \
  /root/repo/src/tensor/ops.hpp /root/repo/src/util/stopwatch.hpp \

@@ -264,10 +264,12 @@ examples/CMakeFiles/moe_expert_parallel.dir/moe_expert_parallel.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/check.hpp \
  /root/repo/src/comm/sim_clock.hpp /root/repo/src/comm/topology.hpp \
- /root/repo/src/tensor/device_context.hpp \
- /root/repo/src/tensor/tensor.hpp /root/repo/src/tensor/shape.hpp \
- /root/repo/src/model/moe.hpp /root/repo/src/tensor/ops.hpp \
- /root/repo/src/util/rng.hpp /root/repo/src/runtime/optimizer.hpp \
- /root/repo/src/util/cli.hpp /usr/include/c++/12/optional \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/tensor/device_context.hpp /root/repo/src/obs/trace.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/obs/json.hpp /root/repo/src/tensor/tensor.hpp \
+ /root/repo/src/tensor/shape.hpp /root/repo/src/model/moe.hpp \
+ /root/repo/src/tensor/ops.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/runtime/optimizer.hpp /root/repo/src/util/cli.hpp \
+ /usr/include/c++/12/optional /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/util/table.hpp

@@ -264,8 +264,10 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/check.hpp \
  /root/repo/src/comm/sim_clock.hpp /root/repo/src/comm/topology.hpp \
- /root/repo/src/tensor/device_context.hpp \
- /root/repo/src/tensor/tensor.hpp /root/repo/src/tensor/shape.hpp \
+ /root/repo/src/tensor/device_context.hpp /root/repo/src/obs/trace.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/obs/json.hpp /root/repo/src/tensor/tensor.hpp \
+ /root/repo/src/tensor/shape.hpp /root/repo/src/comm/obs_report.hpp \
  /root/repo/src/core/optimus_model.hpp /root/repo/src/mesh/mesh.hpp \
  /root/repo/src/model/config.hpp /root/repo/src/tensor/arena.hpp \
  /root/repo/src/tensor/ops.hpp /root/repo/src/util/rng.hpp \

@@ -233,14 +233,16 @@ examples/CMakeFiles/sequence_classification.dir/sequence_classification.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/check.hpp \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/comm/sim_clock.hpp /root/repo/src/comm/topology.hpp \
- /root/repo/src/tensor/device_context.hpp \
- /root/repo/src/tensor/tensor.hpp /root/repo/src/tensor/shape.hpp \
- /root/repo/src/core/optimus_model.hpp /root/repo/src/mesh/mesh.hpp \
- /root/repo/src/model/config.hpp /root/repo/src/tensor/arena.hpp \
- /root/repo/src/tensor/ops.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/model/serial_model.hpp /root/repo/src/runtime/data.hpp \
- /root/repo/src/runtime/lr_schedule.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/tensor/device_context.hpp /root/repo/src/obs/trace.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/obs/json.hpp /root/repo/src/tensor/tensor.hpp \
+ /root/repo/src/tensor/shape.hpp /root/repo/src/core/optimus_model.hpp \
+ /root/repo/src/mesh/mesh.hpp /root/repo/src/model/config.hpp \
+ /root/repo/src/tensor/arena.hpp /root/repo/src/tensor/ops.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/model/serial_model.hpp \
+ /root/repo/src/runtime/data.hpp /root/repo/src/runtime/lr_schedule.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

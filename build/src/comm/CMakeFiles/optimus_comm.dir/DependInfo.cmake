@@ -11,12 +11,14 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/comm/cluster.cpp" "src/comm/CMakeFiles/optimus_comm.dir/cluster.cpp.o" "gcc" "src/comm/CMakeFiles/optimus_comm.dir/cluster.cpp.o.d"
   "/root/repo/src/comm/communicator.cpp" "src/comm/CMakeFiles/optimus_comm.dir/communicator.cpp.o" "gcc" "src/comm/CMakeFiles/optimus_comm.dir/communicator.cpp.o.d"
   "/root/repo/src/comm/fabric.cpp" "src/comm/CMakeFiles/optimus_comm.dir/fabric.cpp.o" "gcc" "src/comm/CMakeFiles/optimus_comm.dir/fabric.cpp.o.d"
+  "/root/repo/src/comm/obs_report.cpp" "src/comm/CMakeFiles/optimus_comm.dir/obs_report.cpp.o" "gcc" "src/comm/CMakeFiles/optimus_comm.dir/obs_report.cpp.o.d"
   "/root/repo/src/comm/topology.cpp" "src/comm/CMakeFiles/optimus_comm.dir/topology.cpp.o" "gcc" "src/comm/CMakeFiles/optimus_comm.dir/topology.cpp.o.d"
   )
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/tensor/CMakeFiles/optimus_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/optimus_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/optimus_util.dir/DependInfo.cmake"
   "/root/repo/build/src/kernel/CMakeFiles/optimus_kernel.dir/DependInfo.cmake"
   )

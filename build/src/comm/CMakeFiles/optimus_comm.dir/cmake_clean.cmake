@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/optimus_comm.dir/communicator.cpp.o.d"
   "CMakeFiles/optimus_comm.dir/fabric.cpp.o"
   "CMakeFiles/optimus_comm.dir/fabric.cpp.o.d"
+  "CMakeFiles/optimus_comm.dir/obs_report.cpp.o"
+  "CMakeFiles/optimus_comm.dir/obs_report.cpp.o.d"
   "CMakeFiles/optimus_comm.dir/topology.cpp.o"
   "CMakeFiles/optimus_comm.dir/topology.cpp.o.d"
   "liboptimus_comm.a"

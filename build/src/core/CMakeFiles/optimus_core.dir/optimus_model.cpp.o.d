@@ -234,12 +234,13 @@ src/core/CMakeFiles/optimus_core.dir/optimus_model.cpp.o: \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/comm/sim_clock.hpp \
  /root/repo/src/comm/topology.hpp \
- /root/repo/src/tensor/device_context.hpp \
- /root/repo/src/tensor/tensor.hpp /root/repo/src/tensor/shape.hpp \
- /root/repo/src/model/config.hpp /root/repo/src/tensor/arena.hpp \
- /root/repo/src/tensor/ops.hpp /root/repo/src/util/rng.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/tensor/device_context.hpp /root/repo/src/obs/trace.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/obs/json.hpp /root/repo/src/tensor/tensor.hpp \
+ /root/repo/src/tensor/shape.hpp /root/repo/src/model/config.hpp \
+ /root/repo/src/tensor/arena.hpp /root/repo/src/tensor/ops.hpp \
+ /root/repo/src/util/rng.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -260,7 +261,6 @@ src/core/CMakeFiles/optimus_core.dir/optimus_model.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/optional \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/core/layernorm2d.hpp /root/repo/src/model/attention.hpp \
  /root/repo/src/model/param_init.hpp /root/repo/src/summa/summa.hpp \
  /root/repo/src/tensor/distribution.hpp

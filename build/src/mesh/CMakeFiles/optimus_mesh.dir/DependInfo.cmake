@@ -16,6 +16,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/comm/CMakeFiles/optimus_comm.dir/DependInfo.cmake"
   "/root/repo/build/src/tensor/CMakeFiles/optimus_tensor.dir/DependInfo.cmake"
   "/root/repo/build/src/kernel/CMakeFiles/optimus_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/optimus_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/optimus_util.dir/DependInfo.cmake"
   )
 

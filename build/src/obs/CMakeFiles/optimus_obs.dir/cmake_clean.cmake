@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimus_obs.dir/json.cpp.o"
+  "CMakeFiles/optimus_obs.dir/json.cpp.o.d"
+  "CMakeFiles/optimus_obs.dir/trace.cpp.o"
+  "CMakeFiles/optimus_obs.dir/trace.cpp.o.d"
+  "liboptimus_obs.a"
+  "liboptimus_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimus_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

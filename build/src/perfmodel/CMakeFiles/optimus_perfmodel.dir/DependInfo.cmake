@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/perfmodel/costs.cpp" "src/perfmodel/CMakeFiles/optimus_perfmodel.dir/costs.cpp.o" "gcc" "src/perfmodel/CMakeFiles/optimus_perfmodel.dir/costs.cpp.o.d"
   "/root/repo/src/perfmodel/memory.cpp" "src/perfmodel/CMakeFiles/optimus_perfmodel.dir/memory.cpp.o" "gcc" "src/perfmodel/CMakeFiles/optimus_perfmodel.dir/memory.cpp.o.d"
   "/root/repo/src/perfmodel/scaling.cpp" "src/perfmodel/CMakeFiles/optimus_perfmodel.dir/scaling.cpp.o" "gcc" "src/perfmodel/CMakeFiles/optimus_perfmodel.dir/scaling.cpp.o.d"
+  "/root/repo/src/perfmodel/validation.cpp" "src/perfmodel/CMakeFiles/optimus_perfmodel.dir/validation.cpp.o" "gcc" "src/perfmodel/CMakeFiles/optimus_perfmodel.dir/validation.cpp.o.d"
   )
 
 # Targets to which this target links.
@@ -19,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/util/CMakeFiles/optimus_util.dir/DependInfo.cmake"
   "/root/repo/build/src/tensor/CMakeFiles/optimus_tensor.dir/DependInfo.cmake"
   "/root/repo/build/src/kernel/CMakeFiles/optimus_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/optimus_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

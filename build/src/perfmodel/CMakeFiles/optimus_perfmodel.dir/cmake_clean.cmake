@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/optimus_perfmodel.dir/memory.cpp.o.d"
   "CMakeFiles/optimus_perfmodel.dir/scaling.cpp.o"
   "CMakeFiles/optimus_perfmodel.dir/scaling.cpp.o.d"
+  "CMakeFiles/optimus_perfmodel.dir/validation.cpp.o"
+  "CMakeFiles/optimus_perfmodel.dir/validation.cpp.o.d"
   "liboptimus_perfmodel.a"
   "liboptimus_perfmodel.pdb"
 )

@@ -233,7 +233,9 @@ src/summa/CMakeFiles/optimus_summa.dir/summa.cpp.o: \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/comm/sim_clock.hpp \
  /root/repo/src/comm/topology.hpp \
- /root/repo/src/tensor/device_context.hpp \
- /root/repo/src/tensor/tensor.hpp /root/repo/src/tensor/shape.hpp \
- /root/repo/src/tensor/arena.hpp /usr/include/c++/12/optional \
- /root/repo/src/tensor/ops.hpp /root/repo/src/util/rng.hpp
+ /root/repo/src/tensor/device_context.hpp /root/repo/src/obs/trace.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/obs/json.hpp /root/repo/src/tensor/tensor.hpp \
+ /root/repo/src/tensor/shape.hpp /root/repo/src/tensor/arena.hpp \
+ /usr/include/c++/12/optional /root/repo/src/tensor/ops.hpp \
+ /root/repo/src/util/rng.hpp

@@ -333,6 +333,6 @@ tests/CMakeFiles/comm_test.dir/comm_test.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /root/repo/src/util/check.hpp \
  /root/repo/src/comm/sim_clock.hpp /root/repo/src/comm/topology.hpp \
- /root/repo/src/tensor/device_context.hpp \
- /root/repo/src/tensor/tensor.hpp /root/repo/src/tensor/shape.hpp \
- /root/repo/src/util/rng.hpp
+ /root/repo/src/tensor/device_context.hpp /root/repo/src/obs/trace.hpp \
+ /root/repo/src/obs/json.hpp /root/repo/src/tensor/tensor.hpp \
+ /root/repo/src/tensor/shape.hpp /root/repo/src/util/rng.hpp

@@ -310,12 +310,12 @@ tests/CMakeFiles/hybrid_test.dir/hybrid_test.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/util/check.hpp /root/repo/src/comm/sim_clock.hpp \
  /root/repo/src/comm/topology.hpp \
- /root/repo/src/tensor/device_context.hpp \
- /root/repo/src/tensor/tensor.hpp /root/repo/src/tensor/shape.hpp \
- /root/repo/src/core/optimus_model.hpp /root/repo/src/mesh/mesh.hpp \
- /root/repo/src/model/config.hpp /root/repo/src/tensor/arena.hpp \
- /root/repo/src/tensor/ops.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/megatron/megatron_model.hpp \
+ /root/repo/src/tensor/device_context.hpp /root/repo/src/obs/trace.hpp \
+ /root/repo/src/obs/json.hpp /root/repo/src/tensor/tensor.hpp \
+ /root/repo/src/tensor/shape.hpp /root/repo/src/core/optimus_model.hpp \
+ /root/repo/src/mesh/mesh.hpp /root/repo/src/model/config.hpp \
+ /root/repo/src/tensor/arena.hpp /root/repo/src/tensor/ops.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/megatron/megatron_model.hpp \
  /root/repo/src/runtime/data.hpp \
  /root/repo/src/runtime/hybrid_parallel.hpp \
  /root/repo/src/runtime/optimizer.hpp /root/repo/tests/test_helpers.hpp \

@@ -309,6 +309,6 @@ tests/CMakeFiles/mesh_test.dir/mesh_test.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /root/repo/src/util/check.hpp \
  /root/repo/src/comm/sim_clock.hpp /root/repo/src/comm/topology.hpp \
- /root/repo/src/tensor/device_context.hpp \
- /root/repo/src/tensor/tensor.hpp /root/repo/src/tensor/shape.hpp \
- /root/repo/src/mesh/mesh.hpp
+ /root/repo/src/tensor/device_context.hpp /root/repo/src/obs/trace.hpp \
+ /root/repo/src/obs/json.hpp /root/repo/src/tensor/tensor.hpp \
+ /root/repo/src/tensor/shape.hpp /root/repo/src/mesh/mesh.hpp

@@ -332,8 +332,8 @@ tests/CMakeFiles/moe_test.dir/moe_test.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/util/check.hpp /root/repo/src/comm/sim_clock.hpp \
  /root/repo/src/comm/topology.hpp \
- /root/repo/src/tensor/device_context.hpp \
- /root/repo/src/tensor/tensor.hpp /root/repo/src/tensor/shape.hpp \
- /root/repo/src/model/moe.hpp /root/repo/src/tensor/ops.hpp \
- /root/repo/src/util/rng.hpp /root/repo/src/runtime/optimizer.hpp \
- /root/repo/tests/test_helpers.hpp
+ /root/repo/src/tensor/device_context.hpp /root/repo/src/obs/trace.hpp \
+ /root/repo/src/obs/json.hpp /root/repo/src/tensor/tensor.hpp \
+ /root/repo/src/tensor/shape.hpp /root/repo/src/model/moe.hpp \
+ /root/repo/src/tensor/ops.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/runtime/optimizer.hpp /root/repo/tests/test_helpers.hpp

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/trace_test.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/optimus_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/optimus_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/optimus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/megatron/CMakeFiles/optimus_megatron.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/optimus_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/summa/CMakeFiles/optimus_summa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/optimus_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/optimus_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/optimus_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/optimus_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/optimus_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/optimus_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

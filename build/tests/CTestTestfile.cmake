@@ -17,6 +17,7 @@ include("/root/repo/build/tests/megatron_test[1]_include.cmake")
 include("/root/repo/build/tests/optimus_test[1]_include.cmake")
 include("/root/repo/build/tests/runtime_test[1]_include.cmake")
 include("/root/repo/build/tests/perfmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
 include("/root/repo/build/tests/extensions_test[1]_include.cmake")
 include("/root/repo/build/tests/moe_test[1]_include.cmake")
 include("/root/repo/build/tests/edge_test[1]_include.cmake")

@@ -2,6 +2,14 @@
 // on a 2×2 simulated device mesh.
 //
 //   ./quickstart [--steps 80] [--q 2] [--lr 0.003]
+//               [--trace-out trace.json] [--metrics-out metrics.json]
+//
+// --trace-out enables the simulation-aware tracer and writes a Chrome
+// trace-event file (load it at ui.perfetto.dev): one track per simulated
+// device in simulated time, plus host-thread tracks in wall time.
+// --metrics-out writes the per-rank communication/memory/pool counters.
+// Neither flag changes what is printed to stdout — traced and untraced runs
+// are byte-identical there (scripts/check.sh enforces this).
 //
 // Walks through the whole public API surface:
 //   1. describe the model      (model::TransformerConfig)
@@ -16,7 +24,9 @@
 #include <mutex>
 
 #include "comm/cluster.hpp"
+#include "comm/obs_report.hpp"
 #include "core/optimus_model.hpp"
+#include "obs/trace.hpp"
 #include "mesh/mesh.hpp"
 #include "model/config.hpp"
 #include "runtime/data.hpp"
@@ -34,7 +44,10 @@ int main(int argc, char** argv) {
   const int steps = cli.get_int("steps", 80);
   const int q = cli.get_int("q", 2);
   const double lr = cli.get_double("lr", 3e-3);
+  const std::string trace_out = cli.get_string("trace-out", "");
+  const std::string metrics_out = cli.get_string("metrics-out", "");
   cli.finish();
+  if (!trace_out.empty() || !metrics_out.empty()) optimus::obs::set_enabled(true);
 
   // 1. The model: a toy GPT-style stack whose dimensions divide the mesh side.
   optimus::model::TransformerConfig cfg;
@@ -93,5 +106,9 @@ int main(int argc, char** argv) {
             << " scalars (layernorm/softmax statistics)\n"
             << "  simulated time " << optimus::util::Table::fmt(report.max_sim_time(), 4)
             << " s on the modelled 4-GPU node\n";
+
+  // Observability artefacts go to their own files, never stdout.
+  if (!trace_out.empty()) optimus::obs::write_chrome_trace(trace_out);
+  if (!metrics_out.empty()) oc::write_metrics(metrics_out, report);
   return losses.back() < 0.5 ? 0 : 1;
 }

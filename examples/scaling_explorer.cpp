@@ -4,22 +4,100 @@
 //   ./scaling_explorer --hidden 8192 --batch 64 --seq 1024 --layers 32
 //       [--heads 64] [--vocab 51200] [--budget-gb 16]
 //                      [--max-p 256] [--arrangement bunched] [--tree]
+//       [--validate] [--trace-out trace.json] [--metrics-out metrics.json]
 //
 // Prints, for each square device count up to --max-p: predicted step time,
 // throughput, parallel efficiency and per-device memory for both schemes,
 // the memory-limited max batch, and the communication-volume breakdown.
 // Machine constants come from the paper-calibrated fit (overridable).
+//
+// --validate additionally runs one real LM step of each engine on a small
+// p = 4 simulated cluster and checks the measured per-device collective
+// traffic against the analytic Table-1 forms (the closed forms above are
+// then not just a model — they are an oracle the simulation satisfies).
+// --trace-out / --metrics-out capture that validation run's span timeline
+// and metrics (they imply --validate; the analytic sweep itself runs no
+// simulation worth tracing).
 
 #include <cmath>
 #include <iostream>
 
+#include "comm/cluster.hpp"
+#include "comm/obs_report.hpp"
+#include "core/optimus_model.hpp"
+#include "megatron/megatron_model.hpp"
+#include "mesh/mesh.hpp"
+#include "obs/trace.hpp"
 #include "perfmodel/memory.hpp"
 #include "perfmodel/scaling.hpp"
+#include "perfmodel/validation.hpp"
+#include "runtime/data.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace opm = optimus::perfmodel;
 using optimus::util::Table;
+
+namespace {
+
+/// Runs one real fwd+loss+bwd LM step of each engine at p = 4 and prints the
+/// measured collective traffic next to the Table-1 closed forms. Returns
+/// false (failure) if either scheme deviates. The Optimus run's cluster
+/// report is left in `*optimus_report` for the metrics export.
+bool run_validation(optimus::comm::Cluster::Report* optimus_report) {
+  namespace oc = optimus::comm;
+  namespace ort = optimus::runtime;
+  optimus::model::TransformerConfig cfg;
+  cfg.batch = 4;
+  cfg.seq_len = 8;
+  cfg.hidden = 16;
+  cfg.heads = 4;
+  cfg.vocab = 16;
+  cfg.layers = 2;
+  cfg.seed = 5;
+  opm::Workload w;
+  w.b = cfg.batch;
+  w.s = cfg.seq_len;
+  w.h = cfg.hidden;
+  w.n = cfg.heads;
+  w.v = cfg.vocab;
+  w.layers = cfg.layers;
+  const int p = 4;
+  ort::RandomLmWorkload workload(cfg.batch, cfg.seq_len, cfg.vocab, 3);
+  const auto batch = workload.next();
+
+  std::cout << "\nmeasured vs analytic per-device collective traffic, one LM step at p=4\n";
+  Table t({"scheme", "collective", "measured", "predicted", "rel err", "ok?"});
+  bool all_ok = true;
+  for (const auto scheme : {opm::Scheme::kMegatron, opm::Scheme::kOptimus}) {
+    auto report = oc::run_cluster(p, [&](oc::Context& ctx) {
+      if (scheme == opm::Scheme::kMegatron) {
+        optimus::megatron::MegatronTransformer<float> engine(cfg, ctx.world);
+        engine.forward(batch.tokens);
+        (void)engine.lm_loss(batch.labels);
+        engine.backward_lm();
+      } else {
+        optimus::mesh::Mesh2D mesh(ctx.world);
+        optimus::core::OptimusTransformer<float> engine(cfg, mesh);
+        engine.forward(batch.tokens);
+        (void)engine.lm_loss(batch.labels);
+        engine.backward_lm();
+      }
+    });
+    const auto v = opm::validate_lm_step_comm(scheme, w, p, report.ranks[0].stats);
+    for (const auto& row : v.rows) {
+      t.add_row({scheme == opm::Scheme::kMegatron ? "Megatron" : "Optimus", row.name,
+                 Table::fmt(row.measured, 1), Table::fmt(row.predicted, 1),
+                 Table::fmt(row.rel_err(), 12), v.ok() ? "yes" : "NO"});
+    }
+    all_ok = all_ok && v.ok();
+    if (scheme == opm::Scheme::kOptimus) *optimus_report = report;
+  }
+  t.print(std::cout);
+  return all_ok;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   optimus::util::Cli cli(argc, argv);
@@ -38,7 +116,12 @@ int main(int argc, char** argv) {
   if (cli.get_bool("tree", false)) machine.pipelined_collectives = false;
   machine.flop_rate = cli.get_double("flop-rate", machine.flop_rate);
   machine.beta_inter = cli.get_double("beta-inter", machine.beta_inter);
+  const std::string trace_out = cli.get_string("trace-out", "");
+  const std::string metrics_out = cli.get_string("metrics-out", "");
+  const bool validate =
+      cli.get_bool("validate", false) || !trace_out.empty() || !metrics_out.empty();
   cli.finish();
+  if (!trace_out.empty() || !metrics_out.empty()) optimus::obs::set_enabled(true);
 
   std::cout << "model: h=" << w.h << " b=" << w.b << " s=" << w.s << " N=" << w.layers
             << " v=" << w.v << "  (" << Table::fmt(opm::total_compute(w) / 1e12, 1)
@@ -80,5 +163,13 @@ int main(int argc, char** argv) {
   c.print(std::cout);
   std::cout << "\nNotes: Megatron's volume is flat in p while Optimus's falls like\n"
             << "log(p)/sqrt(p); whichever fits memory at your target scale wins.\n";
+
+  if (validate) {
+    optimus::comm::Cluster::Report optimus_report;
+    const bool ok = run_validation(&optimus_report);
+    if (!trace_out.empty()) optimus::obs::write_chrome_trace(trace_out);
+    if (!metrics_out.empty()) optimus::comm::write_metrics(metrics_out, optimus_report);
+    if (!ok) return 1;
+  }
   return 0;
 }

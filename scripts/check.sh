@@ -3,7 +3,11 @@
 #
 #   1. Configure + build the default preset and run the full ctest suite
 #      (the ROADMAP tier-1 gate).
-#   2. Build the tensor/kernel tests under ASan+UBSan (the `asan` preset in
+#   2. Observability smoke: run the quickstart twice (traced and untraced),
+#      require byte-identical stdout, and validate the emitted Chrome trace
+#      (well-formed JSON, monotone per-track timestamps, proper span nesting)
+#      with tools/trace_validate.
+#   3. Build the tensor/kernel tests under ASan+UBSan (the `asan` preset in
 #      CMakePresets.json) and run them — the kernel layer hands raw pointers
 #      and thread-shared buffers around, exactly where sanitizers earn their
 #      keep.
@@ -21,6 +25,22 @@ cmake --build --preset default -j"$(nproc)"
 
 echo "==> tier-1: ctest"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+echo "==> observability: traced vs untraced quickstart must match byte-for-byte"
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+./build/examples/quickstart > "$OBS_TMP/plain.out"
+./build/examples/quickstart --trace-out "$OBS_TMP/trace.json" \
+    --metrics-out "$OBS_TMP/metrics.json" > "$OBS_TMP/traced.out"
+diff "$OBS_TMP/plain.out" "$OBS_TMP/traced.out"
+echo "    stdout identical"
+
+echo "==> observability: validate Chrome trace + metrics JSON"
+./build/tools/trace_validate "$OBS_TMP/trace.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$OBS_TMP/metrics.json" \
+    && echo "    metrics.json parses"
+fi
 
 if [[ "$SKIP_ASAN" == "1" ]]; then
   echo "==> asan pass skipped (--skip-asan)"

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "kernel/thread_pool.hpp"
+#include "obs/trace.hpp"
 
 namespace optimus::comm {
 
@@ -73,6 +74,13 @@ Cluster::Report Cluster::run(const std::function<void(Context&)>& body) {
     threads.emplace_back([&, rank] {
       RankState& st = *states[rank];
       tensor::ScopedDevice scoped(st.device);
+      // Register this thread as simulated device `rank` with the tracer. The
+      // sim-time callback extends the lazily-drained clock by the compute that
+      // has accumulated since the last collective, so span timestamps advance
+      // continuously instead of jumping at drain points.
+      obs::ScopedTrack track(rank, [&st, this] {
+        return st.clock.now() + cost_.compute_time(st.device.pending_mults());
+      });
       try {
         Context ctx{
             Communicator(fabric, world_comm_id, world_group, rank, st.clock, cost_, st.stats),
@@ -82,6 +90,8 @@ Cluster::Report Cluster::run(const std::function<void(Context&)>& body) {
             rank,
             world_size_,
         };
+        ctx.world.set_label("world");
+        obs::Span span("cluster", "rank_body");
         body(ctx);
         // Account compute done after the last collective.
         st.clock.drain_compute(cost_);

@@ -22,11 +22,14 @@ Communicator::Communicator(Fabric& fabric, std::uint64_t comm_id, std::vector<in
   OPT_CHECK(rank_ >= 0, "world rank " << world_rank << " not in communicator group");
 }
 
-double Communicator::begin_collective(std::uint64_t seq, double dt) {
+CollectiveTiming Communicator::begin_collective(std::uint64_t seq, double dt) {
   clock_->drain_compute(*cost_);
-  const double entry = fabric_->sync_max(sync_key(seq), size(), clock_->now());
-  clock_->set(entry + dt);
-  return dt;
+  CollectiveTiming t;
+  t.entry_local = clock_->now();
+  t.entry_aligned = fabric_->sync_max(sync_key(seq), size(), t.entry_local);
+  t.dt = dt;
+  clock_->set(t.entry_aligned + dt);
+  return t;
 }
 
 Communicator Communicator::split(int color, int key) {
@@ -44,8 +47,10 @@ void Communicator::barrier() {
   const std::uint64_t seq = next_seq();
   if (size() == 1) return;
   const double dt = 2.0 * log2_ceil(size()) * cost_->params().alpha;
-  begin_collective(seq, dt);
-  stats_->barrier.record(0, 0.0, dt);
+  obs::Span span("comm", "barrier");
+  const CollectiveTiming ct = begin_collective(seq, dt);
+  annotate_span(span, 0, ct);
+  stats_->barrier.record(0, 0, 0.0, ct.dt);
   // The sync_max rendezvous inside begin_collective already provides the
   // synchronisation semantics; no data movement is needed.
 }

@@ -19,19 +19,39 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "comm/fabric.hpp"
 #include "comm/sim_clock.hpp"
 #include "comm/topology.hpp"
+#include "obs/trace.hpp"
 #include "tensor/tensor.hpp"
 
 namespace optimus::comm {
+
+/// Simulated-time breakdown of one collective entry: every participant drains
+/// local compute (clock → entry_local), aligns to the slowest member
+/// (entry_aligned) and advances by the modelled operation time dt. The
+/// align-wait (entry_aligned − entry_local) is this rank's idle time — the
+/// tracer exports it separately from the transfer time.
+struct CollectiveTiming {
+  double entry_local = 0;
+  double entry_aligned = 0;
+  double dt = 0;
+
+  double wait() const { return entry_aligned - entry_local; }
+};
 
 class Communicator {
  public:
   Communicator(Fabric& fabric, std::uint64_t comm_id, std::vector<int> group, int world_rank,
                SimClock& clock, const CostModel& cost, CommStats& stats);
+
+  /// Human-readable role of this communicator in traces/metrics ("world",
+  /// "row", "col", ...). Split results start unnamed; Mesh2D names its own.
+  const std::string& label() const { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
 
   int rank() const { return rank_; }
   int size() const { return static_cast<int>(group_.size()); }
@@ -135,8 +155,19 @@ class Communicator {
   std::uint64_t sync_key(std::uint64_t seq) const { return (comm_id_ << 24) | seq; }
 
   /// Drains local compute into the clock, aligns clocks across the group and
-  /// advances by `dt`. Returns dt unchanged (for stats recording).
-  double begin_collective(std::uint64_t seq, double dt);
+  /// advances by `dt`. Returns the entry timing breakdown.
+  CollectiveTiming begin_collective(std::uint64_t seq, double dt);
+
+  /// Attaches the standard collective args (communicator label, group size,
+  /// payload bytes, align-wait vs transfer split) to an armed span.
+  void annotate_span(obs::Span& span, std::uint64_t bytes, const CollectiveTiming& t) const {
+    if (!span.armed()) return;
+    if (!label_.empty()) span.arg("comm", label_);
+    span.arg("g", size());
+    span.arg("bytes", bytes);
+    span.arg("wait_s", t.wait());
+    span.arg("transfer_s", t.dt);
+  }
 
   template <typename T>
   void send_internal(int dst_group_rank, std::uint64_t tag, const T* data, tensor::index_t n);
@@ -151,6 +182,7 @@ class Communicator {
   const CostModel* cost_;
   CommStats* stats_;
   std::uint64_t seq_ = 0;
+  std::string label_;
 };
 
 // ===========================================================================
@@ -175,6 +207,7 @@ void Communicator::recv_internal(int src_group_rank, std::uint64_t tag, T* data,
 
 template <typename T>
 void Communicator::send(int dst, int tag, const T* data, tensor::index_t n) {
+  obs::Span span("comm", "send");
   clock_->drain_compute(*cost_);
   const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
   const double dt = cost_->p2p_time(world_rank(), group_[dst], bytes);
@@ -182,6 +215,12 @@ void Communicator::send(int dst, int tag, const T* data, tensor::index_t n) {
   stats_->p2p_messages += 1;
   stats_->p2p_bytes += bytes;
   stats_->p2p_time += dt;
+  if (span.armed()) {
+    if (!label_.empty()) span.arg("comm", label_);
+    span.arg("dst", group_[dst]);
+    span.arg("bytes", bytes);
+    span.arg("transfer_s", dt);
+  }
   // The timestamp carries the post-transfer clock so the receiver observes
   // causality (it cannot have the data before the sender finished sending).
   fabric_->send(world_rank(), group_[dst], user_tag(tag), data,
@@ -190,10 +229,16 @@ void Communicator::send(int dst, int tag, const T* data, tensor::index_t n) {
 
 template <typename T>
 void Communicator::recv(int src, int tag, T* data, tensor::index_t n) {
+  obs::Span span("comm", "recv");
   clock_->drain_compute(*cost_);
   const double sender_ts = fabric_->recv(world_rank(), group_[src], user_tag(tag), data,
                                          static_cast<std::size_t>(n) * sizeof(T));
   if (sender_ts > clock_->now()) clock_->set(sender_ts);
+  if (span.armed()) {
+    if (!label_.empty()) span.arg("comm", label_);
+    span.arg("src", group_[src]);
+    span.arg("bytes", static_cast<std::uint64_t>(n) * sizeof(T));
+  }
 }
 
 template <typename T>
@@ -201,8 +246,10 @@ void Communicator::broadcast(T* data, tensor::index_t n, int root) {
   const std::uint64_t seq = next_seq();
   if (size() == 1) return;
   const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
-  const double dt = begin_collective(seq, cost_->tree_time(group_, bytes));
-  stats_->broadcast.record(n, static_cast<double>(n) * log2_ceil(size()), dt);
+  obs::Span span("comm", "broadcast");
+  const CollectiveTiming ct = begin_collective(seq, cost_->tree_time(group_, bytes));
+  annotate_span(span, bytes, ct);
+  stats_->broadcast.record(n, bytes, static_cast<double>(n) * log2_ceil(size()), ct.dt);
 
   // MPICH-style binomial tree rooted at `root`. The ascend loop finds the bit
   // at which this rank receives; the descend loop forwards to every lower bit.
@@ -233,8 +280,10 @@ void Communicator::reduce(T* data, tensor::index_t n, int root) {
   const std::uint64_t seq = next_seq();
   if (size() == 1) return;
   const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
-  const double dt = begin_collective(seq, cost_->tree_time(group_, bytes));
-  stats_->reduce.record(n, static_cast<double>(n) * log2_ceil(size()), dt);
+  obs::Span span("comm", "reduce");
+  const CollectiveTiming ct = begin_collective(seq, cost_->tree_time(group_, bytes));
+  annotate_span(span, bytes, ct);
+  stats_->reduce.record(n, bytes, static_cast<double>(n) * log2_ceil(size()), ct.dt);
 
   // Reverse binomial tree: children send partial sums toward the root.
   const int g = size();
@@ -264,9 +313,11 @@ void Communicator::all_reduce(T* data, tensor::index_t n) {
   if (size() == 1) return;
   const int g = size();
   const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
-  const double dt = begin_collective(seq, cost_->ring_allreduce_time(group_, bytes));
+  obs::Span span("comm", "allreduce");
+  const CollectiveTiming ct = begin_collective(seq, cost_->ring_allreduce_time(group_, bytes));
+  annotate_span(span, bytes, ct);
   stats_->allreduce.record(
-      n, static_cast<double>(n) * 2.0 * (g - 1) / static_cast<double>(g), dt);
+      n, bytes, static_cast<double>(n) * 2.0 * (g - 1) / static_cast<double>(g), ct.dt);
 
   // Ring all-reduce: g−1 reduce-scatter steps then g−1 all-gather steps over
   // contiguous chunks (sizes differ by at most one element).
@@ -307,9 +358,11 @@ void Communicator::all_reduce_max(T* data, tensor::index_t n) {
   if (size() == 1) return;
   const int g = size();
   const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
-  const double dt = begin_collective(seq, cost_->ring_allreduce_time(group_, bytes));
+  obs::Span span("comm", "allreduce_max");
+  const CollectiveTiming ct = begin_collective(seq, cost_->ring_allreduce_time(group_, bytes));
+  annotate_span(span, bytes, ct);
   stats_->allreduce.record(
-      n, static_cast<double>(n) * 2.0 * (g - 1) / static_cast<double>(g), dt);
+      n, bytes, static_cast<double>(n) * 2.0 * (g - 1) / static_cast<double>(g), ct.dt);
 
   // Small payloads only (softmax row maxima): gather-to-0 + broadcast keeps
   // the implementation simple; the modelled time above is still the ring's.
@@ -340,9 +393,11 @@ void Communicator::all_gather(const T* mine, tensor::index_t n, T* out) {
     return;
   }
   const std::uint64_t total_bytes = static_cast<std::uint64_t>(n) * g * sizeof(T);
-  const double dt = begin_collective(seq, cost_->ring_allgather_time(group_, total_bytes));
-  stats_->allgather.record(static_cast<std::uint64_t>(n) * g,
-                           static_cast<double>(n) * (g - 1), dt);
+  obs::Span span("comm", "allgather");
+  const CollectiveTiming ct = begin_collective(seq, cost_->ring_allgather_time(group_, total_bytes));
+  annotate_span(span, total_bytes, ct);
+  stats_->allgather.record(static_cast<std::uint64_t>(n) * g, total_bytes,
+                           static_cast<double>(n) * (g - 1), ct.dt);
 
   std::memcpy(out + static_cast<tensor::index_t>(rank_) * n, mine,
               static_cast<std::size_t>(n) * sizeof(T));
@@ -366,9 +421,11 @@ void Communicator::gather(const T* mine, tensor::index_t n, T* out, int root) {
     return;
   }
   const std::uint64_t total_bytes = static_cast<std::uint64_t>(n) * g * sizeof(T);
-  const double dt = begin_collective(seq, cost_->ring_allgather_time(group_, total_bytes));
-  stats_->allgather.record(static_cast<std::uint64_t>(n) * g,
-                           static_cast<double>(n) * (g - 1), dt);
+  obs::Span span("comm", "gather");
+  const CollectiveTiming ct = begin_collective(seq, cost_->ring_allgather_time(group_, total_bytes));
+  annotate_span(span, total_bytes, ct);
+  stats_->allgather.record(static_cast<std::uint64_t>(n) * g, total_bytes,
+                           static_cast<double>(n) * (g - 1), ct.dt);
   const std::uint64_t tag = collective_tag(seq, 9);
   if (rank_ == root) {
     std::memcpy(out + static_cast<tensor::index_t>(root) * n, mine,
@@ -391,9 +448,11 @@ void Communicator::scatter(const T* data, tensor::index_t n, T* out, int root) {
     return;
   }
   const std::uint64_t total_bytes = static_cast<std::uint64_t>(n) * g * sizeof(T);
-  const double dt = begin_collective(seq, cost_->ring_allgather_time(group_, total_bytes));
-  stats_->allgather.record(static_cast<std::uint64_t>(n) * g,
-                           static_cast<double>(n) * (g - 1), dt);
+  obs::Span span("comm", "scatter");
+  const CollectiveTiming ct = begin_collective(seq, cost_->ring_allgather_time(group_, total_bytes));
+  annotate_span(span, total_bytes, ct);
+  stats_->allgather.record(static_cast<std::uint64_t>(n) * g, total_bytes,
+                           static_cast<double>(n) * (g - 1), ct.dt);
   const std::uint64_t tag = collective_tag(seq, 10);
   if (rank_ == root) {
     std::memcpy(out, data + static_cast<tensor::index_t>(root) * n,
@@ -418,11 +477,14 @@ void Communicator::all_to_all(const T* send, tensor::index_t n, T* out) {
   // Pairwise personalised exchange; every rank sends and receives g−1 chunks
   // concurrently, so the modelled time is (g−1)·(α + β·chunk_bytes).
   const std::uint64_t chunk_bytes = static_cast<std::uint64_t>(n) * sizeof(T);
-  const double dt = begin_collective(
+  obs::Span span("comm", "alltoall");
+  const CollectiveTiming ct = begin_collective(
       seq, (g - 1) * (cost_->params().alpha +
                       cost_->beta_eff(group_) * static_cast<double>(chunk_bytes)));
+  annotate_span(span, chunk_bytes * static_cast<std::uint64_t>(g - 1), ct);
   stats_->alltoall.record(static_cast<std::uint64_t>(n) * g,
-                          static_cast<double>(n) * (g - 1), dt);
+                          chunk_bytes * static_cast<std::uint64_t>(g - 1),
+                          static_cast<double>(n) * (g - 1), ct.dt);
   const std::uint64_t tag = collective_tag(seq, 8);
   std::memcpy(out + static_cast<tensor::index_t>(rank_) * n,
               send + static_cast<tensor::index_t>(rank_) * n,
@@ -446,10 +508,12 @@ void Communicator::reduce_scatter(const T* data, tensor::index_t n, T* out) {
     return;
   }
   const std::uint64_t total_bytes = static_cast<std::uint64_t>(n) * g * sizeof(T);
-  const double dt =
+  obs::Span span("comm", "reducescatter");
+  const CollectiveTiming ct =
       begin_collective(seq, cost_->ring_reducescatter_time(group_, total_bytes));
-  stats_->reducescatter.record(static_cast<std::uint64_t>(n) * g,
-                               static_cast<double>(n) * (g - 1), dt);
+  annotate_span(span, total_bytes, ct);
+  stats_->reducescatter.record(static_cast<std::uint64_t>(n) * g, total_bytes,
+                               static_cast<double>(n) * (g - 1), ct.dt);
 
   // Ring: a running sum for each chunk travels the ring, gaining one host's
   // contribution per hop. Starting the schedule at chunk (rank−1) makes the

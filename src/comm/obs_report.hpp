@@ -1,0 +1,38 @@
+#pragma once
+
+// Metrics export: turns a Cluster::Report (plus the process-wide kernel pool
+// counters and the tracer's span summary) into one JSON document.
+//
+// Layout:
+//
+//   {
+//     "world_size": p,
+//     "ranks": [ { "rank": r, "sim_time_s": …, "mults": …, "peak_bytes": …,
+//                  "alloc_count": …, "comm": { "broadcast": {calls, elems,
+//                  bytes, weighted, time_s}, …, "p2p": {…} } }, … ],
+//     "totals": { "bytes_by_kind": {…}, "max_sim_time_s": …, … },
+//     "pool": { regions, inline_regions, chunks, worker_chunks,
+//               worker_share, submit_wait_ms, workers_spawned },
+//     "spans": { "cat/name": {count, sim_total_s, sim_max_s, wall_total_ms} }
+//   }
+//
+// The "spans" section is present only when tracing was enabled for the run.
+// This lives in comm (not obs) because it reads Cluster::Report; obs stays
+// dependency-free below util.
+
+#include <string>
+
+#include "comm/cluster.hpp"
+#include "obs/json.hpp"
+
+namespace optimus::comm {
+
+/// Builds the metrics document for `report`. `include_spans` additionally
+/// embeds the tracer's span summary (meaningful only if tracing was enabled).
+obs::Json metrics_json(const Cluster::Report& report, bool include_spans = true);
+
+/// Serialises metrics_json() to `path` (pretty-printed).
+void write_metrics(const std::string& path, const Cluster::Report& report,
+                   bool include_spans = true);
+
+}  // namespace optimus::comm

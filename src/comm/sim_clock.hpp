@@ -56,12 +56,14 @@ struct CommStats {
   struct Op {
     std::uint64_t calls = 0;
     std::uint64_t elems = 0;
+    std::uint64_t bytes = 0;  // elems × element size (payload volume)
     double weighted = 0;
     double time = 0;
 
-    void record(std::uint64_t n, double w, double t) {
+    void record(std::uint64_t n, std::uint64_t b, double w, double t) {
       calls += 1;
       elems += n;
+      bytes += b;
       weighted += w;
       time += t;
     }
@@ -91,6 +93,10 @@ struct CommStats {
   std::uint64_t total_elems() const {
     return broadcast.elems + reduce.elems + allreduce.elems + allgather.elems +
            reducescatter.elems + alltoall.elems;
+  }
+  std::uint64_t total_bytes() const {
+    return broadcast.bytes + reduce.bytes + allreduce.bytes + allgather.bytes +
+           reducescatter.bytes + alltoall.bytes + p2p_bytes;
   }
 
   void reset() { *this = CommStats{}; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -19,6 +20,24 @@ constexpr int kMaxWorkers = 256;
 std::atomic<int> g_override{0};        // 0 = no programmatic override
 std::atomic<int> g_active_devices{0};  // simulated devices currently running
 thread_local bool tl_on_worker = false;
+
+// Global pool counters (see PoolStats). Relaxed: these are observability
+// counters, not synchronisation.
+struct StatCells {
+  std::atomic<std::uint64_t> regions{0};
+  std::atomic<std::uint64_t> inline_regions{0};
+  std::atomic<std::uint64_t> chunks{0};
+  std::atomic<std::uint64_t> worker_chunks{0};
+  std::atomic<std::uint64_t> submit_wait_ns{0};
+  std::atomic<std::uint64_t> workers_spawned{0};
+};
+StatCells g_stats;
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
 
 int env_threads() {
   static const int value = [] {
@@ -51,6 +70,26 @@ int configured_threads() {
 }
 
 int active_devices() { return g_active_devices.load(std::memory_order_relaxed); }
+
+PoolStats pool_stats() {
+  PoolStats s;
+  s.regions = g_stats.regions.load(std::memory_order_relaxed);
+  s.inline_regions = g_stats.inline_regions.load(std::memory_order_relaxed);
+  s.chunks = g_stats.chunks.load(std::memory_order_relaxed);
+  s.worker_chunks = g_stats.worker_chunks.load(std::memory_order_relaxed);
+  s.submit_wait_ns = g_stats.submit_wait_ns.load(std::memory_order_relaxed);
+  s.workers_spawned = g_stats.workers_spawned.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_pool_stats() {
+  g_stats.regions.store(0, std::memory_order_relaxed);
+  g_stats.inline_regions.store(0, std::memory_order_relaxed);
+  g_stats.chunks.store(0, std::memory_order_relaxed);
+  g_stats.worker_chunks.store(0, std::memory_order_relaxed);
+  g_stats.submit_wait_ns.store(0, std::memory_order_relaxed);
+  g_stats.workers_spawned.store(0, std::memory_order_relaxed);
+}
 
 int effective_threads() {
   return std::max(1, configured_threads() / std::max(1, active_devices()));
@@ -132,6 +171,8 @@ struct ThreadPool::Impl {
       for (;;) {
         const index_t c = call->next.fetch_add(1, std::memory_order_relaxed);
         if (c >= call->num_chunks) break;
+        g_stats.chunks.fetch_add(1, std::memory_order_relaxed);
+        g_stats.worker_chunks.fetch_add(1, std::memory_order_relaxed);
         execute_chunk(*call, c);
       }
       lock.lock();
@@ -165,6 +206,7 @@ void ThreadPool::ensure_workers(int count) {
   std::lock_guard<std::mutex> lock(impl_->queue_mutex);
   while (static_cast<int>(impl_->workers.size()) < count) {
     impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+    g_stats.workers_spawned.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -187,15 +229,19 @@ void ThreadPool::run_call(const std::function<void(index_t, index_t)>& body,
   }
   impl_->queue_cv.notify_all();
 
+  g_stats.regions.fetch_add(1, std::memory_order_relaxed);
   // The submitting thread works too.
   for (;;) {
     const index_t c = call->next.fetch_add(1, std::memory_order_relaxed);
     if (c >= num_chunks) break;
+    g_stats.chunks.fetch_add(1, std::memory_order_relaxed);
     Impl::execute_chunk(*call, c);
   }
   {
+    const std::uint64_t t0 = steady_ns();
     std::unique_lock<std::mutex> lock(call->m);
     call->cv.wait(lock, [&] { return call->done == num_chunks; });
+    g_stats.submit_wait_ns.fetch_add(steady_ns() - t0, std::memory_order_relaxed);
   }
   {
     std::lock_guard<std::mutex> lock(impl_->queue_mutex);
@@ -213,6 +259,7 @@ void ThreadPool::parallel_for(index_t n, index_t grain,
   const int threads =
       static_cast<int>(std::min<index_t>(effective_threads(), chunks));
   if (threads <= 1 || tl_on_worker) {
+    g_stats.inline_regions.fetch_add(1, std::memory_order_relaxed);
     body(0, n);
     return;
   }
@@ -225,6 +272,7 @@ void ThreadPool::parallel_ranges(index_t n, int parts,
   const int threads = static_cast<int>(
       std::min<index_t>(std::min(parts, effective_threads()), n));
   if (threads <= 1 || tl_on_worker) {
+    g_stats.inline_regions.fetch_add(1, std::memory_order_relaxed);
     body(0, n);
     return;
   }

@@ -48,6 +48,32 @@ int active_devices();
 /// Per-invocation parallelism: max(1, configured_threads() / active devices).
 int effective_threads();
 
+/// Cumulative process-wide pool statistics (relaxed counters; cheap enough to
+/// keep always-on). `regions` counts parallel_for/parallel_ranges calls that
+/// actually fanned out; `inline_regions` the calls that ran serially (one
+/// thread, nested region, or single chunk). `worker_chunks` is the subset of
+/// `chunks` claimed by pool workers rather than the submitting thread — the
+/// "stolen" share — and `submit_wait_ns` is wall time submitters spent blocked
+/// waiting for workers to finish their last chunks (queue-drain tail).
+struct PoolStats {
+  std::uint64_t regions = 0;
+  std::uint64_t inline_regions = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t worker_chunks = 0;
+  std::uint64_t submit_wait_ns = 0;
+  std::uint64_t workers_spawned = 0;
+
+  /// Fraction of chunk work offloaded to workers (0 when nothing ran).
+  double worker_share() const {
+    return chunks == 0 ? 0.0
+                       : static_cast<double>(worker_chunks) / static_cast<double>(chunks);
+  }
+};
+
+/// Snapshot / reset of the global pool counters.
+PoolStats pool_stats();
+void reset_pool_stats();
+
 /// RAII registration of `n` simulated devices against the shared budget.
 /// comm::Cluster::run holds one for its whole world.
 class ActiveDevicesGuard {

@@ -19,6 +19,8 @@ Mesh2D::Mesh2D(comm::Communicator& world)
       col_comm_(world.split(/*color=*/col_, /*key=*/row_)) {
   OPT_CHECK(row_comm_.size() == q_ && col_comm_.size() == q_, "mesh split inconsistent");
   OPT_CHECK(row_comm_.rank() == col_ && col_comm_.rank() == row_, "mesh rank mapping broken");
+  row_comm_.set_label("mesh_row");
+  col_comm_.set_label("mesh_col");
 }
 
 }  // namespace optimus::mesh

@@ -1,0 +1,256 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace optimus::obs {
+
+namespace {
+
+const Json& null_json() {
+  static const Json j;
+  return j;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan; the exports clamp to null which every viewer takes.
+    out += "null";
+    return;
+  }
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out += buf;
+}
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    OPT_CHECK(false, "json parse error at offset " << pos << ": " << what);
+    std::abort();  // unreachable; OPT_CHECK throws
+  }
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "', got '" + text[pos] + "'");
+    ++pos;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (text.compare(pos, n, lit) == 0) {
+      pos += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos >= text.size()) fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) fail("unterminated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) fail("truncated \\u escape");
+          const unsigned long code = std::strtoul(text.substr(pos, 4).c_str(), nullptr, 16);
+          pos += 4;
+          // Exports only escape control characters; decode the BMP subset we
+          // emit (ASCII) and pass anything else through as '?' rather than
+          // implementing full UTF-16 surrogate handling.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_value() {
+    const char c = peek();
+    if (c == '{') {
+      ++pos;
+      Json obj = Json::object();
+      if (peek() == '}') {
+        ++pos;
+        return obj;
+      }
+      while (true) {
+        std::string key = parse_string();
+        expect(':');
+        obj.set(key, parse_value());
+        const char d = peek();
+        ++pos;
+        if (d == '}') return obj;
+        if (d != ',') fail("expected ',' or '}' in object");
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      Json arr = Json::array();
+      if (peek() == ']') {
+        ++pos;
+        return arr;
+      }
+      while (true) {
+        arr.push_back(parse_value());
+        const char d = peek();
+        ++pos;
+        if (d == ']') return arr;
+        if (d != ',') fail("expected ',' or ']' in array");
+      }
+    }
+    if (c == '"') return Json(parse_string());
+    if (consume_literal("true")) return Json(true);
+    if (consume_literal("false")) return Json(false);
+    if (consume_literal("null")) return Json();
+    // number
+    const std::size_t start = pos;
+    if (text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E' || text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) fail("invalid value");
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str() + start, &end);
+    if (end != text.c_str() + pos) fail("invalid number");
+    return Json(v);
+  }
+};
+
+}  // namespace
+
+void Json::set(const std::string& key, Json v) {
+  OPT_CHECK(type_ == Type::kObject, "set() on non-object json");
+  for (auto& [k, old] : fields_) {
+    if (k == key) {
+      old = std::move(v);
+      return;
+    }
+  }
+  fields_.emplace_back(key, std::move(v));
+}
+
+const Json& Json::get(const std::string& key) const {
+  OPT_CHECK(type_ == Type::kObject, "get() on non-object json");
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return v;
+  }
+  return null_json();
+}
+
+bool Json::has(const std::string& key) const { return !get(key).is_null(); }
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const auto newline_pad = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * d, ' ');
+  };
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: append_number(out, num_); break;
+    case Type::kString: append_escaped(out, str_); break;
+    case Type::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_pad(depth + 1);
+        items_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!items_.empty()) newline_pad(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_pad(depth + 1);
+        append_escaped(out, fields_[i].first);
+        out += pretty ? ": " : ":";
+        fields_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!fields_.empty()) newline_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+Json Json::parse(const std::string& text) {
+  Parser p{text};
+  Json v = p.parse_value();
+  p.skip_ws();
+  OPT_CHECK(p.pos == text.size(), "json parse error: trailing data at offset " << p.pos);
+  return v;
+}
+
+}  // namespace optimus::obs

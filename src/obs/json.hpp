@@ -1,0 +1,104 @@
+#pragma once
+
+// Minimal JSON value tree: enough to build the observability exports (metrics
+// report, Chrome trace) and to parse them back for validation. Object keys
+// preserve insertion order so emitted files are stable across runs and diffs
+// stay readable. Not a general-purpose JSON library: numbers are doubles (the
+// exports never need 64-bit-exact integers above 2^53), strings are UTF-8
+// passed through verbatim with control/quote escaping only.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace optimus::obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}               // NOLINT(google-explicit-constructor)
+  Json(double v) : type_(Type::kNumber), num_(v) {}            // NOLINT
+  Json(int v) : type_(Type::kNumber), num_(v) {}               // NOLINT
+  Json(std::int64_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}  // NOLINT
+  Json(std::uint64_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {} // NOLINT
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}             // NOLINT
+  Json(const char* s) : type_(Type::kString), str_(s) {}       // NOLINT
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const {
+    OPT_CHECK(type_ == Type::kBool, "json value is not a bool");
+    return bool_;
+  }
+  double as_number() const {
+    OPT_CHECK(type_ == Type::kNumber, "json value is not a number");
+    return num_;
+  }
+  const std::string& as_string() const {
+    OPT_CHECK(type_ == Type::kString, "json value is not a string");
+    return str_;
+  }
+
+  // -- array ----------------------------------------------------------------
+  void push_back(Json v) {
+    OPT_CHECK(type_ == Type::kArray, "push_back on non-array json");
+    items_.push_back(std::move(v));
+  }
+  const std::vector<Json>& items() const {
+    OPT_CHECK(type_ == Type::kArray, "items() on non-array json");
+    return items_;
+  }
+  std::size_t size() const { return type_ == Type::kArray ? items_.size() : fields_.size(); }
+
+  // -- object ---------------------------------------------------------------
+  /// Sets (or overwrites) a field, keeping first-insertion order.
+  void set(const std::string& key, Json v);
+  /// Null reference if absent (shared static null).
+  const Json& get(const std::string& key) const;
+  bool has(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& fields() const {
+    OPT_CHECK(type_ == Type::kObject, "fields() on non-object json");
+    return fields_;
+  }
+
+  // -- serialisation --------------------------------------------------------
+  /// Compact when indent < 0, pretty otherwise.
+  std::string dump(int indent = -1) const;
+
+  /// Strict parser; throws util::CheckError with position info on bad input.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> fields_;
+};
+
+}  // namespace optimus::obs

@@ -1,0 +1,75 @@
+#include "perfmodel/validation.hpp"
+
+#include <cmath>
+
+namespace optimus::perfmodel {
+
+double megatron_lm_allreduce_weighted(const Workload& w, int p) {
+  const double stem =
+      static_cast<double>(w.layers) * (megatron_fwd_comm(w, p) + megatron_bwd_comm(w, p));
+  const double ar = 2.0 * (p - 1) / static_cast<double>(p);
+  const double bsh = static_cast<double>(w.b) * w.s * w.h;
+  const double bs = static_cast<double>(w.b) * w.s;
+  // Embedding assembly (bsh) + d_hidden (bsh) + vocab-CE statistics (3·bs;
+  // the max is recorded with the same ring weight as the sums).
+  return stem + ar * (2.0 * bsh + 3.0 * bs);
+}
+
+double optimus_lm_bcast_reduce_weighted(const Workload& w, int q) {
+  const int p = q * q;
+  const double lg = std::log2(static_cast<double>(q));
+  const double hq = static_cast<double>(w.h) / q;
+  const double fq = 4.0 * hq;
+  const double tq = 3.0 * hq;
+  const double vq = static_cast<double>(w.v) / q;
+  const double s = static_cast<double>(w.s);
+  const double N = static_cast<double>(w.layers);
+
+  // SUMMA stem (Table 1; backward includes the checkpoint recompute).
+  const double stem = N * (optimus_fwd_comm(w, p) + optimus_bwd_comm(w, p));
+  // lm-head: Alg-2 logits forward, Alg-1 dX and Alg-3 dE backward. Each SUMMA
+  // call moves q·(broadcast block + reduce block) at tree weight log₂ q.
+  const double rows = static_cast<double>(w.b) / q * s;
+  const double lm_fwd = lg * q * (vq * hq + rows * vq);
+  const double lm_bwd = lg * q * (rows * vq + vq * hq)    // ab: dlogits + E
+                        + lg * q * (rows * vq + vq * hq); // atb: dlogits + dE
+  // Hosted-slice broadcasts per layer forward (and again in the recompute):
+  // 4 LN slices (hq each) + biases (tq + 2·hq + fq); gradients reduce the
+  // same volumes backward.
+  const double hosted_fwd = lg * (4 * hq + tq + 2 * hq + fq);
+  const double hosted_bwd = hosted_fwd;
+  const double hosted = N * (2 * hosted_fwd + hosted_bwd);
+  // Final layernorm: 2 slice broadcasts forward, 2 partial reductions back.
+  const double final_ln = lg * (2 * hq) + lg * (2 * hq);
+  // Embedding: q table-block broadcasts + position slice forward; mirrored
+  // reductions backward.
+  const double embed = 2.0 * lg * (q * vq * hq + s * hq);
+  return stem + lm_fwd + lm_bwd + hosted + final_ln + embed;
+}
+
+bool CommValidation::ok(double rtol) const {
+  for (const auto& row : rows) {
+    if (row.rel_err() > rtol) return false;
+  }
+  return true;
+}
+
+CommValidation validate_lm_step_comm(Scheme scheme, const Workload& w, int p,
+                                     const comm::CommStats& measured) {
+  CommValidation v;
+  v.scheme = scheme;
+  v.p = p;
+  if (scheme == Scheme::kMegatron) {
+    v.rows.push_back({"allreduce", measured.allreduce.weighted,
+                      megatron_lm_allreduce_weighted(w, p)});
+  } else {
+    int q = 1;
+    while (q * q < p) ++q;
+    v.rows.push_back({"broadcast+reduce",
+                      measured.broadcast.weighted + measured.reduce.weighted,
+                      optimus_lm_bcast_reduce_weighted(w, q)});
+  }
+  return v;
+}
+
+}  // namespace optimus::perfmodel

@@ -1,0 +1,66 @@
+#pragma once
+
+// Measured-vs-analytic communication validation.
+//
+// The engines measure per-device collective traffic (comm::CommStats, in the
+// paper's β-weighted scalar units); the perfmodel predicts it (Table 1 plus
+// the exact non-SUMMA extras the paper calls "negligible"). This module holds
+// the closed forms for one full LM training pass — forward + loss + backward —
+// through either engine, and a comparator that turns a measured CommStats into
+// a per-collective-family scoreboard. tests/trace_test.cpp asserts the match
+// exactly; the benches and scaling_explorer attach it to their reports so the
+// oracle is re-checked on every run, not just under ctest.
+
+#include <string>
+#include <vector>
+
+#include "comm/sim_clock.hpp"
+#include "perfmodel/costs.hpp"
+#include "perfmodel/memory.hpp"
+
+namespace optimus::perfmodel {
+
+/// Predicted β-weighted all-reduce units for one fwd+loss+bwd LM pass of the
+/// Megatron engine at scale p: the Table-1 stem (N layers, backward includes
+/// the checkpoint recompute) plus embedding assembly (bsh), d_hidden (bsh)
+/// and the vocab-parallel cross-entropy statistics (3·bs), all carried by the
+/// p-wide ring all-reduce weight 2(p−1)/p.
+double megatron_lm_allreduce_weighted(const Workload& w, int p);
+
+/// Predicted broadcast+reduce weighted units for one fwd+loss+bwd LM pass of
+/// the Optimus engine on a q×q mesh: the SUMMA stem plus the exact lm-head
+/// (Alg 1–3), hosted-slice broadcast/reduction, final-layernorm and embedding
+/// terms, all carried by the binomial-tree weight log₂ q.
+double optimus_lm_bcast_reduce_weighted(const Workload& w, int q);
+
+/// One measured-vs-predicted comparison line.
+struct CommValidationRow {
+  std::string name;       // collective family, e.g. "allreduce"
+  double measured = 0;    // β-weighted units from CommStats
+  double predicted = 0;   // closed form
+
+  double abs_err() const { return measured > predicted ? measured - predicted
+                                                       : predicted - measured; }
+  double rel_err() const {
+    const double scale = predicted > 0 ? predicted : 1.0;
+    return abs_err() / scale;
+  }
+};
+
+struct CommValidation {
+  Scheme scheme;
+  int p = 0;
+  std::vector<CommValidationRow> rows;
+
+  /// True when every row matches within `rtol` relative error.
+  bool ok(double rtol = 1e-9) const;
+};
+
+/// Compares one rank's measured collective traffic for a single LM step
+/// against the closed forms above. Every rank moves the same volume, so any
+/// rank's stats may be passed. For Megatron the scoreboard row is the ring
+/// all-reduce; for Optimus it is the tree broadcast+reduce total.
+CommValidation validate_lm_step_comm(Scheme scheme, const Workload& w, int p,
+                                     const comm::CommStats& measured);
+
+}  // namespace optimus::perfmodel

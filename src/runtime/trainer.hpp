@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "runtime/data.hpp"
 #include "util/logging.hpp"
 
@@ -20,11 +21,25 @@ namespace optimus::runtime {
 /// One LM training step; returns the loss.
 template <typename Engine, typename Optimizer, typename T = float>
 double lm_step(Engine& engine, Optimizer& opt, const LmBatch& batch, double lr) {
-  engine.forward(batch.tokens);
-  const double loss = static_cast<double>(engine.lm_loss(batch.labels));
-  engine.zero_grads();
-  engine.backward_lm();
-  opt.step(engine.parameters(), engine.gradients(), lr);
+  obs::Span step_span("runtime", "lm_step");
+  {
+    obs::Span span("runtime", "forward");
+    engine.forward(batch.tokens);
+  }
+  double loss = 0;
+  {
+    obs::Span span("runtime", "lm_loss");
+    loss = static_cast<double>(engine.lm_loss(batch.labels));
+  }
+  {
+    obs::Span span("runtime", "backward");
+    engine.zero_grads();
+    engine.backward_lm();
+  }
+  {
+    obs::Span span("runtime", "optimizer");
+    opt.step(engine.parameters(), engine.gradients(), lr);
+  }
   return loss;
 }
 
@@ -50,11 +65,25 @@ std::vector<double> train_lm(Engine& engine, Optimizer& opt, const Schedule& sch
 /// One classification step; returns the loss.
 template <typename Engine, typename Optimizer>
 double cls_step(Engine& engine, Optimizer& opt, const ClsBatch& batch, double lr) {
-  engine.forward(batch.tokens);
-  const double loss = static_cast<double>(engine.cls_loss(batch.labels));
-  engine.zero_grads();
-  engine.backward_cls();
-  opt.step(engine.parameters(), engine.gradients(), lr);
+  obs::Span step_span("runtime", "cls_step");
+  {
+    obs::Span span("runtime", "forward");
+    engine.forward(batch.tokens);
+  }
+  double loss = 0;
+  {
+    obs::Span span("runtime", "cls_loss");
+    loss = static_cast<double>(engine.cls_loss(batch.labels));
+  }
+  {
+    obs::Span span("runtime", "backward");
+    engine.zero_grads();
+    engine.backward_cls();
+  }
+  {
+    obs::Span span("runtime", "optimizer");
+    opt.step(engine.parameters(), engine.gradients(), lr);
+  }
   return loss;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace optimus::summa {
@@ -33,12 +34,16 @@ void summa_ab(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B, Tens
             "summa_ab block shapes: A " << A.shape().to_string() << " B "
                                         << B.shape().to_string() << " C "
                                         << C.shape().to_string());
+  obs::Span op_span("summa", "summa_ab");
+  if (op_span.armed()) op_span.arg("q", q);
   std::optional<ArenaScope> scope;
   if (workspace != nullptr) scope.emplace(*workspace);
   TensorT<T> a_buf = make_temp<T>(workspace, A.shape());
   TensorT<T> b_buf = make_temp<T>(workspace, B.shape());
 
   for (int l = 0; l < q; ++l) {
+    obs::Span step_span("summa", "k_step");
+    if (step_span.armed()) step_span.arg("l", l);
     // Column l of the mesh owns the A blocks for this outer-product step;
     // row l owns the B blocks (paper Fig. 3).
     if (mesh.col() == l) a_buf.copy_from(A);
@@ -59,12 +64,16 @@ void summa_abt(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B, Ten
             "summa_abt block shapes: A " << A.shape().to_string() << " B "
                                          << B.shape().to_string() << " C "
                                          << C.shape().to_string());
+  obs::Span op_span("summa", "summa_abt");
+  if (op_span.armed()) op_span.arg("q", q);
   std::optional<ArenaScope> scope;
   if (workspace != nullptr) scope.emplace(*workspace);
   TensorT<T> b_buf = make_temp<T>(workspace, B.shape());
   TensorT<T> c_tmp = make_temp<T>(workspace, C.shape());
 
   for (int l = 0; l < q; ++l) {
+    obs::Span step_span("summa", "k_step");
+    if (step_span.armed()) step_span.arg("l", l);
     // Step l computes column-block l of C: broadcast B_l· down columns,
     // multiply locally, reduce partial C blocks across the row to column l.
     if (mesh.row() == l) b_buf.copy_from(B);
@@ -90,12 +99,16 @@ void summa_atb(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B, Ten
             "summa_atb block shapes: A " << A.shape().to_string() << " B "
                                          << B.shape().to_string() << " C "
                                          << C.shape().to_string());
+  obs::Span op_span("summa", "summa_atb");
+  if (op_span.armed()) op_span.arg("q", q);
   std::optional<ArenaScope> scope;
   if (workspace != nullptr) scope.emplace(*workspace);
   TensorT<T> a_buf = make_temp<T>(workspace, A.shape());
   TensorT<T> c_tmp = make_temp<T>(workspace, C.shape());
 
   for (int l = 0; l < q; ++l) {
+    obs::Span step_span("summa", "k_step");
+    if (step_span.armed()) step_span.arg("l", l);
     // Step l computes row-block l of C: broadcast A_·l across rows, multiply
     // locally, reduce partial C blocks down the column to row l.
     if (mesh.col() == l) a_buf.copy_from(A);
@@ -126,6 +139,8 @@ void cannon_ab(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B, Ten
               accumulate ? T{1} : T{0});
     return;
   }
+  obs::Span op_span("summa", "cannon_ab");
+  if (op_span.armed()) op_span.arg("q", q);
   std::optional<ArenaScope> scope;
   if (workspace != nullptr) scope.emplace(*workspace);
   TensorT<T> a_buf = make_temp<T>(workspace, A.shape());
@@ -160,6 +175,8 @@ void cannon_ab(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B, Ten
   shift_up(b_buf, j, /*tag=*/1);
 
   for (int l = 0; l < q; ++l) {
+    obs::Span step_span("summa", "k_step");
+    if (step_span.armed()) step_span.arg("l", l);
     const T beta = (l == 0 && !accumulate) ? T{0} : T{1};
     ops::gemm(C, a_buf, b_buf, ops::Trans::No, ops::Trans::No, T{1}, beta);
     if (l + 1 < q) {

@@ -83,6 +83,13 @@ class DeviceContext {
     return delta;
   }
 
+  /// Multiplies counted since the last take_mults(), without consuming them.
+  /// Owner-thread only; the tracer uses this to extend simulated timestamps
+  /// continuously across the lazy compute drain at collective boundaries.
+  std::uint64_t pending_mults() const {
+    return counters_->mults.load(std::memory_order_relaxed) - counters_->mults_taken;
+  }
+
   /// Resets the peak to the current live level (used between bench phases).
   void reset_peak() {
     counters_->bytes_peak.store(bytes_live(), std::memory_order_relaxed);

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "kernel/gemm.hpp"
+#include "obs/trace.hpp"
 #include "tensor/parallel.hpp"
 
 namespace optimus::tensor::ops {
@@ -35,6 +36,10 @@ inline T element(const T* M, index_t ld, Trans trans, index_t r, index_t c) {
 template <typename T>
 void gemm_raw(T* C, const T* A, const T* B, index_t m, index_t n, index_t k, index_t lda,
               index_t ldb, index_t ldc, Trans trans_a, Trans trans_b, T alpha, T beta) {
+  // Span opens before the mult charge, so its simulated duration is exactly
+  // compute_time(m·n·k) via the tracer's pending-mults clock extension.
+  obs::Span span("kernel", "gemm");
+  if (span.armed()) span.arg("m", m).arg("n", n).arg("k", k);
   DeviceContext::current().on_mults(static_cast<std::uint64_t>(m) * n * k);
   if (m * n * k >= kKernelDispatchCutoff) {
     kernel::gemm(C, A, B, m, n, k, lda, ldb, ldc,

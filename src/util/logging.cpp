@@ -12,6 +12,7 @@ namespace optimus::util {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
+thread_local int tl_log_rank = -1;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -38,6 +39,10 @@ void set_log_level(LogLevel level) {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+int thread_log_rank() { return tl_log_rank; }
+
+void set_thread_log_rank(int rank) { tl_log_rank = rank; }
+
 LogLevel parse_log_level(const std::string& name) {
   if (name == "debug") return LogLevel::Debug;
   if (name == "info") return LogLevel::Info;
@@ -57,7 +62,13 @@ LogLine::LogLine(LogLevel level, const char* file, int line)
     if (*c == '/') base = c + 1;
   }
   os_ << "[" << level_name(level) << " " << std::fixed << std::setprecision(3)
-      << seconds_since_start() << "s " << base << ":" << line << "] ";
+      << seconds_since_start() << "s r";
+  if (tl_log_rank >= 0) {
+    os_ << tl_log_rank;
+  } else {
+    os_ << "-";
+  }
+  os_ << " " << base << ":" << line << "] ";
 }
 
 LogLine::~LogLine() {

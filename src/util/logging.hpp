@@ -4,9 +4,12 @@
 //
 // Usage:  OPT_LOG(Info) << "trained step " << step;
 //
-// Output goes to stderr, one line per statement, prefixed with level and a
-// monotonic timestamp. Thread-safe at line granularity (each statement's text
-// is assembled privately and written with a single flush). The global level is
+// Output goes to stderr, one line per statement, prefixed with level, a
+// monotonic timestamp and the simulated-device rank of the emitting thread
+// (`r3`; `r-` for host code — comm::Cluster installs the rank for device
+// threads via obs::ScopedTrack), so interleaved multi-device logs stay
+// attributable. Thread-safe at line granularity (each statement's text is
+// assembled privately and written with a single flush). The global level is
 // settable at runtime (examples expose a --log-level flag).
 
 #include <iostream>
@@ -22,6 +25,12 @@ LogLevel log_level();
 void set_log_level(LogLevel level);
 /// Parse "debug"/"info"/"warn"/"error"/"off"; throws CheckError on anything else.
 LogLevel parse_log_level(const std::string& name);
+
+/// Simulated-device rank tag for log lines emitted by this thread: -1 (the
+/// default) prints as `r-` (host code), ranks >= 0 as `rN`. Installed for
+/// device threads by obs::ScopedTrack / comm::Cluster.
+int thread_log_rank();
+void set_thread_log_rank(int rank);
 
 namespace detail {
 

@@ -1,0 +1,391 @@
+// Observability-layer tests: the simulation-aware tracer, Chrome-trace
+// export/validation, metrics JSON, pool counters, rank-tagged logging — and
+// the headline guarantee of the layer: measured per-device collective traffic
+// equals the analytic Table-1 closed forms exactly, and tracing never
+// perturbs numerics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+
+#include "comm/cluster.hpp"
+#include "comm/obs_report.hpp"
+#include "core/optimus_model.hpp"
+#include "kernel/thread_pool.hpp"
+#include "megatron/megatron_model.hpp"
+#include "mesh/mesh.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "perfmodel/validation.hpp"
+#include "runtime/data.hpp"
+#include "runtime/lr_schedule.hpp"
+#include "runtime/optimizer.hpp"
+#include "runtime/trainer.hpp"
+#include "util/logging.hpp"
+
+namespace oc = optimus::comm;
+namespace ob = optimus::obs;
+namespace ok = optimus::kernel;
+namespace om = optimus::model;
+namespace opm = optimus::perfmodel;
+namespace ort = optimus::runtime;
+
+namespace {
+
+om::TransformerConfig engine_config() {
+  om::TransformerConfig cfg;
+  cfg.batch = 4;
+  cfg.seq_len = 8;
+  cfg.hidden = 16;
+  cfg.heads = 4;
+  cfg.vocab = 16;
+  cfg.layers = 2;
+  cfg.seed = 5;
+  return cfg;
+}
+
+opm::Workload to_workload(const om::TransformerConfig& cfg) {
+  opm::Workload w;
+  w.b = cfg.batch;
+  w.s = cfg.seq_len;
+  w.h = cfg.hidden;
+  w.n = cfg.heads;
+  w.v = cfg.vocab;
+  w.layers = cfg.layers;
+  return w;
+}
+
+/// Fresh tracer state for the test body; disables + clears on exit so no
+/// other test sees leftover spans.
+struct TraceGuard {
+  TraceGuard() {
+    ob::set_enabled(false);
+    ob::reset();
+  }
+  ~TraceGuard() {
+    ob::set_enabled(false);
+    ob::reset();
+  }
+};
+
+/// One fwd+loss+bwd LM pass of either engine at p = 4 (q = 2 for Optimus).
+oc::Cluster::Report run_lm_step(opm::Scheme scheme, const om::TransformerConfig& cfg) {
+  ort::RandomLmWorkload workload(cfg.batch, cfg.seq_len, cfg.vocab, 3);
+  const auto batch = workload.next();
+  return oc::run_cluster(4, [&](oc::Context& ctx) {
+    if (scheme == opm::Scheme::kMegatron) {
+      optimus::megatron::MegatronTransformer<float> engine(cfg, ctx.world);
+      engine.forward(batch.tokens);
+      (void)engine.lm_loss(batch.labels);
+      engine.backward_lm();
+    } else {
+      optimus::mesh::Mesh2D mesh(ctx.world);
+      optimus::core::OptimusTransformer<float> engine(cfg, mesh);
+      engine.forward(batch.tokens);
+      (void)engine.lm_loss(batch.labels);
+      engine.backward_lm();
+    }
+  });
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Measured vs analytic: Table 1 as a runtime-checked oracle
+// ---------------------------------------------------------------------------
+
+TEST(MeasuredVsAnalytic, OptimusCollectivesMatchClosedFormExactly) {
+  const auto cfg = engine_config();
+  const auto report = run_lm_step(opm::Scheme::kOptimus, cfg);
+  const auto v =
+      opm::validate_lm_step_comm(opm::Scheme::kOptimus, to_workload(cfg), 4,
+                                 report.ranks[0].stats);
+  ASSERT_EQ(v.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(v.rows[0].measured, v.rows[0].predicted);
+  EXPECT_TRUE(v.ok(1e-12));
+  // Every rank moves the same volume; the new byte counters are elems × 4
+  // (f32 payloads throughout).
+  for (const auto& r : report.ranks) {
+    EXPECT_EQ(r.stats.broadcast.bytes, r.stats.broadcast.elems * 4);
+    EXPECT_EQ(r.stats.reduce.bytes, r.stats.reduce.elems * 4);
+    EXPECT_EQ(r.stats.broadcast.weighted, report.ranks[0].stats.broadcast.weighted);
+  }
+}
+
+TEST(MeasuredVsAnalytic, MegatronCollectivesMatchClosedFormExactly) {
+  const auto cfg = engine_config();
+  const auto report = run_lm_step(opm::Scheme::kMegatron, cfg);
+  const auto v =
+      opm::validate_lm_step_comm(opm::Scheme::kMegatron, to_workload(cfg), 4,
+                                 report.ranks[0].stats);
+  ASSERT_EQ(v.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(v.rows[0].measured, v.rows[0].predicted);
+  EXPECT_TRUE(v.ok(1e-12));
+  for (const auto& r : report.ranks) {
+    EXPECT_EQ(r.stats.allreduce.bytes, r.stats.allreduce.elems * 4);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Span trees
+// ---------------------------------------------------------------------------
+
+TEST(Spans, DeviceTracksNestProperlyAndExportValidates) {
+  TraceGuard guard;
+  ob::set_enabled(true);
+  const auto cfg = engine_config();
+  (void)run_lm_step(opm::Scheme::kOptimus, cfg);
+
+  const auto spans = ob::snapshot();
+  ASSERT_FALSE(spans.empty());
+  // One track per simulated device: all four ranks recorded spans.
+  bool seen_rank[4] = {false, false, false, false};
+  for (const auto& s : spans) {
+    if (s.rank >= 0 && s.rank < 4) seen_rank[s.rank] = true;
+    EXPECT_GE(s.sim_end, s.sim_begin);
+    EXPECT_GE(s.wall_end_ns, s.wall_begin_ns);
+  }
+  for (int r = 0; r < 4; ++r) EXPECT_TRUE(seen_rank[r]) << "no spans on device " << r;
+
+  // The exported document passes the structural validator: monotone
+  // per-track timestamps, children inside parents, no overlapping siblings.
+  const ob::TraceCheck check = ob::validate_chrome_trace(ob::chrome_trace_json());
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_GT(check.events, 0);
+  EXPECT_GE(check.tracks, 4);
+}
+
+TEST(Spans, CollectiveSpansCarryAlignWaitVsTransferSplit) {
+  TraceGuard guard;
+  ob::set_enabled(true);
+  const auto cfg = engine_config();
+  (void)run_lm_step(opm::Scheme::kOptimus, cfg);
+
+  int comm_spans = 0, labelled = 0;
+  for (const auto& s : ob::snapshot()) {
+    if (s.cat != "comm" || s.name == "send" || s.name == "recv") continue;
+    ++comm_spans;
+    double wait = -1, transfer = -1;
+    bool has_bytes = false, has_g = false;
+    for (const auto& [key, value] : s.args) {
+      if (key == "wait_s") wait = value.as_number();
+      if (key == "transfer_s") transfer = value.as_number();
+      if (key == "bytes") has_bytes = true;
+      if (key == "g") has_g = true;
+      if (key == "comm") {
+        const std::string& label = value.as_string();
+        if (label == "mesh_row" || label == "mesh_col" || label == "world") ++labelled;
+      }
+    }
+    EXPECT_TRUE(has_bytes && has_g) << s.name << " span missing bytes/g args";
+    EXPECT_GE(wait, 0.0) << s.name << " align-wait must be non-negative";
+    EXPECT_GE(transfer, 0.0);
+    // The span covers exactly wait + transfer in simulated time.
+    EXPECT_NEAR(s.sim_dur(), wait + transfer, 1e-12 + 1e-9 * s.sim_dur());
+  }
+  EXPECT_GT(comm_spans, 0);
+  EXPECT_GT(labelled, 0) << "mesh/world communicator labels missing";
+}
+
+TEST(Spans, GemmSimDurationEqualsModelledComputeTime) {
+  // Dual-clock check: a GEMM span's simulated duration must equal the cost
+  // model's compute_time(m·n·k), even though the SimClock itself only drains
+  // at the next collective (the tracer extends it by pending mults).
+  TraceGuard guard;
+  ob::set_enabled(true);
+  const auto cfg = engine_config();
+  (void)run_lm_step(opm::Scheme::kOptimus, cfg);
+
+  const double flop_rate = oc::MachineParams{}.flop_rate;
+  int checked = 0;
+  for (const auto& s : ob::snapshot()) {
+    if (s.cat != "kernel" || s.name != "gemm" || s.rank < 0) continue;
+    double m = 0, n = 0, k = 0;
+    for (const auto& [key, value] : s.args) {
+      if (key == "m") m = value.as_number();
+      if (key == "n") n = value.as_number();
+      if (key == "k") k = value.as_number();
+    }
+    ASSERT_GT(m * n * k, 0.0);
+    const double expected = m * n * k / flop_rate;
+    EXPECT_NEAR(s.sim_dur(), expected, 1e-12 + 1e-9 * expected);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0) << "no device GEMM spans recorded";
+}
+
+TEST(Spans, DisabledPathRecordsNothing) {
+  TraceGuard guard;
+  ASSERT_FALSE(ob::enabled());
+  {
+    ob::Span span("test", "should_not_record");
+    span.arg("ignored", 1);
+    EXPECT_FALSE(span.armed());
+  }
+  EXPECT_TRUE(ob::snapshot().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Numerics: tracing must not change what is computed
+// ---------------------------------------------------------------------------
+
+TEST(Numerics, LossTraceByteIdenticalWithTracingOnVsOff) {
+  TraceGuard guard;
+  const auto cfg = engine_config();
+  const int steps = 4;
+  auto train = [&]() {
+    ort::PatternLmWorkload workload(cfg.batch, cfg.seq_len, cfg.vocab, 4, 11);
+    std::vector<ort::LmBatch> batches;
+    for (int i = 0; i < steps; ++i) batches.push_back(workload.next());
+    std::vector<double> losses;
+    oc::run_cluster(4, [&](oc::Context& ctx) {
+      optimus::mesh::Mesh2D mesh(ctx.world);
+      optimus::core::OptimusTransformer<float> engine(cfg, mesh);
+      ort::Adam<float> opt;
+      ort::ConstantLr schedule(1e-3);
+      int i = 0;
+      auto next_batch = [&]() { return batches[i++]; };
+      auto trace = ort::train_lm(engine, opt, schedule, next_batch, steps);
+      if (ctx.rank == 0) losses = trace;
+    });
+    return losses;
+  };
+
+  ob::set_enabled(false);
+  const auto plain = train();
+  ob::set_enabled(true);
+  const auto traced = train();
+  ASSERT_EQ(plain.size(), traced.size());
+  EXPECT_EQ(0, std::memcmp(plain.data(), traced.data(), plain.size() * sizeof(double)));
+  EXPECT_FALSE(ob::snapshot().empty());  // the traced run really recorded
+}
+
+// ---------------------------------------------------------------------------
+// Validator rejects malformed traces
+// ---------------------------------------------------------------------------
+
+TEST(Validator, RejectsOverlappingSiblings) {
+  const auto doc = ob::Json::parse(R"({"traceEvents": [
+    {"name": "a", "cat": "t", "ph": "X", "pid": 0, "tid": 0, "ts": 0, "dur": 10},
+    {"name": "b", "cat": "t", "ph": "X", "pid": 0, "tid": 0, "ts": 5, "dur": 10}
+  ]})");
+  const auto check = ob::validate_chrome_trace(doc);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("overlap"), std::string::npos) << check.error;
+}
+
+TEST(Validator, RejectsNonMonotoneTimestamps) {
+  const auto doc = ob::Json::parse(R"({"traceEvents": [
+    {"name": "a", "cat": "t", "ph": "X", "pid": 0, "tid": 0, "ts": 10, "dur": 1},
+    {"name": "b", "cat": "t", "ph": "X", "pid": 0, "tid": 0, "ts": 3, "dur": 1}
+  ]})");
+  EXPECT_FALSE(ob::validate_chrome_trace(doc).ok);
+}
+
+TEST(Validator, AcceptsNestedAndTouchingSpans) {
+  const auto doc = ob::Json::parse(R"({"traceEvents": [
+    {"name": "parent", "cat": "t", "ph": "X", "pid": 0, "tid": 0, "ts": 0, "dur": 10},
+    {"name": "child1", "cat": "t", "ph": "X", "pid": 0, "tid": 0, "ts": 0, "dur": 4},
+    {"name": "child2", "cat": "t", "ph": "X", "pid": 0, "tid": 0, "ts": 4, "dur": 6},
+    {"name": "next", "cat": "t", "ph": "X", "pid": 0, "tid": 0, "ts": 10, "dur": 2}
+  ]})");
+  const auto check = ob::validate_chrome_trace(doc);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.events, 4);
+  EXPECT_EQ(check.tracks, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics export
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, JsonCarriesPerRankCommBytesAndPoolStats) {
+  TraceGuard guard;
+  const auto cfg = engine_config();
+  const auto report = run_lm_step(opm::Scheme::kOptimus, cfg);
+  const ob::Json doc = oc::metrics_json(report);
+
+  EXPECT_EQ(doc.get("world_size").as_number(), 4.0);
+  ASSERT_EQ(doc.get("ranks").items().size(), 4u);
+  const ob::Json& rank0 = doc.get("ranks").items()[0];
+  EXPECT_GT(rank0.get("mults").as_number(), 0.0);
+  EXPECT_GT(rank0.get("peak_bytes").as_number(), 0.0);
+  const ob::Json& bc = rank0.get("comm").get("broadcast");
+  EXPECT_EQ(bc.get("bytes").as_number(),
+            static_cast<double>(report.ranks[0].stats.broadcast.bytes));
+  EXPECT_TRUE(doc.has("totals"));
+  EXPECT_TRUE(doc.get("totals").has("comm_by_kind"));
+  EXPECT_TRUE(doc.has("pool"));
+  // Round-trips through the parser.
+  const ob::Json reparsed = ob::Json::parse(doc.dump(2));
+  EXPECT_EQ(reparsed.get("world_size").as_number(), 4.0);
+  EXPECT_EQ(reparsed.get("ranks").items().size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Pool counters
+// ---------------------------------------------------------------------------
+
+TEST(PoolStats, CountsRegionsAndChunksAndResets) {
+  ok::reset_pool_stats();
+  ok::set_threads(4);
+  std::atomic<long long> sum{0};
+  ok::ThreadPool::global().parallel_for(1 << 14, 64, [&](ok::index_t b, ok::index_t e) {
+    sum.fetch_add(e - b, std::memory_order_relaxed);
+  });
+  ok::set_threads(0);
+  EXPECT_EQ(sum.load(), 1 << 14);
+  const ok::PoolStats ps = ok::pool_stats();
+  EXPECT_EQ(ps.regions + ps.inline_regions, 1u);
+  if (ps.regions == 1) {
+    EXPECT_EQ(ps.chunks, static_cast<std::uint64_t>((1 << 14) / 64));
+    EXPECT_GE(ps.worker_share(), 0.0);
+    EXPECT_LE(ps.worker_share(), 1.0);
+  }
+  ok::reset_pool_stats();
+  const ok::PoolStats zero = ok::pool_stats();
+  EXPECT_EQ(zero.regions + zero.inline_regions + zero.chunks, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Rank-tagged logging + track installation
+// ---------------------------------------------------------------------------
+
+TEST(LogRank, ScopedTrackInstallsRankAndSimClockAndRestores) {
+  EXPECT_EQ(optimus::util::thread_log_rank(), -1);
+  EXPECT_EQ(ob::current_rank(), ob::kHostRank);
+  {
+    ob::ScopedTrack track(3, [] { return 1.5; });
+    EXPECT_EQ(optimus::util::thread_log_rank(), 3);
+    EXPECT_EQ(ob::current_rank(), 3);
+    EXPECT_DOUBLE_EQ(ob::sim_now(), 1.5);
+    {
+      ob::ScopedTrack inner(7, [] { return 2.5; });
+      EXPECT_EQ(optimus::util::thread_log_rank(), 7);
+      EXPECT_DOUBLE_EQ(ob::sim_now(), 2.5);
+    }
+    EXPECT_EQ(optimus::util::thread_log_rank(), 3);
+    EXPECT_DOUBLE_EQ(ob::sim_now(), 1.5);
+  }
+  EXPECT_EQ(optimus::util::thread_log_rank(), -1);
+  EXPECT_EQ(ob::current_rank(), ob::kHostRank);
+}
+
+// ---------------------------------------------------------------------------
+// JSON layer
+// ---------------------------------------------------------------------------
+
+TEST(Json, ParseDumpRoundTrip) {
+  const char* text =
+      R"({"a": 1, "b": [true, false, null, 2.5, "x\"y\n"], "c": {"nested": [1, 2, 3]}})";
+  const ob::Json doc = ob::Json::parse(text);
+  EXPECT_EQ(doc.get("a").as_number(), 1.0);
+  EXPECT_EQ(doc.get("b").items().size(), 5u);
+  EXPECT_EQ(doc.get("b").items()[4].as_string(), "x\"y\n");
+  const ob::Json again = ob::Json::parse(doc.dump());
+  EXPECT_EQ(again.dump(), doc.dump());
+  EXPECT_THROW(ob::Json::parse("{\"unterminated\": "), std::exception);
+  EXPECT_THROW(ob::Json::parse("[1, 2] trailing"), std::exception);
+}

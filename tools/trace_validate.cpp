@@ -1,0 +1,52 @@
+// Chrome-trace validator for scripts/check.sh and manual use.
+//
+//   ./trace_validate trace.json [more.json ...]
+//
+// Parses each file and checks the invariants the tracer promises:
+//   * well-formed JSON with a traceEvents array of "X" (and "M") events;
+//   * numeric pid/tid/ts, non-negative dur;
+//   * per-(pid, tid) track, timestamps monotone in file order;
+//   * spans nest properly — no partially-overlapping siblings on a track.
+// Exits 0 and prints a one-line summary per file on success; exits 1 with
+// the first violation otherwise.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obs/trace.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: trace_validate <trace.json> [more.json ...]\n";
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in.good()) {
+      std::cerr << argv[i] << ": cannot open\n";
+      ok = false;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    optimus::obs::Json doc;
+    try {
+      doc = optimus::obs::Json::parse(buf.str());
+    } catch (const std::exception& e) {
+      std::cerr << argv[i] << ": JSON parse failure: " << e.what() << "\n";
+      ok = false;
+      continue;
+    }
+    const optimus::obs::TraceCheck check = optimus::obs::validate_chrome_trace(doc);
+    if (!check.ok) {
+      std::cerr << argv[i] << ": INVALID: " << check.error << "\n";
+      ok = false;
+      continue;
+    }
+    std::cout << argv[i] << ": ok, " << check.events << " events on " << check.tracks
+              << " tracks\n";
+  }
+  return ok ? 0 : 1;
+}
