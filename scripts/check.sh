@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a sanitizer pass over the memory-heavy layers.
+# Tier-1 verification, the differential fuzz smoke, and sanitizer passes.
 #
 #   1. Configure + build the default preset and run the full ctest suite
 #      (the ROADMAP tier-1 gate).
@@ -7,17 +7,20 @@
 #      require byte-identical stdout, and validate the emitted Chrome trace
 #      (well-formed JSON, monotone per-track timestamps, proper span nesting)
 #      with tools/trace_validate.
-#   3. Build the tensor/kernel tests under ASan+UBSan (the `asan` preset in
-#      CMakePresets.json) and run them — the kernel layer hands raw pointers
-#      and thread-shared buffers around, exactly where sanitizers earn their
-#      keep.
+#   3. Differential fuzz smoke: tools/fuzz_equivalence --configs 25 --seed 7,
+#      run twice — both runs must pass AND produce byte-identical reports
+#      (the harness promises determinism; a diff here means nondeterminism
+#      leaked into the engines or the report).
+#   4. Fast-label test suite under ASan+UBSan (`asan` preset) and TSan
+#      (`tsan` preset). The comm layer runs one thread per simulated device,
+#      exactly where TSan earns its keep.
 #
-# Usage: scripts/check.sh [--skip-asan]
+# Usage: scripts/check.sh [--skip-sanitizers|--skip-asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SKIP_ASAN=0
-[[ "${1:-}" == "--skip-asan" ]] && SKIP_ASAN=1
+SKIP_SAN=0
+[[ "${1:-}" == "--skip-asan" || "${1:-}" == "--skip-sanitizers" ]] && SKIP_SAN=1
 
 echo "==> tier-1: configure + build (default preset)"
 cmake --preset default
@@ -42,17 +45,25 @@ if command -v python3 >/dev/null 2>&1; then
     && echo "    metrics.json parses"
 fi
 
-if [[ "$SKIP_ASAN" == "1" ]]; then
-  echo "==> asan pass skipped (--skip-asan)"
+echo "==> differential fuzz smoke: 25 configs, twice, byte-identical reports"
+./build/tools/fuzz_equivalence --configs 25 --seed 7 --report "$OBS_TMP/fuzz_a.txt" > /dev/null
+./build/tools/fuzz_equivalence --configs 25 --seed 7 --report "$OBS_TMP/fuzz_b.txt" > /dev/null
+diff "$OBS_TMP/fuzz_a.txt" "$OBS_TMP/fuzz_b.txt"
+echo "    25/25 configs pass, reports byte-identical"
+
+if [[ "$SKIP_SAN" == "1" ]]; then
+  echo "==> sanitizer passes skipped"
   exit 0
 fi
 
-echo "==> sanitizer pass: asan preset (tensor + kernel tests)"
+echo "==> sanitizer pass: asan preset (fast-label suite)"
 cmake --preset asan
-cmake --build --preset asan -j"$(nproc)" --target kernel_test tensor_test ops_test
+cmake --build --preset asan -j"$(nproc)"
+ctest --test-dir build-asan -L fast --output-on-failure -j"$(nproc)"
 
-./build-asan/tests/kernel_test
-./build-asan/tests/tensor_test
-./build-asan/tests/ops_test
+echo "==> sanitizer pass: tsan preset (fast-label suite)"
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)"
+ctest --test-dir build-tsan -L fast --output-on-failure -j"$(nproc)"
 
 echo "==> all checks passed"

@@ -52,6 +52,7 @@ Cluster::Report Cluster::run(const std::function<void(Context&)>& body) {
   // workers never oversubscribe the host.
   kernel::ActiveDevicesGuard devices_guard(world_size_);
   Fabric fabric(world_size_);
+  if (fault_plan_.active()) fabric.set_fault_plan(fault_plan_);
   const std::uint64_t world_comm_id = fabric.next_comm_id();
   std::vector<int> world_group(world_size_);
   for (int i = 0; i < world_size_; ++i) world_group[i] = i;
@@ -102,9 +103,25 @@ Cluster::Report Cluster::run(const std::function<void(Context&)>& body) {
   }
   for (auto& t : threads) t.join();
 
+  // Prefer the root cause: when one rank hits a fault and aborts the fabric,
+  // its peers unwind with FabricAborted — rethrowing those would mask the
+  // actual diagnostic.
+  std::exception_ptr first_error, first_root_error;
   for (const auto& st : states) {
-    if (st->error) std::rethrow_exception(st->error);
+    if (!st->error) continue;
+    if (!first_error) first_error = st->error;
+    if (!first_root_error) {
+      try {
+        std::rethrow_exception(st->error);
+      } catch (const FabricAborted&) {
+        // secondary unwind; keep scanning for the original fault
+      } catch (...) {
+        first_root_error = st->error;
+      }
+    }
   }
+  if (first_root_error) std::rethrow_exception(first_root_error);
+  if (first_error) std::rethrow_exception(first_error);
 
   Report report;
   report.ranks.resize(world_size_);
@@ -126,6 +143,15 @@ Cluster::Report run_cluster(int world_size, const std::function<void(Context&)>&
   Topology topo(world_size, /*gpus_per_node=*/4, Arrangement::kBunched,
                 /*mesh_q=*/0);
   Cluster cluster(world_size, topo, MachineParams{});
+  return cluster.run(body);
+}
+
+Cluster::Report run_cluster(int world_size, const FaultPlan& plan,
+                            const std::function<void(Context&)>& body) {
+  Topology topo(world_size, /*gpus_per_node=*/4, Arrangement::kBunched,
+                /*mesh_q=*/0);
+  Cluster cluster(world_size, topo, MachineParams{});
+  cluster.set_fault_plan(plan);
   return cluster.run(body);
 }
 

@@ -61,17 +61,27 @@ class Cluster {
   int world_size() const { return world_size_; }
   const CostModel& cost_model() const { return cost_; }
 
-  /// Runs `body` on every rank and gathers per-rank reports.
+  /// Arms deterministic fault injection (fabric.hpp) for subsequent run()s.
+  void set_fault_plan(const FaultPlan& plan) { fault_plan_ = plan; }
+
+  /// Runs `body` on every rank and gathers per-rank reports. If any rank
+  /// throws, the *root* error is rethrown: FabricAborted unwinds from peers of
+  /// a faulted rank are reported only when no rank holds the original fault.
   Report run(const std::function<void(Context&)>& body);
 
  private:
   int world_size_;
   Topology topology_;
   CostModel cost_;
+  FaultPlan fault_plan_;
 };
 
 /// One-shot convenience: build a cluster with a default single-node-ish
 /// topology and run the body. Used heavily by tests.
 Cluster::Report run_cluster(int world_size, const std::function<void(Context&)>& body);
+
+/// Same, with deterministic fault injection armed.
+Cluster::Report run_cluster(int world_size, const FaultPlan& plan,
+                            const std::function<void(Context&)>& body);
 
 }  // namespace optimus::comm

@@ -47,6 +47,7 @@ void Communicator::barrier() {
   const std::uint64_t seq = next_seq();
   if (size() == 1) return;
   const double dt = 2.0 * log2_ceil(size()) * cost_->params().alpha;
+  Fabric::OpScope op_scope("barrier");
   obs::Span span("comm", "barrier");
   const CollectiveTiming ct = begin_collective(seq, dt);
   annotate_span(span, 0, ct);

@@ -207,6 +207,7 @@ void Communicator::recv_internal(int src_group_rank, std::uint64_t tag, T* data,
 
 template <typename T>
 void Communicator::send(int dst, int tag, const T* data, tensor::index_t n) {
+  Fabric::OpScope op_scope("send");
   obs::Span span("comm", "send");
   clock_->drain_compute(*cost_);
   const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
@@ -229,6 +230,7 @@ void Communicator::send(int dst, int tag, const T* data, tensor::index_t n) {
 
 template <typename T>
 void Communicator::recv(int src, int tag, T* data, tensor::index_t n) {
+  Fabric::OpScope op_scope("recv");
   obs::Span span("comm", "recv");
   clock_->drain_compute(*cost_);
   const double sender_ts = fabric_->recv(world_rank(), group_[src], user_tag(tag), data,
@@ -246,6 +248,7 @@ void Communicator::broadcast(T* data, tensor::index_t n, int root) {
   const std::uint64_t seq = next_seq();
   if (size() == 1) return;
   const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
+  Fabric::OpScope op_scope("broadcast");
   obs::Span span("comm", "broadcast");
   const CollectiveTiming ct = begin_collective(seq, cost_->tree_time(group_, bytes));
   annotate_span(span, bytes, ct);
@@ -280,6 +283,7 @@ void Communicator::reduce(T* data, tensor::index_t n, int root) {
   const std::uint64_t seq = next_seq();
   if (size() == 1) return;
   const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
+  Fabric::OpScope op_scope("reduce");
   obs::Span span("comm", "reduce");
   const CollectiveTiming ct = begin_collective(seq, cost_->tree_time(group_, bytes));
   annotate_span(span, bytes, ct);
@@ -313,6 +317,7 @@ void Communicator::all_reduce(T* data, tensor::index_t n) {
   if (size() == 1) return;
   const int g = size();
   const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
+  Fabric::OpScope op_scope("allreduce");
   obs::Span span("comm", "allreduce");
   const CollectiveTiming ct = begin_collective(seq, cost_->ring_allreduce_time(group_, bytes));
   annotate_span(span, bytes, ct);
@@ -358,6 +363,7 @@ void Communicator::all_reduce_max(T* data, tensor::index_t n) {
   if (size() == 1) return;
   const int g = size();
   const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
+  Fabric::OpScope op_scope("allreduce_max");
   obs::Span span("comm", "allreduce_max");
   const CollectiveTiming ct = begin_collective(seq, cost_->ring_allreduce_time(group_, bytes));
   annotate_span(span, bytes, ct);
@@ -393,6 +399,7 @@ void Communicator::all_gather(const T* mine, tensor::index_t n, T* out) {
     return;
   }
   const std::uint64_t total_bytes = static_cast<std::uint64_t>(n) * g * sizeof(T);
+  Fabric::OpScope op_scope("allgather");
   obs::Span span("comm", "allgather");
   const CollectiveTiming ct = begin_collective(seq, cost_->ring_allgather_time(group_, total_bytes));
   annotate_span(span, total_bytes, ct);
@@ -421,6 +428,7 @@ void Communicator::gather(const T* mine, tensor::index_t n, T* out, int root) {
     return;
   }
   const std::uint64_t total_bytes = static_cast<std::uint64_t>(n) * g * sizeof(T);
+  Fabric::OpScope op_scope("gather");
   obs::Span span("comm", "gather");
   const CollectiveTiming ct = begin_collective(seq, cost_->ring_allgather_time(group_, total_bytes));
   annotate_span(span, total_bytes, ct);
@@ -448,6 +456,7 @@ void Communicator::scatter(const T* data, tensor::index_t n, T* out, int root) {
     return;
   }
   const std::uint64_t total_bytes = static_cast<std::uint64_t>(n) * g * sizeof(T);
+  Fabric::OpScope op_scope("scatter");
   obs::Span span("comm", "scatter");
   const CollectiveTiming ct = begin_collective(seq, cost_->ring_allgather_time(group_, total_bytes));
   annotate_span(span, total_bytes, ct);
@@ -477,6 +486,7 @@ void Communicator::all_to_all(const T* send, tensor::index_t n, T* out) {
   // Pairwise personalised exchange; every rank sends and receives g−1 chunks
   // concurrently, so the modelled time is (g−1)·(α + β·chunk_bytes).
   const std::uint64_t chunk_bytes = static_cast<std::uint64_t>(n) * sizeof(T);
+  Fabric::OpScope op_scope("alltoall");
   obs::Span span("comm", "alltoall");
   const CollectiveTiming ct = begin_collective(
       seq, (g - 1) * (cost_->params().alpha +
@@ -508,6 +518,7 @@ void Communicator::reduce_scatter(const T* data, tensor::index_t n, T* out) {
     return;
   }
   const std::uint64_t total_bytes = static_cast<std::uint64_t>(n) * g * sizeof(T);
+  Fabric::OpScope op_scope("reducescatter");
   obs::Span span("comm", "reducescatter");
   const CollectiveTiming ct =
       begin_collective(seq, cost_->ring_reducescatter_time(group_, total_bytes));

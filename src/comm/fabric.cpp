@@ -1,9 +1,42 @@
 #include "comm/fabric.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstddef>
 #include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "util/rng.hpp"
 
 namespace optimus::comm {
+
+namespace {
+
+thread_local const char* t_current_op = nullptr;
+
+/// FNV-1a over a byte range; the in-flight integrity check for poison mode.
+std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Maps a 64-bit hash to [0, 1) and compares against a probability.
+bool draw_hits(std::uint64_t h, double prob) {
+  return prob > 0 && static_cast<double>(h >> 11) * 0x1.0p-53 < prob;
+}
+
+}  // namespace
+
+const char* Fabric::current_op() { return t_current_op ? t_current_op : "?"; }
+
+Fabric::OpScope::OpScope(const char* name) : prev_(t_current_op) { t_current_op = name; }
+Fabric::OpScope::~OpScope() { t_current_op = prev_; }
 
 Fabric::Fabric(int world_size) : world_size_(world_size) {
   OPT_CHECK(world_size >= 1, "world_size " << world_size);
@@ -11,15 +44,76 @@ Fabric::Fabric(int world_size) : world_size_(world_size) {
   for (int i = 0; i < world_size; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
 }
 
+void Fabric::set_fault_plan(const FaultPlan& plan) {
+  fault_plan_ = plan;
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  fault_counts_.clear();
+}
+
+void Fabric::abort(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(fail_mu_);
+    if (failed_.load(std::memory_order_acquire)) return;  // first reason wins
+    fail_reason_ = reason;
+    failed_.store(true, std::memory_order_release);
+  }
+  // Wake everyone blocked in recv or in a sync rendezvous so they unwind.
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    sync_cv_.notify_all();
+  }
+}
+
+void Fabric::throw_if_aborted() const {
+  if (!failed_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(fail_mu_);
+  throw FabricAborted("fabric aborted: " + fail_reason_);
+}
+
+std::uint64_t Fabric::fault_draw(int src, int dst, std::uint64_t tag, std::uint64_t salt) {
+  // Channel identity: (src, dst, salt) mixed with the tag. Per-channel
+  // occurrence counters make the n-th message of a channel a stable logical
+  // coordinate, so draws are independent of thread interleaving.
+  const std::uint64_t channel =
+      util::mix3(tag ^ salt, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+                                 static_cast<std::uint32_t>(dst),
+                 0x0F);
+  std::uint64_t occurrence;
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    occurrence = fault_counts_[channel]++;
+  }
+  return util::mix3(fault_plan_.seed, channel, occurrence);
+}
+
 void Fabric::send(int src, int dst, std::uint64_t tag, const void* data, std::size_t bytes,
                   double timestamp) {
   OPT_CHECK(dst >= 0 && dst < world_size_, "send to rank " << dst);
+  throw_if_aborted();
   Message msg;
   msg.src = src;
   msg.tag = tag;
   msg.timestamp = timestamp;
   msg.payload.resize(bytes);
   if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+
+  if (fault_plan_.active()) {
+    const std::uint64_t h = fault_draw(src, dst, tag, /*salt=*/0x5E4D);
+    msg.checksum = fnv1a(msg.payload.data(), msg.payload.size());
+    if (draw_hits(util::mix3(h, 1, 1), fault_plan_.spike_prob)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(fault_plan_.spike_us));
+    }
+    if (bytes > 0 && draw_hits(util::mix3(h, 2, 2), fault_plan_.poison_prob)) {
+      // Flip bits of one deterministic byte after checksumming: the receiver's
+      // integrity check must catch it.
+      msg.payload[util::mix3(h, 3, 3) % bytes] ^= std::byte{0xFF};
+    }
+  }
+
   Mailbox& box = *mailboxes_[dst];
   {
     std::lock_guard<std::mutex> lock(box.mu);
@@ -30,15 +124,30 @@ void Fabric::send(int src, int dst, std::uint64_t tag, const void* data, std::si
 
 double Fabric::recv(int dst, int src, std::uint64_t tag, void* out, std::size_t bytes) {
   OPT_CHECK(dst >= 0 && dst < world_size_, "recv at rank " << dst);
+  if (fault_plan_.active() && dst == fault_plan_.stall_rank) {
+    const std::uint64_t h = fault_draw(src, dst, tag, /*salt=*/0x57A1);
+    if (draw_hits(util::mix3(h, 4, 4), fault_plan_.stall_prob)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(fault_plan_.stall_us));
+    }
+  }
   Mailbox& box = *mailboxes_[dst];
   std::unique_lock<std::mutex> lock(box.mu);
   for (;;) {
+    throw_if_aborted();
     const auto it = std::find_if(box.messages.begin(), box.messages.end(),
                                  [&](const Message& m) { return m.src == src && m.tag == tag; });
     if (it != box.messages.end()) {
       OPT_CHECK(it->payload.size() == bytes,
                 "recv size mismatch: got " << it->payload.size() << " bytes, want " << bytes
                                            << " (src " << src << " tag " << tag << ")");
+      if (fault_plan_.active() && fnv1a(it->payload.data(), it->payload.size()) != it->checksum) {
+        std::ostringstream why;
+        why << "poisoned payload detected in op '" << current_op() << "' (src " << src
+            << " -> dst " << dst << ", tag " << tag << ", " << bytes << " bytes)";
+        lock.unlock();
+        abort(why.str());
+        throw FaultError(why.str());
+      }
       if (bytes > 0) std::memcpy(out, it->payload.data(), bytes);
       const double ts = it->timestamp;
       box.messages.erase(it);
@@ -67,6 +176,7 @@ void Fabric::release_slot_locked(std::uint64_t key, SyncSlot& slot) {
 
 double Fabric::sync_max(std::uint64_t key, int group_size, double value) {
   std::unique_lock<std::mutex> lock(sync_mu_);
+  throw_if_aborted();
   SyncSlot& slot = slot_locked(key, group_size);
   slot.max_value = slot.arrived == 0 ? value : std::max(slot.max_value, value);
   slot.arrived += 1;
@@ -74,7 +184,8 @@ double Fabric::sync_max(std::uint64_t key, int group_size, double value) {
     slot.ready = true;
     sync_cv_.notify_all();
   } else {
-    sync_cv_.wait(lock, [&] { return slot.ready; });
+    sync_cv_.wait(lock, [&] { return slot.ready || aborted(); });
+    throw_if_aborted();
   }
   const double result = slot.max_value;
   release_slot_locked(key, slot);
@@ -84,6 +195,7 @@ double Fabric::sync_max(std::uint64_t key, int group_size, double value) {
 Fabric::SplitResult Fabric::split_sync(std::uint64_t key, int group_size, int world_rank,
                                        int color, int order_key) {
   std::unique_lock<std::mutex> lock(sync_mu_);
+  throw_if_aborted();
   SyncSlot& slot = slot_locked(key, group_size);
   slot.deposits.push_back({color, order_key, world_rank});
   slot.arrived += 1;
@@ -106,7 +218,8 @@ Fabric::SplitResult Fabric::split_sync(std::uint64_t key, int group_size, int wo
     slot.ready = true;
     sync_cv_.notify_all();
   } else {
-    sync_cv_.wait(lock, [&] { return slot.ready; });
+    sync_cv_.wait(lock, [&] { return slot.ready || aborted(); });
+    throw_if_aborted();
   }
   SplitResult result = slot.results.at(world_rank);
   release_slot_locked(key, slot);

@@ -16,6 +16,16 @@
 //   * split_sync — MPI_Comm_split-style agreement: members deposit
 //                  (color, key); everyone learns its new group and a fresh
 //                  communicator id.
+//
+// Deterministic fault injection: a FaultPlan arms seeded per-message latency
+// spikes (wall-clock sleeps that perturb thread interleavings without touching
+// payloads), rank stalls (one designated straggler rank sleeps before its
+// receives) and a poison mode (payload bits flipped in flight). Poisoned
+// payloads are caught by a per-message checksum at the receiver, which aborts
+// the whole fabric: every rank blocked in recv/sync wakes up and throws, so a
+// corrupted run fails loudly with a diagnosable error instead of deadlocking
+// or silently diverging. All fault decisions hash (seed, channel, occurrence)
+// so a given plan replays identically across runs.
 
 #include <array>
 #include <atomic>
@@ -25,11 +35,44 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/check.hpp"
 
 namespace optimus::comm {
+
+/// Thrown by the rank that detects an injected fault (e.g. a checksum
+/// mismatch on a poisoned payload). The message names the faulted operation,
+/// channel and byte count.
+class FaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by every *other* rank once the fabric has been aborted: their
+/// blocking receives and sync rendezvous wake up and unwind instead of
+/// waiting forever on a peer that died.
+class FabricAborted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Seeded fault-injection plan. Probabilities are per message; decisions are
+/// pure functions of (seed, src, dst, tag, occurrence), so two runs with the
+/// same plan inject the same faults at the same logical points.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  double spike_prob = 0.0;  // chance a send sleeps spike_us before delivery
+  int spike_us = 0;
+  int stall_rank = -1;      // rank whose receives stall (straggler model)
+  double stall_prob = 0.0;
+  int stall_us = 0;
+  double poison_prob = 0.0;  // chance a payload is corrupted in flight
+
+  bool active() const { return spike_prob > 0 || stall_prob > 0 || poison_prob > 0; }
+};
 
 class Fabric {
  public:
@@ -68,11 +111,41 @@ class Fabric {
   /// Allocates a globally unique communicator id.
   std::uint64_t next_comm_id() { return comm_id_counter_++; }
 
+  // -- fault injection -------------------------------------------------------
+
+  /// Installs (or clears, with a default-constructed plan) the fault plan.
+  /// Must be called before any traffic; not thread-safe against in-flight ops.
+  void set_fault_plan(const FaultPlan& plan);
+  const FaultPlan& fault_plan() const { return fault_plan_; }
+
+  /// Marks the fabric dead with a reason and wakes every blocked thread; all
+  /// subsequent/blocked operations throw FabricAborted. First reason wins.
+  void abort(const std::string& reason);
+  bool aborted() const { return failed_.load(std::memory_order_acquire); }
+
+  /// Name of the communicator operation the calling thread is currently
+  /// executing ("allreduce", "broadcast", ...); "?" outside any op. Used to
+  /// label fault diagnostics with the op that hit the fault.
+  static const char* current_op();
+
+  /// RAII thread-local op label; Communicator ops hold one for their span.
+  class OpScope {
+   public:
+    explicit OpScope(const char* name);
+    ~OpScope();
+    OpScope(const OpScope&) = delete;
+    OpScope& operator=(const OpScope&) = delete;
+
+   private:
+    const char* prev_;
+  };
+
  private:
   struct Message {
     int src;
     std::uint64_t tag;
     double timestamp;
+    std::uint64_t checksum = 0;  // FNV-1a of payload; validated when a plan is active
     std::vector<std::byte> payload;
   };
 
@@ -97,6 +170,13 @@ class Fabric {
   SyncSlot& slot_locked(std::uint64_t key, int group_size);
   void release_slot_locked(std::uint64_t key, SyncSlot& slot);
 
+  /// Throws FabricAborted if the fabric has been aborted.
+  void throw_if_aborted() const;
+
+  /// Deterministic per-message fault draw: the n-th message on the (src, dst,
+  /// tag, salt) channel gets a fresh 64-bit hash. Thread-safe.
+  std::uint64_t fault_draw(int src, int dst, std::uint64_t tag, std::uint64_t salt);
+
   int world_size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
@@ -104,6 +184,13 @@ class Fabric {
   std::condition_variable sync_cv_;
   std::map<std::uint64_t, SyncSlot> slots_;
   std::atomic<std::uint64_t> comm_id_counter_{1};
+
+  FaultPlan fault_plan_;
+  std::mutex fault_mu_;
+  std::map<std::uint64_t, std::uint64_t> fault_counts_;  // channel key -> occurrences
+  std::atomic<bool> failed_{false};
+  mutable std::mutex fail_mu_;
+  std::string fail_reason_;
 };
 
 }  // namespace optimus::comm

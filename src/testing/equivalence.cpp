@@ -1,0 +1,497 @@
+#include "testing/equivalence.hpp"
+
+#include <cstring>
+#include <iomanip>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "comm/fabric.hpp"
+#include "core/optimus_model.hpp"
+#include "kernel/thread_pool.hpp"
+#include "megatron/megatron_model.hpp"
+#include "mesh/mesh.hpp"
+#include "model/serial_model.hpp"
+#include "runtime/checkpoint_io.hpp"
+#include "runtime/optimizer.hpp"
+#include "tensor/distribution.hpp"
+#include "testing/gradcheck.hpp"
+#include "util/rng.hpp"
+
+namespace optimus::testing {
+
+namespace {
+
+using tensor::index_t;
+using tensor::ITensor;
+using tensor::Shape;
+template <typename T>
+using Tensor = tensor::TensorT<T>;
+
+ITensor make_tokens(const model::TransformerConfig& cfg, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ITensor t(Shape{cfg.batch, cfg.seq_len});
+  for (index_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<std::int32_t>(rng.uniform_index(cfg.vocab));
+  }
+  return t;
+}
+
+ITensor next_token_labels(const ITensor& tokens, const model::TransformerConfig& cfg) {
+  ITensor labels(tokens.shape());
+  for (index_t b = 0; b < cfg.batch; ++b) {
+    for (index_t t = 0; t < cfg.seq_len; ++t) {
+      labels.at(b, t) = t + 1 < cfg.seq_len ? tokens.at(b, t + 1) : -1;
+    }
+  }
+  return labels;
+}
+
+template <typename T>
+Tensor<T> slice_1d(const Tensor<T>& v, index_t c0, index_t c1) {
+  Tensor<T> out(Shape{c1 - c0});
+  for (index_t i = c0; i < c1; ++i) out[i - c0] = v[i];
+  return out;
+}
+
+template <typename T>
+Tensor<T> col_slice(const Tensor<T>& m, index_t c0, index_t c1) {
+  Tensor<T> out(Shape{m.size(0), c1 - c0});
+  for (index_t r = 0; r < m.size(0); ++r) {
+    for (index_t c = c0; c < c1; ++c) out.at(r, c - c0) = m.at(r, c);
+  }
+  return out;
+}
+
+template <typename T>
+Tensor<T> row_slice(const Tensor<T>& m, index_t r0, index_t r1) {
+  Tensor<T> out(Shape{r1 - r0, m.size(1)});
+  for (index_t r = r0; r < r1; ++r) {
+    for (index_t c = 0; c < m.size(1); ++c) out.at(r - r0, c) = m.at(r, c);
+  }
+  return out;
+}
+
+template <typename T>
+bool bitwise_equal(const Tensor<T>& a, const Tensor<T>& b) {
+  return a.numel() == b.numel() &&
+         std::memcmp(a.data(), b.data(), sizeof(T) * static_cast<std::size_t>(a.numel())) == 0;
+}
+
+/// save → load → bitwise-equal round trip of an engine's parameter set.
+template <typename T>
+bool roundtrip_bitwise(const std::vector<Tensor<T>*>& params) {
+  std::stringstream buf;
+  runtime::save_tensors(buf, params);
+  std::vector<Tensor<T>> fresh;
+  fresh.reserve(params.size());
+  for (const auto* p : params) fresh.push_back(Tensor<T>::zeros(p->shape()));
+  std::vector<Tensor<T>*> ptrs;
+  ptrs.reserve(fresh.size());
+  for (auto& t : fresh) ptrs.push_back(&t);
+  runtime::load_tensors(buf, ptrs);
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    if (!bitwise_equal(*params[k], fresh[k])) return false;
+  }
+  return true;
+}
+
+/// Restores the default kernel thread budget on scope exit.
+struct ThreadGuard {
+  explicit ThreadGuard(int n) { kernel::set_threads(n); }
+  ~ThreadGuard() { kernel::set_threads(0); }
+};
+
+/// Accumulates deviations and records bounded, human-replayable failure lines.
+/// Callers hold the comparison mutex while using it from cluster bodies.
+template <typename T>
+struct Comparer {
+  Tolerance tol;
+  EquivalenceResult& res;
+  int max_failures;
+
+  void tensor(const Tensor<T>& got, const Tensor<T>& want, Deviation& dev,
+              const std::string& what) {
+    Deviation d;
+    compare_tensors(got, want, tol, d);
+    if (d.violations > 0 && static_cast<int>(res.failures.size()) < max_failures) {
+      std::ostringstream os;
+      os << what << ": " << d.violations << "/" << d.compared << " elements out of tolerance, max "
+         << d.max_ulps << " ulps (" << d.worst_a << " vs " << d.worst_b << ")";
+      res.failures.push_back(os.str());
+    }
+    dev.merge(d);
+  }
+
+  void scalar(T got, T want, Deviation& dev, const std::string& what) {
+    Tensor<T> a(Shape{1});
+    Tensor<T> b(Shape{1});
+    a[0] = got;
+    b[0] = want;
+    tensor(a, b, dev, what);
+  }
+};
+
+template <typename T>
+void run_impl(const FuzzConfig& fc, const EquivalenceOptions& opts, EquivalenceResult& res) {
+  const model::TransformerConfig cfg = fc.to_transformer_config();
+  const index_t h = cfg.hidden;
+  const index_t f = cfg.ffn_hidden();
+  const ITensor tokens = make_tokens(cfg, fc.data_seed);
+  const ITensor labels = next_token_labels(tokens, cfg);
+
+  ThreadGuard threads(fc.threads);
+  Comparer<T> cmp{tolerance_for(fc), res, opts.max_recorded_failures};
+
+  // ---- Serial oracle: one full training step. ----
+  model::SerialTransformer<T> oracle(cfg);
+  const Tensor<T> hidden_ref = oracle.forward(tokens).clone();
+  const T loss_ref = oracle.lm_loss(labels);
+  oracle.zero_grads();
+  oracle.backward_lm();
+  const Tensor<T> dx0_ref = oracle.input_grad().clone();
+
+  if (!roundtrip_bitwise<T>(oracle.parameters())) {
+    res.ckpt_roundtrip_ok = false;
+    res.failures.push_back("serial checkpoint round-trip not bitwise-identical");
+  }
+
+  // Sgd::step(momentum=0, wd=0) reads but never writes the gradient tensors,
+  // so post-step `oracle` holds *both* oracles: structured gradients from the
+  // backward pass and updated parameters from the step.
+  runtime::Sgd<T> sgd;
+  sgd.step(oracle.parameters(), oracle.gradients(), fc.lr);
+
+  // Name → tensor maps for the reference tensors without structured
+  // accessors (positional embedding, final layernorm gain).
+  std::map<std::string, Tensor<T>*> pref, gref;
+  {
+    const auto names = oracle.parameter_names();
+    const auto ps = oracle.parameters();
+    const auto gs = oracle.gradients();
+    for (std::size_t k = 0; k < names.size(); ++k) {
+      pref[names[k]] = ps[k];
+      gref[names[k]] = gs[k];
+    }
+  }
+
+  std::mutex mu;
+
+  // ---- Optimus 2D vs serial. ----
+  const int q = fc.q;
+  const int world_2d = q * q;
+  const index_t hq = h / q;
+  const index_t fq = f / q;
+
+  // Per-rank baseline captures for the fault-replay determinism check.
+  std::vector<Tensor<T>> base_hidden(world_2d), base_grad(world_2d);
+  std::vector<T> base_loss(world_2d);
+
+  const auto optimus_body = [&](comm::Context& ctx, bool baseline) {
+    mesh::Mesh2D mesh(ctx.world);
+    core::OptimusOptions oopts;
+    oopts.checkpoint = fc.ckpt_2d;
+    oopts.buffers = fc.pooled_buffers ? core::BufferMode::kPooled : core::BufferMode::kHeap;
+    core::OptimusTransformer<T> engine(cfg, mesh, oopts);
+
+    const Tensor<T>& hidden = engine.forward(tokens);
+    const T loss = engine.lm_loss(labels);
+    engine.zero_grads();
+    engine.backward_lm();
+
+    const int i = mesh.row();
+    const int j = mesh.col();
+    std::ostringstream tag_os;
+    tag_os << "2d(" << i << "," << j << ") ";
+    const std::string tag = tag_os.str();
+
+    if (!baseline) {
+      // Replay under injected latency faults: delivery order, not timing,
+      // must determine the math — require bitwise-identical results.
+      std::lock_guard<std::mutex> lock(mu);
+      const bool same = bitwise_equal(hidden, base_hidden[ctx.rank]) &&
+                        loss == base_loss[ctx.rank] &&
+                        bitwise_equal(engine.layer_grad(0).qkv_w, base_grad[ctx.rank]);
+      if (!same) {
+        res.fault_replay_ok = false;
+        if (static_cast<int>(res.failures.size()) < opts.max_recorded_failures) {
+          res.failures.push_back(tag + "diverged bitwise under fault-plan replay");
+        }
+      }
+      return;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      base_hidden[ctx.rank] = hidden.clone();
+      base_loss[ctx.rank] = loss;
+      base_grad[ctx.rank] = engine.layer_grad(0).qkv_w.clone();
+
+      cmp.tensor(hidden, tensor::matrix_block(hidden_ref, q, i, j), res.optimus.hidden,
+                 tag + "hidden");
+      cmp.scalar(loss, loss_ref, res.optimus.loss, tag + "loss");
+      cmp.tensor(engine.input_grad(), tensor::matrix_block(dx0_ref, q, i, j),
+                 res.optimus.input_grad, tag + "input_grad");
+
+      for (index_t l = 0; l < cfg.layers; ++l) {
+        auto& ref = oracle.layer_grad(l);
+        auto& got = engine.layer_grad(l);
+        const std::string lp = tag + "layer" + std::to_string(l) + ".";
+        cmp.tensor(got.qkv_w, tensor::matrix_block(ref.qkv_w, q, i, j), res.optimus.grad,
+                   lp + "qkv_w.grad");
+        cmp.tensor(got.proj_w, tensor::matrix_block(ref.proj_w, q, i, j), res.optimus.grad,
+                   lp + "proj_w.grad");
+        cmp.tensor(got.fc1_w, tensor::matrix_block(ref.fc1_w, q, i, j), res.optimus.grad,
+                   lp + "fc1_w.grad");
+        cmp.tensor(got.fc2_w, tensor::matrix_block(ref.fc2_w, q, i, j), res.optimus.grad,
+                   lp + "fc2_w.grad");
+        if (i == 0) {
+          cmp.tensor(got.ln1_g, slice_1d(ref.ln1_g, j * hq, (j + 1) * hq), res.optimus.grad,
+                     lp + "ln1_g.grad");
+          cmp.tensor(got.ln1_b, slice_1d(ref.ln1_b, j * hq, (j + 1) * hq), res.optimus.grad,
+                     lp + "ln1_b.grad");
+          cmp.tensor(got.ln2_g, slice_1d(ref.ln2_g, j * hq, (j + 1) * hq), res.optimus.grad,
+                     lp + "ln2_g.grad");
+          cmp.tensor(got.ln2_b, slice_1d(ref.ln2_b, j * hq, (j + 1) * hq), res.optimus.grad,
+                     lp + "ln2_b.grad");
+          cmp.tensor(got.qkv_b, slice_1d(ref.qkv_b, j * 3 * hq, (j + 1) * 3 * hq),
+                     res.optimus.grad, lp + "qkv_b.grad");
+          cmp.tensor(got.proj_b, slice_1d(ref.proj_b, j * hq, (j + 1) * hq), res.optimus.grad,
+                     lp + "proj_b.grad");
+          cmp.tensor(got.fc1_b, slice_1d(ref.fc1_b, j * fq, (j + 1) * fq), res.optimus.grad,
+                     lp + "fc1_b.grad");
+          cmp.tensor(got.fc2_b, slice_1d(ref.fc2_b, j * hq, (j + 1) * hq), res.optimus.grad,
+                     lp + "fc2_b.grad");
+        }
+      }
+      cmp.tensor(engine.embedding_block_grad(),
+                 tensor::matrix_block(oracle.embedding_grad(), q, i, j), res.optimus.grad,
+                 tag + "embedding.grad");
+      if (i == 0) {
+        cmp.tensor(engine.pos_embedding_slice_grad(),
+                   col_slice(*gref.at("pos_embedding"), j * hq, (j + 1) * hq), res.optimus.grad,
+                   tag + "pos_embedding.grad");
+        cmp.tensor(engine.final_ln_g_grad(),
+                   slice_1d(*gref.at("final_ln_g"), j * hq, (j + 1) * hq), res.optimus.grad,
+                   tag + "final_ln_g.grad");
+      }
+    }
+
+    const bool ckpt_ok = roundtrip_bitwise<T>(engine.parameters());
+
+    // One SGD step on this rank's shards, then compare the updated
+    // parameters against the (already-stepped) oracle.
+    runtime::Sgd<T> local_sgd;
+    local_sgd.step(engine.parameters(), engine.gradients(), fc.lr);
+
+    std::lock_guard<std::mutex> lock(mu);
+    if (!ckpt_ok) {
+      res.ckpt_roundtrip_ok = false;
+      if (static_cast<int>(res.failures.size()) < opts.max_recorded_failures) {
+        res.failures.push_back(tag + "checkpoint round-trip not bitwise-identical");
+      }
+    }
+    for (index_t l = 0; l < cfg.layers; ++l) {
+      auto& ref = oracle.layer(l);
+      auto& got = engine.layer(l);
+      const std::string lp = tag + "layer" + std::to_string(l) + ".";
+      cmp.tensor(got.qkv_w, tensor::matrix_block(ref.qkv_w, q, i, j), res.optimus.param,
+                 lp + "qkv_w.step");
+      cmp.tensor(got.proj_w, tensor::matrix_block(ref.proj_w, q, i, j), res.optimus.param,
+                 lp + "proj_w.step");
+      cmp.tensor(got.fc1_w, tensor::matrix_block(ref.fc1_w, q, i, j), res.optimus.param,
+                 lp + "fc1_w.step");
+      cmp.tensor(got.fc2_w, tensor::matrix_block(ref.fc2_w, q, i, j), res.optimus.param,
+                 lp + "fc2_w.step");
+      if (i == 0) {
+        cmp.tensor(got.ln1_g, slice_1d(ref.ln1_g, j * hq, (j + 1) * hq), res.optimus.param,
+                   lp + "ln1_g.step");
+        cmp.tensor(got.qkv_b, slice_1d(ref.qkv_b, j * 3 * hq, (j + 1) * 3 * hq),
+                   res.optimus.param, lp + "qkv_b.step");
+        cmp.tensor(got.fc1_b, slice_1d(ref.fc1_b, j * fq, (j + 1) * fq), res.optimus.param,
+                   lp + "fc1_b.step");
+      }
+    }
+    cmp.tensor(engine.embedding_block(), tensor::matrix_block(oracle.embedding(), q, i, j),
+               res.optimus.param, tag + "embedding.step");
+    if (i == 0) {
+      cmp.tensor(engine.pos_embedding_slice(),
+                 col_slice(*pref.at("pos_embedding"), j * hq, (j + 1) * hq), res.optimus.param,
+                 tag + "pos_embedding.step");
+      cmp.tensor(engine.final_ln_g(), slice_1d(*pref.at("final_ln_g"), j * hq, (j + 1) * hq),
+                 res.optimus.param, tag + "final_ln_g.step");
+    }
+  };
+
+  try {
+    comm::run_cluster(world_2d, [&](comm::Context& ctx) { optimus_body(ctx, true); });
+  } catch (const std::exception& e) {
+    res.failures.push_back(std::string("optimus run threw: ") + e.what());
+  }
+
+  // ---- Fault replay: same math under latency spikes and a straggler. ----
+  if (opts.fault_replay && world_2d > 1 && res.failures.empty()) {
+    comm::FaultPlan plan;
+    plan.seed = fc.data_seed ^ 0xFA17FA17ull;
+    plan.spike_prob = 0.2;
+    plan.spike_us = 100;
+    plan.stall_rank = 1;
+    plan.stall_prob = 0.25;
+    plan.stall_us = 150;
+    res.fault_replay_ran = true;
+    try {
+      comm::run_cluster(world_2d, plan, [&](comm::Context& ctx) { optimus_body(ctx, false); });
+    } catch (const std::exception& e) {
+      res.fault_replay_ok = false;
+      res.failures.push_back(std::string("fault replay threw: ") + e.what());
+    }
+  }
+
+  // ---- Megatron 1D vs serial. ----
+  if (opts.run_megatron) {
+    const int p = fc.mp;
+    const auto megatron_body = [&](comm::Context& ctx) {
+      megatron::MegatronTransformer<T> engine(cfg, ctx.world, fc.ckpt_1d);
+      const Tensor<T>& hidden = engine.forward(tokens);
+      const T loss = engine.lm_loss(labels);
+      engine.zero_grads();
+      engine.backward_lm();
+
+      const int d = ctx.rank;
+      const std::string tag = "1d[" + std::to_string(d) + "] ";
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        cmp.tensor(hidden, hidden_ref, res.megatron.hidden, tag + "hidden");
+        cmp.scalar(loss, loss_ref, res.megatron.loss, tag + "loss");
+        cmp.tensor(engine.input_grad(), dx0_ref, res.megatron.input_grad, tag + "input_grad");
+        cmp.tensor(engine.embedding_grad(),
+                   row_slice(oracle.embedding_grad(), d * cfg.vocab / p, (d + 1) * cfg.vocab / p),
+                   res.megatron.grad, tag + "embedding.grad");
+        for (index_t l = 0; l < cfg.layers; ++l) {
+          auto& ref = oracle.layer_grad(l);
+          auto& got = engine.layer_grad(l);
+          const std::string lp = tag + "layer" + std::to_string(l) + ".";
+          cmp.tensor(got.ln1_g, ref.ln1_g, res.megatron.grad, lp + "ln1_g.grad");
+          cmp.tensor(got.ln1_b, ref.ln1_b, res.megatron.grad, lp + "ln1_b.grad");
+          cmp.tensor(got.ln2_g, ref.ln2_g, res.megatron.grad, lp + "ln2_g.grad");
+          cmp.tensor(got.ln2_b, ref.ln2_b, res.megatron.grad, lp + "ln2_b.grad");
+          cmp.tensor(got.qkv_w, col_slice(ref.qkv_w, d * 3 * h / p, (d + 1) * 3 * h / p),
+                     res.megatron.grad, lp + "qkv_w.grad");
+          cmp.tensor(got.qkv_b, slice_1d(ref.qkv_b, d * 3 * h / p, (d + 1) * 3 * h / p),
+                     res.megatron.grad, lp + "qkv_b.grad");
+          cmp.tensor(got.fc1_w, col_slice(ref.fc1_w, d * f / p, (d + 1) * f / p),
+                     res.megatron.grad, lp + "fc1_w.grad");
+          cmp.tensor(got.fc1_b, slice_1d(ref.fc1_b, d * f / p, (d + 1) * f / p),
+                     res.megatron.grad, lp + "fc1_b.grad");
+          cmp.tensor(got.proj_w, row_slice(ref.proj_w, d * h / p, (d + 1) * h / p),
+                     res.megatron.grad, lp + "proj_w.grad");
+          cmp.tensor(got.fc2_w, row_slice(ref.fc2_w, d * f / p, (d + 1) * f / p),
+                     res.megatron.grad, lp + "fc2_w.grad");
+          cmp.tensor(got.proj_b, ref.proj_b, res.megatron.grad, lp + "proj_b.grad");
+          cmp.tensor(got.fc2_b, ref.fc2_b, res.megatron.grad, lp + "fc2_b.grad");
+        }
+      }
+
+      const bool ckpt_ok = roundtrip_bitwise<T>(engine.parameters());
+      runtime::Sgd<T> local_sgd;
+      local_sgd.step(engine.parameters(), engine.gradients(), fc.lr);
+
+      std::lock_guard<std::mutex> lock(mu);
+      if (!ckpt_ok) {
+        res.ckpt_roundtrip_ok = false;
+        if (static_cast<int>(res.failures.size()) < opts.max_recorded_failures) {
+          res.failures.push_back(tag + "checkpoint round-trip not bitwise-identical");
+        }
+      }
+      cmp.tensor(engine.embedding(),
+                 row_slice(oracle.embedding(), d * cfg.vocab / p, (d + 1) * cfg.vocab / p),
+                 res.megatron.param, tag + "embedding.step");
+      for (index_t l = 0; l < cfg.layers; ++l) {
+        auto& ref = oracle.layer(l);
+        auto& got = engine.layer(l);
+        const std::string lp = tag + "layer" + std::to_string(l) + ".";
+        cmp.tensor(got.ln1_g, ref.ln1_g, res.megatron.param, lp + "ln1_g.step");
+        cmp.tensor(got.qkv_w, col_slice(ref.qkv_w, d * 3 * h / p, (d + 1) * 3 * h / p),
+                   res.megatron.param, lp + "qkv_w.step");
+        cmp.tensor(got.proj_w, row_slice(ref.proj_w, d * h / p, (d + 1) * h / p),
+                   res.megatron.param, lp + "proj_w.step");
+        cmp.tensor(got.fc2_b, ref.fc2_b, res.megatron.param, lp + "fc2_b.step");
+      }
+    };
+    try {
+      comm::run_cluster(p, megatron_body);
+    } catch (const std::exception& e) {
+      res.failures.push_back(std::string("megatron run threw: ") + e.what());
+    }
+  }
+
+  // ---- Finite-difference gradient check of the oracle itself (f64 only:
+  // central differences in f32 are noise at our tolerances). ----
+  if (opts.gradcheck_coords > 0 && fc.dtype == Dtype::kF64) {
+    const GradCheckResult gc = finite_difference_check(
+        cfg, tokens, labels, fc.data_seed ^ 0x9E3779B97F4A7C15ull, opts.gradcheck_coords);
+    res.gradcheck_coords = gc.coords_checked;
+    res.gradcheck_max_rel = gc.max_rel_err;
+    if (!gc.pass) res.failures.push_back(gc.detail);
+  }
+}
+
+}  // namespace
+
+Tolerance tolerance_for(const FuzzConfig& fc) {
+  // Measured: across 300 sampled configs (seed 3) the worst observed
+  // deviation in every category is 0 ULPs — the engines are *bitwise*
+  // identical to the serial oracle, because the GEMM microkernel accumulates
+  // into C in k-order, so blocked SUMMA / column-split accumulation
+  // reassociates nothing. The budgets below are therefore not headroom over
+  // observed noise but an allowance for future kernels that legitimately
+  // reassociate (k-tiled registers, threaded k-splits): ~2^10 ULPs per layer
+  // of depth. Real math bugs (wrong block, missing reduce) measure in the
+  // 2^40+ range — far outside either budget. See DESIGN.md §Testing.
+  const std::uint64_t depth = static_cast<std::uint64_t>(fc.layers);
+  if (fc.dtype == Dtype::kF64) {
+    return Tolerance{(std::uint64_t{1} << 10) * depth, 1e-13};
+  }
+  return Tolerance{(std::uint64_t{1} << 10) * depth, 1e-6};
+}
+
+EquivalenceResult run_equivalence(const FuzzConfig& fc, const EquivalenceOptions& opts) {
+  EquivalenceResult res;
+  res.config = fc;
+  try {
+    fc.validate();
+    if (fc.dtype == Dtype::kF64) {
+      run_impl<double>(fc, opts, res);
+    } else {
+      run_impl<float>(fc, opts, res);
+    }
+  } catch (const std::exception& e) {
+    res.failures.push_back(std::string("unhandled exception: ") + e.what());
+  }
+  return res;
+}
+
+std::string summarize(const EquivalenceResult& res) {
+  std::ostringstream os;
+  os << (res.pass() ? "PASS " : "FAIL ") << res.config.to_string();
+  const auto engine = [&os](const char* name, const EngineDeviation& d) {
+    os << " | " << name << " ulps: hidden=" << d.hidden.max_ulps << " loss=" << d.loss.max_ulps
+       << " dx0=" << d.input_grad.max_ulps << " grad=" << d.grad.max_ulps
+       << " param=" << d.param.max_ulps;
+  };
+  engine("2d", res.optimus);
+  engine("1d", res.megatron);
+  os << " | ckpt=" << (res.ckpt_roundtrip_ok ? "ok" : "FAIL");
+  if (res.fault_replay_ran) os << " replay=" << (res.fault_replay_ok ? "ok" : "FAIL");
+  if (res.gradcheck_coords > 0) {
+    os << " fd=" << std::scientific << std::setprecision(2) << res.gradcheck_max_rel
+       << std::defaultfloat << "/" << res.gradcheck_coords;
+  }
+  if (!res.pass()) os << " | failures=" << res.failures.size();
+  return os.str();
+}
+
+}  // namespace optimus::testing

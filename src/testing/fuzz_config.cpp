@@ -1,0 +1,210 @@
+#include "testing/fuzz_config.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace optimus::testing {
+
+namespace {
+
+/// Uniform pick from a list (uses the engine directly so the draw sequence is
+/// stable across standard-library implementations of the distributions).
+template <typename T>
+T pick(std::mt19937& gen, std::initializer_list<T> options) {
+  const auto n = options.size();
+  return *(options.begin() + gen() % n);
+}
+
+int pick_int(std::mt19937& gen, int lo, int hi) {  // inclusive
+  return lo + static_cast<int>(gen() % static_cast<unsigned>(hi - lo + 1));
+}
+
+}  // namespace
+
+model::TransformerConfig FuzzConfig::to_transformer_config() const {
+  model::TransformerConfig cfg;
+  cfg.batch = batch;
+  cfg.seq_len = seq;
+  cfg.hidden = hidden();
+  cfg.heads = heads;
+  cfg.vocab = vocab;
+  cfg.layers = layers;
+  cfg.mlp_ratio = mlp_ratio;
+  cfg.num_classes = 2;
+  cfg.seed = param_seed;
+  return cfg;
+}
+
+void FuzzConfig::validate() const {
+  OPT_CHECK(q >= 1 && q <= 8, "mesh side q " << q);
+  OPT_CHECK(mp >= 1, "megatron devices " << mp);
+  OPT_CHECK(threads >= 1, "threads " << threads);
+  OPT_CHECK(lr > 0, "lr " << lr);
+  // Engine precondition: the pooled forward arena is recycled per layer,
+  // which is only sound when activations are checkpointed.
+  OPT_CHECK(ckpt_2d || !pooled_buffers, "pooled buffers require 2d checkpointing");
+  const model::TransformerConfig cfg = to_transformer_config();
+  cfg.validate_for_mesh(q);
+  cfg.validate_for_1d(mp);
+}
+
+std::string FuzzConfig::to_string() const {
+  std::ostringstream os;
+  os << "q=" << q << ",mp=" << mp << ",b=" << batch << ",s=" << seq << ",heads=" << heads
+     << ",hd=" << head_dim << ",v=" << vocab << ",layers=" << layers << ",mlp=" << mlp_ratio
+     << ",dtype=" << (dtype == Dtype::kF64 ? "f64" : "f32") << ",threads=" << threads
+     << ",ckpt2d=" << (ckpt_2d ? 1 : 0) << ",ckpt1d=" << (ckpt_1d ? 1 : 0)
+     << ",buf=" << (pooled_buffers ? "pool" : "heap") << ",lr=" << lr
+     << ",pseed=" << param_seed << ",dseed=" << data_seed;
+  return os.str();
+}
+
+FuzzConfig FuzzConfig::parse(const std::string& text) {
+  FuzzConfig fc;
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    const auto eq = item.find('=');
+    OPT_CHECK(eq != std::string::npos, "malformed config item '" << item << "'");
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    if (key == "q") fc.q = std::stoi(val);
+    else if (key == "mp") fc.mp = std::stoi(val);
+    else if (key == "b") fc.batch = std::stoll(val);
+    else if (key == "s") fc.seq = std::stoll(val);
+    else if (key == "heads") fc.heads = std::stoll(val);
+    else if (key == "hd") fc.head_dim = std::stoll(val);
+    else if (key == "v") fc.vocab = std::stoll(val);
+    else if (key == "layers") fc.layers = std::stoll(val);
+    else if (key == "mlp") fc.mlp_ratio = std::stoll(val);
+    else if (key == "dtype") fc.dtype = val == "f64" ? Dtype::kF64 : Dtype::kF32;
+    else if (key == "threads") fc.threads = std::stoi(val);
+    else if (key == "ckpt2d") fc.ckpt_2d = val != "0";
+    else if (key == "ckpt1d") fc.ckpt_1d = val != "0";
+    else if (key == "buf") fc.pooled_buffers = val != "heap";
+    else if (key == "lr") fc.lr = std::stod(val);
+    else if (key == "pseed") fc.param_seed = std::stoull(val);
+    else if (key == "dseed") fc.data_seed = std::stoull(val);
+    else OPT_CHECK(false, "unknown config key '" << key << "'");
+  }
+  fc.validate();
+  return fc;
+}
+
+FuzzConfig FuzzConfig::sample(std::mt19937& gen) {
+  FuzzConfig fc;
+  fc.q = pick_int(gen, 1, 4);
+  // q | heads keeps hidden/heads/batch divisibility automatic; odd factors
+  // keep the shapes away from powers of two.
+  fc.heads = fc.q * pick<std::int64_t>(gen, {1, 2, 3});
+  fc.head_dim = pick<std::int64_t>(gen, {1, 2, 3, 4, 5});
+  fc.mlp_ratio = pick<std::int64_t>(gen, {1, 2, 3, 4});
+  // 12 = lcm(1..4): every candidate Megatron p divides the vocab.
+  fc.vocab = 12 * pick<std::int64_t>(gen, {1, 2, 3});
+  fc.batch = fc.q * pick<std::int64_t>(gen, {1, 2});
+  fc.seq = pick<std::int64_t>(gen, {2, 3, 4, 5, 7, 9});  // odd-biased
+  fc.layers = pick<std::int64_t>(gen, {1, 2, 3});
+  fc.dtype = gen() % 2 == 0 ? Dtype::kF64 : Dtype::kF32;
+  fc.threads = pick_int(gen, 1, 4);
+  fc.ckpt_2d = gen() % 2 == 0;
+  fc.ckpt_1d = gen() % 2 == 0;
+  // Pooled arenas require checkpointing (recycled per layer); keep the draw
+  // unconditionally so the sample sequence stays aligned either way.
+  fc.pooled_buffers = gen() % 2 == 0 && fc.ckpt_2d;
+  fc.lr = pick(gen, {0.01, 0.05, 0.1});
+  fc.param_seed = gen();
+  fc.data_seed = gen();
+  // Megatron devices: any of {1..4} whose divisibility the sampled shape
+  // satisfies (heads, ffn hidden and vocab all split p ways).
+  std::vector<int> ok;
+  for (int p : {1, 2, 3, 4}) {
+    if (fc.heads % p == 0 && (fc.mlp_ratio * fc.hidden()) % p == 0 && fc.vocab % p == 0) {
+      ok.push_back(p);
+    }
+  }
+  fc.mp = ok[gen() % ok.size()];
+  fc.validate();
+  return fc;
+}
+
+std::vector<FuzzConfig> FuzzConfig::shrink_candidates() const {
+  std::vector<FuzzConfig> out;
+  const auto push_if_valid = [&out](FuzzConfig c) {
+    try {
+      c.validate();
+      out.push_back(c);
+    } catch (const util::CheckError&) {
+      // candidate violated a divisibility constraint; drop it
+    }
+  };
+  if (layers > 1) {
+    FuzzConfig c = *this;
+    c.layers = 1;
+    push_if_valid(c);
+  }
+  if (q > 1) {
+    FuzzConfig c = *this;
+    // Halving the mesh needs the shape re-based on the smaller q; keep heads
+    // and batch as small multiples of the new q.
+    c.q = 1;
+    c.heads = std::max<std::int64_t>(1, heads / q);
+    c.batch = std::max<std::int64_t>(1, batch / q);
+    push_if_valid(c);
+  }
+  if (mp > 1) {
+    FuzzConfig c = *this;
+    c.mp = 1;
+    push_if_valid(c);
+  }
+  if (batch > q) {
+    FuzzConfig c = *this;
+    c.batch = q;
+    push_if_valid(c);
+  }
+  if (seq > 2) {
+    FuzzConfig c = *this;
+    c.seq = 2;
+    push_if_valid(c);
+  }
+  if (head_dim > 1) {
+    FuzzConfig c = *this;
+    c.head_dim = 1;
+    push_if_valid(c);
+  }
+  if (heads > q) {
+    FuzzConfig c = *this;
+    c.heads = q;
+    push_if_valid(c);
+  }
+  if (mlp_ratio > 1) {
+    FuzzConfig c = *this;
+    c.mlp_ratio = 1;
+    push_if_valid(c);
+  }
+  if (vocab > 12) {
+    FuzzConfig c = *this;
+    c.vocab = 12;
+    push_if_valid(c);
+  }
+  if (threads > 1) {
+    FuzzConfig c = *this;
+    c.threads = 1;
+    push_if_valid(c);
+  }
+  if (ckpt_2d || ckpt_1d) {
+    FuzzConfig c = *this;
+    c.ckpt_2d = c.ckpt_1d = false;
+    c.pooled_buffers = false;  // pooled arenas require checkpointing
+    push_if_valid(c);
+  }
+  if (!pooled_buffers) {
+    FuzzConfig c = *this;
+    c.pooled_buffers = true;
+    push_if_valid(c);
+  }
+  return out;
+}
+
+}  // namespace optimus::testing

@@ -1,0 +1,81 @@
+#pragma once
+
+// Randomized model/mesh configuration sampling for the differential
+// correctness harness.
+//
+// A FuzzConfig names one complete experiment: transformer shape, Optimus mesh
+// side q, Megatron device count, dtype, kernel thread budget, activation
+// checkpointing and buffer modes, optimizer step size, and the two RNG seeds
+// (parameter init, data synthesis). Sampling draws from a caller-owned
+// std::mt19937 so a (seed, index) pair always reproduces the same config, and
+// every sampled config satisfies the engines' divisibility constraints *by
+// construction* (hidden = heads·head_dim with q | heads, vocab a multiple of
+// lcm(1..4), batch a multiple of q) while still hitting awkward shapes: odd
+// sequence lengths, odd head dims, non-power-of-two hidden sizes.
+//
+// to_string()/parse() round-trip a config through a "k=v,k=v" repro string —
+// the failure currency of the fuzzer: every reported failure is replayable
+// from one such string plus nothing else.
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/optimus_model.hpp"
+#include "model/config.hpp"
+
+namespace optimus::testing {
+
+enum class Dtype { kF32, kF64 };
+
+struct FuzzConfig {
+  // Mesh / device shape.
+  int q = 1;        // Optimus mesh side (p = q²)
+  int mp = 1;       // Megatron 1D device count
+  // Model shape (hidden = heads · head_dim).
+  std::int64_t batch = 2;
+  std::int64_t seq = 3;
+  std::int64_t heads = 2;
+  std::int64_t head_dim = 3;
+  std::int64_t vocab = 12;
+  std::int64_t layers = 1;
+  std::int64_t mlp_ratio = 2;
+  // Execution knobs.
+  Dtype dtype = Dtype::kF64;
+  int threads = 1;           // kernel::set_threads budget during the run
+  bool ckpt_2d = true;       // Optimus activation checkpointing
+  bool ckpt_1d = true;       // Megatron activation checkpointing
+  bool pooled_buffers = true;  // Optimus §3.2.3 arenas vs heap
+  // Training step.
+  double lr = 0.05;
+  // Seeds.
+  std::uint64_t param_seed = 1234;
+  std::uint64_t data_seed = 1;
+
+  std::int64_t hidden() const { return heads * head_dim; }
+
+  /// Materialises the shared TransformerConfig.
+  model::TransformerConfig to_transformer_config() const;
+
+  /// Checks every engine constraint (serial validate + mesh q + megatron mp);
+  /// throws util::CheckError on violation.
+  void validate() const;
+
+  /// Canonical repro string, parse()-compatible.
+  std::string to_string() const;
+
+  /// Parses a to_string() repro string; throws util::CheckError on malformed
+  /// input or constraint violations.
+  static FuzzConfig parse(const std::string& text);
+
+  /// Samples a valid config from `gen`.
+  static FuzzConfig sample(std::mt19937& gen);
+
+  /// Strictly "smaller" variants of this config for failure shrinking, most
+  /// aggressive first. Every candidate is valid; the shrink loop keeps a
+  /// candidate only if it still fails.
+  std::vector<FuzzConfig> shrink_candidates() const;
+};
+
+}  // namespace optimus::testing

@@ -1,0 +1,37 @@
+#pragma once
+
+// Finite-difference gradient check of the serial oracle.
+//
+// The differential harness proves "2D == 1D == serial", which is only a
+// correctness statement if serial's hand-written backward is itself the
+// gradient of its forward. This closes that loop: central differences of the
+// LM loss at randomly sampled parameter coordinates, compared against the
+// analytic gradients from backward_lm(). Always runs in double (the f32
+// engines share the same backward code paths via the template).
+
+#include <cstdint>
+#include <string>
+
+#include "model/config.hpp"
+#include "tensor/tensor.hpp"
+
+namespace optimus::testing {
+
+struct GradCheckResult {
+  int coords_checked = 0;
+  double max_rel_err = 0;
+  bool pass = true;
+  std::string detail;  // first failing coordinate, empty when pass
+};
+
+/// Samples `coords` parameter coordinates of a fresh SerialTransformer<double>
+/// (seeded by `cfg.seed`) uniformly across tensors, and compares the central
+/// difference (step `eps`) of the LM loss against the analytic gradient.
+/// A coordinate fails when |numeric − analytic| > tol · max(1, |numeric|,
+/// |analytic|).
+GradCheckResult finite_difference_check(const model::TransformerConfig& cfg,
+                                        const tensor::ITensor& tokens,
+                                        const tensor::ITensor& labels, std::uint64_t sample_seed,
+                                        int coords, double eps = 1e-5, double tol = 1e-5);
+
+}  // namespace optimus::testing

@@ -1,0 +1,114 @@
+#pragma once
+
+// ULP-aware floating-point comparison.
+//
+// The correctness oracle for this repo is *re-blocked exactness*: the 2D and
+// 1D engines compute the same math as the serial model up to floating-point
+// association (DESIGN §6). Absolute tolerances conflate "different rounding"
+// with "different math" as magnitudes vary, so the differential harness
+// measures error in ULPs — the distance between two values in units of
+// representable numbers at their magnitude — and accepts a difference when it
+// is within a documented ULP budget *or* below a small absolute floor (for
+// results that cancel toward zero, where ULP distance is meaningless).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "tensor/tensor.hpp"
+
+namespace optimus::testing {
+
+/// Bit pattern of a value remapped so that the unsigned key ordering matches
+/// the value ordering and adjacent representable values differ by 1 (the
+/// IEEE-754 total-order fold: flip all bits of negatives, set the sign bit of
+/// non-negatives). ±0.0 map to adjacent keys.
+inline std::uint64_t ordered_bits(float x) {
+  std::uint32_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return (u & 0x80000000u) ? static_cast<std::uint64_t>(~u)
+                           : static_cast<std::uint64_t>(u | 0x80000000u);
+}
+
+inline std::uint64_t ordered_bits(double x) {
+  std::uint64_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return (u & (std::uint64_t{1} << 63)) ? ~u : u | (std::uint64_t{1} << 63);
+}
+
+/// ULP distance between two finite values of the same type; saturates to
+/// uint64 max when either is NaN/inf (never "close").
+template <typename T>
+std::uint64_t ulp_distance(T a, T b) {
+  if (std::isnan(a) || std::isnan(b) || std::isinf(a) || std::isinf(b)) {
+    return a == b ? 0 : std::numeric_limits<std::uint64_t>::max();
+  }
+  const std::uint64_t ka = ordered_bits(a);
+  const std::uint64_t kb = ordered_bits(b);
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+/// Accept when the ULP distance is within budget, or the absolute difference
+/// is below `atol` (near-zero results of catastrophic cancellation).
+struct Tolerance {
+  std::uint64_t max_ulps = 0;
+  double atol = 0;
+
+  template <typename T>
+  bool within(T a, T b) const {
+    if (std::abs(static_cast<double>(a) - static_cast<double>(b)) <= atol) return true;
+    return ulp_distance(a, b) <= max_ulps;
+  }
+};
+
+/// Worst observed deviation over a comparison set; `worst_*` keep the value
+/// pair behind the max-ULP element for diagnostics.
+struct Deviation {
+  std::uint64_t max_ulps = 0;   // among elements not under the atol floor
+  double max_abs = 0;
+  double worst_a = 0, worst_b = 0;
+  std::uint64_t compared = 0;
+  std::uint64_t violations = 0;  // elements outside the tolerance
+
+  void note(double a, double b, std::uint64_t ulps, bool ok) {
+    compared += 1;
+    max_abs = std::max(max_abs, std::abs(a - b));
+    if (ulps != std::numeric_limits<std::uint64_t>::max() && ulps > max_ulps) {
+      max_ulps = ulps;
+      worst_a = a;
+      worst_b = b;
+    }
+    if (!ok) violations += 1;
+  }
+
+  void merge(const Deviation& o) {
+    if (o.max_ulps > max_ulps) {
+      max_ulps = o.max_ulps;
+      worst_a = o.worst_a;
+      worst_b = o.worst_b;
+    }
+    max_abs = std::max(max_abs, o.max_abs);
+    compared += o.compared;
+    violations += o.violations;
+  }
+};
+
+/// Element-wise comparison of two equal-shaped tensors under `tol`,
+/// accumulated into `dev`.
+template <typename T>
+void compare_tensors(const tensor::TensorT<T>& a, const tensor::TensorT<T>& b,
+                     const Tolerance& tol, Deviation& dev) {
+  OPT_CHECK(a.numel() == b.numel(), "compare_tensors shape mismatch: " << a.numel() << " vs "
+                                                                       << b.numel());
+  for (tensor::index_t i = 0; i < a.numel(); ++i) {
+    const std::uint64_t ulps =
+        std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i])) <= tol.atol
+            ? 0
+            : ulp_distance(a[i], b[i]);
+    dev.note(static_cast<double>(a[i]), static_cast<double>(b[i]), ulps, tol.within(a[i], b[i]));
+  }
+}
+
+}  // namespace optimus::testing

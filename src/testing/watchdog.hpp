@@ -1,0 +1,54 @@
+#pragma once
+
+// Deadlock watchdog for fault-injection and fuzzing runs.
+//
+// A hung collective cannot be unwound from within the process (the blocked
+// threads hold no cancellation points), so the only honest "no deadlock"
+// assertion is a hard deadline: if the guarded scope does not complete in
+// time, print a diagnosis and abort the process — CTest then reports the
+// failure instead of hanging the whole suite.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace optimus::testing {
+
+class Watchdog {
+ public:
+  Watchdog(std::string what, std::chrono::seconds deadline)
+      : what_(std::move(what)), thread_([this, deadline] {
+          std::unique_lock<std::mutex> lock(mu_);
+          if (!cv_.wait_for(lock, deadline, [this] { return done_; })) {
+            std::fprintf(stderr, "[watchdog] '%s' exceeded %llds — presumed deadlock, aborting\n",
+                         what_.c_str(), static_cast<long long>(deadline.count()));
+            std::fflush(stderr);
+            std::abort();
+          }
+        }) {}
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+ private:
+  std::string what_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+}  // namespace optimus::testing

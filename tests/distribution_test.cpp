@@ -85,3 +85,35 @@ TEST(Distribution, ActivationBlockKeepsWholeSequence) {
     }
   }
 }
+
+TEST(Distribution, RandomizedOddShapeBlockRoundTrip) {
+  // Property over awkward shapes: odd per-block dims, q up to 4 — scatter
+  // into q² blocks then gather reassembles the exact global matrix.
+  const std::uint64_t seed = optimus::testing::test_seed(31);
+  OPTIMUS_SEED_TRACE(seed);
+  optimus::util::Rng rng(seed);
+  const ot::index_t odd[] = {1, 3, 5, 7};
+  for (int iter = 0; iter < 20; ++iter) {
+    const int q = 1 + static_cast<int>(rng.uniform_index(4));
+    const ot::index_t rows = q * odd[rng.uniform_index(4)];
+    const ot::index_t cols = q * odd[rng.uniform_index(4)];
+    DTensor global = optimus::testing::random_dtensor(Shape{rows, cols}, rng);
+    DTensor rebuilt(Shape{rows, cols});
+    for (int i = 0; i < q; ++i) {
+      for (int j = 0; j < q; ++j) {
+        ot::set_matrix_block(rebuilt, q, i, j, ot::matrix_block(global, q, i, j));
+      }
+    }
+    ASSERT_EQ(ot::ops::max_abs_diff(global, rebuilt), 0.0)
+        << "q=" << q << " shape [" << rows << ", " << cols << "]";
+  }
+}
+
+TEST(Distribution, NonDivisibleShapesThrowForQ3) {
+  DTensor rows_bad(Shape{10, 9});  // 10 % 3 != 0
+  EXPECT_THROW(ot::matrix_block(rows_bad, 3, 0, 0), optimus::util::CheckError);
+  DTensor cols_bad(Shape{9, 10});  // 10 % 3 != 0
+  EXPECT_THROW(ot::matrix_block(cols_bad, 3, 0, 0), optimus::util::CheckError);
+  DTensor fits(Shape{9, 15});  // odd multiples of 3 are fine
+  EXPECT_EQ(ot::matrix_block(fits, 3, 2, 2).shape(), (Shape{3, 5}));
+}

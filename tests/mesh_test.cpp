@@ -5,6 +5,7 @@
 
 #include "comm/cluster.hpp"
 #include "mesh/mesh.hpp"
+#include "model/config.hpp"
 
 namespace oc = optimus::comm;
 namespace om = optimus::mesh;
@@ -85,4 +86,26 @@ TEST(Mesh, RowAndColumnCommsComposeToWorld) {
     mesh.col_comm().broadcast(&v, 1, 0);
     ASSERT_DOUBLE_EQ(v, 7.5);
   });
+}
+
+TEST(Mesh, ConfigValidationRejectsNonDivisibleShapes) {
+  optimus::model::TransformerConfig cfg;
+  cfg.batch = 3;
+  cfg.seq_len = 5;  // seq never needs to divide: it stays whole on-device
+  cfg.hidden = 18;
+  cfg.heads = 3;
+  cfg.vocab = 18;
+  cfg.layers = 1;
+  EXPECT_NO_THROW(cfg.validate_for_mesh(3));
+  // Each constraint individually: batch, heads (and through it hidden), vocab.
+  auto bad = cfg;
+  bad.batch = 4;
+  EXPECT_THROW(bad.validate_for_mesh(3), optimus::util::CheckError);
+  bad = cfg;
+  bad.heads = 2;
+  bad.hidden = 16;
+  EXPECT_THROW(bad.validate_for_mesh(3), optimus::util::CheckError);
+  bad = cfg;
+  bad.vocab = 20;
+  EXPECT_THROW(bad.validate_for_mesh(3), optimus::util::CheckError);
 }

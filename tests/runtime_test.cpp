@@ -5,12 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
 
 #include "comm/cluster.hpp"
 #include "core/optimus_model.hpp"
 #include "megatron/megatron_model.hpp"
 #include "mesh/mesh.hpp"
 #include "model/serial_model.hpp"
+#include "runtime/checkpoint_io.hpp"
 #include "runtime/data.hpp"
 #include "runtime/lr_schedule.hpp"
 #include "runtime/optimizer.hpp"
@@ -353,4 +357,71 @@ TEST(Trainer, AllThreeEnginesTrainIdentically) {
     EXPECT_NEAR(megatron_losses[i], serial_losses[i], 1e-8) << "step " << i;
     EXPECT_NEAR(optimus_losses[i], serial_losses[i], 1e-8) << "step " << i;
   }
+}
+
+TEST(CheckpointIo, RandomTensorsRoundTripBitwise) {
+  // Property: save → load reproduces every byte, including signed zeros,
+  // infinities, NaN payloads and denormals — a checkpoint must never launder
+  // the values it stores.
+  const std::uint64_t seed = optimus::testing::test_seed(2718);
+  OPTIMUS_SEED_TRACE(seed);
+  optimus::util::Rng rng(seed);
+  const double specials[] = {0.0, -0.0, std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::denorm_min()};
+  for (int iter = 0; iter < 25; ++iter) {
+    std::vector<DTensor> tensors;
+    const int count = 1 + static_cast<int>(rng.uniform_index(5));
+    for (int t = 0; t < count; ++t) {
+      const int rank = 1 + static_cast<int>(rng.uniform_index(3));
+      Shape shape;
+      switch (rank) {
+        case 1: shape = Shape{1 + static_cast<ot::index_t>(rng.uniform_index(6))}; break;
+        case 2:
+          shape = Shape{1 + static_cast<ot::index_t>(rng.uniform_index(6)),
+                        1 + static_cast<ot::index_t>(rng.uniform_index(6))};
+          break;
+        default:
+          shape = Shape{1 + static_cast<ot::index_t>(rng.uniform_index(4)),
+                        1 + static_cast<ot::index_t>(rng.uniform_index(4)),
+                        1 + static_cast<ot::index_t>(rng.uniform_index(4))};
+      }
+      DTensor tensor(shape);
+      for (ot::index_t i = 0; i < tensor.numel(); ++i) {
+        tensor[i] = rng.uniform_index(8) == 0 ? specials[rng.uniform_index(6)]
+                                              : rng.uniform(-1e6, 1e6);
+      }
+      tensors.push_back(tensor);
+    }
+    std::vector<DTensor*> saved;
+    for (auto& t : tensors) saved.push_back(&t);
+
+    std::stringstream buf;
+    ort::save_tensors(buf, saved);
+
+    std::vector<DTensor> reloaded;
+    for (const auto& t : tensors) reloaded.push_back(DTensor::zeros(t.shape()));
+    std::vector<DTensor*> loaded;
+    for (auto& t : reloaded) loaded.push_back(&t);
+    ort::load_tensors(buf, loaded);
+
+    for (std::size_t t = 0; t < tensors.size(); ++t) {
+      ASSERT_EQ(tensors[t].shape(), reloaded[t].shape());
+      ASSERT_EQ(std::memcmp(tensors[t].data(), reloaded[t].data(),
+                            sizeof(double) * static_cast<std::size_t>(tensors[t].numel())),
+                0)
+          << "iteration " << iter << ", tensor " << t << " changed across the round trip";
+    }
+  }
+}
+
+TEST(CheckpointIo, LoadIntoMismatchedShapesThrows) {
+  DTensor a = DTensor::zeros(Shape{2, 3});
+  std::vector<DTensor*> saved{&a};
+  std::stringstream buf;
+  ort::save_tensors(buf, saved);
+  DTensor wrong = DTensor::zeros(Shape{3, 2});
+  std::vector<DTensor*> loaded{&wrong};
+  EXPECT_THROW(ort::load_tensors(buf, loaded), optimus::util::CheckError);
 }

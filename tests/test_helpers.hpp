@@ -1,9 +1,11 @@
 #pragma once
 
-// Shared helpers for the test suite: finite-difference gradient checking and
-// random tensor construction in double precision.
+// Shared helpers for the test suite: the central test seed, finite-difference
+// gradient checking, and random tensor construction in double precision.
 
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <functional>
 
 #include <gtest/gtest.h>
@@ -12,7 +14,22 @@
 #include "tensor/tensor.hpp"
 #include "util/rng.hpp"
 
+/// Registers the seed with gtest so every assertion failure in scope prints
+/// the exact environment override that reproduces the run.
+#define OPTIMUS_SEED_TRACE(seed) \
+  SCOPED_TRACE(::testing::Message() << "rerun with OPTIMUS_TEST_SEED=" << (seed))
+
 namespace optimus::testing {
+
+/// Central seed for randomized tests: the OPTIMUS_TEST_SEED environment
+/// variable when set, else `fallback`. Pair with OPTIMUS_SEED_TRACE so
+/// failures name the seed that reproduces them.
+inline std::uint64_t test_seed(std::uint64_t fallback = 0x5EEDull) {
+  if (const char* env = std::getenv("OPTIMUS_TEST_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return fallback;
+}
 
 inline tensor::DTensor random_dtensor(tensor::Shape shape, util::Rng& rng, double scale = 1.0) {
   tensor::DTensor t(shape);
