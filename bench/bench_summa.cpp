@@ -79,9 +79,10 @@ void BM_GemmTN(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmTN)->Arg(64)->Arg(256);
 
-// Distributed SUMMA: global n×n product on a q×q mesh. Counters report the
-// per-device simulated communication.
-template <int kForm>  // 0 = AB, 1 = ABt, 2 = AtB
+// Distributed SUMMA: global n×n product on a q×q mesh, under the blocking or
+// the pipelined (overlapped) schedule. Counters report the per-device
+// simulated times — sim_step_s is the critical path the overlap shortens.
+template <int kForm, bool kPipelined>  // 0 = AB, 1 = ABt, 2 = AtB
 void BM_Summa(benchmark::State& state) {
   const int q = static_cast<int>(state.range(0));
   const ot::index_t n = state.range(1);
@@ -89,7 +90,8 @@ void BM_Summa(benchmark::State& state) {
   Tensor A_global = random_tensor(Shape{n, n}, 3);
   Tensor B_global = random_tensor(Shape{n, n}, 4);
 
-  double sim_comm = 0, weighted = 0;
+  optimus::summa::PipelineGuard guard(kPipelined);
+  double sim_step = 0, sim_comm = 0, weighted = 0;
   std::uint64_t calls = 0;
   for (auto _ : state) {
     auto report = oc::run_cluster(p, [&](oc::Context& ctx) {
@@ -106,17 +108,24 @@ void BM_Summa(benchmark::State& state) {
       }
       benchmark::DoNotOptimize(C.data());
     });
+    sim_step += report.max_sim_time();
     sim_comm += report.max_comm_time();
     weighted += report.ranks[0].stats.total_weighted();
     ++calls;
   }
+  state.counters["sim_step_s"] = sim_step / calls;
   state.counters["sim_comm_s"] = sim_comm / calls;
   state.counters["weighted_scalars_per_dev"] = weighted / calls;
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_Summa<0>)->Args({1, 96})->Args({2, 96})->Args({3, 96})->Args({4, 96});
-BENCHMARK(BM_Summa<1>)->Args({2, 96})->Args({4, 96});
-BENCHMARK(BM_Summa<2>)->Args({2, 96})->Args({4, 96});
+#define SUMMA_BENCH(form)                                                        \
+  BENCHMARK(BM_Summa<form, false>)->Args({2, 96})->Args({4, 96});                \
+  BENCHMARK(BM_Summa<form, true>)->Args({2, 96})->Args({4, 96})
+BENCHMARK(BM_Summa<0, false>)->Args({1, 96})->Args({3, 96});
+SUMMA_BENCH(0);
+SUMMA_BENCH(1);
+SUMMA_BENCH(2);
+#undef SUMMA_BENCH
 
 // Manual sweep mirroring BM_Summa<0> that lands in BENCH_summa.json so SUMMA
 // perf is tracked across commits alongside BENCH_kernels.json. wall_ms is
@@ -127,11 +136,15 @@ void write_summa_json() {
   const ot::index_t n = 96;
   Tensor A_global = random_tensor(Shape{n, n}, 3);
   Tensor B_global = random_tensor(Shape{n, n}, 4);
-  for (int q : {1, 2, 4}) {
-    const int p = q * q;
+  struct ModeResult {
     double wall_ms = 0, sim_ms = 0;
+    oc::Cluster::Report report;
+  };
+  const auto run_mode = [&](int q, bool pipelined) {
+    const int p = q * q;
+    optimus::summa::PipelineGuard guard(pipelined);
+    ModeResult r;
     const int reps = 3;
-    oc::Cluster::Report last_report;
     for (int i = 0; i < reps; ++i) {
       optimus::util::Stopwatch sw;
       auto report = oc::run_cluster(p, [&](oc::Context& ctx) {
@@ -142,23 +155,39 @@ void write_summa_json() {
         optimus::summa::summa_ab(mesh, A, B, C);
         benchmark::DoNotOptimize(C.data());
       });
-      wall_ms += sw.elapsed_s() * 1000.0;
-      sim_ms += report.max_sim_time() * 1000.0;
-      last_report = report;
+      r.wall_ms += sw.elapsed_s() * 1000.0;
+      r.sim_ms += report.max_sim_time() * 1000.0;
+      r.report = report;
     }
-    wall_ms /= reps;
-    sim_ms /= reps;
-    const double gflops = 2.0 * n * n * n / (wall_ms * 1e-3) / 1e9;
+    r.wall_ms /= reps;
+    r.sim_ms /= reps;
+    return r;
+  };
+  const auto add_row = [&](const std::string& name, int q, const ModeResult& r,
+                           double overlap_efficiency) {
+    const double gflops = 2.0 * n * n * n / (r.wall_ms * 1e-3) / 1e9;
     // Per-device collective traffic is identical across reps (the schedule is
     // deterministic), so the last report's rank-0 stats are representative.
-    const auto& st = last_report.ranks[0].stats;
-    json.add("summa_ab_q" + std::to_string(q),
-             std::to_string(n) + "x" + std::to_string(n) + "x" + std::to_string(n), gflops,
-             wall_ms, sim_ms,
+    const auto& st = r.report.ranks[0].stats;
+    json.add(name, std::to_string(n) + "x" + std::to_string(n) + "x" + std::to_string(n),
+             gflops, r.wall_ms, r.sim_ms,
              {{"bcast_bytes_per_dev", static_cast<double>(st.broadcast.bytes)},
               {"reduce_bytes_per_dev", static_cast<double>(st.reduce.bytes)},
               {"weighted_scalars_per_dev", st.total_weighted()},
-              {"comm_sim_ms", last_report.max_comm_time() * 1000.0}});
+              {"comm_sim_ms", r.report.max_comm_time() * 1000.0},
+              {"overlap_efficiency", overlap_efficiency}});
+  };
+  for (int q : {1, 2, 4}) {
+    const ModeResult blocking = run_mode(q, false);
+    add_row("summa_ab_q" + std::to_string(q), q, blocking, 0.0);
+    if (q > 1) {
+      // Pipelined rows ride next to the blocking baselines they are compared
+      // against; overlap_efficiency is the fraction of the blocking critical
+      // path hidden by the async schedule.
+      const ModeResult pipelined = run_mode(q, true);
+      const double eff = (blocking.sim_ms - pipelined.sim_ms) / blocking.sim_ms;
+      add_row("summa_ab_q" + std::to_string(q) + "_pipelined", q, pipelined, eff);
+    }
   }
   json.write("BENCH_summa.json");
 }

@@ -32,6 +32,8 @@
 #include "perfmodel/scaling.hpp"
 #include "perfmodel/validation.hpp"
 #include "runtime/data.hpp"
+#include "summa/summa.hpp"
+#include "tensor/tensor.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -94,7 +96,53 @@ bool run_validation(optimus::comm::Cluster::Report* optimus_report) {
     if (scheme == opm::Scheme::kOptimus) *optimus_report = report;
   }
   t.print(std::cout);
-  return all_ok;
+
+  // SUMMA overlap: one summa_ab under each schedule, simulator clock vs the
+  // overlap-aware closed form (perfmodel::predict_summa_ab_times). Also
+  // checks the pipelined schedule actually hides communication (≥25% faster
+  // than blocking at this size, the Table-1 regime the benches track).
+  namespace os = optimus::summa;
+  namespace ot = optimus::tensor;
+  const int q = 2;
+  const ot::index_t nb = 48;  // 96×96 global matrices, 48×48 blocks
+  const auto run_mode = [&](bool pipelined) {
+    const auto report = oc::run_cluster(p, [&](oc::Context& ctx) {
+      os::PipelineGuard guard(pipelined);
+      optimus::mesh::Mesh2D mesh(ctx.world);
+      ot::TensorT<float> A = ot::TensorT<float>::zeros(ot::Shape{nb, nb});
+      ot::TensorT<float> B = ot::TensorT<float>::zeros(ot::Shape{nb, nb});
+      ot::TensorT<float> C = ot::TensorT<float>::zeros(ot::Shape{nb, nb});
+      os::summa_ab(mesh, A, B, C);
+    });
+    return report.max_sim_time();
+  };
+  const double meas_blocking = run_mode(false);
+  const double meas_pipelined = run_mode(true);
+  const oc::Topology topo(p, /*gpus_per_node=*/4, oc::Arrangement::kBunched, 0);
+  const oc::CostModel cost(topo, oc::MachineParams{});
+  const auto pred =
+      opm::predict_summa_ab_times(cost, q, q * nb, q * nb, q * nb, sizeof(float));
+  std::cout << "\nmeasured vs predicted summa_ab sim time, 96x96x96 f32 at q=2\n";
+  Table st({"schedule", "measured s", "predicted s", "rel err", "ok?"});
+  bool overlap_ok = true;
+  const auto add = [&](const char* name, double meas, double predicted) {
+    const double rel = std::abs(meas - predicted) / (predicted > 0 ? predicted : 1.0);
+    const bool ok = rel <= 1e-9;
+    overlap_ok = overlap_ok && ok;
+    st.add_row({name, Table::fmt(meas, 12), Table::fmt(predicted, 12),
+                Table::fmt(rel, 12), ok ? "yes" : "NO"});
+  };
+  add("blocking", meas_blocking, pred.blocking_s);
+  add("pipelined", meas_pipelined, pred.pipelined_s);
+  st.print(std::cout);
+  const double saved = (meas_blocking - meas_pipelined) / meas_blocking;
+  std::cout << "overlap hides " << Table::fmt(100.0 * saved, 1)
+            << "% of the blocking step time\n";
+  if (saved < 0.25) {
+    std::cout << "FAIL: expected >=25% overlap win at q=2\n";
+    overlap_ok = false;
+  }
+  return all_ok && overlap_ok;
 }
 
 }  // namespace

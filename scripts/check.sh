@@ -61,9 +61,12 @@ cmake --preset asan
 cmake --build --preset asan -j"$(nproc)"
 ctest --test-dir build-asan -L fast --output-on-failure -j"$(nproc)"
 
-echo "==> sanitizer pass: tsan preset (fast-label suite)"
+echo "==> sanitizer pass: tsan preset (fast-label suite, both SUMMA schedules)"
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)"
-ctest --test-dir build-tsan -L fast --output-on-failure -j"$(nproc)"
+# The pipelined schedule changes which threads touch the fabric concurrently
+# (async irecvs + deferred waits), so TSan runs the suite under both modes.
+OPTIMUS_SUMMA_PIPELINE=0 ctest --test-dir build-tsan -L fast --output-on-failure -j"$(nproc)"
+OPTIMUS_SUMMA_PIPELINE=1 ctest --test-dir build-tsan -L fast --output-on-failure -j"$(nproc)"
 
 echo "==> all checks passed"

@@ -23,13 +23,86 @@ Communicator::Communicator(Fabric& fabric, std::uint64_t comm_id, std::vector<in
 }
 
 CollectiveTiming Communicator::begin_collective(std::uint64_t seq, double dt) {
+  const CollectiveTiming t = begin_async(seq, dt);
+  clock_->set(t.completion());
+  return t;
+}
+
+CollectiveTiming Communicator::begin_async(std::uint64_t seq, double dt) {
   clock_->drain_compute(*cost_);
   CollectiveTiming t;
   t.entry_local = clock_->now();
-  t.entry_aligned = fabric_->sync_max(sync_key(seq), size(), t.entry_local);
+  // Entry waits for the slowest member's clock AND for this communicator's
+  // link to free up (earlier issued-but-unwaited transfers occupy it). For
+  // blocking flows the clock never lags the link, so this is a pure
+  // extension; for pipelined flows it is what serialises back-to-back
+  // collectives on one link while row/column links still overlap.
+  t.entry_aligned =
+      std::max(fabric_->sync_max(sync_key(seq), size(), t.entry_local), link_busy_until_);
   t.dt = dt;
-  clock_->set(t.entry_aligned + dt);
+  link_busy_until_ = t.entry_aligned + dt;
   return t;
+}
+
+Communicator::TreeTopo Communicator::tree_topo(int root) const {
+  TreeTopo t;
+  const int g = static_cast<int>(group_.size());
+  const int relative = (rank_ - root + g) % g;
+  int mask = 1;
+  while (mask < g) {
+    if (relative & mask) {
+      t.parent = ((relative - mask) + root) % g;
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < g) t.children.push_back((relative + mask + root) % g);
+    mask >>= 1;
+  }
+  return t;
+}
+
+std::vector<Communicator::Chunk> Communicator::chunk_layout(tensor::index_t n, int chunks) {
+  if (chunks < 1) chunks = 1;
+  if (static_cast<tensor::index_t>(chunks) > n && n > 0) {
+    chunks = static_cast<int>(n);
+  }
+  std::vector<Chunk> out;
+  out.reserve(static_cast<std::size_t>(chunks));
+  const tensor::index_t base = n / chunks;
+  const tensor::index_t rem = n % chunks;
+  tensor::index_t begin = 0;
+  for (int c = 0; c < chunks; ++c) {
+    const tensor::index_t count = base + (c < rem ? 1 : 0);
+    out.push_back({begin, count});
+    begin += count;
+  }
+  return out;
+}
+
+void Request::wait() {
+  if (!st_) return;
+  const std::unique_ptr<State> st = std::move(st_);
+  Communicator& comm = *st->comm;
+  Fabric::OpScope op_scope(st->wait_op);
+  if (st->finish) st->finish();
+  comm.clock_->drain_compute(*comm.cost_);
+  // The span covers exactly the idle time this rank spends blocked on the
+  // in-flight transfer — the part of the modelled dt that compute did NOT
+  // hide. The transfer itself was accounted (args + link reservation) at
+  // issue, so transfer_s here is 0 and sim_dur == wait_s.
+  obs::Span span("comm", st->wait_op);
+  const double idle = std::max(0.0, st->completion - comm.clock_->now());
+  if (st->completion > comm.clock_->now()) comm.clock_->set(st->completion);
+  if (span.armed()) {
+    if (!comm.label_.empty()) span.arg("comm", comm.label_);
+    span.arg("g", comm.size());
+    span.arg("bytes", st->bytes);
+    span.arg("wait_s", idle);
+    span.arg("transfer_s", 0.0);
+  }
 }
 
 Communicator Communicator::split(int color, int key) {

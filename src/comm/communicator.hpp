@@ -19,6 +19,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,6 +43,46 @@ struct CollectiveTiming {
   double dt = 0;
 
   double wait() const { return entry_aligned - entry_local; }
+  double completion() const { return entry_aligned + dt; }
+};
+
+class Communicator;
+
+/// Handle for a non-blocking collective (ibroadcast/ireduce). The operation's
+/// cost was modelled at issue time; wait() performs any deferred data
+/// movement, then advances this rank's clock only if it is still behind the
+/// modelled completion — compute done in between overlaps for free, so a
+/// pipelined step costs max(comm, compute) instead of their sum.
+///
+/// Every issued request must be waited exactly once (unless unwinding from a
+/// fabric abort). Move-only; default-constructed requests are inert.
+class Request {
+ public:
+  Request() = default;
+  Request(Request&&) = default;
+  Request& operator=(Request&&) = default;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  bool active() const { return st_ != nullptr; }
+
+  /// Completes the collective on this rank; may throw FaultError /
+  /// FabricAborted if the fabric died while the payload was in flight.
+  void wait();
+
+ private:
+  friend class Communicator;
+  struct State {
+    Communicator* comm = nullptr;
+    const char* wait_op = "";  // string literal (obs::Span lifetime contract)
+    double completion = 0;
+    double issue_local = 0;
+    double dt = 0;
+    std::uint64_t bytes = 0;
+    std::function<void()> finish;  // deferred receives/forwards/accumulates
+  };
+  explicit Request(std::unique_ptr<State> st) : st_(std::move(st)) {}
+  std::unique_ptr<State> st_;
 };
 
 class Communicator {
@@ -80,8 +122,29 @@ class Communicator {
   void broadcast(T* data, tensor::index_t n, int root);
 
   /// In-place sum-reduce; the result is valid only at `root` afterwards.
+  /// `scratch` (n elements) avoids the per-call receive buffer allocation;
+  /// pass nullptr to let the call allocate its own.
   template <typename T>
-  void reduce(T* data, tensor::index_t n, int root);
+  void reduce(T* data, tensor::index_t n, int root, T* scratch = nullptr);
+
+  // -- non-blocking collectives ---------------------------------------------
+  //
+  // Issue now, complete at Request::wait(). The modelled cost, clock
+  // alignment and stats are identical to the blocking forms (recorded at
+  // issue); only this rank's clock advance is deferred, which is what lets a
+  // SUMMA step overlap the next panel's transfer with the current GEMM. Must
+  // be issued by every member in the same order, like any collective.
+
+  /// Async broadcast. `data` must stay valid (and, on non-root ranks,
+  /// untouched) until wait() returns.
+  template <typename T>
+  Request ibroadcast(T* data, tensor::index_t n, int root);
+
+  /// Async sum-reduce toward `root`. The local partial in `data` must be
+  /// final at issue; the reduced result is valid at root after wait().
+  /// `scratch` (n elements, optional) must stay valid until wait().
+  template <typename T>
+  Request ireduce(T* data, tensor::index_t n, int root, T* scratch = nullptr);
 
   /// In-place ring all-reduce (sum).
   template <typename T>
@@ -158,6 +221,31 @@ class Communicator {
   /// advances by `dt`. Returns the entry timing breakdown.
   CollectiveTiming begin_collective(std::uint64_t seq, double dt);
 
+  /// begin_collective without the final clock advance: models issuing a
+  /// non-blocking collective. Entry still aligns on max(slowest member's
+  /// clock, this communicator's link availability); the link is then reserved
+  /// through the transfer, so back-to-back collectives on one communicator
+  /// serialise even when issued without waiting (one link per communicator —
+  /// row and column links are distinct and genuinely overlap).
+  CollectiveTiming begin_async(std::uint64_t seq, double dt);
+
+  /// This rank's position in the binomial tree rooted at group rank `root`:
+  /// parent (or −1 at the root) and children in descending-mask order — the
+  /// order the blocking broadcast forwards in; reverse it for the reduce's
+  /// ascending-mask accumulation order.
+  struct TreeTopo {
+    int parent = -1;
+    std::vector<int> children;
+  };
+  TreeTopo tree_topo(int root) const;
+
+  struct Chunk {
+    tensor::index_t begin = 0;
+    tensor::index_t count = 0;
+  };
+  /// Splits [0, n) into `chunks` contiguous runs (sizes differ by ≤ 1).
+  static std::vector<Chunk> chunk_layout(tensor::index_t n, int chunks);
+
   /// Attaches the standard collective args (communicator label, group size,
   /// payload bytes, align-wait vs transfer split) to an armed span.
   void annotate_span(obs::Span& span, std::uint64_t bytes, const CollectiveTiming& t) const {
@@ -183,6 +271,13 @@ class Communicator {
   CommStats* stats_;
   std::uint64_t seq_ = 0;
   std::string label_;
+  // Simulated time until which this communicator's link is occupied by
+  // already-issued (possibly un-waited) collectives. Identical across ranks
+  // by induction: every member issues the same collectives in the same order
+  // and entry alignment is a group-wide max.
+  double link_busy_until_ = 0;
+
+  friend class Request;
 };
 
 // ===========================================================================
@@ -250,65 +345,167 @@ void Communicator::broadcast(T* data, tensor::index_t n, int root) {
   const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
   Fabric::OpScope op_scope("broadcast");
   obs::Span span("comm", "broadcast");
-  const CollectiveTiming ct = begin_collective(seq, cost_->tree_time(group_, bytes));
+  const CostModel::TreePlan plan = cost_->tree_plan(group_, bytes);
+  const CollectiveTiming ct = begin_collective(seq, plan.time);
   annotate_span(span, bytes, ct);
+  if (span.armed() && plan.chunks > 1) span.arg("chunks", plan.chunks);
   stats_->broadcast.record(n, bytes, static_cast<double>(n) * log2_ceil(size()), ct.dt);
 
-  // MPICH-style binomial tree rooted at `root`. The ascend loop finds the bit
-  // at which this rank receives; the descend loop forwards to every lower bit.
-  const int g = size();
-  const int relative = (rank_ - root + g) % g;
+  // MPICH-style binomial tree rooted at `root`; large payloads stream down
+  // the tree in chunks (the plan's pipelined schedule). Chunks move in order
+  // on each edge, so FIFO matching per (src, tag) keeps them aligned.
+  const TreeTopo topo = tree_topo(root);
   const std::uint64_t tag = collective_tag(seq, 0);
-  int mask = 1;
-  while (mask < g) {
-    if (relative & mask) {
-      const int src = ((relative - mask) + root) % g;
-      recv_internal(src, tag, data, n);
-      break;
-    }
-    mask <<= 1;
-  }
-  mask >>= 1;
-  while (mask > 0) {
-    if (relative + mask < g) {
-      const int dst = (relative + mask + root) % g;
-      send_internal(dst, tag, data, n);
-    }
-    mask >>= 1;
+  for (const Chunk& ck : chunk_layout(n, plan.chunks)) {
+    if (topo.parent >= 0) recv_internal(topo.parent, tag, data + ck.begin, ck.count);
+    for (int child : topo.children) send_internal(child, tag, data + ck.begin, ck.count);
   }
 }
 
 template <typename T>
-void Communicator::reduce(T* data, tensor::index_t n, int root) {
+void Communicator::reduce(T* data, tensor::index_t n, int root, T* scratch) {
   const std::uint64_t seq = next_seq();
   if (size() == 1) return;
   const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
   Fabric::OpScope op_scope("reduce");
   obs::Span span("comm", "reduce");
-  const CollectiveTiming ct = begin_collective(seq, cost_->tree_time(group_, bytes));
+  const CostModel::TreePlan plan = cost_->tree_plan(group_, bytes);
+  const CollectiveTiming ct = begin_collective(seq, plan.time);
+  annotate_span(span, bytes, ct);
+  if (span.armed() && plan.chunks > 1) span.arg("chunks", plan.chunks);
+  stats_->reduce.record(n, bytes, static_cast<double>(n) * log2_ceil(size()), ct.dt);
+
+  // Reverse binomial tree: children send partial sums toward the root,
+  // chunk by chunk. Children are accumulated in ascending-mask order per
+  // chunk, so every element sees the same addition order regardless of the
+  // chunk count — chunked and un-chunked reduces are bitwise identical.
+  const TreeTopo topo = tree_topo(root);
+  const std::uint64_t tag = collective_tag(seq, 1);
+  std::vector<T> owned;
+  if (scratch == nullptr) {
+    owned.resize(static_cast<std::size_t>(n));
+    scratch = owned.data();
+  }
+  for (const Chunk& ck : chunk_layout(n, plan.chunks)) {
+    for (auto it = topo.children.rbegin(); it != topo.children.rend(); ++it) {
+      recv_internal(*it, tag, scratch, ck.count);
+      T* target = data + ck.begin;
+      for (tensor::index_t i = 0; i < ck.count; ++i) target[i] += scratch[i];
+    }
+    if (topo.parent >= 0) send_internal(topo.parent, tag, data + ck.begin, ck.count);
+  }
+}
+
+template <typename T>
+Request Communicator::ibroadcast(T* data, tensor::index_t n, int root) {
+  const std::uint64_t seq = next_seq();
+  if (size() == 1) return Request();
+  const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
+  Fabric::OpScope op_scope("ibroadcast");
+  obs::Span span("comm", "ibroadcast");
+  const CostModel::TreePlan plan = cost_->tree_plan(group_, bytes);
+  const CollectiveTiming ct = begin_async(seq, plan.time);
+  annotate_span(span, bytes, ct);
+  stats_->broadcast.record(n, bytes, static_cast<double>(n) * log2_ceil(size()), ct.dt);
+
+  const TreeTopo topo = tree_topo(root);
+  const std::uint64_t tag = collective_tag(seq, 0);
+  const std::vector<Chunk> chunks = chunk_layout(n, plan.chunks);
+
+  auto st = std::make_unique<Request::State>();
+  st->comm = this;
+  st->wait_op = "ibroadcast.wait";
+  st->completion = ct.completion();
+  st->issue_local = ct.entry_local;
+  st->dt = ct.dt;
+  st->bytes = bytes;
+
+  if (topo.parent < 0) {
+    // Root: the payload is ready now; push every chunk eagerly (fabric sends
+    // are buffered and never block), leaving nothing deferred.
+    for (const Chunk& ck : chunks) {
+      for (int child : topo.children) send_internal(child, tag, data + ck.begin, ck.count);
+    }
+  } else {
+    std::vector<Fabric::RecvHandle> pending;
+    pending.reserve(chunks.size());
+    for (const Chunk& ck : chunks) {
+      pending.push_back(fabric_->irecv(world_rank(), group_[topo.parent], tag, data + ck.begin,
+                                       static_cast<std::size_t>(ck.count) * sizeof(T)));
+    }
+    st->finish = [this, topo, tag, data, chunks, pending]() mutable {
+      for (std::size_t c = 0; c < chunks.size(); ++c) {
+        (void)fabric_->wait(pending[c]);
+        for (int child : topo.children) {
+          send_internal(child, tag, data + chunks[c].begin, chunks[c].count);
+        }
+      }
+    };
+  }
+  return Request(std::move(st));
+}
+
+template <typename T>
+Request Communicator::ireduce(T* data, tensor::index_t n, int root, T* scratch) {
+  const std::uint64_t seq = next_seq();
+  if (size() == 1) return Request();
+  const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
+  Fabric::OpScope op_scope("ireduce");
+  obs::Span span("comm", "ireduce");
+  const CostModel::TreePlan plan = cost_->tree_plan(group_, bytes);
+  const CollectiveTiming ct = begin_async(seq, plan.time);
   annotate_span(span, bytes, ct);
   stats_->reduce.record(n, bytes, static_cast<double>(n) * log2_ceil(size()), ct.dt);
 
-  // Reverse binomial tree: children send partial sums toward the root.
-  const int g = size();
-  const int relative = (rank_ - root + g) % g;
+  const TreeTopo topo = tree_topo(root);
   const std::uint64_t tag = collective_tag(seq, 1);
-  std::vector<T> incoming(static_cast<std::size_t>(n));
-  int mask = 1;
-  while (mask < g) {
-    if ((relative & mask) == 0) {
-      const int partner = relative | mask;
-      if (partner < g) {
-        recv_internal((partner + root) % g, tag, incoming.data(), n);
-        for (tensor::index_t i = 0; i < n; ++i) data[i] += incoming[i];
-      }
-    } else {
-      const int partner = relative & ~mask;
-      send_internal((partner + root) % g, tag, data, n);
-      break;
+  const std::vector<Chunk> chunks = chunk_layout(n, plan.chunks);
+
+  auto st = std::make_unique<Request::State>();
+  st->comm = this;
+  st->wait_op = "ireduce.wait";
+  st->completion = ct.completion();
+  st->issue_local = ct.entry_local;
+  st->dt = ct.dt;
+  st->bytes = bytes;
+
+  if (topo.children.empty()) {
+    // Leaf: the local partial is final at issue; push every chunk now.
+    for (const Chunk& ck : chunks) send_internal(topo.parent, tag, data + ck.begin, ck.count);
+  } else {
+    // Interior/root: children's partials arrive at wait time. All receive
+    // handles share one scratch buffer — finish() completes them strictly in
+    // order, and the ascending-mask child order per chunk keeps the
+    // accumulation bitwise identical to the blocking reduce.
+    auto owned_scratch = std::make_shared<std::vector<T>>();
+    T* tmp = scratch;
+    if (tmp == nullptr) {
+      owned_scratch->resize(static_cast<std::size_t>(n));
+      tmp = owned_scratch->data();
     }
-    mask <<= 1;
+    const int kids = static_cast<int>(topo.children.size());
+    std::vector<Fabric::RecvHandle> pending;
+    pending.reserve(chunks.size() * static_cast<std::size_t>(kids));
+    for (const Chunk& ck : chunks) {
+      for (int k = kids - 1; k >= 0; --k) {
+        pending.push_back(fabric_->irecv(world_rank(), group_[topo.children[k]], tag, tmp,
+                                         static_cast<std::size_t>(ck.count) * sizeof(T)));
+      }
+    }
+    st->finish = [this, topo, tag, data, chunks, pending, tmp, owned_scratch,
+                  kids]() mutable {
+      std::size_t idx = 0;
+      for (const Chunk& ck : chunks) {
+        for (int k = 0; k < kids; ++k) {
+          (void)fabric_->wait(pending[idx++]);
+          T* target = data + ck.begin;
+          for (tensor::index_t i = 0; i < ck.count; ++i) target[i] += tmp[i];
+        }
+        if (topo.parent >= 0) send_internal(topo.parent, tag, data + ck.begin, ck.count);
+      }
+    };
   }
+  return Request(std::move(st));
 }
 
 template <typename T>

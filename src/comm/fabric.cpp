@@ -122,39 +122,91 @@ void Fabric::send(int src, int dst, std::uint64_t tag, const void* data, std::si
   box.cv.notify_all();
 }
 
-double Fabric::recv(int dst, int src, std::uint64_t tag, void* out, std::size_t bytes) {
-  OPT_CHECK(dst >= 0 && dst < world_size_, "recv at rank " << dst);
+void Fabric::maybe_stall(int dst, int src, std::uint64_t tag) {
   if (fault_plan_.active() && dst == fault_plan_.stall_rank) {
     const std::uint64_t h = fault_draw(src, dst, tag, /*salt=*/0x57A1);
     if (draw_hits(util::mix3(h, 4, 4), fault_plan_.stall_prob)) {
       std::this_thread::sleep_for(std::chrono::microseconds(fault_plan_.stall_us));
     }
   }
+}
+
+bool Fabric::try_consume_locked(Mailbox& box, std::unique_lock<std::mutex>& lock, int dst,
+                                int src, std::uint64_t tag, void* out, std::size_t bytes,
+                                double* ts) {
+  const auto it = std::find_if(box.messages.begin(), box.messages.end(),
+                               [&](const Message& m) { return m.src == src && m.tag == tag; });
+  if (it == box.messages.end()) return false;
+  OPT_CHECK(it->payload.size() == bytes,
+            "recv size mismatch: got " << it->payload.size() << " bytes, want " << bytes
+                                       << " (src " << src << " tag " << tag << ")");
+  if (fault_plan_.active() && fnv1a(it->payload.data(), it->payload.size()) != it->checksum) {
+    std::ostringstream why;
+    why << "poisoned payload detected in op '" << current_op() << "' (src " << src << " -> dst "
+        << dst << ", tag " << tag << ", " << bytes << " bytes)";
+    lock.unlock();
+    abort(why.str());
+    throw FaultError(why.str());
+  }
+  if (bytes > 0) std::memcpy(out, it->payload.data(), bytes);
+  *ts = it->timestamp;
+  box.messages.erase(it);
+  return true;
+}
+
+double Fabric::recv(int dst, int src, std::uint64_t tag, void* out, std::size_t bytes) {
+  OPT_CHECK(dst >= 0 && dst < world_size_, "recv at rank " << dst);
+  maybe_stall(dst, src, tag);
   Mailbox& box = *mailboxes_[dst];
   std::unique_lock<std::mutex> lock(box.mu);
   for (;;) {
     throw_if_aborted();
-    const auto it = std::find_if(box.messages.begin(), box.messages.end(),
-                                 [&](const Message& m) { return m.src == src && m.tag == tag; });
-    if (it != box.messages.end()) {
-      OPT_CHECK(it->payload.size() == bytes,
-                "recv size mismatch: got " << it->payload.size() << " bytes, want " << bytes
-                                           << " (src " << src << " tag " << tag << ")");
-      if (fault_plan_.active() && fnv1a(it->payload.data(), it->payload.size()) != it->checksum) {
-        std::ostringstream why;
-        why << "poisoned payload detected in op '" << current_op() << "' (src " << src
-            << " -> dst " << dst << ", tag " << tag << ", " << bytes << " bytes)";
-        lock.unlock();
-        abort(why.str());
-        throw FaultError(why.str());
-      }
-      if (bytes > 0) std::memcpy(out, it->payload.data(), bytes);
-      const double ts = it->timestamp;
-      box.messages.erase(it);
-      return ts;
-    }
+    double ts = 0;
+    if (try_consume_locked(box, lock, dst, src, tag, out, bytes, &ts)) return ts;
     box.cv.wait(lock);
   }
+}
+
+Fabric::RecvHandle Fabric::irecv(int dst, int src, std::uint64_t tag, void* out,
+                                 std::size_t bytes) {
+  OPT_CHECK(dst >= 0 && dst < world_size_, "irecv at rank " << dst);
+  throw_if_aborted();
+  RecvHandle h;
+  h.dst = dst;
+  h.src = src;
+  h.tag = tag;
+  h.out = out;
+  h.bytes = bytes;
+  h.done = false;
+  return h;
+}
+
+bool Fabric::test(RecvHandle& h) {
+  if (h.done) return true;
+  Mailbox& box = *mailboxes_[h.dst];
+  std::unique_lock<std::mutex> lock(box.mu);
+  throw_if_aborted();
+  if (!try_consume_locked(box, lock, h.dst, h.src, h.tag, h.out, h.bytes, &h.timestamp)) {
+    return false;
+  }
+  h.done = true;
+  return true;
+}
+
+double Fabric::wait(RecvHandle& h) {
+  if (h.done) return h.timestamp;
+  h.timestamp = recv(h.dst, h.src, h.tag, h.out, h.bytes);
+  h.done = true;
+  return h.timestamp;
+}
+
+Fabric::SendHandle Fabric::isend(int src, int dst, std::uint64_t tag, const void* data,
+                                 std::size_t bytes, double timestamp) {
+  // send() copies the payload before returning (buffered semantics), so the
+  // async send is complete at the call; faults draw at the same point either
+  // way, keeping plans replayable across blocking/async mixes.
+  send(src, dst, tag, data, bytes, timestamp);
+  return SendHandle{};
 }
 
 Fabric::SyncSlot& Fabric::slot_locked(std::uint64_t key, int group_size) {

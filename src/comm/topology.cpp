@@ -104,6 +104,38 @@ double CostModel::tree_time(const std::vector<int>& group, std::uint64_t bytes) 
   return rounds * (params_.alpha + beta_eff(group) * static_cast<double>(bytes));
 }
 
+CostModel::TreePlan CostModel::tree_plan(const std::vector<int>& group,
+                                         std::uint64_t bytes) const {
+  TreePlan plan;
+  plan.time = tree_time(group, bytes);
+  if (group.size() <= 1) return plan;
+  const int depth = log2_ceil(static_cast<int>(group.size()));
+  // Chunking only pays when the tree has at least two rounds (a one-round
+  // "tree" is a single hop — no pipeline to fill) and the payload is large
+  // enough that per-chunk latency does not dominate. α == 0 models (the
+  // unit-cost validation setup) keep the closed-form time exactly.
+  constexpr std::uint64_t kMinChunkedBytes = 64 * 1024;
+  constexpr std::uint64_t kMinChunkBytes = 16 * 1024;
+  constexpr int kMaxChunks = 16;
+  if (depth < 2 || params_.alpha <= 0.0 || bytes < kMinChunkedBytes) return plan;
+  const double beta = beta_eff(group);
+  // Minimise (C + d − 1)·(α + β·B/C) over C: C* = sqrt((d−1)·β·B/α).
+  const double c_star =
+      std::sqrt((depth - 1) * beta * static_cast<double>(bytes) / params_.alpha);
+  const int cap = static_cast<int>(
+      std::min<std::uint64_t>(kMaxChunks, bytes / kMinChunkBytes));
+  const int chunks =
+      std::max(1, std::min(cap, static_cast<int>(std::lround(c_star))));
+  const double chunked =
+      (chunks + depth - 1) *
+      (params_.alpha + beta * static_cast<double>(bytes) / chunks);
+  if (chunks > 1 && chunked < plan.time) {
+    plan.chunks = chunks;
+    plan.time = chunked;
+  }
+  return plan;
+}
+
 double CostModel::ring_allreduce_time(const std::vector<int>& group,
                                       std::uint64_t bytes) const {
   const auto g = static_cast<double>(group.size());

@@ -92,6 +92,19 @@ class CostModel {
   double beta_eff(const std::vector<int>& group) const;
 
   double tree_time(const std::vector<int>& group, std::uint64_t bytes) const;
+
+  /// Chunked-pipeline plan for a tree collective (broadcast/reduce). Large
+  /// payloads on deep trees are split into C chunks streamed down the tree:
+  /// with d = ceil(log2 g) rounds the pipelined time is
+  /// (C + d − 1)·(α + β·B/C), which beats the plain d·(α + β·B) whenever the
+  /// per-chunk latency is small against the serialised transfer. chunks == 1
+  /// (time == tree_time) is returned for small payloads, shallow trees or
+  /// α == 0 cost models, so the unit-cost validation forms are untouched.
+  struct TreePlan {
+    int chunks = 1;
+    double time = 0;
+  };
+  TreePlan tree_plan(const std::vector<int>& group, std::uint64_t bytes) const;
   double ring_allreduce_time(const std::vector<int>& group, std::uint64_t bytes) const;
   double ring_allgather_time(const std::vector<int>& group, std::uint64_t total_bytes) const;
   double ring_reducescatter_time(const std::vector<int>& group, std::uint64_t total_bytes) const;

@@ -163,18 +163,31 @@ void OptimusTransformer<T>::init_arenas() {
   const auto bytes = [](index_t elems) {
     return align64(static_cast<std::uint64_t>(elems) * sizeof(T));
   };
-  const auto pair = [&](index_t a, index_t b) { return bytes(a) + bytes(b); };
-
   // Workspace: max footprint of any single SUMMA call (they run one at a
-  // time, §3.2.3) or of the embedding scatter/gather scope.
+  // time, §3.2.3) or of the embedding scatter/gather scope. Each call is
+  // sized by workspace_bytes on its exact (A, B, C) block roles, which
+  // covers the pipelined schedule's double-buffered panels and reduce
+  // scratch.
+  const auto ws3 = [](index_t a, index_t b, index_t c) {
+    return summa::workspace_bytes(static_cast<std::uint64_t>(a), static_cast<std::uint64_t>(b),
+                                  static_cast<std::uint64_t>(c), sizeof(T));
+  };
   std::uint64_t ws = 0;
   const auto take = [&ws](std::uint64_t v) { ws = std::max(ws, v); };
-  take(pair(rows * hq, hq * tq));   // qkv AB and its backward forms
-  take(pair(rows * hq, hq * hq));   // proj
-  take(pair(rows * hq, hq * fq));   // fc1
-  take(pair(rows * fq, fq * hq));   // fc2
-  take(pair(rows * tq, hq * tq));   // abt/atb with dqkv operands
-  take(pair(rows * vq, vq * hq));   // lm-head (Alg 2) and its backward
+  take(ws3(rows * hq, hq * tq, rows * tq));  // qkv forward (Alg 1)
+  take(ws3(rows * tq, hq * tq, rows * hq));  // qkv dX (Alg 2)
+  take(ws3(rows * hq, rows * tq, hq * tq));  // qkv dW (Alg 3)
+  take(ws3(rows * hq, hq * hq, rows * hq));  // proj forward + dX
+  take(ws3(rows * hq, rows * hq, hq * hq));  // proj dW
+  take(ws3(rows * hq, hq * fq, rows * fq));  // fc1 forward
+  take(ws3(rows * fq, hq * fq, rows * hq));  // fc1 dX
+  take(ws3(rows * hq, rows * fq, hq * fq));  // fc1 dW
+  take(ws3(rows * fq, fq * hq, rows * hq));  // fc2 forward
+  take(ws3(rows * hq, fq * hq, rows * fq));  // fc2 dX
+  take(ws3(rows * fq, rows * hq, fq * hq));  // fc2 dW
+  take(ws3(rows * hq, vq * hq, rows * vq));  // lm-head logits (Alg 2)
+  take(ws3(rows * vq, vq * hq, rows * hq));  // lm-head d_hidden (Alg 1)
+  take(ws3(rows * vq, rows * hq, vq * hq));  // lm-head d_embedding (Alg 3)
   take(bytes(vq * hq) + bytes(s * hq));  // embedding forward/backward scope
   ws_ = std::make_unique<Arena>("workspace", ws);
 

@@ -66,12 +66,18 @@ MemoryBreakdown optimus_memory(const Workload& w, int p, std::size_t elem_size) 
                                b * n * s * s / p + 4.0 * b * s / q + 30.0 * h / q;
   mem.working = to_bytes(working_elems, elem_size);
 
-  // SUMMA workspace: the largest pair of blocks any call touches.
+  // SUMMA workspace: worst single call under the pipelined schedule —
+  // double-buffered panels plus, for the reduce forms, two C partials and a
+  // persistent reduce scratch (max of 2A+2B, 2B+3C, 2A+3C per call).
+  const auto ws3 = [](double a, double bb, double cc) {
+    return std::max({2.0 * a + 2.0 * bb, 2.0 * bb + 3.0 * cc, 2.0 * a + 3.0 * cc});
+  };
   const double ws_elems = std::max({
-      b * s * h / p + 3.0 * h * h / p,   // qkv
-      4.0 * b * s * h / p + 4.0 * h * h / p,  // fc2 and friends
-      b * s * v / p + v * h / p,         // lm-head
-      v * h / p + s * h / q,             // embedding scope
+      ws3(b * s * h / p, 3.0 * h * h / p, 3.0 * b * s * h / p),  // qkv
+      ws3(4.0 * b * s * h / p, 4.0 * h * h / p, b * s * h / p),  // fc family
+      ws3(b * s * h / p, v * h / p, b * s * v / p),              // lm-head
+      ws3(b * s * v / p, b * s * h / p, v * h / p),              // d_embedding
+      v * h / p + s * h / q,                                     // embedding scope
   });
   mem.workspace = to_bytes(ws_elems, elem_size);
 

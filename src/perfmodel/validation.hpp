@@ -11,6 +11,7 @@
 // exactly; the benches and scaling_explorer attach it to their reports so the
 // oracle is re-checked on every run, not just under ctest.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,35 @@ double megatron_lm_allreduce_weighted(const Workload& w, int p);
 /// (Alg 1–3), hosted-slice broadcast/reduction, final-layernorm and embedding
 /// terms, all carried by the binomial-tree weight log₂ q.
 double optimus_lm_bcast_reduce_weighted(const Workload& w, int q);
+
+/// Predicted per-rank simulated time for one summa_ab call (global M=m, K=k,
+/// N=n, element size `elem_size`) on a q×q bunched mesh, under both SUMMA
+/// schedules. Mirrors the SimClock arithmetic exactly:
+///
+///   blocking:   every k-step pays its row broadcast, its column broadcast and
+///               (lazily, at the next collective entry) its GEMM in sequence —
+///               q·(t_row + t_col + t_gemm).
+///   pipelined:  broadcasts for step l+1 are issued before the step-l panels
+///               are consumed; each issue reserves its link (row and column
+///               links are independent) and the wait advances the clock to
+///               max(clock, completion), so a steady-state step costs
+///               max(comm, compute) with an un-overlappable prologue (the
+///               step-0 broadcasts) and epilogue (the final GEMM).
+///
+/// scaling_explorer --validate checks the simulator reproduces both to within
+/// floating-point round-off.
+struct SummaAbTimes {
+  double blocking_s = 0;
+  double pipelined_s = 0;
+
+  /// Fraction of the blocking time hidden by overlap, in [0, 1).
+  double overlap_efficiency() const {
+    return blocking_s > 0 ? (blocking_s - pipelined_s) / blocking_s : 0.0;
+  }
+};
+
+SummaAbTimes predict_summa_ab_times(const comm::CostModel& cost, int q, std::int64_t m,
+                                    std::int64_t k, std::int64_t n, std::size_t elem_size);
 
 /// One measured-vs-predicted comparison line.
 struct CommValidationRow {

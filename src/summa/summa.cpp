@@ -1,8 +1,12 @@
 #include "summa/summa.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <optional>
 
+#include "comm/communicator.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
@@ -16,11 +20,171 @@ using tensor::Shape;
 using tensor::TensorT;
 namespace ops = tensor::ops;
 
+// −1 = unresolved (read OPTIMUS_SUMMA_PIPELINE on first use), 0 = off, 1 = on.
+std::atomic<int> g_pipeline_mode{-1};
+
 /// Allocates a temporary either from the workspace arena or the heap.
 template <typename T>
 TensorT<T> make_temp(Arena* workspace, Shape shape) {
   if (workspace != nullptr) return workspace->alloc<T>(shape);
   return TensorT<T>(shape);
+}
+
+}  // namespace
+
+bool pipeline_enabled() {
+  int mode = g_pipeline_mode.load(std::memory_order_acquire);
+  if (mode < 0) {
+    const char* env = std::getenv("OPTIMUS_SUMMA_PIPELINE");
+    const int from_env = (env != nullptr && std::strcmp(env, "0") == 0) ? 0 : 1;
+    int expected = -1;
+    if (g_pipeline_mode.compare_exchange_strong(expected, from_env)) {
+      mode = from_env;
+    } else {
+      mode = expected;  // another thread resolved it first
+    }
+  }
+  return mode != 0;
+}
+
+void set_pipeline_enabled(bool enabled) {
+  g_pipeline_mode.store(enabled ? 1 : 0, std::memory_order_release);
+}
+
+namespace {
+
+// -- pipelined schedules -----------------------------------------------------
+//
+// Double-buffered panels: while the GEMM for step l runs, the broadcasts
+// (and, in the reduce forms, the reduce) for the adjacent step are already in
+// flight on the row/column links. Payloads, roots and reduction order are
+// identical to the blocking schedule, so results are bitwise identical; only
+// the clock arithmetic changes (Request::wait advances to max(clock,
+// completion) instead of summing).
+
+template <typename T>
+void summa_ab_pipelined(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B,
+                        TensorT<T>& C, bool accumulate, Arena* workspace) {
+  const int q = mesh.q();
+  TensorT<T> a_buf[2] = {make_temp<T>(workspace, A.shape()),
+                         make_temp<T>(workspace, A.shape())};
+  TensorT<T> b_buf[2] = {make_temp<T>(workspace, B.shape()),
+                         make_temp<T>(workspace, B.shape())};
+  comm::Request a_req[2], b_req[2];
+  const auto prefetch = [&](int l, int slot) {
+    if (mesh.col() == l) a_buf[slot].copy_from(A);
+    a_req[slot] = mesh.row_comm().ibroadcast(a_buf[slot].data(), a_buf[slot].numel(), l);
+    if (mesh.row() == l) b_buf[slot].copy_from(B);
+    b_req[slot] = mesh.col_comm().ibroadcast(b_buf[slot].data(), b_buf[slot].numel(), l);
+  };
+  prefetch(0, 0);
+  for (int l = 0; l < q; ++l) {
+    obs::Span step_span("summa", "k_step");
+    if (step_span.armed()) {
+      step_span.arg("l", l);
+      step_span.arg("pipelined", 1);
+    }
+    const int cur = l & 1;
+    if (l + 1 < q) prefetch(l + 1, cur ^ 1);
+    a_req[cur].wait();
+    b_req[cur].wait();
+    const T beta = (l == 0 && !accumulate) ? T{0} : T{1};
+    ops::gemm(C, a_buf[cur], b_buf[cur], ops::Trans::No, ops::Trans::No, T{1}, beta);
+  }
+}
+
+template <typename T>
+void summa_abt_pipelined(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B,
+                         TensorT<T>& C, bool accumulate, Arena* workspace) {
+  const int q = mesh.q();
+  TensorT<T> b_buf[2] = {make_temp<T>(workspace, B.shape()),
+                         make_temp<T>(workspace, B.shape())};
+  TensorT<T> c_tmp[2] = {make_temp<T>(workspace, C.shape()),
+                         make_temp<T>(workspace, C.shape())};
+  TensorT<T> r_scratch = make_temp<T>(workspace, C.shape());
+  comm::Request b_req[2], r_req;
+  int r_root = -1, r_slot = -1;
+  const auto prefetch_b = [&](int l, int slot) {
+    if (mesh.row() == l) b_buf[slot].copy_from(B);
+    b_req[slot] = mesh.col_comm().ibroadcast(b_buf[slot].data(), b_buf[slot].numel(), l);
+  };
+  // At most one reduce is in flight, so one shared scratch serves them all;
+  // a slot's partial is never overwritten before its reduce retires.
+  const auto retire_reduce = [&] {
+    if (!r_req.active()) return;
+    r_req.wait();
+    if (mesh.col() == r_root) {
+      if (accumulate) {
+        ops::add_(C, c_tmp[r_slot]);
+      } else {
+        C.copy_from(c_tmp[r_slot]);
+      }
+    }
+  };
+  prefetch_b(0, 0);
+  for (int l = 0; l < q; ++l) {
+    obs::Span step_span("summa", "k_step");
+    if (step_span.armed()) {
+      step_span.arg("l", l);
+      step_span.arg("pipelined", 1);
+    }
+    const int cur = l & 1;
+    if (l + 1 < q) prefetch_b(l + 1, cur ^ 1);
+    b_req[cur].wait();
+    ops::gemm(c_tmp[cur], A, b_buf[cur], ops::Trans::No, ops::Trans::Yes, T{1}, T{0});
+    retire_reduce();
+    r_req = mesh.row_comm().ireduce(c_tmp[cur].data(), c_tmp[cur].numel(), l,
+                                    r_scratch.data());
+    r_root = l;
+    r_slot = cur;
+  }
+  retire_reduce();
+}
+
+template <typename T>
+void summa_atb_pipelined(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B,
+                         TensorT<T>& C, bool accumulate, Arena* workspace) {
+  const int q = mesh.q();
+  TensorT<T> a_buf[2] = {make_temp<T>(workspace, A.shape()),
+                         make_temp<T>(workspace, A.shape())};
+  TensorT<T> c_tmp[2] = {make_temp<T>(workspace, C.shape()),
+                         make_temp<T>(workspace, C.shape())};
+  TensorT<T> r_scratch = make_temp<T>(workspace, C.shape());
+  comm::Request a_req[2], r_req;
+  int r_root = -1, r_slot = -1;
+  const auto prefetch_a = [&](int l, int slot) {
+    if (mesh.col() == l) a_buf[slot].copy_from(A);
+    a_req[slot] = mesh.row_comm().ibroadcast(a_buf[slot].data(), a_buf[slot].numel(), l);
+  };
+  const auto retire_reduce = [&] {
+    if (!r_req.active()) return;
+    r_req.wait();
+    if (mesh.row() == r_root) {
+      if (accumulate) {
+        ops::add_(C, c_tmp[r_slot]);
+      } else {
+        C.copy_from(c_tmp[r_slot]);
+      }
+    }
+  };
+  prefetch_a(0, 0);
+  for (int l = 0; l < q; ++l) {
+    obs::Span step_span("summa", "k_step");
+    if (step_span.armed()) {
+      step_span.arg("l", l);
+      step_span.arg("pipelined", 1);
+    }
+    const int cur = l & 1;
+    if (l + 1 < q) prefetch_a(l + 1, cur ^ 1);
+    a_req[cur].wait();
+    ops::gemm(c_tmp[cur], a_buf[cur], B, ops::Trans::Yes, ops::Trans::No, T{1}, T{0});
+    retire_reduce();
+    r_req = mesh.col_comm().ireduce(c_tmp[cur].data(), c_tmp[cur].numel(), l,
+                                    r_scratch.data());
+    r_root = l;
+    r_slot = cur;
+  }
+  retire_reduce();
 }
 
 }  // namespace
@@ -38,6 +202,11 @@ void summa_ab(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B, Tens
   if (op_span.armed()) op_span.arg("q", q);
   std::optional<ArenaScope> scope;
   if (workspace != nullptr) scope.emplace(*workspace);
+  if (q > 1 && pipeline_enabled()) {
+    if (op_span.armed()) op_span.arg("pipelined", 1);
+    summa_ab_pipelined(mesh, A, B, C, accumulate, workspace);
+    return;
+  }
   TensorT<T> a_buf = make_temp<T>(workspace, A.shape());
   TensorT<T> b_buf = make_temp<T>(workspace, B.shape());
 
@@ -68,8 +237,15 @@ void summa_abt(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B, Ten
   if (op_span.armed()) op_span.arg("q", q);
   std::optional<ArenaScope> scope;
   if (workspace != nullptr) scope.emplace(*workspace);
+  if (q > 1 && pipeline_enabled()) {
+    if (op_span.armed()) op_span.arg("pipelined", 1);
+    summa_abt_pipelined(mesh, A, B, C, accumulate, workspace);
+    return;
+  }
   TensorT<T> b_buf = make_temp<T>(workspace, B.shape());
   TensorT<T> c_tmp = make_temp<T>(workspace, C.shape());
+  // Persistent reduce receive buffer, reused across all q steps.
+  TensorT<T> r_scratch = make_temp<T>(workspace, C.shape());
 
   for (int l = 0; l < q; ++l) {
     obs::Span step_span("summa", "k_step");
@@ -79,7 +255,7 @@ void summa_abt(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B, Ten
     if (mesh.row() == l) b_buf.copy_from(B);
     mesh.col_comm().broadcast(b_buf, /*root=*/l);
     ops::gemm(c_tmp, A, b_buf, ops::Trans::No, ops::Trans::Yes, T{1}, T{0});
-    mesh.row_comm().reduce(c_tmp, /*root=*/l);
+    mesh.row_comm().reduce(c_tmp.data(), c_tmp.numel(), /*root=*/l, r_scratch.data());
     if (mesh.col() == l) {
       if (accumulate) {
         ops::add_(C, c_tmp);
@@ -103,8 +279,15 @@ void summa_atb(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B, Ten
   if (op_span.armed()) op_span.arg("q", q);
   std::optional<ArenaScope> scope;
   if (workspace != nullptr) scope.emplace(*workspace);
+  if (q > 1 && pipeline_enabled()) {
+    if (op_span.armed()) op_span.arg("pipelined", 1);
+    summa_atb_pipelined(mesh, A, B, C, accumulate, workspace);
+    return;
+  }
   TensorT<T> a_buf = make_temp<T>(workspace, A.shape());
   TensorT<T> c_tmp = make_temp<T>(workspace, C.shape());
+  // Persistent reduce receive buffer, reused across all q steps.
+  TensorT<T> r_scratch = make_temp<T>(workspace, C.shape());
 
   for (int l = 0; l < q; ++l) {
     obs::Span step_span("summa", "k_step");
@@ -114,7 +297,7 @@ void summa_atb(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B, Ten
     if (mesh.col() == l) a_buf.copy_from(A);
     mesh.row_comm().broadcast(a_buf, /*root=*/l);
     ops::gemm(c_tmp, a_buf, B, ops::Trans::Yes, ops::Trans::No, T{1}, T{0});
-    mesh.col_comm().reduce(c_tmp, /*root=*/l);
+    mesh.col_comm().reduce(c_tmp.data(), c_tmp.numel(), /*root=*/l, r_scratch.data());
     if (mesh.row() == l) {
       if (accumulate) {
         ops::add_(C, c_tmp);
@@ -189,10 +372,16 @@ void cannon_ab(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B, Ten
 std::uint64_t workspace_bytes(std::uint64_t a_block_elems, std::uint64_t b_block_elems,
                               std::uint64_t c_block_elems, std::size_t elem_size) {
   const auto align = [](std::uint64_t n) { return (n + 63) & ~std::uint64_t{63}; };
-  // Worst case across the three forms: two of the three block sizes at once.
-  const std::uint64_t ab = align(a_block_elems * elem_size) + align(b_block_elems * elem_size);
-  const std::uint64_t bc = align(b_block_elems * elem_size) + align(c_block_elems * elem_size);
-  const std::uint64_t ac = align(a_block_elems * elem_size) + align(c_block_elems * elem_size);
+  const std::uint64_t a = align(a_block_elems * elem_size);
+  const std::uint64_t b = align(b_block_elems * elem_size);
+  const std::uint64_t c = align(c_block_elems * elem_size);
+  // Pipelined worst case across the three forms on these roles: summa_ab
+  // double-buffers both panels; the reduce forms double-buffer one panel and
+  // the C partial and keep a persistent reduce scratch. The blocking paths
+  // fit inside the same envelope.
+  const std::uint64_t ab = 2 * a + 2 * b;
+  const std::uint64_t bc = 2 * b + 3 * c;
+  const std::uint64_t ac = 2 * a + 3 * c;
   return std::max({ab, bc, ac});
 }
 

@@ -30,6 +30,33 @@
 
 namespace optimus::summa {
 
+// -- pipelining switch -------------------------------------------------------
+//
+// When enabled (the default), the SUMMA k-loop double-buffers its panels and
+// issues the broadcasts/reduces for step l+1 asynchronously while the GEMM
+// for step l runs, so a steady-state step costs max(comm, compute) instead of
+// comm + compute. Results are bitwise identical to the blocking schedule
+// (identical payloads, identical reduction order). The process-wide default
+// comes from OPTIMUS_SUMMA_PIPELINE (unset or any value but "0" → on), read
+// once on first use; set_pipeline_enabled()/PipelineGuard override it.
+
+bool pipeline_enabled();
+void set_pipeline_enabled(bool enabled);
+
+/// RAII override of the pipeline mode (tests, benches, fuzz configs).
+class PipelineGuard {
+ public:
+  explicit PipelineGuard(bool enabled) : prev_(pipeline_enabled()) {
+    set_pipeline_enabled(enabled);
+  }
+  ~PipelineGuard() { set_pipeline_enabled(prev_); }
+  PipelineGuard(const PipelineGuard&) = delete;
+  PipelineGuard& operator=(const PipelineGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 /// C (+)= A·B. Blocks: A [m_b, k_b], B [k_b, n_b], C [m_b, n_b].
 template <typename T>
 void summa_ab(mesh::Mesh2D& mesh, const tensor::TensorT<T>& A, const tensor::TensorT<T>& B,
@@ -62,9 +89,12 @@ void cannon_ab(mesh::Mesh2D& mesh, const tensor::TensorT<T>& A, const tensor::Te
                tensor::Arena* workspace = nullptr);
 
 /// Bytes of workspace one summa_* call needs for blocks of the given sizes
-/// (two temporaries, 64-byte aligned). Engines size their workspace arenas as
-/// the max over the calls they make — matmuls run sequentially, so one
-/// workspace serves all of them (paper §3.2.3).
+/// (64-byte-aligned temporaries), sized for the pipelined schedule's worst
+/// case across the three forms on these roles: double-buffered panels plus,
+/// for the reduce forms, two in-flight C partials and a persistent reduce
+/// scratch. Engines size their workspace arenas as the max over the calls
+/// they make — matmuls run sequentially, so one workspace serves all of them
+/// (paper §3.2.3).
 std::uint64_t workspace_bytes(std::uint64_t a_block_elems, std::uint64_t b_block_elems,
                               std::uint64_t c_block_elems, std::size_t elem_size);
 

@@ -16,6 +16,7 @@
 #include "mesh/mesh.hpp"
 #include "model/serial_model.hpp"
 #include "runtime/checkpoint_io.hpp"
+#include "summa/summa.hpp"
 #include "runtime/optimizer.hpp"
 #include "tensor/distribution.hpp"
 #include "testing/gradcheck.hpp"
@@ -144,6 +145,7 @@ void run_impl(const FuzzConfig& fc, const EquivalenceOptions& opts, EquivalenceR
   const ITensor labels = next_token_labels(tokens, cfg);
 
   ThreadGuard threads(fc.threads);
+  summa::PipelineGuard pipeline(fc.pipeline_2d);
   Comparer<T> cmp{tolerance_for(fc), res, opts.max_recorded_failures};
 
   // ---- Serial oracle: one full training step. ----

@@ -56,7 +56,8 @@ std::string FuzzConfig::to_string() const {
      << ",hd=" << head_dim << ",v=" << vocab << ",layers=" << layers << ",mlp=" << mlp_ratio
      << ",dtype=" << (dtype == Dtype::kF64 ? "f64" : "f32") << ",threads=" << threads
      << ",ckpt2d=" << (ckpt_2d ? 1 : 0) << ",ckpt1d=" << (ckpt_1d ? 1 : 0)
-     << ",buf=" << (pooled_buffers ? "pool" : "heap") << ",lr=" << lr
+     << ",buf=" << (pooled_buffers ? "pool" : "heap") << ",pipe=" << (pipeline_2d ? 1 : 0)
+     << ",lr=" << lr
      << ",pseed=" << param_seed << ",dseed=" << data_seed;
   return os.str();
 }
@@ -84,6 +85,7 @@ FuzzConfig FuzzConfig::parse(const std::string& text) {
     else if (key == "ckpt2d") fc.ckpt_2d = val != "0";
     else if (key == "ckpt1d") fc.ckpt_1d = val != "0";
     else if (key == "buf") fc.pooled_buffers = val != "heap";
+    else if (key == "pipe") fc.pipeline_2d = val != "0";
     else if (key == "lr") fc.lr = std::stod(val);
     else if (key == "pseed") fc.param_seed = std::stoull(val);
     else if (key == "dseed") fc.data_seed = std::stoull(val);
@@ -116,6 +118,12 @@ FuzzConfig FuzzConfig::sample(std::mt19937& gen) {
   fc.lr = pick(gen, {0.01, 0.05, 0.1});
   fc.param_seed = gen();
   fc.data_seed = gen();
+  // Derived, not drawn: consuming an engine draw here would shift every later
+  // field and every subsequent config relative to the pre-pipeline sampler,
+  // silently replacing the whole corpus of known-passing sampled configs.
+  // The seed parity is uniform and independent across configs, so both SUMMA
+  // schedules still get ~half the sweep each.
+  fc.pipeline_2d = ((fc.param_seed ^ fc.data_seed) & 1u) == 0;
   // Megatron devices: any of {1..4} whose divisibility the sampled shape
   // satisfies (heads, ffn hidden and vocab all split p ways).
   std::vector<int> ok;
@@ -202,6 +210,13 @@ std::vector<FuzzConfig> FuzzConfig::shrink_candidates() const {
   if (!pooled_buffers) {
     FuzzConfig c = *this;
     c.pooled_buffers = true;
+    push_if_valid(c);
+  }
+  if (!pipeline_2d) {
+    // Pipelined is the default schedule; shrinking toward it isolates
+    // failures that genuinely need the blocking path.
+    FuzzConfig c = *this;
+    c.pipeline_2d = true;
     push_if_valid(c);
   }
   return out;

@@ -47,6 +47,7 @@ struct FuzzConfig {
   bool ckpt_2d = true;       // Optimus activation checkpointing
   bool ckpt_1d = true;       // Megatron activation checkpointing
   bool pooled_buffers = true;  // Optimus §3.2.3 arenas vs heap
+  bool pipeline_2d = true;     // pipelined (async, overlapped) SUMMA schedule
   // Training step.
   double lr = 0.05;
   // Seeds.

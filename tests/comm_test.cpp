@@ -353,6 +353,144 @@ TEST(Collectives, UserPointToPointAdvancesClock) {
   EXPECT_EQ(report.ranks[0].stats.p2p_bytes, sizeof(double));
 }
 
+// ---------------------------------------------------------------------------
+// Async collectives (ibroadcast / ireduce) and the overlap clock model
+// ---------------------------------------------------------------------------
+
+TEST(AsyncCollectives, IBroadcastMatchesBroadcastBitwise) {
+  for (int p : {2, 3, 4, 5}) {
+    oc::run_cluster(p, [&](oc::Context& ctx) {
+      const int root = p - 1;
+      std::vector<float> blocking(33), async(33);
+      if (ctx.rank == root) {
+        optimus::util::Rng rng(77);
+        for (int i = 0; i < 33; ++i) blocking[i] = static_cast<float>(rng.uniform(-1, 1));
+        async = blocking;
+      }
+      ctx.world.broadcast(blocking.data(), 33, root);
+      oc::Request req = ctx.world.ibroadcast(async.data(), 33, root);
+      req.wait();
+      for (int i = 0; i < 33; ++i) ASSERT_EQ(async[i], blocking[i]);
+    });
+  }
+}
+
+TEST(AsyncCollectives, IReduceMatchesReduceBitwise) {
+  // Float sums are order-sensitive; the async reduce must accumulate children
+  // in exactly the blocking order to be bitwise identical (0 ULPs).
+  for (int p : {2, 3, 4, 5, 8}) {
+    oc::run_cluster(p, [&](oc::Context& ctx) {
+      std::vector<float> blocking(29), async(29);
+      optimus::util::Rng rng(300 + ctx.rank);
+      for (int i = 0; i < 29; ++i) {
+        blocking[i] = static_cast<float>(rng.uniform(-1, 1));
+        async[i] = blocking[i];
+      }
+      ctx.world.reduce(blocking.data(), 29, /*root=*/0);
+      oc::Request req = ctx.world.ireduce(async.data(), 29, /*root=*/0);
+      req.wait();
+      if (ctx.rank == 0) {
+        for (int i = 0; i < 29; ++i) ASSERT_EQ(async[i], blocking[i]);
+      }
+    });
+  }
+}
+
+TEST(AsyncCollectives, WaitCostsMaxOfCommAndCompute) {
+  // Unit-cost machine: transfer dt for a 400-byte broadcast on 4 ranks is
+  // exactly 800 (2 tree rounds), compute_time(mults) == mults.
+  oc::Topology topo(4, 4, oc::Arrangement::kNaive);
+  oc::MachineParams mp;
+  mp.alpha = 0.0;
+  mp.beta_intra = 1.0;
+  mp.beta_inter = 1.0;
+  mp.flop_rate = 1.0;
+  for (const std::uint64_t mults : {500ull, 1000ull}) {
+    oc::Cluster cluster(4, topo, mp);
+    auto report = cluster.run([&](oc::Context& ctx) {
+      std::vector<float> v(100, 1.0f);
+      oc::Request req = ctx.world.ibroadcast(v.data(), 100, 0);
+      ctx.device.on_mults(mults);  // overlapped compute
+      req.wait();
+    });
+    // Overlapped step costs max(comm, compute), not the sum.
+    const double expected = std::max(800.0, static_cast<double>(mults));
+    for (const auto& r : report.ranks) EXPECT_DOUBLE_EQ(r.sim_time, expected);
+  }
+}
+
+TEST(AsyncCollectives, BackToBackIssuesSerialiseOnOneLink) {
+  // Two in-flight broadcasts on the same communicator cannot overlap each
+  // other: the second's transfer starts when the first's finishes.
+  oc::Topology topo(4, 4, oc::Arrangement::kNaive);
+  oc::MachineParams mp;
+  mp.alpha = 0.0;
+  mp.beta_intra = 1.0;
+  mp.beta_inter = 1.0;
+  mp.flop_rate = 1e30;
+  oc::Cluster cluster(4, topo, mp);
+  auto report = cluster.run([](oc::Context& ctx) {
+    std::vector<float> a(100, 1.0f), b(100, 2.0f);
+    oc::Request ra = ctx.world.ibroadcast(a.data(), 100, 0);
+    oc::Request rb = ctx.world.ibroadcast(b.data(), 100, 0);
+    ra.wait();
+    rb.wait();
+  });
+  for (const auto& r : report.ranks) EXPECT_DOUBLE_EQ(r.sim_time, 800.0 + 800.0);
+}
+
+TEST(AsyncCollectives, ChunkedBroadcastIsCheaperAndBitwise) {
+  // 256 KiB on a depth-2 tree over inter-node links (one GPU per node) with
+  // default machine constants triggers the chunked streaming plan; it must
+  // beat the plain tree time and deliver the identical payload.
+  const int p = 4;
+  const std::size_t n = 32768;  // doubles → 256 KiB
+  oc::Topology topo(p, /*gpus_per_node=*/1, oc::Arrangement::kNaive);
+  const oc::MachineParams mp;
+  const oc::CostModel cost(topo, mp);
+  const std::vector<int> group{0, 1, 2, 3};
+  const auto plan = cost.tree_plan(group, n * sizeof(double));
+  EXPECT_GT(plan.chunks, 1);
+  EXPECT_LT(plan.time, cost.tree_time(group, n * sizeof(double)));
+
+  oc::Cluster cluster(p, topo, mp);
+  auto report = cluster.run([&](oc::Context& ctx) {
+    std::vector<double> data(n, 0.0);
+    if (ctx.rank == 0) {
+      optimus::util::Rng rng(41);
+      for (auto& v : data) v = rng.uniform(-1, 1);
+    }
+    ctx.world.broadcast(data.data(), static_cast<optimus::tensor::index_t>(n), 0);
+    optimus::util::Rng rng(41);
+    for (const double v : data) ASSERT_EQ(v, rng.uniform(-1, 1));
+  });
+  for (const auto& r : report.ranks) EXPECT_DOUBLE_EQ(r.sim_time, plan.time);
+}
+
+TEST(AsyncCollectives, ChunkedReduceMatchesUnchunkedBitwise) {
+  // Same payload reduced under a chunking cost model (default α) and a
+  // non-chunking one (α = 0): the accumulation order per element is the same,
+  // so the root's sums must agree to the bit.
+  const int p = 4;
+  const std::size_t n = 32768;
+  std::vector<float> results[2];
+  for (int variant = 0; variant < 2; ++variant) {
+    oc::Topology topo(p, 4, oc::Arrangement::kNaive);
+    oc::MachineParams mp;
+    if (variant == 1) mp.alpha = 0.0;  // disables the chunked plan
+    oc::Cluster cluster(p, topo, mp);
+    cluster.run([&](oc::Context& ctx) {
+      std::vector<float> data(n);
+      optimus::util::Rng rng(500 + ctx.rank);
+      for (auto& v : data) v = static_cast<float>(rng.uniform(-1, 1));
+      ctx.world.reduce(data.data(), static_cast<optimus::tensor::index_t>(n), 0);
+      if (ctx.rank == 0) results[variant] = data;
+    });
+  }
+  ASSERT_EQ(results[0].size(), n);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(results[0][i], results[1][i]);
+}
+
 TEST(Cluster, BodyExceptionPropagates) {
   EXPECT_THROW(oc::run_cluster(1,
                                [](oc::Context&) {

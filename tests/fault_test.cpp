@@ -17,6 +17,9 @@
 
 #include "comm/cluster.hpp"
 #include "comm/fabric.hpp"
+#include "mesh/mesh.hpp"
+#include "summa/summa.hpp"
+#include "tensor/distribution.hpp"
 #include "test_helpers.hpp"
 #include "testing/equivalence.hpp"
 #include "testing/fuzz_config.hpp"
@@ -137,4 +140,82 @@ TEST(Fault, OptimusTrainingStepBitwiseUnderLatencyFaults) {
   EXPECT_TRUE(res.pass()) << ots::summarize(res);
   EXPECT_TRUE(res.fault_replay_ran);
   EXPECT_TRUE(res.fault_replay_ok);
+}
+
+TEST(Fault, PoisonedAsyncPanelAbortsPipelinedSummaCleanly) {
+  ots::Watchdog wd("fault async poison test", std::chrono::seconds(120));
+  // Poison an in-flight panel broadcast of the pipelined SUMMA schedule: the
+  // consuming wait must abort the whole fabric with a FaultError naming the
+  // async op — no deadlock (ranks blocked in irecv unwind via FabricAborted),
+  // no silent corruption.
+  oc::FaultPlan plan;
+  plan.seed = ots::test_seed(55);
+  OPTIMUS_SEED_TRACE(plan.seed);
+  plan.poison_prob = 1.0;
+  try {
+    oc::run_cluster(4, plan, [](oc::Context& ctx) {
+      optimus::summa::PipelineGuard guard(true);
+      optimus::mesh::Mesh2D mesh(ctx.world);
+      using DTensor = optimus::tensor::DTensor;
+      using Shape = optimus::tensor::Shape;
+      DTensor A = DTensor::zeros(Shape{6, 6});
+      DTensor B = DTensor::zeros(Shape{6, 6});
+      DTensor C = DTensor::zeros(Shape{6, 6});
+      optimus::summa::summa_ab(mesh, A, B, C);
+    });
+    FAIL() << "poisoned pipelined SUMMA completed silently";
+  } catch (const oc::FaultError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("poisoned payload"), std::string::npos) << what;
+    EXPECT_NE(what.find("ibroadcast"), std::string::npos)
+        << "diagnostic does not name the async op: " << what;
+  }
+}
+
+TEST(Fault, LatencyFaultsLeavePipelinedSummaBitwise) {
+  ots::Watchdog wd("fault async latency test", std::chrono::seconds(120));
+  // Spikes and a straggler perturb arrival order of the async panels and
+  // reduces; FIFO matching per (src, tag) must keep the pipelined result
+  // bitwise identical anyway — for the broadcast forms and the reduce forms.
+  const std::uint64_t seed = ots::test_seed(56);
+  OPTIMUS_SEED_TRACE(seed);
+  using DTensor = optimus::tensor::DTensor;
+  using Shape = optimus::tensor::Shape;
+  const int q = 2;
+  const auto run_faulted = [&](const oc::FaultPlan* plan) {
+    DTensor C_global = DTensor::zeros(Shape{12, 8});  // gathered D blocks [6, 4]
+    std::mutex mu;
+    const auto body = [&](oc::Context& ctx) {
+      optimus::summa::PipelineGuard guard(true);
+      optimus::mesh::Mesh2D mesh(ctx.world);
+      optimus::util::Rng rng(700 + ctx.rank);
+      DTensor A(Shape{4, 6}), B(Shape{6, 4}), C(Shape{4, 4}), D(Shape{6, 4});
+      for (optimus::tensor::index_t i = 0; i < A.numel(); ++i) A[i] = rng.uniform(-1, 1);
+      for (optimus::tensor::index_t i = 0; i < B.numel(); ++i) B[i] = rng.uniform(-1, 1);
+      C.zero();
+      D.zero();
+      optimus::summa::summa_ab(mesh, A, B, C);     // async broadcasts
+      optimus::summa::summa_atb(mesh, A, C, D);    // async broadcasts + reduces
+      std::lock_guard<std::mutex> lock(mu);
+      optimus::tensor::set_matrix_block(C_global, q, mesh.row(), mesh.col(), D);
+    };
+    if (plan) {
+      oc::run_cluster(q * q, *plan, body);
+    } else {
+      oc::run_cluster(q * q, body);
+    }
+    return C_global;
+  };
+  const DTensor base = run_faulted(nullptr);
+  oc::FaultPlan plan;
+  plan.seed = seed;
+  plan.spike_prob = 0.5;
+  plan.spike_us = 200;
+  plan.stall_rank = 1;
+  plan.stall_prob = 0.5;
+  plan.stall_us = 300;
+  const DTensor faulted = run_faulted(&plan);
+  for (optimus::tensor::index_t i = 0; i < base.numel(); ++i) {
+    ASSERT_EQ(faulted[i], base[i]) << "diverged at " << i;
+  }
 }

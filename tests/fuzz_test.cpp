@@ -75,7 +75,7 @@ TEST(FuzzConfig, ShrinkCandidatesAreValidAndSmaller) {
       const std::int64_t size = c.layers + c.q + c.mp + c.batch + c.seq + c.heads + c.head_dim +
                                 c.mlp_ratio + c.vocab + c.threads;
       return 100 * size + 3 * ((c.ckpt_2d ? 1 : 0) + (c.ckpt_1d ? 1 : 0)) +
-             (c.pooled_buffers ? 0 : 1);
+             (c.pooled_buffers ? 0 : 1) + (c.pipeline_2d ? 0 : 1);
     };
     for (const ots::FuzzConfig& cand : fc.shrink_candidates()) {
       EXPECT_NO_THROW(cand.validate()) << cand.to_string();

@@ -11,6 +11,7 @@
 
 #include "comm/cluster.hpp"
 #include "mesh/mesh.hpp"
+#include "perfmodel/validation.hpp"
 #include "summa/summa.hpp"
 #include "tensor/distribution.hpp"
 #include "tensor/ops.hpp"
@@ -249,4 +250,110 @@ TEST(Summa, NanPoisonedWorkspaceIsHarmless) {
   }
   DTensor ref = ops::matmul(A_global, B_global);
   EXPECT_LT(ops::max_abs_diff(C_global, ref), 1e-11);
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined schedule: bitwise identity and the overlap clock model
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Gathers the global C of one form under the given pipeline mode.
+template <typename FormOp>
+DTensor run_form(int q, const DTensor& A_global, const DTensor& B_global,
+                 Shape c_global_shape, bool pipelined, bool accumulate, const FormOp& op) {
+  DTensor C_global = DTensor::zeros(c_global_shape);
+  std::mutex mu;
+  oc::run_cluster(q * q, [&](oc::Context& ctx) {
+    os::PipelineGuard guard(pipelined);
+    om::Mesh2D mesh(ctx.world);
+    DTensor A = ot::matrix_block(A_global, q, mesh.row(), mesh.col());
+    DTensor B = ot::matrix_block(B_global, q, mesh.row(), mesh.col());
+    DTensor C(Shape{c_global_shape[0] / q, c_global_shape[1] / q});
+    // Deterministic nonzero C start so accumulate=true is exercised for real.
+    for (ot::index_t i = 0; i < C.numel(); ++i) {
+      C[i] = accumulate ? 0.125 * static_cast<double>(i + mesh.row() + mesh.col()) : 0.0;
+    }
+    ot::Arena ws("ws", os::workspace_bytes(A.numel(), B.numel(), C.numel(), sizeof(double)));
+    op(mesh, A, B, C, accumulate, &ws);
+    std::lock_guard<std::mutex> lock(mu);
+    ot::set_matrix_block(C_global, q, mesh.row(), mesh.col(), C);
+  });
+  return C_global;
+}
+
+}  // namespace
+
+TEST(SummaPipeline, AllFormsBitwiseIdenticalToBlocking) {
+  // The pipelined schedule moves identical payloads from identical roots and
+  // accumulates in the identical order — results must match to the bit
+  // (0 ULPs), for every form, mesh side and accumulate mode.
+  const auto ab = [](om::Mesh2D& m, const DTensor& a, const DTensor& b, DTensor& c,
+                     bool acc, ot::Arena* ws) { os::summa_ab(m, a, b, c, acc, ws); };
+  const auto abt = [](om::Mesh2D& m, const DTensor& a, const DTensor& b, DTensor& c,
+                      bool acc, ot::Arena* ws) { os::summa_abt(m, a, b, c, acc, ws); };
+  const auto atb = [](om::Mesh2D& m, const DTensor& a, const DTensor& b, DTensor& c,
+                      bool acc, ot::Arena* ws) { os::summa_atb(m, a, b, c, acc, ws); };
+  for (int q : {2, 3, 4}) {
+    const ot::index_t m = 2 * q, k = 3 * q, n = 4 * q;
+    optimus::util::Rng rng(60 + q);
+    for (const bool accumulate : {false, true}) {
+      {
+        DTensor A = optimus::testing::random_dtensor(Shape{m, k}, rng);
+        DTensor B = optimus::testing::random_dtensor(Shape{k, n}, rng);
+        DTensor blocking = run_form(q, A, B, Shape{m, n}, false, accumulate, ab);
+        DTensor pipelined = run_form(q, A, B, Shape{m, n}, true, accumulate, ab);
+        for (ot::index_t i = 0; i < blocking.numel(); ++i) {
+          ASSERT_EQ(pipelined[i], blocking[i]) << "ab q=" << q << " i=" << i;
+        }
+      }
+      {
+        DTensor A = optimus::testing::random_dtensor(Shape{m, n}, rng);
+        DTensor B = optimus::testing::random_dtensor(Shape{k, n}, rng);
+        DTensor blocking = run_form(q, A, B, Shape{m, k}, false, accumulate, abt);
+        DTensor pipelined = run_form(q, A, B, Shape{m, k}, true, accumulate, abt);
+        for (ot::index_t i = 0; i < blocking.numel(); ++i) {
+          ASSERT_EQ(pipelined[i], blocking[i]) << "abt q=" << q << " i=" << i;
+        }
+      }
+      {
+        DTensor A = optimus::testing::random_dtensor(Shape{m, n}, rng);
+        DTensor B = optimus::testing::random_dtensor(Shape{m, k}, rng);
+        DTensor blocking = run_form(q, A, B, Shape{n, k}, false, accumulate, atb);
+        DTensor pipelined = run_form(q, A, B, Shape{n, k}, true, accumulate, atb);
+        for (ot::index_t i = 0; i < blocking.numel(); ++i) {
+          ASSERT_EQ(pipelined[i], blocking[i]) << "atb q=" << q << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SummaPipeline, SimTimeMatchesOverlapPredictorAndBeatsBlocking) {
+  // The simulator's clock under each schedule must reproduce the closed-form
+  // predictor exactly, and the pipelined schedule must hide at least 25% of
+  // the blocking step time at q = 2 and q = 4 (comm-bound Table-1 regime).
+  namespace opm = optimus::perfmodel;
+  for (int q : {2, 4}) {
+    const ot::index_t nb = 96 / q;  // 96×96×96 global product
+    const auto run_mode = [&](bool pipelined) {
+      const auto report = oc::run_cluster(q * q, [&](oc::Context& ctx) {
+        os::PipelineGuard guard(pipelined);
+        om::Mesh2D mesh(ctx.world);
+        DTensor A = DTensor::zeros(Shape{nb, nb});
+        DTensor B = DTensor::zeros(Shape{nb, nb});
+        DTensor C = DTensor::zeros(Shape{nb, nb});
+        os::summa_ab(mesh, A, B, C);
+      });
+      return report.max_sim_time();
+    };
+    const double blocking = run_mode(false);
+    const double pipelined = run_mode(true);
+    const oc::Topology topo(q * q, /*gpus_per_node=*/4, oc::Arrangement::kBunched, 0);
+    const oc::CostModel cost(topo, oc::MachineParams{});
+    const auto pred = opm::predict_summa_ab_times(cost, q, 96, 96, 96, sizeof(double));
+    EXPECT_NEAR(blocking, pred.blocking_s, 1e-9 * pred.blocking_s) << "q=" << q;
+    EXPECT_NEAR(pipelined, pred.pipelined_s, 1e-9 * pred.pipelined_s) << "q=" << q;
+    EXPECT_LE(pipelined, 0.75 * blocking) << "q=" << q;
+  }
 }
