@@ -1,17 +1,31 @@
 // GFLOP/s microbenchmark for the dense kernel layer (DESIGN.md §3).
 //
-// Compares three GEMM paths on identical problems:
-//   * naive    — the seed's blocked scalar loop (ops::gemm_naive_raw), built
-//                with the portable project flags; this is the baseline every
-//                optimisation is measured against.
-//   * packed   — kernel::gemm_packed, the cache-blocked panel-packing
-//                microkernel on one thread.
-//   * threadN  — kernel::gemm with the thread budget forced to N (the packed
-//                slab algorithm fanned out over M/N tiles).
+// Compares GEMM paths on identical problems:
+//   * naive        — the seed's blocked scalar loop (ops::gemm_naive_raw),
+//                    built with the portable project flags; this is the
+//                    baseline every optimisation is measured against.
+//   * packed       — kernel::gemm_packed, the cache-blocked panel-packing
+//                    microkernel on one thread.
+//   * threadN      — kernel::gemm with the thread budget forced to N. Since
+//                    the cooperative rewrite all threaded rows run the
+//                    shared-pack schedule (one packed A/B panel per stage,
+//                    workers claim MC×NR tiles); threaded rows also carry
+//                    `speedup_vs_1t` = wall(threads1) / wall(threadsN) so the
+//                    scaling curve is readable without manual division.
+//   * shared_pack  — explicit alias row for the cooperative path at the max
+//                    thread count, so the schedule named in DESIGN.md §3 has
+//                    a greppable record.
+//   * fused/unfused bias_gelu — gemm_ex with the BiasGelu epilogue applied
+//                    tile-hot vs the same GEMM followed by separate
+//                    full-tensor bias and GELU passes (the pre-fusion MLP
+//                    h→4h hot loop).
 //
 // Results go to stdout as a table and to BENCH_kernels.json
 // ({name, shape, gflops, wall_ms, sim_ms}); sim_ms is 0 here because these
-// are host-only kernels with no simulated cluster in the loop.
+// are host-only kernels with no simulated cluster in the loop. Pool wait is
+// exported as `pool_aggregate_submit_wait_ms` (summed across concurrent
+// submitters — can exceed wall time) plus the per-region average
+// `pool_avg_region_wait_ms`.
 
 #include <cstdio>
 #include <functional>
@@ -60,31 +74,49 @@ struct Problem {
   index_t m, n, k;
 };
 
+struct Recorder {
+  JsonWriter& json;
+  const std::string& tag;
+  double flops = 0.0;
+
+  // Pool counters are reset per measurement so each record's worker_share /
+  // chunk counts describe that kernel variant alone. `speedup_vs_1t` < 0
+  // means "not a threaded row".
+  double operator()(const std::string& name, const std::function<void()>& body,
+                    double speedup_vs_1t = -1.0) const {
+    ok::reset_pool_stats();
+    const double ms = time_ms(body);
+    const ok::PoolStats ps = ok::pool_stats();
+    const double gflops = flops / (ms * 1e-3) / 1e9;
+    if (speedup_vs_1t >= 0.0)
+      std::printf("%-26s %-18s %12.3f %12.2f %10.2fx\n", name.c_str(), tag.c_str(), ms,
+                  gflops, speedup_vs_1t);
+    else
+      std::printf("%-26s %-18s %12.3f %12.2f\n", name.c_str(), tag.c_str(), ms, gflops);
+    std::vector<std::pair<std::string, double>> extra = {
+        {"pool_regions", static_cast<double>(ps.regions)},
+        {"pool_chunks", static_cast<double>(ps.chunks)},
+        {"pool_worker_share", ps.worker_share()},
+        {"pool_aggregate_submit_wait_ms", static_cast<double>(ps.submit_wait_ns) / 1e6},
+        {"pool_avg_region_wait_ms", ps.avg_region_wait_ns() / 1e6},
+        {"pool_barrier_crossings", static_cast<double>(ps.barrier_crossings)}};
+    if (speedup_vs_1t >= 0.0) extra.emplace_back("speedup_vs_1t", speedup_vs_1t);
+    json.add(name, tag, gflops, ms, 0.0, extra);
+    return ms;
+  }
+};
+
 template <typename T>
 void run_gemm_suite(const char* dtype, const std::vector<Problem<T>>& problems,
                     const std::vector<int>& thread_counts, JsonWriter& json) {
-  std::printf("%-26s %-18s %12s %12s\n", "name", "shape", "wall_ms", "GFLOP/s");
+  std::printf("%-26s %-18s %12s %12s %11s\n", "name", "shape", "wall_ms", "GFLOP/s",
+              "vs_1t");
   for (const auto& p : problems) {
     const index_t m = p.m, n = p.n, k = p.k;
     auto A = random_buffer<T>(m * k, 1);
     auto B = random_buffer<T>(k * n, 2);
     std::vector<T> C(static_cast<std::size_t>(m * n), T{0});
-    const double flops = 2.0 * static_cast<double>(m) * n * k;
-
-    // Pool counters are reset per measurement so each record's worker_share /
-    // chunk counts describe that kernel variant alone.
-    auto record = [&](const std::string& name, const std::function<void()>& body) {
-      ok::reset_pool_stats();
-      const double ms = time_ms(body);
-      const ok::PoolStats ps = ok::pool_stats();
-      const double gflops = flops / (ms * 1e-3) / 1e9;
-      std::printf("%-26s %-18s %12.3f %12.2f\n", name.c_str(), p.tag.c_str(), ms, gflops);
-      json.add(name, p.tag, gflops, ms, 0.0,
-               {{"pool_regions", static_cast<double>(ps.regions)},
-                {"pool_chunks", static_cast<double>(ps.chunks)},
-                {"pool_worker_share", ps.worker_share()},
-                {"pool_submit_wait_ms", static_cast<double>(ps.submit_wait_ns) / 1e6}});
-    };
+    const Recorder record{json, p.tag, 2.0 * static_cast<double>(m) * n * k};
 
     record(std::string("gemm_naive_") + dtype, [&] {
       ops::gemm_naive_raw(C.data(), A.data(), B.data(), m, n, k, k, n, n,
@@ -94,22 +126,84 @@ void run_gemm_suite(const char* dtype, const std::vector<Problem<T>>& problems,
       ok::gemm_packed(C.data(), A.data(), B.data(), m, n, k, k, n, n,
                       ok::Trans::No, ok::Trans::No, T{1}, T{0});
     });
+    double wall_1t = 0.0;
     for (int t : thread_counts) {
       ok::set_threads(t);
-      record(std::string("gemm_threads") + std::to_string(t) + "_" + dtype, [&] {
+      const auto body = [&] {
         ok::gemm(C.data(), A.data(), B.data(), m, n, k, k, n, n, ok::Trans::No,
                  ok::Trans::No, T{1}, T{0});
-      });
+      };
+      const std::string name = std::string("gemm_threads") + std::to_string(t) + "_" + dtype;
+      if (t <= 1) {
+        wall_1t = record(name, body);
+      } else {
+        // Dry-run once to learn this variant's wall time, then record with the
+        // speedup field so BENCH rows carry the ratio directly.
+        const double probe = time_ms(body);
+        record(name, body, wall_1t > 0.0 ? wall_1t / probe : 0.0);
+      }
       ok::set_threads(0);  // back to env/hardware default
     }
   }
   std::printf("\n");
 }
 
+// The cooperative shared-pack schedule under its DESIGN.md name, plus the
+// fused-epilogue rows: gemm_ex(BiasGelu) applied while each C tile is
+// register/L1-hot vs the pre-fusion sequence (GEMM, then a full-tensor bias
+// pass, then a full-tensor GELU pass). Same arithmetic order per element, so
+// outputs are bitwise identical; only locality differs.
+template <typename T>
+void run_fusion_suite(const char* dtype, index_t m, index_t n, index_t k,
+                      int threads, JsonWriter& json) {
+  const std::string tag = std::to_string(m) + "x" + std::to_string(n) + "x" +
+                          std::to_string(k);
+  auto A = random_buffer<T>(m * k, 1);
+  auto B = random_buffer<T>(k * n, 2);
+  auto bias = random_buffer<T>(n, 3);
+  std::vector<T> C(static_cast<std::size_t>(m * n), T{0});
+  std::vector<T> pre(static_cast<std::size_t>(m * n), T{0});
+  const Recorder record{json, tag, 2.0 * static_cast<double>(m) * n * k};
+
+  ok::set_threads(threads);
+  record(std::string("gemm_shared_pack_") + dtype, [&] {
+    ok::gemm(C.data(), A.data(), B.data(), m, n, k, k, n, n, ok::Trans::No,
+             ok::Trans::No, T{1}, T{0});
+  });
+
+  ok::EpilogueArgs<T> ep;
+  ep.op = ok::Epilogue::BiasGelu;
+  ep.bias = bias.data();
+  ep.pre = pre.data();
+  ep.ldp = n;
+  record(std::string("gemm_fused_bias_gelu_") + dtype, [&] {
+    ok::gemm_ex(C.data(), A.data(), B.data(), m, n, k, k, n, n, ok::Trans::No,
+                ok::Trans::No, T{1}, T{0}, ep);
+  });
+  record(std::string("gemm_unfused_bias_gelu_") + dtype, [&] {
+    ok::gemm(C.data(), A.data(), B.data(), m, n, k, k, n, n, ok::Trans::No,
+             ok::Trans::No, T{1}, T{0});
+    for (index_t i = 0; i < m; ++i) {
+      T* row = C.data() + i * n;
+      for (index_t j = 0; j < n; ++j) row[j] += bias[j];
+    }
+    for (index_t i = 0; i < m; ++i) {
+      T* prow = pre.data() + i * n;
+      T* crow = C.data() + i * n;
+      for (index_t j = 0; j < n; ++j) {
+        prow[j] = crow[j];
+        crow[j] = ok::gelu_scalar(crow[j]);
+      }
+    }
+  });
+  ok::set_threads(0);
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main() {
-  optimus::bench::print_header("Kernel GFLOP/s: naive vs packed vs packed+threaded");
+  optimus::bench::print_header("Kernel GFLOP/s: naive vs packed vs cooperative shared-pack");
   std::printf("hardware threads: %d, default budget: %d\n\n", ok::hardware_threads(),
               ok::effective_threads());
 
@@ -135,6 +229,9 @@ int main() {
       {"1024x1024x1024", 1024, 1024, 1024},
   };
   run_gemm_suite<double>("f64", f64, threads, json);
+
+  // MLP h→4h epilogue-fusion comparison on the transformer slab shape.
+  run_fusion_suite<float>("f32", 2048, 4096, 1024, 4, json);
 
   json.write("BENCH_kernels.json");
   return 0;

@@ -51,6 +51,12 @@ echo "==> differential fuzz smoke: 25 configs, twice, byte-identical reports"
 diff "$OBS_TMP/fuzz_a.txt" "$OBS_TMP/fuzz_b.txt"
 echo "    25/25 configs pass, reports byte-identical"
 
+echo "==> thread-scaling smoke: 1024^3 f32 GEMM, 1 vs 4 threads"
+# Fails if threading makes the kernel slower (core-count-aware bound; see
+# tools/thread_scaling_smoke.cpp). Guards the shared-pack schedule against
+# reintroducing the per-worker re-packing regression.
+./build/tools/thread_scaling_smoke
+
 if [[ "$SKIP_SAN" == "1" ]]; then
   echo "==> sanitizer passes skipped"
   exit 0
@@ -68,5 +74,9 @@ cmake --build --preset tsan -j"$(nproc)"
 # (async irecvs + deferred waits), so TSan runs the suite under both modes.
 OPTIMUS_SUMMA_PIPELINE=0 ctest --test-dir build-tsan -L fast --output-on-failure -j"$(nproc)"
 OPTIMUS_SUMMA_PIPELINE=1 ctest --test-dir build-tsan -L fast --output-on-failure -j"$(nproc)"
+# Force a 4-thread kernel budget so the cooperative GEMM's barrier and
+# claim-counter paths actually run multi-threaded under TSan (the default
+# budget on a small CI host may be 1, which would never exercise them).
+OPTIMUS_KERNEL_THREADS=4 ctest --test-dir build-tsan -L fast --output-on-failure -j"$(nproc)"
 
 echo "==> all checks passed"

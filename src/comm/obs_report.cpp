@@ -96,7 +96,14 @@ obs::Json metrics_json(const Cluster::Report& report, bool include_spans) {
   pj.set("chunks", pool.chunks);
   pj.set("worker_chunks", pool.worker_chunks);
   pj.set("worker_share", pool.worker_share());
-  pj.set("submit_wait_ms", static_cast<double>(pool.submit_wait_ns) / 1e6);
+  // Submit waits are summed across concurrent device submitters, so the
+  // aggregate can legitimately exceed the run's wall time (p devices blocked
+  // on the shared pool at once each contribute their own wait). The name says
+  // so; avg_region_wait_ms is the per-region mean, comparable to wall time.
+  pj.set("aggregate_submit_wait_ms", static_cast<double>(pool.submit_wait_ns) / 1e6);
+  pj.set("avg_region_wait_ms", pool.avg_region_wait_ns() / 1e6);
+  pj.set("barrier_crossings", pool.barrier_crossings);
+  pj.set("parks", pool.parks);
   pj.set("workers_spawned", pool.workers_spawned);
   doc.set("pool", std::move(pj));
 

@@ -11,8 +11,13 @@
 //                  "alloc_count": …, "comm": { "broadcast": {calls, elems,
 //                  bytes, weighted, time_s}, …, "p2p": {…} } }, … ],
 //     "totals": { "bytes_by_kind": {…}, "max_sim_time_s": …, … },
-//     "pool": { regions, inline_regions, chunks, worker_chunks,
-//               worker_share, submit_wait_ms, workers_spawned },
+//     "pool": { regions, inline_regions, chunks, worker_chunks, worker_share,
+//               aggregate_submit_wait_ms, avg_region_wait_ms,
+//               barrier_crossings, parks, workers_spawned },
+//
+// aggregate_submit_wait_ms sums submitter wait across *concurrent* device
+// threads, so with p simulated devices it can exceed wall time by up to p×;
+// avg_region_wait_ms (aggregate / regions) is the wall-comparable figure.
 //     "spans": { "cat/name": {count, sim_total_s, sim_max_s, wall_total_ms} }
 //   }
 //

@@ -337,13 +337,14 @@ TensorT<T> OptimusTransformer<T>::layer_forward(index_t l, LayerActs& a) {
                              cfg_.causal, a.ctx, a.probs);
   }
 
+  // SUMMA reduces over the mesh before the bias may apply, so the bias
+  // cannot fuse into the local GEMMs — bias+residual fuse into one pass.
   a.x1 = alloc_fwd(Shape{rows, hq});
   summa::summa_ab(*mesh_, a.ctx, p.proj_w, a.x1, false, ws());
   {
     TensorT<T> bias = bcast_from_row0(p.proj_b, Shape{hq});
-    ops::add_bias_(a.x1, bias);
+    ops::bias_residual_(a.x1, bias, a.input);
   }
-  ops::add_(a.x1, a.input);
 
   a.ln2_g_bcast = bcast_from_row0(p.ln2_g, Shape{hq});
   a.ln2_b_bcast = bcast_from_row0(p.ln2_b, Shape{hq});
@@ -353,23 +354,23 @@ TensorT<T> OptimusTransformer<T>::layer_forward(index_t l, LayerActs& a) {
   layernorm2d_forward(row, a.x1, a.ln2_g_bcast, a.ln2_b_bcast, eps, cfg_.hidden, a.ln2_out,
                       a.ln2_xhat, a.ln2_istd);
 
+  // fc1 bias+GELU in one fused pass (fc1_out keeps the biased
+  // pre-activation for backward).
   a.fc1_out = alloc_fwd(Shape{rows, fq});
   summa::summa_ab(*mesh_, a.ln2_out, p.fc1_w, a.fc1_out, false, ws());
+  a.gelu_out = alloc_fwd(Shape{rows, fq});
   {
     TensorT<T> bias = bcast_from_row0(p.fc1_b, Shape{fq});
-    ops::add_bias_(a.fc1_out, bias);
+    ops::bias_gelu_(a.fc1_out, bias, a.gelu_out);
   }
-  a.gelu_out = alloc_fwd(Shape{rows, fq});
-  ops::gelu_forward(a.fc1_out, a.gelu_out);
 
   // The layer output is the next layer's checkpointed input: persistent.
   TensorT<T> out(Shape{rows, hq});
   summa::summa_ab(*mesh_, a.gelu_out, p.fc2_w, out, false, ws());
   {
     TensorT<T> bias = bcast_from_row0(p.fc2_b, Shape{hq});
-    ops::add_bias_(out, bias);
+    ops::bias_residual_(out, bias, a.x1);
   }
-  ops::add_(out, a.x1);
   a.full = true;
   return out;
 }

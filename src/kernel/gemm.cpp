@@ -1,6 +1,8 @@
 #include "kernel/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <vector>
 
 #include "kernel/thread_pool.hpp"
@@ -30,6 +32,12 @@ struct Tile<double> {
 constexpr index_t kMC = 64;
 constexpr index_t kKC = 256;
 constexpr index_t kNC = 1024;
+
+// Cap on the M extent packed per cooperative stage, so the shared packed-A
+// buffer stays bounded (kMOuter×KC elements) for arbitrarily tall inputs.
+// Must be a multiple of kMC.
+constexpr index_t kMOuter = 2048;
+static_assert(kMOuter % kMC == 0);
 
 template <typename T>
 inline T load_a(const T* A, index_t lda, Trans ta, index_t i, index_t kk) {
@@ -193,6 +201,53 @@ void scale_c(T* C, index_t ldc, index_t m, index_t n, T beta) {
   }
 }
 
+// Applies a fused epilogue to the mr×nr block of C whose top-left element is
+// C(gi, gj) globally. Each case performs the same scalar operations in the
+// same order as the unfused two-pass reference (gemm, then the elementwise
+// pass over C) — that is the bitwise-identity contract.
+template <typename T>
+void apply_epilogue_block(const EpilogueArgs<T>& ep, T* C, index_t ldc, index_t gi, index_t gj,
+                          index_t mr, index_t nr) {
+  switch (ep.op) {
+    case Epilogue::None:
+      return;
+    case Epilogue::BiasAdd: {
+      const T* bias = ep.bias + gj;
+      for (index_t i = 0; i < mr; ++i) {
+        T* c = C + i * ldc;
+        for (index_t j = 0; j < nr; ++j) c[j] += bias[j];
+      }
+      return;
+    }
+    case Epilogue::BiasGelu: {
+      const T* bias = ep.bias + gj;
+      for (index_t i = 0; i < mr; ++i) {
+        T* c = C + i * ldc;
+        T* pre = ep.pre != nullptr ? ep.pre + (gi + i) * ep.ldp + gj : nullptr;
+        for (index_t j = 0; j < nr; ++j) {
+          const T v = c[j] + bias[j];
+          if (pre != nullptr) pre[j] = v;
+          c[j] = gelu_scalar(v);
+        }
+      }
+      return;
+    }
+    case Epilogue::ResidualAdd: {
+      for (index_t i = 0; i < mr; ++i) {
+        T* c = C + i * ldc;
+        const T* res = ep.residual + (gi + i) * ep.ldr + gj;
+        if (ep.bias != nullptr) {
+          const T* bias = ep.bias + gj;
+          for (index_t j = 0; j < nr; ++j) c[j] = (c[j] + bias[j]) + res[j];
+        } else {
+          for (index_t j = 0; j < nr; ++j) c[j] += res[j];
+        }
+      }
+      return;
+    }
+  }
+}
+
 template <typename T>
 std::vector<T>& pack_buffer_a() {
   thread_local std::vector<T> buf;
@@ -205,99 +260,225 @@ std::vector<T>& pack_buffer_b() {
   return buf;
 }
 
-}  // namespace
+// One cache line per claim counter so concurrent fetch_adds on different
+// stages never false-share.
+struct alignas(64) ClaimCell {
+  std::atomic<index_t> v{0};
+};
 
+struct ClaimCells {
+  std::unique_ptr<ClaimCell[]> cells;
+  index_t cap = 0;
+  ClaimCell* get(index_t n) {
+    if (n > cap) {
+      cells = std::make_unique<ClaimCell[]>(static_cast<std::size_t>(n));
+      cap = n;
+    } else {
+      for (index_t i = 0; i < n; ++i) cells[i].v.store(0, std::memory_order_relaxed);
+    }
+    return cells.get();
+  }
+};
+
+ClaimCells& claim_cells() {
+  thread_local ClaimCells cells;
+  return cells;
+}
+
+// Everything a cooperative GEMM region needs, owned by the submitting thread.
+// `apack`/`bpack` are shared across the whole team; `counters` holds two
+// fresh claim counters per (jc, pc, mo) stage (pack tasks, then C tiles), so
+// no counter is ever reset mid-flight.
 template <typename T>
-void gemm_packed(T* C, const T* A, const T* B, index_t m, index_t n, index_t k, index_t lda,
-                 index_t ldb, index_t ldc, Trans trans_a, Trans trans_b, T alpha, T beta) {
+struct CoopCtx {
+  T* C;
+  const T* A;
+  const T* B;
+  index_t m, n, k, lda, ldb, ldc;
+  Trans ta, tb;
+  T alpha, beta;
+  EpilogueArgs<T> ep;
+  T* apack;
+  T* bpack;
+  ClaimCell* counters;
+};
+
+// The cooperative schedule, executed SPMD by every thread of a region (a
+// serial Region reduces it to the classic single-thread packed loop nest).
+//
+// Per (jc, pc) panel, per M chunk `mo`:
+//   1. pack stage — tasks [0, a_blocks) pack one MC×KC block of A each;
+//      on the first M chunk, tasks [a_blocks, a_blocks+n_strips) pack one
+//      KC×NR strip of B each. Claimed dynamically from the stage counter.
+//   2. barrier — publishes the shared panels.
+//   3. tile stage — units of one MC×NR block of C (an MC sweep over one B
+//      strip), claimed dynamically; each unit runs the fixed serial
+//      microkernel loop, and applies the fused epilogue after the final K
+//      panel while the block is register/L1-hot.
+//   4. barrier — the next stage may repack the shared buffers.
+//
+// Every C element is produced by exactly one claimed unit and the K order is
+// the serial one, so the result is bitwise identical for any thread count.
+template <typename T>
+void coop_body(Region& r, const CoopCtx<T>& cx) {
   constexpr index_t MR = Tile<T>::MR;
   constexpr index_t NR = Tile<T>::NR;
-  if (m <= 0 || n <= 0) return;
-  if (k <= 0 || alpha == T{0}) {
-    scale_c(C, ldc, m, n, beta);
-    return;
-  }
-
-  std::vector<T>& abuf = pack_buffer_a<T>();
-  std::vector<T>& bbuf = pack_buffer_b<T>();
-  abuf.resize(static_cast<std::size_t>(kMC * kKC));
-  bbuf.resize(static_cast<std::size_t>(kKC * kNC));
-
+  const index_t m = cx.m, n = cx.n, k = cx.k;
+  index_t stage = 0;
   for (index_t jc = 0; jc < n; jc += kNC) {
     const index_t nc = std::min(kNC, n - jc);
-    const index_t nc_strips = (nc + NR - 1) / NR;
+    const index_t n_strips = (nc + NR - 1) / NR;
     for (index_t pc = 0; pc < k; pc += kKC) {
       const index_t kc = std::min(kKC, k - pc);
       const bool first_panel = pc == 0;
-      pack_b(B, ldb, trans_b, pc, jc, kc, nc, bbuf.data());
-      for (index_t ic = 0; ic < m; ic += kMC) {
-        const index_t mc = std::min(kMC, m - ic);
-        pack_a(A, lda, trans_a, ic, pc, mc, kc, alpha, abuf.data());
-        for (index_t js = 0; js < nc_strips; ++js) {
+      const bool last_panel = pc + kc >= k;
+      for (index_t mo = 0; mo < m; mo += kMOuter, ++stage) {
+        const index_t mlen = std::min(kMOuter, m - mo);
+        const index_t a_blocks = (mlen + kMC - 1) / kMC;
+        // B belongs to the whole (jc, pc) panel: packed on the first M chunk.
+        const index_t pack_tasks = a_blocks + (mo == 0 ? n_strips : 0);
+        std::atomic<index_t>& pack_ctr = cx.counters[2 * stage].v;
+        std::atomic<index_t>& tile_ctr = cx.counters[2 * stage + 1].v;
+
+        for (;;) {
+          const index_t t = pack_ctr.fetch_add(1, std::memory_order_relaxed);
+          if (t >= pack_tasks) break;
+          if (t < a_blocks) {
+            const index_t ic = mo + t * kMC;
+            const index_t mc = std::min(kMC, m - ic);
+            pack_a(cx.A, cx.lda, cx.ta, ic, pc, mc, kc, cx.alpha,
+                   cx.apack + (t * kMC / MR) * kc * MR);
+          } else {
+            const index_t js = t - a_blocks;
+            const index_t jr = js * NR;
+            pack_b(cx.B, cx.ldb, cx.tb, pc, jc + jr, kc, std::min(NR, nc - jr),
+                   cx.bpack + js * kc * NR);
+          }
+        }
+        r.barrier();
+
+        const index_t units = a_blocks * n_strips;
+        for (;;) {
+          const index_t t = tile_ctr.fetch_add(1, std::memory_order_relaxed);
+          if (t >= units) break;
+          const index_t ic = mo + (t / n_strips) * kMC;
+          const index_t mc = std::min(kMC, m - ic);
+          const index_t js = t % n_strips;
           const index_t jr = js * NR;
           const index_t nr = std::min(NR, nc - jr);
-          const T* bp = bbuf.data() + js * kc * NR;
+          const T* bp = cx.bpack + js * kc * NR;
+          const T* ablock = cx.apack + ((t / n_strips) * kMC / MR) * kc * MR;
           for (index_t ir = 0; ir < mc; ir += MR) {
             const index_t mr = std::min(MR, mc - ir);
-            const T* ap = abuf.data() + (ir / MR) * kc * MR;
+            const T* ap = ablock + (ir / MR) * kc * MR;
             // micro_kernel fully writes acc (it owns the zero-init).
             alignas(64) T acc[Tile<T>::MR * Tile<T>::NR];
             micro_kernel<T>(kc, ap, bp, acc);
-            write_tile(C + (ic + ir) * ldc + jc + jr, ldc, acc, mr, nr, beta, first_panel);
+            T* ct = cx.C + (ic + ir) * cx.ldc + jc + jr;
+            write_tile(ct, cx.ldc, acc, mr, nr, cx.beta, first_panel);
+            if (last_panel) apply_epilogue_block(cx.ep, ct, cx.ldc, ic + ir, jc + jr, mr, nr);
           }
         }
+        // The next stage overwrites the shared packed buffers; nobody may
+        // still be reading them.
+        r.barrier();
       }
     }
   }
 }
 
+// Builds the shared workspace + per-stage counters and runs the body with
+// `threads` cooperating threads. The buffers live in the submitting thread's
+// thread_locals (workers only see raw pointers), so concurrent device
+// threads never share workspace.
 template <typename T>
-void gemm(T* C, const T* A, const T* B, index_t m, index_t n, index_t k, index_t lda,
-          index_t ldb, index_t ldc, Trans trans_a, Trans trans_b, T alpha, T beta) {
+void gemm_ex_impl(T* C, const T* A, const T* B, index_t m, index_t n, index_t k, index_t lda,
+                  index_t ldb, index_t ldc, Trans ta, Trans tb, T alpha, T beta,
+                  const EpilogueArgs<T>& ep, int threads) {
   constexpr index_t MR = Tile<T>::MR;
-  constexpr index_t NR = Tile<T>::NR;
-  // Below ~two slabs of work per thread the fork/join overhead dominates.
-  constexpr double kMinWorkPerThread = 64.0 * 64.0 * 64.0;
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0 || alpha == T{0}) {
+    scale_c(C, ldc, m, n, beta);
+    apply_epilogue_block(ep, C, ldc, 0, 0, m, n);
+    return;
+  }
 
+  const index_t n_jc = (n + kNC - 1) / kNC;
+  const index_t n_pc = (k + kKC - 1) / kKC;
+  const index_t n_mo = (m + kMOuter - 1) / kMOuter;
+  const index_t n_stages = n_jc * n_pc * n_mo;
+
+  const index_t a_rows = ((std::min(m, kMOuter) + MR - 1) / MR) * MR;
+  std::vector<T>& abuf = pack_buffer_a<T>();
+  std::vector<T>& bbuf = pack_buffer_b<T>();
+  abuf.resize(static_cast<std::size_t>(a_rows * kKC));
+  bbuf.resize(static_cast<std::size_t>(kKC * kNC));
+
+  CoopCtx<T> cx{C,  A,  B,     m,     n,  k,           lda,         ldb, ldc, ta, tb,
+                alpha, beta, ep, abuf.data(), bbuf.data(), claim_cells().get(2 * n_stages)};
+
+  if (threads <= 1 || ThreadPool::on_worker_thread()) {
+    Region r = Region::serial();
+    coop_body(r, cx);
+    return;
+  }
+  ThreadPool::global().parallel_region(threads, [&](Region& r) { coop_body(r, cx); });
+}
+
+}  // namespace
+
+template <typename T>
+void gemm_packed(T* C, const T* A, const T* B, index_t m, index_t n, index_t k, index_t lda,
+                 index_t ldb, index_t ldc, Trans trans_a, Trans trans_b, T alpha, T beta) {
+  gemm_ex_impl(C, A, B, m, n, k, lda, ldb, ldc, trans_a, trans_b, alpha, beta,
+               EpilogueArgs<T>{}, /*threads=*/1);
+}
+
+template <typename T>
+void gemm_ex(T* C, const T* A, const T* B, index_t m, index_t n, index_t k, index_t lda,
+             index_t ldb, index_t ldc, Trans trans_a, Trans trans_b, T alpha, T beta,
+             const EpilogueArgs<T>& epilogue) {
+  // Below ~two MC sweeps of work per thread the region overhead dominates.
+  constexpr double kMinWorkPerThread = 64.0 * 64.0 * 64.0;
   const double work = static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k);
   int threads = effective_threads();
   if (threads > 1) {
     threads = static_cast<int>(
         std::min<double>(threads, std::max(1.0, work / kMinWorkPerThread)));
   }
-  if (threads <= 1 || ThreadPool::on_worker_thread()) {
-    gemm_packed(C, A, B, m, n, k, lda, ldb, ldc, trans_a, trans_b, alpha, beta);
-    return;
-  }
-
-  if (m >= n) {
-    // Slab the M dimension: each worker owns a contiguous band of C rows.
-    const index_t tiles = (m + MR - 1) / MR;
-    ThreadPool::global().parallel_ranges(tiles, threads, [&](index_t t0, index_t t1) {
-      const index_t i0 = t0 * MR;
-      const index_t i1 = std::min(m, t1 * MR);
-      if (i0 >= i1) return;
-      const T* a_sub = trans_a == Trans::No ? A + i0 * lda : A + i0;
-      gemm_packed(C + i0 * ldc, a_sub, B, i1 - i0, n, k, lda, ldb, ldc, trans_a, trans_b,
-                  alpha, beta);
-    });
-  } else {
-    // Skinny-tall case (e.g. vocab-sized logits): slab the N dimension.
-    const index_t tiles = (n + NR - 1) / NR;
-    ThreadPool::global().parallel_ranges(tiles, threads, [&](index_t t0, index_t t1) {
-      const index_t j0 = t0 * NR;
-      const index_t j1 = std::min(n, t1 * NR);
-      if (j0 >= j1) return;
-      const T* b_sub = trans_b == Trans::No ? B + j0 : B + j0 * ldb;
-      gemm_packed(C + j0, A, b_sub, m, j1 - j0, k, lda, ldb, ldc, trans_a, trans_b, alpha,
-                  beta);
-    });
-  }
+  gemm_ex_impl(C, A, B, m, n, k, lda, ldb, ldc, trans_a, trans_b, alpha, beta, epilogue,
+               threads);
 }
+
+template <typename T>
+void gemm(T* C, const T* A, const T* B, index_t m, index_t n, index_t k, index_t lda,
+          index_t ldb, index_t ldc, Trans trans_a, Trans trans_b, T alpha, T beta) {
+  gemm_ex(C, A, B, m, n, k, lda, ldb, ldc, trans_a, trans_b, alpha, beta, EpilogueArgs<T>{});
+}
+
+// Single non-inlinable definition of the GELU scalar (see gemm.hpp): keeps
+// every caller — this TU's fused epilogue included — on one bit pattern even
+// though this TU is built with -march=native FP contraction.
+namespace {
+template <typename T>
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline))
+#endif
+T gelu_scalar_impl(T x) {
+  const T c = T{0.7978845608028654};  // sqrt(2/pi)
+  const T inner = c * (x + T{0.044715} * x * x * x);
+  return T{0.5} * x * (T{1} + std::tanh(inner));
+}
+}  // namespace
+
+float gelu_scalar(float x) { return gelu_scalar_impl(x); }
+double gelu_scalar(double x) { return gelu_scalar_impl(x); }
 
 #define OPTIMUS_INSTANTIATE_KERNEL_GEMM(T)                                                   \
   template void gemm<T>(T*, const T*, const T*, index_t, index_t, index_t, index_t, index_t, \
                         index_t, Trans, Trans, T, T);                                        \
+  template void gemm_ex<T>(T*, const T*, const T*, index_t, index_t, index_t, index_t,       \
+                           index_t, index_t, Trans, Trans, T, T, const EpilogueArgs<T>&);    \
   template void gemm_packed<T>(T*, const T*, const T*, index_t, index_t, index_t, index_t,   \
                                index_t, index_t, Trans, Trans, T, T);
 

@@ -145,9 +145,10 @@ TensorT<T> MegatronTransformer<T>::layer_forward(index_t l, LayerActs& a) {
   a.ln1_istd = TensorT<T>(Shape{bs});
   ops::layernorm_forward(a.input, p.ln1_g, p.ln1_b, eps, a.ln1_out, a.ln1_xhat, a.ln1_istd);
 
+  // Column-parallel QKV: no reduce between the GEMM and its bias, so the
+  // bias fuses into the GEMM epilogue.
   a.qkv = TensorT<T>(Shape{bs, qkv_cols_});
-  ops::gemm(a.qkv, a.ln1_out, p.qkv_w);
-  ops::add_bias_(a.qkv, p.qkv_b);
+  ops::gemm_bias(a.qkv, a.ln1_out, p.qkv_w, p.qkv_b);
 
   a.ctx = TensorT<T>(Shape{bs, h / this->p()});
   a.probs = TensorT<T>(Shape{cfg_.batch * heads_local_, cfg_.seq_len, cfg_.seq_len});
@@ -155,29 +156,29 @@ TensorT<T> MegatronTransformer<T>::layer_forward(index_t l, LayerActs& a) {
                            cfg_.causal, a.ctx, a.probs);
 
   // Row-parallel projection: partial result then all-reduce (the paper's
-  // forward g-operator).
+  // forward g-operator). The bias must apply once, *after* the reduce, so it
+  // cannot fuse into the local GEMM — bias+residual fuse into one pass.
   a.x1 = TensorT<T>(Shape{bs, h});
   ops::gemm(a.x1, a.ctx, p.proj_w);
   comm_->all_reduce(a.x1);
-  ops::add_bias_(a.x1, p.proj_b);
-  ops::add_(a.x1, a.input);
+  ops::bias_residual_(a.x1, p.proj_b, a.input);
 
   a.ln2_out = TensorT<T>(Shape{bs, h});
   a.ln2_xhat = TensorT<T>(Shape{bs, h});
   a.ln2_istd = TensorT<T>(Shape{bs});
   ops::layernorm_forward(a.x1, p.ln2_g, p.ln2_b, eps, a.ln2_out, a.ln2_xhat, a.ln2_istd);
 
+  // Column-parallel fc1: bias+GELU fused into the GEMM epilogue (fc1_out
+  // keeps the biased pre-activation for backward).
   a.fc1_out = TensorT<T>(Shape{bs, ffn_local_});
-  ops::gemm(a.fc1_out, a.ln2_out, p.fc1_w);
-  ops::add_bias_(a.fc1_out, p.fc1_b);
   a.gelu_out = TensorT<T>(Shape{bs, ffn_local_});
-  ops::gelu_forward(a.fc1_out, a.gelu_out);
+  ops::gemm_bias_gelu(a.gelu_out, a.fc1_out, a.ln2_out, p.fc1_w, p.fc1_b);
 
+  // Row-parallel fc2: reduce first, then fused bias+residual.
   TensorT<T> out(Shape{bs, h});
   ops::gemm(out, a.gelu_out, p.fc2_w);
   comm_->all_reduce(out);
-  ops::add_bias_(out, p.fc2_b);
-  ops::add_(out, a.x1);
+  ops::bias_residual_(out, p.fc2_b, a.x1);
   a.full = true;
   return out;
 }
@@ -358,8 +359,7 @@ T MegatronTransformer<T>::cls_loss(const ITensor& labels) {
                 static_cast<std::size_t>(h) * sizeof(T));
   }
   TensorT<T> logits(Shape{b, cfg_.num_classes});
-  ops::gemm(logits, cls_pooled_, cls_w_);
-  ops::add_bias_(logits, cls_b_);
+  ops::gemm_bias(logits, cls_pooled_, cls_w_, cls_b_);
   cls_probs_ = TensorT<T>(logits.shape());
   return ops::cross_entropy_forward(logits, cls_labels_, cls_probs_);
 }

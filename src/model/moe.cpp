@@ -87,13 +87,10 @@ TensorT<T> SwitchFfn<T>::forward(const TensorT<T>& x) {
       std::memcpy(xe.data() + i * h, x_.data() + mine[i] * h, h * sizeof(T));
     }
     TensorT<T> u(Shape{n, f});
-    ops::gemm(u, xe, experts_[e].w1);
-    ops::add_bias_(u, experts_[e].b1);
     TensorT<T> g(Shape{n, f});
-    ops::gelu_forward(u, g);
+    ops::gemm_bias_gelu(g, u, xe, experts_[e].w1, experts_[e].b1);
     TensorT<T> o(Shape{n, h});
-    ops::gemm(o, g, experts_[e].w2);
-    ops::add_bias_(o, experts_[e].b2);
+    ops::gemm_bias(o, g, experts_[e].w2, experts_[e].b2);
     for (index_t i = 0; i < n; ++i) {
       const index_t t = mine[i];
       std::memcpy(u_pre_.data() + t * f, u.data() + i * f, f * sizeof(T));
@@ -310,13 +307,10 @@ TensorT<T> ExpertParallelSwitchFfn<T>::forward(const TensorT<T>& x) {
       const index_t r0 = src * e_loc * capacity_ + le * capacity_;
       TensorT<T> xe = recv_x_.row_range(r0, r0 + capacity_);
       TensorT<T> u = u_pre_.row_range(r0, r0 + capacity_);
-      ops::gemm(u, xe, experts_[le].w1);
-      ops::add_bias_(u, experts_[le].b1);
       TensorT<T> g = gelu_u_.row_range(r0, r0 + capacity_);
-      ops::gelu_forward(u, g);
+      ops::gemm_bias_gelu(g, u, xe, experts_[le].w1, experts_[le].b1);
       TensorT<T> o = out_rows.row_range(r0, r0 + capacity_);
-      ops::gemm(o, g, experts_[le].w2);
-      ops::add_bias_(o, experts_[le].b2);
+      ops::gemm_bias(o, g, experts_[le].w2, experts_[le].b2);
     }
   }
 

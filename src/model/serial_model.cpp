@@ -127,36 +127,31 @@ const TensorT<T>& SerialTransformer<T>::forward(const ITensor& tokens) {
     a.ln1_istd = TensorT<T>(Shape{bs});
     ops::layernorm_forward(a.input, p.ln1_g, p.ln1_b, eps, a.ln1_out, a.ln1_xhat, a.ln1_istd);
 
-    // Fused QKV projection.
+    // Fused QKV projection (bias applied in the GEMM epilogue).
     a.qkv = TensorT<T>(Shape{bs, 3 * h});
-    ops::gemm(a.qkv, a.ln1_out, p.qkv_w);
-    ops::add_bias_(a.qkv, p.qkv_b);
+    ops::gemm_bias(a.qkv, a.ln1_out, p.qkv_w, p.qkv_b);
 
     // Local attention.
     a.ctx = TensorT<T>(Shape{bs, h});
     a.probs = TensorT<T>(Shape{b * cfg_.heads, s, s});
     attention_forward(a.qkv, b, s, cfg_.heads, cfg_.head_dim(), cfg_.causal, a.ctx, a.probs);
 
-    // Output projection + residual.
+    // Output projection + bias + residual, one fused GEMM.
     a.x1 = TensorT<T>(Shape{bs, h});
-    ops::gemm(a.x1, a.ctx, p.proj_w);
-    ops::add_bias_(a.x1, p.proj_b);
-    ops::add_(a.x1, a.input);
+    ops::gemm_bias_residual(a.x1, a.ctx, p.proj_w, p.proj_b, a.input);
 
     // LN2 + MLP + residual.
     a.ln2_out = TensorT<T>(Shape{bs, h});
     a.ln2_xhat = TensorT<T>(Shape{bs, h});
     a.ln2_istd = TensorT<T>(Shape{bs});
     ops::layernorm_forward(a.x1, p.ln2_g, p.ln2_b, eps, a.ln2_out, a.ln2_xhat, a.ln2_istd);
+    // h→4h with bias+GELU fused into the GEMM epilogue (fc1_out keeps the
+    // biased pre-activation for backward), then 4h→h with bias+residual.
     a.fc1_out = TensorT<T>(Shape{bs, f});
-    ops::gemm(a.fc1_out, a.ln2_out, p.fc1_w);
-    ops::add_bias_(a.fc1_out, p.fc1_b);
     a.gelu_out = TensorT<T>(Shape{bs, f});
-    ops::gelu_forward(a.fc1_out, a.gelu_out);
+    ops::gemm_bias_gelu(a.gelu_out, a.fc1_out, a.ln2_out, p.fc1_w, p.fc1_b);
     TensorT<T> x2(Shape{bs, h});
-    ops::gemm(x2, a.gelu_out, p.fc2_w);
-    ops::add_bias_(x2, p.fc2_b);
-    ops::add_(x2, a.x1);
+    ops::gemm_bias_residual(x2, a.gelu_out, p.fc2_w, p.fc2_b, a.x1);
     x = x2;
   }
   stem_out_ = x;
@@ -214,8 +209,7 @@ tensor::TensorT<T> SerialTransformer<T>::cls_logits() {
                 static_cast<std::size_t>(h) * sizeof(T));
   }
   TensorT<T> logits(Shape{b, cfg_.num_classes});
-  ops::gemm(logits, cls_pooled_, cls_w_);
-  ops::add_bias_(logits, cls_b_);
+  ops::gemm_bias(logits, cls_pooled_, cls_w_, cls_b_);
   return logits;
 }
 

@@ -164,6 +164,131 @@ TensorT<T> matmul(const TensorT<T>& A, const TensorT<T>& B, Trans trans_a, Trans
   return C;
 }
 
+// ---------------------------------------------------------------------------
+// Fused GEMM epilogues
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// The unfused reference tail, used on the naive (below-cutoff) path so fused
+// wrappers stay bitwise identical to the kernel's in-tile epilogue there too.
+template <typename T>
+void epilogue_reference(const kernel::EpilogueArgs<T>& ep, T* C, index_t ldc, index_t m,
+                        index_t n) {
+  switch (ep.op) {
+    case kernel::Epilogue::None:
+      return;
+    case kernel::Epilogue::BiasAdd:
+      for (index_t i = 0; i < m; ++i) {
+        T* c = C + i * ldc;
+        for (index_t j = 0; j < n; ++j) c[j] += ep.bias[j];
+      }
+      return;
+    case kernel::Epilogue::BiasGelu:
+      for (index_t i = 0; i < m; ++i) {
+        T* c = C + i * ldc;
+        T* pre = ep.pre + i * ep.ldp;
+        for (index_t j = 0; j < n; ++j) {
+          const T v = c[j] + ep.bias[j];
+          pre[j] = v;
+          c[j] = kernel::gelu_scalar(v);
+        }
+      }
+      return;
+    case kernel::Epilogue::ResidualAdd:
+      for (index_t i = 0; i < m; ++i) {
+        T* c = C + i * ldc;
+        const T* res = ep.residual + i * ep.ldr;
+        for (index_t j = 0; j < n; ++j) c[j] = (c[j] + ep.bias[j]) + res[j];
+      }
+      return;
+  }
+}
+
+template <typename T>
+void gemm_fused_raw(T* C, const T* A, const T* B, index_t m, index_t n, index_t k, index_t lda,
+                    index_t ldb, index_t ldc, Trans trans_a, Trans trans_b,
+                    const kernel::EpilogueArgs<T>& ep) {
+  obs::Span span("kernel", "gemm");
+  if (span.armed()) span.arg("m", m).arg("n", n).arg("k", k);
+  DeviceContext::current().on_mults(static_cast<std::uint64_t>(m) * n * k);
+  if (m * n * k >= kKernelDispatchCutoff) {
+    kernel::gemm_ex(C, A, B, m, n, k, lda, ldb, ldc,
+                    trans_a == Trans::No ? kernel::Trans::No : kernel::Trans::Yes,
+                    trans_b == Trans::No ? kernel::Trans::No : kernel::Trans::Yes, T{1}, T{0},
+                    ep);
+    return;
+  }
+  gemm_naive_raw(C, A, B, m, n, k, lda, ldb, ldc, trans_a, trans_b, T{1}, T{0});
+  epilogue_reference(ep, C, ldc, m, n);
+}
+
+// Shape resolution shared by the fused wrappers (mirrors gemm's checks).
+template <typename T>
+void resolve_gemm_shapes(const TensorT<T>& C, const TensorT<T>& A, const TensorT<T>& B,
+                         Trans trans_a, Trans trans_b, index_t* m, index_t* n, index_t* k) {
+  OPT_CHECK(A.ndim() == 2 && B.ndim() == 2 && C.ndim() == 2,
+            "fused gemm operands must be 2-D: " << A.shape().to_string() << " x "
+                                                << B.shape().to_string() << " -> "
+                                                << C.shape().to_string());
+  *m = trans_a == Trans::No ? A.size(0) : A.size(1);
+  *k = trans_a == Trans::No ? A.size(1) : A.size(0);
+  const index_t kb = trans_b == Trans::No ? B.size(0) : B.size(1);
+  *n = trans_b == Trans::No ? B.size(1) : B.size(0);
+  OPT_CHECK(*k == kb, "fused gemm inner-dim mismatch: " << *k << " vs " << kb);
+  OPT_CHECK(C.size(0) == *m && C.size(1) == *n,
+            "fused gemm output shape " << C.shape().to_string() << ", expected [" << *m << ", "
+                                       << *n << "]");
+}
+
+}  // namespace
+
+template <typename T>
+void gemm_bias(TensorT<T>& C, const TensorT<T>& A, const TensorT<T>& B, const TensorT<T>& bias,
+               Trans trans_a, Trans trans_b) {
+  index_t m = 0, n = 0, k = 0;
+  resolve_gemm_shapes(C, A, B, trans_a, trans_b, &m, &n, &k);
+  OPT_CHECK(bias.numel() == n, "gemm_bias bias size " << bias.numel() << " != n " << n);
+  kernel::EpilogueArgs<T> ep;
+  ep.op = kernel::Epilogue::BiasAdd;
+  ep.bias = bias.data();
+  gemm_fused_raw(C.data(), A.data(), B.data(), m, n, k, A.size(1), B.size(1), C.size(1),
+                 trans_a, trans_b, ep);
+}
+
+template <typename T>
+void gemm_bias_gelu(TensorT<T>& gelu_out, TensorT<T>& pre, const TensorT<T>& A,
+                    const TensorT<T>& B, const TensorT<T>& bias, Trans trans_a, Trans trans_b) {
+  index_t m = 0, n = 0, k = 0;
+  resolve_gemm_shapes(gelu_out, A, B, trans_a, trans_b, &m, &n, &k);
+  OPT_CHECK(bias.numel() == n, "gemm_bias_gelu bias size " << bias.numel() << " != n " << n);
+  OPT_CHECK(pre.numel() == gelu_out.numel(), "gemm_bias_gelu pre-activation buffer mismatch");
+  kernel::EpilogueArgs<T> ep;
+  ep.op = kernel::Epilogue::BiasGelu;
+  ep.bias = bias.data();
+  ep.pre = pre.data();
+  ep.ldp = n;
+  gemm_fused_raw(gelu_out.data(), A.data(), B.data(), m, n, k, A.size(1), B.size(1),
+                 gelu_out.size(1), trans_a, trans_b, ep);
+}
+
+template <typename T>
+void gemm_bias_residual(TensorT<T>& C, const TensorT<T>& A, const TensorT<T>& B,
+                        const TensorT<T>& bias, const TensorT<T>& residual, Trans trans_a,
+                        Trans trans_b) {
+  index_t m = 0, n = 0, k = 0;
+  resolve_gemm_shapes(C, A, B, trans_a, trans_b, &m, &n, &k);
+  OPT_CHECK(bias.numel() == n, "gemm_bias_residual bias size " << bias.numel() << " != n " << n);
+  OPT_CHECK(residual.numel() == C.numel(), "gemm_bias_residual residual shape mismatch");
+  kernel::EpilogueArgs<T> ep;
+  ep.op = kernel::Epilogue::ResidualAdd;
+  ep.bias = bias.data();
+  ep.residual = residual.data();
+  ep.ldr = n;
+  gemm_fused_raw(C.data(), A.data(), B.data(), m, n, k, A.size(1), B.size(1), C.size(1),
+                 trans_a, trans_b, ep);
+}
+
 namespace {
 
 // Flat elementwise chunking: big enough to amortise pool dispatch, small
@@ -252,15 +377,54 @@ void bias_grad(const TensorT<T>& dy, TensorT<T>& dbias, bool accumulate) {
   });
 }
 
+template <typename T>
+void bias_residual_(TensorT<T>& y, const TensorT<T>& bias, const TensorT<T>& residual) {
+  const index_t cols = y.shape().last();
+  OPT_CHECK(bias.numel() == cols,
+            "bias_residual_ bias size " << bias.numel() << " != last dim " << cols);
+  OPT_CHECK(residual.numel() == y.numel(), "bias_residual_ residual size mismatch");
+  const index_t rows = y.numel() / cols;
+  T* yp = y.data();
+  const T* bp = bias.data();
+  const T* rp = residual.data();
+  parallel_rows(rows, cols, [&](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      T* row = yp + r * cols;
+      const T* res = rp + r * cols;
+      for (index_t j = 0; j < cols; ++j) row[j] = (row[j] + bp[j]) + res[j];
+    }
+  });
+}
+
+template <typename T>
+void bias_gelu_(TensorT<T>& x, const TensorT<T>& bias, TensorT<T>& y) {
+  const index_t cols = x.shape().last();
+  OPT_CHECK(bias.numel() == cols,
+            "bias_gelu_ bias size " << bias.numel() << " != last dim " << cols);
+  OPT_CHECK(y.numel() == x.numel(), "bias_gelu_ output size mismatch");
+  const index_t rows = x.numel() / cols;
+  T* xp = x.data();
+  const T* bp = bias.data();
+  T* yp = y.data();
+  parallel_rows(rows, cols, [&](index_t r0, index_t r1) {
+    for (index_t r = r0; r < r1; ++r) {
+      T* xrow = xp + r * cols;
+      T* yrow = yp + r * cols;
+      for (index_t j = 0; j < cols; ++j) {
+        const T v = xrow[j] + bp[j];
+        xrow[j] = v;
+        yrow[j] = kernel::gelu_scalar(v);
+      }
+    }
+  });
+}
+
 namespace {
 
-// GELU tanh approximation and its derivative.
-template <typename T>
-inline T gelu_scalar(T x) {
-  const T c = T{0.7978845608028654};  // sqrt(2/pi)
-  const T inner = c * (x + T{0.044715} * x * x * x);
-  return T{0.5} * x * (T{1} + std::tanh(inner));
-}
+// Forward GELU lives in kernel/gemm.hpp (kernel::gelu_scalar) so the fused
+// GEMM epilogue and this layer are the same scalar function; only the
+// derivative is local.
+using kernel::gelu_scalar;
 
 template <typename T>
 inline T gelu_grad_scalar(T x) {
@@ -610,6 +774,14 @@ TensorT<U> cast(const TensorT<T>& src) {
   template TensorT<T> add<T>(const TensorT<T>&, const TensorT<T>&);                           \
   template void add_bias_<T>(TensorT<T>&, const TensorT<T>&);                                 \
   template void bias_grad<T>(const TensorT<T>&, TensorT<T>&, bool);                           \
+  template void bias_residual_<T>(TensorT<T>&, const TensorT<T>&, const TensorT<T>&);         \
+  template void bias_gelu_<T>(TensorT<T>&, const TensorT<T>&, TensorT<T>&);                   \
+  template void gemm_bias<T>(TensorT<T>&, const TensorT<T>&, const TensorT<T>&,               \
+                             const TensorT<T>&, Trans, Trans);                                \
+  template void gemm_bias_gelu<T>(TensorT<T>&, TensorT<T>&, const TensorT<T>&,                \
+                                  const TensorT<T>&, const TensorT<T>&, Trans, Trans);        \
+  template void gemm_bias_residual<T>(TensorT<T>&, const TensorT<T>&, const TensorT<T>&,      \
+                                      const TensorT<T>&, const TensorT<T>&, Trans, Trans);    \
   template void gelu_forward<T>(const TensorT<T>&, TensorT<T>&);                              \
   template void gelu_backward<T>(const TensorT<T>&, const TensorT<T>&, TensorT<T>&, bool);    \
   template void softmax_lastdim<T>(const TensorT<T>&, TensorT<T>&);                           \

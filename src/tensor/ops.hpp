@@ -51,6 +51,42 @@ template <typename T>
 TensorT<T> matmul(const TensorT<T>& A, const TensorT<T>& B, Trans trans_a = Trans::No,
                   Trans trans_b = Trans::No);
 
+// ---------------------------------------------------------------------------
+// Fused GEMM epilogues
+// ---------------------------------------------------------------------------
+//
+// These route through kernel::gemm_ex, which applies the elementwise tail to
+// each C tile right after its last K panel is accumulated — while the tile
+// is register/L1-hot — instead of in a separate full-tensor pass. The fused
+// results are bitwise identical to the unfused sequences they replace: the
+// kernel applies the same scalar operations in the same order, so engines
+// can mix fused and unfused paths and still agree to 0 ULPs (the fuzz
+// harness relies on this). Flop accounting is unchanged — the epilogue is
+// elementwise and the paper's Table-1 unit only counts matrix products.
+// Tiny problems fall back to the naive GEMM followed by the same reference
+// tail, keeping dispatch shape-deterministic.
+
+/// C = op(A)·op(B) + bias (bias[j] broadcast over rows).
+/// Bitwise identical to { gemm(C, A, B); add_bias_(C, bias); }.
+template <typename T>
+void gemm_bias(TensorT<T>& C, const TensorT<T>& A, const TensorT<T>& B, const TensorT<T>& bias,
+               Trans trans_a = Trans::No, Trans trans_b = Trans::No);
+
+/// pre = op(A)·op(B) + bias; gelu_out = gelu(pre). `pre` keeps the biased
+/// pre-activation the backward pass needs. Bitwise identical to
+/// { gemm(pre, A, B); add_bias_(pre, bias); gelu_forward(pre, gelu_out); }.
+template <typename T>
+void gemm_bias_gelu(TensorT<T>& gelu_out, TensorT<T>& pre, const TensorT<T>& A,
+                    const TensorT<T>& B, const TensorT<T>& bias, Trans trans_a = Trans::No,
+                    Trans trans_b = Trans::No);
+
+/// C = (op(A)·op(B) + bias) + residual.
+/// Bitwise identical to { gemm(C, A, B); add_bias_(C, bias); add_(C, residual); }.
+template <typename T>
+void gemm_bias_residual(TensorT<T>& C, const TensorT<T>& A, const TensorT<T>& B,
+                        const TensorT<T>& bias, const TensorT<T>& residual,
+                        Trans trans_a = Trans::No, Trans trans_b = Trans::No);
+
 /// Views a tensor of ndim >= 2 as a 2-D matrix [prod(leading dims), last dim].
 template <typename T>
 TensorT<T> as_matrix(const TensorT<T>& t);
@@ -81,6 +117,19 @@ void add_bias_(TensorT<T>& y, const TensorT<T>& bias);
 /// dbias[j] (+)= sum over leading dims of dy[..., j].
 template <typename T>
 void bias_grad(const TensorT<T>& dy, TensorT<T>& dbias, bool accumulate);
+
+/// y[r, j] = (y[r, j] + bias[j]) + residual[r, j] in one pass — for
+/// projections whose bias must apply *after* a distributed reduce (SUMMA /
+/// row-parallel outputs), where it cannot fuse into the local GEMM. Bitwise
+/// identical to { add_bias_(y, bias); add_(y, residual); }.
+template <typename T>
+void bias_residual_(TensorT<T>& y, const TensorT<T>& bias, const TensorT<T>& residual);
+
+/// x[r, j] += bias[j]; y[r, j] = gelu(x[r, j]) in one pass (x keeps the
+/// biased pre-activation for backward). Bitwise identical to
+/// { add_bias_(x, bias); gelu_forward(x, y); }.
+template <typename T>
+void bias_gelu_(TensorT<T>& x, const TensorT<T>& bias, TensorT<T>& y);
 
 // ---------------------------------------------------------------------------
 // GELU (tanh approximation, as in GPT/Megatron)

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstring>
@@ -178,6 +179,146 @@ TEST(KernelGemm, DeterministicAcrossThreadCounts) {
   EXPECT_EQ(0, std::memcmp(c1.data(), c4.data(), c1.size() * sizeof(float)));
 }
 
+TEST(KernelGemm, CooperativeBitwiseForThreads1Through4EdgeShapes) {
+  // The cooperative scheduler claims pack work and MC×NR tiles dynamically;
+  // the contract is that ownership never changes arithmetic. Every thread
+  // count must reproduce the 1-thread result bit for bit, including shapes
+  // that are not multiples of MR=4, NR (16 f32 / 8 f64) or kKC=256 — the
+  // microkernel edge paths and partial K panels.
+  struct Shape3 {
+    index_t m, n, k;
+  };
+  const Shape3 shapes[] = {
+      {130, 1037, 519},  // crosses kMC/kNC/kKC with remainders everywhere
+      {67, 45, 300},     // partial K panel, edge tiles both dims
+      {3, 17, 257},      // below one microtile in M, K just past a panel
+      {257, 31, 5},      // tall & skinny, tiny K
+  };
+  auto run = [](auto tag, const Shape3& s) {
+    using T = decltype(tag);
+    auto A = random_buffer<T>(s.m * s.k, 71);
+    auto B = random_buffer<T>(s.k * s.n, 72);
+    std::vector<T> base(static_cast<std::size_t>(s.m * s.n));
+    ok::set_threads(1);
+    ok::gemm(base.data(), A.data(), B.data(), s.m, s.n, s.k, s.k, s.n, s.n,
+             ok::Trans::No, ok::Trans::No, T{1}, T{0});
+    for (int t : {2, 3, 4}) {
+      ok::set_threads(t);
+      std::vector<T> got(static_cast<std::size_t>(s.m * s.n));
+      ok::gemm(got.data(), A.data(), B.data(), s.m, s.n, s.k, s.k, s.n, s.n,
+               ok::Trans::No, ok::Trans::No, T{1}, T{0});
+      EXPECT_EQ(0, std::memcmp(base.data(), got.data(), base.size() * sizeof(T)))
+          << "threads=" << t << " m=" << s.m << " n=" << s.n << " k=" << s.k;
+    }
+    ok::set_threads(0);
+  };
+  for (const auto& s : shapes) {
+    run(float{}, s);
+    run(double{}, s);
+  }
+}
+
+// Unfused two-pass reference for each epilogue: gemm, then the elementwise op
+// over the full C — exactly the pre-fusion model-layer sequence. The fused
+// path must match it bitwise (same scalar ops, same order, just tile-hot).
+template <typename T>
+void epilogue_reference(ok::Epilogue op, T* C, const T* bias, const T* res, T* pre,
+                        index_t m, index_t n) {
+  for (index_t i = 0; i < m; ++i) {
+    T* row = C + i * n;
+    switch (op) {
+      case ok::Epilogue::BiasAdd:
+        for (index_t j = 0; j < n; ++j) row[j] += bias[j];
+        break;
+      case ok::Epilogue::BiasGelu:
+        for (index_t j = 0; j < n; ++j) {
+          const T v = row[j] + bias[j];
+          pre[i * n + j] = v;
+          row[j] = ok::gelu_scalar(v);
+        }
+        break;
+      case ok::Epilogue::ResidualAdd:
+        for (index_t j = 0; j < n; ++j) row[j] = (row[j] + bias[j]) + res[i * n + j];
+        break;
+      case ok::Epilogue::None:
+        break;
+    }
+  }
+}
+
+template <typename T>
+void check_epilogue_bitwise(ok::Epilogue op, index_t m, index_t n, index_t k) {
+  auto A = random_buffer<T>(m * k, 81);
+  auto B = random_buffer<T>(k * n, 82);
+  auto bias = random_buffer<T>(n, 83);
+  auto res = random_buffer<T>(m * n, 84);
+
+  std::vector<T> want(static_cast<std::size_t>(m * n));
+  std::vector<T> want_pre(static_cast<std::size_t>(m * n), T{0});
+  ok::set_threads(1);
+  ok::gemm(want.data(), A.data(), B.data(), m, n, k, k, n, n, ok::Trans::No,
+           ok::Trans::No, T{1}, T{0});
+  epilogue_reference<T>(op, want.data(), bias.data(), res.data(), want_pre.data(), m, n);
+
+  ok::EpilogueArgs<T> ep;
+  ep.op = op;
+  ep.bias = bias.data();
+  if (op == ok::Epilogue::ResidualAdd) {
+    ep.residual = res.data();
+    ep.ldr = n;
+  }
+  std::vector<T> got_pre(static_cast<std::size_t>(m * n), T{0});
+  if (op == ok::Epilogue::BiasGelu) {
+    ep.pre = got_pre.data();
+    ep.ldp = n;
+  }
+  for (int t : {1, 4}) {
+    SCOPED_TRACE(::testing::Message() << "op=" << int(op) << " threads=" << t
+                                      << " m=" << m << " n=" << n << " k=" << k);
+    ok::set_threads(t);
+    std::vector<T> got(static_cast<std::size_t>(m * n));
+    std::fill(got_pre.begin(), got_pre.end(), T{0});
+    ok::gemm_ex(got.data(), A.data(), B.data(), m, n, k, k, n, n, ok::Trans::No,
+                ok::Trans::No, T{1}, T{0}, ep);
+    EXPECT_EQ(0, std::memcmp(want.data(), got.data(), want.size() * sizeof(T)))
+        << "fused output differs from unfused reference";
+    if (op == ok::Epilogue::BiasGelu) {
+      EXPECT_EQ(0, std::memcmp(want_pre.data(), got_pre.data(),
+                               want_pre.size() * sizeof(T)))
+          << "pre-activation differs from unfused reference";
+    }
+  }
+  ok::set_threads(0);
+}
+
+TEST(KernelGemmEpilogue, FusedBitwiseVsUnfusedReference) {
+  const ok::Epilogue ops_[] = {ok::Epilogue::BiasAdd, ok::Epilogue::BiasGelu,
+                               ok::Epilogue::ResidualAdd};
+  for (ok::Epilogue op : ops_) {
+    // Edge shape (no dimension a multiple of MR/NR/KC) and a multi-panel one.
+    check_epilogue_bitwise<float>(op, 67, 45, 300);
+    check_epilogue_bitwise<float>(op, 130, 517, 260);
+    check_epilogue_bitwise<double>(op, 67, 45, 300);
+  }
+}
+
+TEST(KernelGemmEpilogue, DegenerateKStillAppliesEpilogue) {
+  // k == 0 with beta == 0 zero-fills C and must still run the epilogue tail
+  // (bias over zeros), matching the unfused sequence.
+  const index_t m = 9, n = 21;
+  auto bias = random_buffer<float>(n, 5);
+  ok::EpilogueArgs<float> ep;
+  ep.op = ok::Epilogue::BiasAdd;
+  ep.bias = bias.data();
+  std::vector<float> C(static_cast<std::size_t>(m * n),
+                       std::numeric_limits<float>::quiet_NaN());
+  const float* null_ab = nullptr;
+  ok::gemm_ex(C.data(), null_ab, null_ab, m, n, /*k=*/0, 1, n, n, ok::Trans::No,
+              ok::Trans::No, 1.0f, 0.0f, ep);
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j) ASSERT_EQ(C[i * n + j], bias[j]);
+}
+
 TEST(KernelGemm, BetaZeroStoresOverNaN) {
   // beta == 0 must *store*, never scale: a C buffer full of NaN (as carved
   // from an uninitialised Arena) must come out finite.
@@ -299,6 +440,56 @@ TEST(KernelThreadPool, PropagatesExceptions) {
   std::atomic<int> count{0};
   ok::ThreadPool::global().parallel_for(10, 1, [&](index_t, index_t) { ++count; });
   EXPECT_EQ(count.load(), 10);
+  ok::set_threads(0);
+}
+
+TEST(KernelThreadPool, ParallelRegionTidsAndBarrier) {
+  // SPMD contract: each participant sees a distinct tid in [0, nthreads), all
+  // agree on nthreads, and a barrier separates phases — every participant's
+  // phase-1 write must be visible to every participant's phase-2 read.
+  ok::set_threads(4);
+  std::vector<std::atomic<int>> seen(8);
+  for (auto& s : seen) s.store(0);
+  std::atomic<int> phase1_sum{0};
+  std::atomic<bool> ok_flag{true};
+  const int actual =
+      ok::ThreadPool::global().parallel_region(4, [&](ok::Region& r) {
+        EXPECT_GE(r.tid(), 0);
+        EXPECT_LT(r.tid(), r.nthreads());
+        seen[static_cast<std::size_t>(r.tid())].fetch_add(1);
+        phase1_sum.fetch_add(r.tid() + 1);
+        r.barrier();
+        // Everyone contributed before anyone passed the barrier.
+        const int want = r.nthreads() * (r.nthreads() + 1) / 2;
+        if (phase1_sum.load() != want) ok_flag.store(false);
+        r.barrier();
+      });
+  EXPECT_GE(actual, 1);
+  EXPECT_LE(actual, 4);
+  EXPECT_TRUE(ok_flag.load());
+  for (int t = 0; t < actual; ++t)
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)].load(), 1) << "tid " << t;
+  for (std::size_t t = static_cast<std::size_t>(actual); t < seen.size(); ++t)
+    EXPECT_EQ(seen[t].load(), 0) << "tid " << t;
+  ok::set_threads(0);
+}
+
+TEST(KernelThreadPool, ParallelRegionReusableBackToBack) {
+  // The persistent region must be cheap to re-enter: many consecutive regions
+  // (the SUMMA k-loop pattern) with claim counters, all covered exactly once.
+  ok::set_threads(4);
+  for (int round = 0; round < 25; ++round) {
+    std::vector<std::atomic<int>> hits(64);
+    for (auto& h : hits) h.store(0);
+    std::atomic<std::size_t> next{0};
+    ok::ThreadPool::global().parallel_region(4, [&](ok::Region& r) {
+      (void)r;
+      for (std::size_t i = next.fetch_add(1); i < hits.size(); i = next.fetch_add(1))
+        hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "round " << round << " index " << i;
+  }
   ok::set_threads(0);
 }
 
