@@ -21,7 +21,6 @@
 #include <cmath>
 #include <iomanip>
 #include <iostream>
-#include <mutex>
 
 #include "comm/cluster.hpp"
 #include "comm/obs_report.hpp"
@@ -66,6 +65,10 @@ int main(int argc, char** argv) {
   std::cout << "Training a " << cfg.parameter_count() << "-parameter transformer on a " << q
             << "x" << q << " Optimus mesh (" << q * q << " simulated devices)\n";
 
+  // The workload is host-side state shared by all ranks; the cached sampler
+  // draws each batch exactly once and replays it to every device.
+  auto sampler = ort::make_cached_sampler([&] { return workload.next(); });
+
   // 2-4. Every device runs this body; collectives keep them in lockstep.
   std::vector<double> losses;
   auto report = oc::run_cluster(q * q, [&](oc::Context& ctx) {
@@ -73,18 +76,8 @@ int main(int argc, char** argv) {
     optimus::core::OptimusTransformer<float> engine(cfg, mesh);
     ort::Adam<float> opt;
     ort::ConstantLr schedule(lr);
-    // The workload is host-side state shared by all ranks; guard it so each
-    // batch is drawn exactly once and seen identically by every device.
-    static std::mutex mu;
-    auto next_batch = [&]() {
-      std::lock_guard<std::mutex> lock(mu);
-      static std::vector<ort::LmBatch> cache;
-      static std::size_t served_by[64] = {};
-      const std::size_t i = served_by[ctx.rank]++;
-      if (i >= cache.size()) cache.push_back(workload.next());
-      return cache[i];
-    };
-    auto trace = ort::train_lm(engine, opt, schedule, next_batch, steps);
+    auto trace = ort::train_lm(
+        engine, opt, schedule, [&] { return sampler(ctx.rank); }, steps);
     if (ctx.rank == 0) losses = trace;
   });
 

@@ -14,7 +14,9 @@
 // --validate additionally runs one real LM step of each engine on a small
 // p = 4 simulated cluster and checks the measured per-device collective
 // traffic against the analytic Table-1 forms (the closed forms above are
-// then not just a model — they are an oracle the simulation satisfies).
+// then not just a model — they are an oracle the simulation satisfies), plus
+// one KV-cached decode step of each engine against the closed-form
+// decode-step cost (perfmodel::predict_*_decode_step_time).
 // --trace-out / --metrics-out capture that validation run's span timeline
 // and metrics (they imply --validate; the analytic sweep itself runs no
 // simulation worth tracing).
@@ -32,6 +34,7 @@
 #include "perfmodel/scaling.hpp"
 #include "perfmodel/validation.hpp"
 #include "runtime/data.hpp"
+#include "serving/engines.hpp"
 #include "summa/summa.hpp"
 #include "tensor/tensor.hpp"
 #include "util/cli.hpp"
@@ -142,7 +145,60 @@ bool run_validation(optimus::comm::Cluster::Report* optimus_report) {
     std::cout << "FAIL: expected >=25% overlap win at q=2\n";
     overlap_ok = false;
   }
-  return all_ok && overlap_ok;
+
+  // KV-cached decode step: one incremental serving step of each distributed
+  // engine, simulator clock vs the closed-form decode-step predictor (the
+  // exact sum of the step's collectives and GEMM charges). A warmup step
+  // first pays the one-time decode parameter fetch and fills every cache
+  // slot to length 1 — the lens the predictor is handed.
+  std::cout << "\nmeasured vs predicted KV-cached decode-step sim time at p=4\n";
+  Table dt({"engine", "measured s", "predicted s", "rel err", "ok?"});
+  bool decode_ok = true;
+  const std::vector<optimus::tensor::index_t> lens(static_cast<std::size_t>(cfg.batch), 1);
+  const std::vector<std::int32_t> step_tokens(static_cast<std::size_t>(cfg.batch), 1);
+  const std::vector<std::uint8_t> step_active(static_cast<std::size_t>(cfg.batch), 1);
+  const auto add_decode = [&](const char* name, double meas, double predicted) {
+    const double rel = std::abs(meas - predicted) / (predicted > 0 ? predicted : 1.0);
+    const bool ok = rel <= 1e-9;
+    decode_ok = decode_ok && ok;
+    dt.add_row({name, Table::fmt(meas, 12), Table::fmt(predicted, 12), Table::fmt(rel, 12),
+                ok ? "yes" : "NO"});
+  };
+  {
+    double meas = 0, predicted = 0;
+    oc::run_cluster(p, [&](oc::Context& ctx) {
+      os::PipelineGuard guard(false);  // the closed form models blocking SUMMA
+      optimus::mesh::Mesh2D mesh(ctx.world);
+      optimus::core::OptimusTransformer<float> engine(cfg, mesh);
+      optimus::serving::OptimusDecodeEngine<float> dec(engine, cfg.batch);
+      dec.step(step_tokens, step_active);  // warmup
+      const double t0 = ctx.clock.now();
+      dec.step(step_tokens, step_active);
+      if (ctx.rank == 0) {
+        meas = ctx.clock.now() - t0;
+        predicted = opm::predict_optimus_decode_step_time(ctx.cost, w, q, lens, sizeof(float));
+      }
+    });
+    add_decode("Optimus q=2", meas, predicted);
+  }
+  {
+    double meas = 0, predicted = 0;
+    oc::run_cluster(p, [&](oc::Context& ctx) {
+      optimus::megatron::MegatronTransformer<float> engine(cfg, ctx.world);
+      optimus::serving::MegatronDecodeEngine<float> dec(engine, ctx.world, cfg.batch);
+      dec.step(step_tokens, step_active);  // warmup
+      const double t0 = ctx.clock.now();
+      dec.step(step_tokens, step_active);
+      if (ctx.rank == 0) {
+        meas = ctx.clock.now() - t0;
+        predicted = opm::predict_megatron_decode_step_time(ctx.cost, w, p, lens, sizeof(float));
+      }
+    });
+    add_decode("Megatron p=4", meas, predicted);
+  }
+  dt.print(std::cout);
+  if (!decode_ok) std::cout << "FAIL: decode-step closed form does not match the simulator\n";
+  return all_ok && overlap_ok && decode_ok;
 }
 
 }  // namespace

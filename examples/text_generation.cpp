@@ -60,6 +60,14 @@ std::int32_t sample_token(const std::vector<float>& logits, double temperature,
   return static_cast<std::int32_t>(probs.size() - 1);
 }
 
+/// Masks the padded vocabulary tail (cfg.vocab is rounded up to a mesh
+/// multiple) so sampling can never produce a token the corpus cannot decode.
+void mask_padding_vocab(std::vector<float>& logits, ot::index_t real_vocab) {
+  for (std::size_t vi = static_cast<std::size_t>(real_vocab); vi < logits.size(); ++vi) {
+    logits[vi] = -1e30f;
+  }
+}
+
 om::TransformerConfig corpus_config(const ort::CharCorpus& corpus, int q,
                                     ot::index_t batch) {
   om::TransformerConfig cfg;
@@ -90,34 +98,41 @@ void run_serial(const ort::CharCorpus& corpus, int steps, int gen_chars, double 
   std::cout << "final loss " << ort::tail_mean(losses, 10) << " (chance "
             << std::log(static_cast<double>(cfg.vocab)) << ")\n\ngenerated:\n";
 
-  // Greedy generation with a sliding context window.
-  std::vector<std::int32_t> window;
-  for (char c : prompt) window.push_back(corpus.encode(c));
-  while (static_cast<ot::index_t>(window.size()) < cfg.seq_len) {
-    window.insert(window.begin(), corpus.encode(' '));
-  }
+  // KV-cached incremental generation at batch 1 — the prompt is fed once and
+  // each new character costs a single decode step (the old path re-ran the
+  // full context window every character, replicated across the training
+  // batch). When the history outgrows the positional capacity the cache is
+  // re-primed from the most recent half window (sliding-window hysteresis),
+  // so the amortized cost stays O(1) forwards per character.
+  auto cache = model.make_kv_cache(/*slots=*/1);
+  std::vector<std::int32_t> context;
+  for (char c : prompt) context.push_back(corpus.encode(c));
+  if (context.empty()) context.push_back(corpus.encode(' '));
+  std::size_t base = 0;  // first context index resident in the cache
+  std::size_t fed = 0;   // context tokens already appended to the cache
+  const auto feed_pending = [&] {
+    if (context.size() - base > static_cast<std::size_t>(cfg.seq_len)) {
+      base = context.size() - static_cast<std::size_t>(cfg.seq_len) / 2;
+      cache.reset(0);
+      fed = base;
+    }
+    ot::ITensor one(ot::Shape{1});
+    while (fed < context.size()) {
+      one[0] = context[fed++];
+      model.forward_decode(one, cache);
+    }
+  };
   optimus::util::Rng gen_rng(9);
   std::string out = prompt;
+  std::vector<float> last(static_cast<std::size_t>(cfg.vocab));
   for (int i = 0; i < gen_chars; ++i) {
-    ot::ITensor tokens(ot::Shape{1, cfg.seq_len});
-    // The model's batch is fixed; replicate the window across it.
-    ot::ITensor full(ot::Shape{cfg.batch, cfg.seq_len});
-    for (ot::index_t b = 0; b < cfg.batch; ++b) {
-      for (ot::index_t t = 0; t < cfg.seq_len; ++t) {
-        full.at(b, t) = window[window.size() - cfg.seq_len + t];
-      }
-    }
-    model.forward(full);
-    ot::Tensor logits = model.lm_logits();
-    std::vector<float> last(static_cast<std::size_t>(cfg.vocab));
-    for (ot::index_t vi = 0; vi < cfg.vocab; ++vi) {
-      last[vi] = logits.at(cfg.seq_len - 1, vi);
-    }
-    // Mask padding tokens beyond the real vocabulary.
-    for (ot::index_t vi = corpus.vocab_size(); vi < cfg.vocab; ++vi) last[vi] = -1e30f;
+    feed_pending();
+    ot::Tensor logits = model.lm_logits_decode();  // [1, vocab]
+    for (ot::index_t vi = 0; vi < cfg.vocab; ++vi) last[vi] = logits.at(0, vi);
+    mask_padding_vocab(last, corpus.vocab_size());
     const std::int32_t next = sample_token(last, temperature, gen_rng);
     out.push_back(corpus.decode(next));
-    window.push_back(next);
+    context.push_back(next);
   }
   std::cout << out << "\n";
 }
@@ -131,23 +146,17 @@ void run_optimus(const ort::CharCorpus& corpus, int steps, int gen_chars, double
   std::mutex mu;
   std::vector<std::string> streams(static_cast<std::size_t>(q));
   double final_loss = 0;
+  // Shared batch cache so every rank trains on identical data.
+  optimus::util::Rng data_rng(3);
+  auto sampler = ort::make_cached_sampler(
+      [&] { return corpus.sample(cfg.batch, cfg.seq_len, data_rng); });
   oc::run_cluster(q * q, [&](oc::Context& ctx) {
     optimus::mesh::Mesh2D mesh(ctx.world);
     optimus::core::OptimusTransformer<float> engine(cfg, mesh);
     ort::Adam<float> opt;
     ort::WarmupCosineLr schedule(3e-3, steps / 10 + 1, steps);
-
-    // Shared batch cache so every rank trains on identical data.
-    static std::mutex data_mu;
-    static std::vector<ort::LmBatch> cache;
-    static optimus::util::Rng data_rng(3);
-    std::size_t served = 0;
-    auto next_batch = [&]() {
-      std::lock_guard<std::mutex> lock(data_mu);
-      if (served >= cache.size()) cache.push_back(corpus.sample(cfg.batch, cfg.seq_len, data_rng));
-      return cache[served++];
-    };
-    auto losses = ort::train_lm(engine, opt, schedule, next_batch, steps);
+    auto losses = ort::train_lm(
+        engine, opt, schedule, [&] { return sampler(ctx.rank); }, steps);
     if (ctx.rank == 0) final_loss = ort::tail_mean(losses, 10);
 
     // --- Distributed generation: one stream per mesh row (b = q). ---
@@ -188,7 +197,7 @@ void run_optimus(const ort::CharCorpus& corpus, int steps, int gen_chars, double
       const ot::index_t vq = gcfg.vocab / q;
       std::vector<float> full(static_cast<std::size_t>(gcfg.vocab));
       mesh.row_comm().all_gather(block.data() + (gcfg.seq_len - 1) * vq, vq, full.data());
-      for (ot::index_t vi = corpus.vocab_size(); vi < gcfg.vocab; ++vi) full[vi] = -1e30f;
+      mask_padding_vocab(full, corpus.vocab_size());
       const std::int32_t mine = sample_token(full, temperature, gen_rng);
       // Exchange the per-row choices down the columns so every device can
       // build the next window.

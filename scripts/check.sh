@@ -11,9 +11,12 @@
 #      run twice — both runs must pass AND produce byte-identical reports
 #      (the harness promises determinism; a diff here means nondeterminism
 #      leaked into the engines or the report).
-#   4. Fast-label test suite under ASan+UBSan (`asan` preset) and TSan
+#   4. Serving smoke: bench_serving (fixed seeds, simulated clock) run twice
+#      with byte-diffed stdout + BENCH_serving.json.
+#   5. Fast-label test suite under ASan+UBSan (`asan` preset) and TSan
 #      (`tsan` preset). The comm layer runs one thread per simulated device,
-#      exactly where TSan earns its keep.
+#      exactly where TSan earns its keep. The serving-label suite also runs
+#      under TSan (scheduler + decode collectives interleave across ranks).
 #
 # Usage: scripts/check.sh [--skip-sanitizers|--skip-asan]
 set -euo pipefail
@@ -51,6 +54,18 @@ echo "==> differential fuzz smoke: 25 configs, twice, byte-identical reports"
 diff "$OBS_TMP/fuzz_a.txt" "$OBS_TMP/fuzz_b.txt"
 echo "    25/25 configs pass, reports byte-identical"
 
+echo "==> serving smoke: fixed-seed bench_serving, twice, byte-identical"
+# The serving bench runs entirely on the simulated clock with seeded traffic,
+# so stdout and BENCH_serving.json must reproduce byte-for-byte. It also
+# asserts the >=3x cached-vs-recompute speedup and the decode-step closed
+# form internally (OPT_CHECK aborts on violation).
+ROOT="$(pwd)"
+(cd "$OBS_TMP" && "$ROOT/build/bench/bench_serving" > serving_a.out && mv BENCH_serving.json serving_a.json)
+(cd "$OBS_TMP" && "$ROOT/build/bench/bench_serving" > serving_b.out && mv BENCH_serving.json serving_b.json)
+diff "$OBS_TMP/serving_a.out" "$OBS_TMP/serving_b.out"
+diff "$OBS_TMP/serving_a.json" "$OBS_TMP/serving_b.json"
+echo "    serving bench deterministic, speedup + cost-model asserts pass"
+
 echo "==> thread-scaling smoke: 1024^3 f32 GEMM, 1 vs 4 threads"
 # Fails if threading makes the kernel slower (core-count-aware bound; see
 # tools/thread_scaling_smoke.cpp). Guards the shared-pack schedule against
@@ -78,5 +93,9 @@ OPTIMUS_SUMMA_PIPELINE=1 ctest --test-dir build-tsan -L fast --output-on-failure
 # claim-counter paths actually run multi-threaded under TSan (the default
 # budget on a small CI host may be 1, which would never exercise them).
 OPTIMUS_KERNEL_THREADS=4 ctest --test-dir build-tsan -L fast --output-on-failure -j"$(nproc)"
+# The serving label drives the continuous-batching scheduler and KV-cached
+# decode through multi-rank clusters — admission/eviction interleaves with
+# collective traffic, exactly where a scheduler data race would hide.
+ctest --test-dir build-tsan -L serving --output-on-failure -j"$(nproc)"
 
 echo "==> all checks passed"

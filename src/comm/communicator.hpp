@@ -154,6 +154,15 @@ class Communicator {
   template <typename T>
   void all_reduce_max(T* data, tensor::index_t n);
 
+  /// Sum all-reduce with a payload-size-independent fold order: every element
+  /// is accumulated rank 0 → g−1. The ring all_reduce folds each chunk
+  /// starting at a rank derived from the chunk *layout*, so two payloads of
+  /// different length reassociate differently; incremental decode needs the
+  /// single-row reduction to match the full-prefix one bitwise, which this
+  /// guarantees. Modelled/recorded with the same ring cost as all_reduce.
+  template <typename T>
+  void all_reduce_ordered(T* data, tensor::index_t n);
+
   /// Gathers each rank's `n` elements into `out` (size n·g), rank order.
   template <typename T>
   void all_gather(const T* mine, tensor::index_t n, T* out);
@@ -198,6 +207,10 @@ class Communicator {
   template <typename T>
   void all_reduce_max(tensor::TensorT<T>& t) {
     all_reduce_max(t.data(), t.numel());
+  }
+  template <typename T>
+  void all_reduce_ordered(tensor::TensorT<T>& t) {
+    all_reduce_ordered(t.data(), t.numel());
   }
 
  private:
@@ -580,6 +593,39 @@ void Communicator::all_reduce_max(T* data, tensor::index_t n) {
     send_internal(0, tag, data, n);
   }
   const std::uint64_t tag2 = collective_tag(seq, 5);
+  if (rank_ == 0) {
+    for (int r = 1; r < g; ++r) send_internal(r, tag2, data, n);
+  } else {
+    recv_internal(0, tag2, data, n);
+  }
+}
+
+template <typename T>
+void Communicator::all_reduce_ordered(T* data, tensor::index_t n) {
+  const std::uint64_t seq = next_seq();
+  if (size() == 1) return;
+  const int g = size();
+  const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
+  Fabric::OpScope op_scope("allreduce");
+  obs::Span span("comm", "allreduce");
+  const CollectiveTiming ct = begin_collective(seq, cost_->ring_allreduce_time(group_, bytes));
+  annotate_span(span, bytes, ct);
+  stats_->allreduce.record(
+      n, bytes, static_cast<double>(n) * 2.0 * (g - 1) / static_cast<double>(g), ct.dt);
+
+  // Gather-to-0 with an ascending-rank fold, then broadcast: rank 0's value
+  // + rank 1's + … + rank (g−1)'s for every element regardless of n.
+  const std::uint64_t tag = collective_tag(seq, 11);
+  std::vector<T> incoming(static_cast<std::size_t>(n));
+  if (rank_ == 0) {
+    for (int r = 1; r < g; ++r) {
+      recv_internal(r, tag, incoming.data(), n);
+      for (tensor::index_t i = 0; i < n; ++i) data[i] += incoming[i];
+    }
+  } else {
+    send_internal(0, tag, data, n);
+  }
+  const std::uint64_t tag2 = collective_tag(seq, 12);
   if (rank_ == 0) {
     for (int r = 1; r < g; ++r) send_internal(r, tag2, data, n);
   } else {

@@ -40,7 +40,9 @@ void layernorm2d_forward(comm::Communicator& row_comm, const TensorT<T>& x,
       sums[rows + r] = ss;
     }
   });
-  row_comm.all_reduce(sums.data(), 2 * rows);
+  // Ordered fold: decode (rows = b/q) and prefill (rows = b·s/q) reductions
+  // must associate identically for the KV-cache path to be bitwise exact.
+  row_comm.all_reduce_ordered(sums.data(), 2 * rows);
 
   const T* gp = gamma_slice.data();
   const T* bp = beta_slice.data();

@@ -513,6 +513,153 @@ TensorT<T> OptimusTransformer<T>::lm_logits_block() {
 }
 
 template <typename T>
+void OptimusTransformer<T>::ensure_decode_params() {
+  if (decode_params_ready_) return;
+  const index_t hq = h_local();
+  const index_t fq = cfg_.ffn_hidden() / q();
+  const index_t tq = 3 * hq;
+  // Same copy-then-broadcast as bcast_from_row0, but into persistent tensors
+  // (the forward arena is per-layer scratch; these live across decode steps).
+  auto fetch = [&](const TensorT<T>& hosted, Shape shape) {
+    TensorT<T> buf(shape);
+    if (on_row0()) {
+      OPT_CHECK(hosted.defined() && hosted.numel() == buf.numel(), "hosted slice mismatch");
+      buf.copy_from(hosted.reshape(shape));
+    }
+    mesh_->col_comm().broadcast(buf, /*root=*/0);
+    return buf;
+  };
+  decode_params_.clear();
+  decode_params_.resize(static_cast<std::size_t>(cfg_.layers));
+  for (index_t l = 0; l < cfg_.layers; ++l) {
+    Layer& p = layers_[l];
+    DecodeParams& dp = decode_params_[static_cast<std::size_t>(l)];
+    dp.ln1_g = fetch(p.ln1_g, Shape{hq});
+    dp.ln1_b = fetch(p.ln1_b, Shape{hq});
+    dp.qkv_b = fetch(p.qkv_b, Shape{tq});
+    dp.proj_b = fetch(p.proj_b, Shape{hq});
+    dp.ln2_g = fetch(p.ln2_g, Shape{hq});
+    dp.ln2_b = fetch(p.ln2_b, Shape{hq});
+    dp.fc1_b = fetch(p.fc1_b, Shape{fq});
+    dp.fc2_b = fetch(p.fc2_b, Shape{hq});
+  }
+  decode_pos_ = fetch(pos_embedding_, Shape{cfg_.seq_len, hq});
+  decode_final_g_ = fetch(final_ln_g_, Shape{hq});
+  decode_final_b_ = fetch(final_ln_b_, Shape{hq});
+  decode_params_ready_ = true;
+}
+
+template <typename T>
+const TensorT<T>& OptimusTransformer<T>::forward_decode(
+    const ITensor& tokens, model::KvCacheT<T>& cache,
+    const std::vector<std::uint8_t>* active) {
+  const int q = mesh_->q();
+  const index_t n_global = tokens.numel();
+  const index_t nl = cache.slots();  // this row's slot block
+  const index_t hq = h_local();
+  const index_t fq = cfg_.ffn_hidden() / q;
+  const index_t tq = 3 * hq;
+  const index_t vq = vocab_local();
+  const T eps = static_cast<T>(cfg_.layernorm_eps);
+  OPT_CHECK(n_global == nl * q, "decode tokens must be the global slot vector");
+  OPT_CHECK(active == nullptr || static_cast<index_t>(active->size()) == n_global,
+            "active mask must be the global slot vector");
+  OPT_CHECK(cache.layers() == cfg_.layers && cache.heads() == heads_local() &&
+                cache.head_dim() == cfg_.head_dim(),
+            "kv cache does not match this device's shard");
+  ensure_decode_params();
+  const index_t slot0 = static_cast<index_t>(mesh_->row()) * nl;
+  // Decode blocks are strictly smaller than training blocks whenever the
+  // in-flight slot count stays within one training batch, so the SUMMA
+  // workspace arena fits; fall back to heap beyond that.
+  tensor::Arena* wsd = nl <= rows_local() ? ws() : nullptr;
+
+  // Embedding lookup, Algorithm-1 style but packed: instead of shipping the
+  // [v/q, h/q] table block each round, mesh row l packs the rows the current
+  // tokens actually need — one [slots, h/q] buffer — and broadcasts that down
+  // the column. Each device accumulates only its own slot block, adding
+  // exactly one contribution per slot like the prefill embed.
+  TensorT<T> x = TensorT<T>::zeros(Shape{nl, hq});
+  {
+    TensorT<T> buf(Shape{n_global, hq});
+    for (int l = 0; l < q; ++l) {
+      const index_t v_begin = static_cast<index_t>(l) * vq;
+      if (mesh_->row() == l) {
+        buf.zero();
+        for (index_t r = 0; r < n_global; ++r) {
+          const index_t tok = tokens[r];
+          if (tok >= v_begin && tok < v_begin + vq) {
+            std::memcpy(buf.data() + r * hq, embedding_.data() + (tok - v_begin) * hq,
+                        static_cast<std::size_t>(hq) * sizeof(T));
+          }
+        }
+      }
+      mesh_->col_comm().broadcast(buf, /*root=*/l);
+      for (index_t r = 0; r < nl; ++r) {
+        const index_t tok = tokens[slot0 + r];
+        if (tok >= v_begin && tok < v_begin + vq) {
+          const T* src = buf.data() + (slot0 + r) * hq;
+          T* dst = x.data() + r * hq;
+          for (index_t j = 0; j < hq; ++j) dst[j] += src[j];
+        }
+      }
+    }
+    for (index_t r = 0; r < nl; ++r) {
+      const index_t t = cache.len(r);
+      OPT_CHECK(t < cfg_.seq_len, "decode position " << t << " past seq_len " << cfg_.seq_len);
+      T* dst = x.data() + r * hq;
+      const T* src = decode_pos_.data() + t * hq;
+      for (index_t j = 0; j < hq; ++j) dst[j] += src[j];
+    }
+  }
+
+  // Same per-layer sequence as layer_forward(), one row per slot. The SUMMA
+  // calls and the ordered-fold layernorm reduction are row-decomposable, so
+  // these rows match the full-prefix rows bitwise. Heap buffers, reused
+  // across layers; decode never feeds backward.
+  comm::Communicator& row = mesh_->row_comm();
+  TensorT<T> ln_out(Shape{nl, hq}), xhat(Shape{nl, hq}), istd(Shape{nl});
+  TensorT<T> qkv(Shape{nl, tq}), ctx(Shape{nl, hq}), x1(Shape{nl, hq});
+  TensorT<T> fc1_out(Shape{nl, fq}), gelu_out(Shape{nl, fq});
+  for (index_t l = 0; l < cfg_.layers; ++l) {
+    Layer& p = layers_[l];
+    DecodeParams& dp = decode_params_[static_cast<std::size_t>(l)];
+    layernorm2d_forward(row, x, dp.ln1_g, dp.ln1_b, eps, cfg_.hidden, ln_out, xhat, istd);
+    summa::summa_ab(*mesh_, ln_out, p.qkv_w, qkv, false, wsd);
+    ops::add_bias_(qkv, dp.qkv_b);
+    model::attention_decode(qkv, nl, heads_local(), cfg_.head_dim(), cache, l, ctx);
+    summa::summa_ab(*mesh_, ctx, p.proj_w, x1, false, wsd);
+    ops::bias_residual_(x1, dp.proj_b, x);
+    layernorm2d_forward(row, x1, dp.ln2_g, dp.ln2_b, eps, cfg_.hidden, ln_out, xhat, istd);
+    summa::summa_ab(*mesh_, ln_out, p.fc1_w, fc1_out, false, wsd);
+    ops::bias_gelu_(fc1_out, dp.fc1_b, gelu_out);
+    summa::summa_ab(*mesh_, gelu_out, p.fc2_w, x, false, wsd);
+    ops::bias_residual_(x, dp.fc2_b, x1);
+  }
+  decode_hidden_ = TensorT<T>(Shape{nl, hq});
+  layernorm2d_forward(row, x, decode_final_g_, decode_final_b_, eps, cfg_.hidden,
+                      decode_hidden_, xhat, istd);
+
+  if (active == nullptr) {
+    cache.advance(nullptr);
+  } else {
+    std::vector<std::uint8_t> local(active->begin() + slot0, active->begin() + slot0 + nl);
+    cache.advance(&local);
+  }
+  return decode_hidden_;
+}
+
+template <typename T>
+TensorT<T> OptimusTransformer<T>::lm_logits_decode_block() {
+  OPT_CHECK(decode_hidden_.defined(), "call forward_decode() first");
+  const index_t nl = decode_hidden_.shape()[0];
+  TensorT<T> logits(Shape{nl, vocab_local()});
+  tensor::Arena* wsd = nl <= rows_local() ? ws() : nullptr;
+  summa::summa_abt(*mesh_, decode_hidden_, embedding_, logits, false, wsd);  // Algorithm 2
+  return logits;
+}
+
+template <typename T>
 T OptimusTransformer<T>::lm_loss(const ITensor& labels) {
   OPT_CHECK(labels.numel() == cfg_.tokens_per_batch(), "labels must be the global [b, s]");
   const index_t rows = rows_local();

@@ -33,6 +33,7 @@
 
 #include "mesh/mesh.hpp"
 #include "model/config.hpp"
+#include "model/kv_cache.hpp"
 #include "tensor/arena.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
@@ -104,6 +105,44 @@ class OptimusTransformer {
   /// This device's block of the lm-head logits [rows_local, v/q] from the
   /// last forward() (runs Algorithm 2; allocates).
   tensor::TensorT<T> lm_logits_block();
+
+  // -- incremental decode ----------------------------------------------------
+
+  /// Local cache slots when `slots_global` sequences are in flight: the slot
+  /// (= batch) dimension is row-split like activations.
+  tensor::index_t slots_local(tensor::index_t slots_global) const {
+    return slots_global / q();
+  }
+
+  /// This device's KV-cache shard for `slots_global` in-flight sequences:
+  /// 2D-sharded exactly like activations — row-split slots, column-split
+  /// heads — with `seq_len` capacity. slots_global must divide by q.
+  model::KvCacheT<T> make_kv_cache(tensor::index_t slots_global) const {
+    OPT_CHECK(slots_global >= q() && slots_global % q() == 0,
+              "decode slots " << slots_global << " must be a positive multiple of q=" << q());
+    return model::KvCacheT<T>(cfg_.layers, slots_local(slots_global), cfg_.seq_len,
+                              heads_local(), cfg_.head_dim());
+  }
+
+  /// One decode step (collective): `tokens` is the *global* [slots] vector
+  /// (every rank passes the same); this device processes its row block of
+  /// slots against its cache shard. Reuses the SUMMA collectives and the
+  /// ordered-fold layernorm reduction, so each returned row is bitwise
+  /// identical to the matching row of forward() on the full prefix. Appends
+  /// this step's K/V, advances active slots (`active` is the global mask;
+  /// null = all), and returns this device's hidden block [slots/q, h/q].
+  /// Hosted slices (biases, LN γ/β, positional rows) are broadcast down
+  /// columns once and cached across steps — call invalidate_decode_params()
+  /// if parameters change between a training step and decode.
+  const tensor::TensorT<T>& forward_decode(const tensor::ITensor& tokens,
+                                           model::KvCacheT<T>& cache,
+                                           const std::vector<std::uint8_t>* active = nullptr);
+
+  /// This device's block of the lm-head logits [slots/q, v/q] from the last
+  /// forward_decode() (Algorithm 2; allocates).
+  tensor::TensorT<T> lm_logits_decode_block();
+
+  void invalidate_decode_params() { decode_params_ready_ = false; }
 
   /// Classifier logits for this device's batch block [b/q, num_classes]
   /// (replicated across the mesh row). Collective; must follow forward().
@@ -180,6 +219,9 @@ class OptimusTransformer {
   void reduce_to_row0(tensor::TensorT<T>& partial, tensor::TensorT<T>& grad_slot);
 
   tensor::TensorT<T> embed(const tensor::ITensor& tokens);
+  /// Broadcasts the row-0/col-hosted slices decode needs (biases, LN γ/β,
+  /// positional table) down the columns once; cached until invalidated.
+  void ensure_decode_params();
   tensor::TensorT<T> layer_forward(tensor::index_t l, LayerActs& a);
   tensor::TensorT<T> layer_backward(tensor::index_t l, LayerActs& a,
                                     const tensor::TensorT<T>& dout);
@@ -210,6 +252,20 @@ class OptimusTransformer {
   tensor::TensorT<T> final_xhat_, final_istd_, hidden_;
   tensor::TensorT<T> final_g_bcast_, final_b_bcast_;
   tensor::TensorT<T> d_x0_;
+
+  // Decode state: column-broadcast copies of the hosted slices (persistent
+  // across steps) and the last step's hidden block.
+  struct DecodeParams {
+    tensor::TensorT<T> ln1_g, ln1_b, ln2_g, ln2_b;  // [h/q]
+    tensor::TensorT<T> qkv_b;                       // [3h/q]
+    tensor::TensorT<T> proj_b, fc2_b;               // [h/q]
+    tensor::TensorT<T> fc1_b;                       // [4h/q]
+  };
+  std::vector<DecodeParams> decode_params_;
+  tensor::TensorT<T> decode_pos_;                      // [s, h/q]
+  tensor::TensorT<T> decode_final_g_, decode_final_b_;  // [h/q]
+  bool decode_params_ready_ = false;
+  tensor::TensorT<T> decode_hidden_;  // [slots/q, h/q], last forward_decode()
 
   // Fused-update state: lr applied per layer during backward_stem (< 0 when
   // not in a fused-update pass).

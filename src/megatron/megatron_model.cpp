@@ -160,7 +160,7 @@ TensorT<T> MegatronTransformer<T>::layer_forward(index_t l, LayerActs& a) {
   // cannot fuse into the local GEMM — bias+residual fuse into one pass.
   a.x1 = TensorT<T>(Shape{bs, h});
   ops::gemm(a.x1, a.ctx, p.proj_w);
-  comm_->all_reduce(a.x1);
+  comm_->all_reduce_ordered(a.x1);  // ordered fold: decode must match prefill
   ops::bias_residual_(a.x1, p.proj_b, a.input);
 
   a.ln2_out = TensorT<T>(Shape{bs, h});
@@ -177,7 +177,7 @@ TensorT<T> MegatronTransformer<T>::layer_forward(index_t l, LayerActs& a) {
   // Row-parallel fc2: reduce first, then fused bias+residual.
   TensorT<T> out(Shape{bs, h});
   ops::gemm(out, a.gelu_out, p.fc2_w);
-  comm_->all_reduce(out);
+  comm_->all_reduce_ordered(out);  // ordered fold: decode must match prefill
   ops::bias_residual_(out, p.fc2_b, a.x1);
   a.full = true;
   return out;
@@ -255,6 +255,72 @@ const TensorT<T>& MegatronTransformer<T>::forward(const ITensor& tokens) {
                          static_cast<T>(cfg_.layernorm_eps), hidden_, final_xhat_,
                          final_istd_);
   return hidden_;
+}
+
+template <typename T>
+const TensorT<T>& MegatronTransformer<T>::forward_decode(
+    const ITensor& tokens, model::KvCacheT<T>& cache,
+    const std::vector<std::uint8_t>* active) {
+  const index_t n = tokens.numel();  // cache slots
+  const index_t h = cfg_.hidden;
+  const T eps = static_cast<T>(cfg_.layernorm_eps);
+  const index_t v_begin = vocab_begin();
+  const index_t v_local = vocab_per_rank();
+  OPT_CHECK(n == cache.slots(), "decode tokens must be one per cache slot");
+  OPT_CHECK(cache.layers() == cfg_.layers && cache.heads() == heads_local_ &&
+                cache.head_dim() == cfg_.head_dim(),
+            "kv cache does not match this rank's shard");
+
+  // Vocab-parallel embedding of the single new position per slot. The ring
+  // all-reduce is fine here: contributions are disjoint (one rank's row plus
+  // zeros), so any fold order yields the same bits — exactly as in prefill.
+  TensorT<T> x = TensorT<T>::zeros(Shape{n, h});
+  for (index_t r = 0; r < n; ++r) {
+    const index_t tok = tokens[r];
+    if (tok >= v_begin && tok < v_begin + v_local) {
+      std::memcpy(x.data() + r * h, embedding_.data() + (tok - v_begin) * h,
+                  static_cast<std::size_t>(h) * sizeof(T));
+    }
+  }
+  comm_->all_reduce(x);
+  for (index_t r = 0; r < n; ++r) {
+    const index_t t = cache.len(r);
+    OPT_CHECK(t < cfg_.seq_len, "decode position " << t << " past seq_len " << cfg_.seq_len);
+    T* row = x.data() + r * h;
+    const T* pos = pos_embedding_.data() + t * h;
+    for (index_t j = 0; j < h; ++j) row[j] += pos[j];
+  }
+
+  // Same per-layer sequence as layer_forward(), one row per slot; the two
+  // row-parallel all-reduces use the ordered fold so decode rows match the
+  // prefill rows bitwise. Buffers reused across layers; nothing retained.
+  TensorT<T> ln_out(Shape{n, h}), xhat(Shape{n, h}), istd(Shape{n});
+  TensorT<T> qkv(Shape{n, qkv_cols_}), ctx(Shape{n, h / p()}), x1(Shape{n, h});
+  TensorT<T> fc1_out(Shape{n, ffn_local_}), gelu_out(Shape{n, ffn_local_});
+  for (index_t l = 0; l < cfg_.layers; ++l) {
+    Layer& p = layers_[l];
+    ops::layernorm_forward(x, p.ln1_g, p.ln1_b, eps, ln_out, xhat, istd);
+    ops::gemm_bias(qkv, ln_out, p.qkv_w, p.qkv_b);
+    model::attention_decode(qkv, n, heads_local_, cfg_.head_dim(), cache, l, ctx);
+    ops::gemm(x1, ctx, p.proj_w);
+    comm_->all_reduce_ordered(x1);
+    ops::bias_residual_(x1, p.proj_b, x);
+    ops::layernorm_forward(x1, p.ln2_g, p.ln2_b, eps, ln_out, xhat, istd);
+    ops::gemm_bias_gelu(gelu_out, fc1_out, ln_out, p.fc1_w, p.fc1_b);
+    ops::gemm(x, gelu_out, p.fc2_w);
+    comm_->all_reduce_ordered(x);
+    ops::bias_residual_(x, p.fc2_b, x1);
+  }
+  decode_hidden_ = TensorT<T>(Shape{n, h});
+  ops::layernorm_forward(x, final_ln_g_, final_ln_b_, eps, decode_hidden_, xhat, istd);
+  cache.advance(active);
+  return decode_hidden_;
+}
+
+template <typename T>
+TensorT<T> MegatronTransformer<T>::lm_logits_decode_local() {
+  OPT_CHECK(decode_hidden_.defined(), "call forward_decode() first");
+  return ops::matmul(decode_hidden_, embedding_, ops::Trans::No, ops::Trans::Yes);
 }
 
 template <typename T>

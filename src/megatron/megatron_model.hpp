@@ -28,6 +28,7 @@
 
 #include "comm/communicator.hpp"
 #include "model/config.hpp"
+#include "model/kv_cache.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
 
@@ -68,6 +69,29 @@ class MegatronTransformer {
   /// This rank's slice bounds of the vocab dimension.
   tensor::index_t vocab_begin() const { return comm_->rank() * cfg_.vocab / p(); }
   tensor::index_t vocab_per_rank() const { return cfg_.vocab / p(); }
+  tensor::index_t heads_local() const { return heads_local_; }
+
+  // -- incremental decode ----------------------------------------------------
+
+  /// This rank's KV-cache shard: column-sharded heads (n/p per rank), all
+  /// slots present, `seq_len` capacity.
+  model::KvCacheT<T> make_kv_cache(tensor::index_t slots) const {
+    return model::KvCacheT<T>(cfg_.layers, slots, cfg_.seq_len, heads_local_, cfg_.head_dim());
+  }
+
+  /// One decode step (collective): tokens [slots] replicated across ranks,
+  /// one new token per cache slot at position cache.len(slot). Reuses the
+  /// layer all-reduces (ordered fold, so the result is bitwise identical to
+  /// the matching rows of forward() on the full prefix), appends this step's
+  /// K/V, advances active slots (null = all), and returns the replicated
+  /// hidden states [slots, h].
+  const tensor::TensorT<T>& forward_decode(const tensor::ITensor& tokens,
+                                           model::KvCacheT<T>& cache,
+                                           const std::vector<std::uint8_t>* active = nullptr);
+
+  /// This rank's vocab slice of the lm-head logits [slots, v/p] from the last
+  /// forward_decode() (allocates). Column j is global vocab vocab_begin()+j.
+  tensor::TensorT<T> lm_logits_decode_local();
 
   // Local parameter access for equivalence tests.
   struct Layer {
@@ -128,6 +152,7 @@ class MegatronTransformer {
   std::vector<LayerActs> acts_;
   tensor::TensorT<T> stem_out_, final_xhat_, final_istd_, hidden_;
   tensor::TensorT<T> d_x0_;
+  tensor::TensorT<T> decode_hidden_;  // [slots, h], last forward_decode()
 
   // Loss state.
   tensor::TensorT<T> lm_exp_;      // [bs, v/p] exp(logits − m)

@@ -1,7 +1,10 @@
 #include "model/attention.hpp"
 
 #include <cmath>
+#include <cstring>
+#include <vector>
 
+#include "model/kv_cache.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/parallel.hpp"
 
@@ -187,6 +190,58 @@ void attention_backward_fused(const TensorT<T>& qkv, const TensorT<T>& dctx, ind
   }
 }
 
+template <typename T>
+void attention_decode(const TensorT<T>& qkv, index_t slots, index_t heads, index_t d,
+                      KvCacheT<T>& cache, index_t layer, TensorT<T>& ctx) {
+  const index_t qkv_cols = heads * 3 * d;
+  const index_t ctx_cols = heads * d;
+  const index_t cap = cache.capacity();
+  OPT_CHECK(qkv.numel() == slots * qkv_cols, "decode qkv shape mismatch");
+  OPT_CHECK(ctx.numel() == slots * ctx_cols, "decode ctx shape mismatch");
+  OPT_CHECK(slots == cache.slots() && heads == cache.heads() && d == cache.head_dim(),
+            "cache shard mismatch: [" << cache.slots() << ", " << cache.heads() << "x"
+                                      << cache.head_dim() << "] vs [" << slots << ", "
+                                      << heads << "x" << d << "]");
+  const T scale = T{1} / static_cast<T>(std::sqrt(static_cast<double>(d)));
+  T* kc = cache.k_data(layer);
+  T* vc = cache.v_data(layer);
+
+  // (slot, head) pairs touch disjoint cache and ctx slices, so they are the
+  // intra-op parallel axis exactly as in the prefill path.
+  tensor::parallel_for(slots * heads, /*grain=*/1, [&](index_t w0, index_t w1) {
+    std::vector<T> probs;
+    for (index_t w = w0; w < w1; ++w) {
+      const index_t bi = w / heads;
+      const index_t hi = w % heads;
+      const index_t len = cache.len(bi);
+      OPT_CHECK(len < cap, "kv cache slot " << bi << " full");
+      const index_t L = len + 1;
+      const T* base = qkv.data() + bi * qkv_cols + hi * 3 * d;
+      const T* Q = base;  // [1, d]
+      // Append this step's K/V at position `len` (head-major inner layout).
+      T* k_row = kc + (bi * cap + len) * ctx_cols + hi * d;
+      T* v_row = vc + (bi * cap + len) * ctx_cols + hi * d;
+      std::memcpy(k_row, base + d, static_cast<std::size_t>(d) * sizeof(T));
+      std::memcpy(v_row, base + 2 * d, static_cast<std::size_t>(d) * sizeof(T));
+      const T* K = kc + bi * cap * ctx_cols + hi * d;  // [L, d], row stride ctx_cols
+      const T* V = vc + bi * cap * ctx_cols + hi * d;
+
+      // scores = scale · q·Kᵀ over the L cached positions, softmax, then
+      // ctx = P·V — the same gemm/softmax routines as prefill, restricted to
+      // one query row.
+      probs.resize(static_cast<std::size_t>(L));
+      T* P = probs.data();
+      ops::gemm_raw(P, Q, K, 1, L, d, qkv_cols, ctx_cols, L, ops::Trans::No, ops::Trans::Yes,
+                    scale, T{0});
+      TensorT<T> p_view = TensorT<T>::wrap(P, Shape{1, L}, nullptr);
+      ops::softmax_lastdim(p_view, p_view);
+      T* C = ctx.data() + bi * ctx_cols + hi * d;  // [1, d]
+      ops::gemm_raw(C, P, V, 1, d, L, L, ctx_cols, ctx_cols, ops::Trans::No, ops::Trans::No,
+                    T{1}, T{0});
+    }
+  });
+}
+
 #define OPTIMUS_INSTANTIATE_ATTENTION(T)                                                   \
   template void attention_forward<T>(const TensorT<T>&, index_t, index_t, index_t,        \
                                      index_t, bool, TensorT<T>&, TensorT<T>&);             \
@@ -197,7 +252,9 @@ void attention_backward_fused(const TensorT<T>& qkv, const TensorT<T>& dctx, ind
                                            index_t, bool, TensorT<T>&, TensorT<T>&);      \
   template void attention_backward_fused<T>(const TensorT<T>&, const TensorT<T>&,         \
                                             index_t, index_t, index_t, index_t, bool,     \
-                                            TensorT<T>&, TensorT<T>&);
+                                            TensorT<T>&, TensorT<T>&);                     \
+  template void attention_decode<T>(const TensorT<T>&, index_t, index_t, index_t,         \
+                                    KvCacheT<T>&, index_t, TensorT<T>&);
 
 OPTIMUS_INSTANTIATE_ATTENTION(float)
 OPTIMUS_INSTANTIATE_ATTENTION(double)

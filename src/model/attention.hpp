@@ -13,6 +13,8 @@
 // checkpointing, callers recompute the forward so probs only live during a
 // single layer's backward pass (the paper's §6 fusion discussion).
 
+#include <vector>
+
 #include "tensor/tensor.hpp"
 
 namespace optimus::model {
@@ -35,6 +37,38 @@ void attention_backward(const tensor::TensorT<T>& qkv, const tensor::TensorT<T>&
 inline tensor::index_t attention_probs_elems(tensor::index_t b, tensor::index_t s,
                                              tensor::index_t heads) {
   return b * heads * s * s;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental (KV-cached) decode
+// ---------------------------------------------------------------------------
+
+template <typename T>
+class KvCacheT;
+
+/// One decode step against the cache: qkv holds ONE new position per slot
+/// ([slots, heads·3·d], head-major). For each (slot, head) the K/V slices are
+/// appended to layer `layer` of the cache at position len(slot), and the new
+/// query attends over the len(slot)+1 cached positions — O(len·d) instead of
+/// the O(s²·d) full-prefix recompute. Causality is inherent (the cache only
+/// holds the prefix), and the result row is bitwise identical to the matching
+/// row of attention_forward on the full prefix: the masked prefill columns
+/// are exact +0 probabilities appended *after* the prefix in every fold.
+/// Slot lengths are NOT advanced here — the engine advances the cache once
+/// all layers appended.
+template <typename T>
+void attention_decode(const tensor::TensorT<T>& qkv, tensor::index_t slots,
+                      tensor::index_t heads, tensor::index_t d, KvCacheT<T>& cache,
+                      tensor::index_t layer, tensor::TensorT<T>& ctx);
+
+/// Multiply-accumulates attention_decode charges: 2·(len+1)·d per (slot, head).
+inline std::uint64_t attention_decode_mults(const std::vector<tensor::index_t>& lens,
+                                            tensor::index_t heads, tensor::index_t d) {
+  std::uint64_t total = 0;
+  for (const tensor::index_t len : lens) {
+    total += static_cast<std::uint64_t>(heads) * 2u * static_cast<std::uint64_t>(len + 1) * d;
+  }
+  return total;
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,95 @@
+#pragma once
+
+// Per-layer key/value cache for incremental decode, shared by every engine.
+//
+// Each engine allocates its *local shard* of the cache, mirroring how it
+// shards activations:
+//
+//   serial    [slots,     capacity, heads·d]      (dense oracle)
+//   Megatron  [slots,     capacity, heads/p·d]    (column-sharded heads)
+//   Optimus   [slots/q,   capacity, heads/q·d]    (row-split batch slots,
+//                                                  col-split heads — §3.2.1)
+//
+// Layout per layer: K and V tensors of shape [slots, capacity, heads·d] with
+// the same head-major inner stride as the fused QKV activations, so a cached
+// row is exactly the K (or V) slice of the qkv row that produced it. Slot
+// lengths are shared across layers (every layer appends at the same position
+// within one decode step) and advanced once per step by the engine.
+//
+// The tensors are ordinary TensorT allocations, so the cache footprint is
+// tracked by the memory accountant (DeviceContext) like any activation.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/check.hpp"
+
+namespace optimus::model {
+
+template <typename T>
+class KvCacheT {
+ public:
+  KvCacheT(tensor::index_t layers, tensor::index_t slots, tensor::index_t capacity,
+           tensor::index_t heads, tensor::index_t head_dim)
+      : slots_(slots),
+        capacity_(capacity),
+        heads_(heads),
+        head_dim_(head_dim),
+        len_(static_cast<std::size_t>(slots), 0) {
+    OPT_CHECK(layers >= 1 && slots >= 1 && capacity >= 1 && heads >= 1 && head_dim >= 1,
+              "kv cache shape [" << layers << ", " << slots << ", " << capacity << ", "
+                                 << heads << "x" << head_dim << "]");
+    k_.reserve(static_cast<std::size_t>(layers));
+    v_.reserve(static_cast<std::size_t>(layers));
+    const tensor::Shape shape{slots, capacity, heads * head_dim};
+    for (tensor::index_t l = 0; l < layers; ++l) {
+      k_.push_back(tensor::TensorT<T>::zeros(shape));
+      v_.push_back(tensor::TensorT<T>::zeros(shape));
+    }
+  }
+
+  tensor::index_t layers() const { return static_cast<tensor::index_t>(k_.size()); }
+  tensor::index_t slots() const { return slots_; }
+  tensor::index_t capacity() const { return capacity_; }
+  tensor::index_t heads() const { return heads_; }
+  tensor::index_t head_dim() const { return head_dim_; }
+  /// Inner row stride: heads·d.
+  tensor::index_t row_elems() const { return heads_ * head_dim_; }
+
+  tensor::index_t len(tensor::index_t slot) const {
+    return len_[static_cast<std::size_t>(slot)];
+  }
+
+  /// Frees a slot for reuse (the stale K/V rows are simply overwritten).
+  void reset(tensor::index_t slot) { len_[static_cast<std::size_t>(slot)] = 0; }
+  void reset_all() { std::fill(len_.begin(), len_.end(), tensor::index_t{0}); }
+
+  /// Advances the write cursor of every active slot by one position (called
+  /// once per decode step, after all layers appended). `active` may be null:
+  /// every slot advances.
+  void advance(const std::vector<std::uint8_t>* active) {
+    for (tensor::index_t i = 0; i < slots_; ++i) {
+      if (active != nullptr && !(*active)[static_cast<std::size_t>(i)]) continue;
+      OPT_CHECK(len_[static_cast<std::size_t>(i)] < capacity_,
+                "kv cache slot " << i << " overflow (capacity " << capacity_ << ")");
+      ++len_[static_cast<std::size_t>(i)];
+    }
+  }
+
+  /// Base pointer of layer l's K (or V) shard.
+  T* k_data(tensor::index_t l) { return k_[static_cast<std::size_t>(l)].data(); }
+  T* v_data(tensor::index_t l) { return v_[static_cast<std::size_t>(l)].data(); }
+
+  std::uint64_t footprint_bytes() const {
+    return static_cast<std::uint64_t>(k_.size()) * 2u *
+           static_cast<std::uint64_t>(slots_ * capacity_ * row_elems()) * sizeof(T);
+  }
+
+ private:
+  tensor::index_t slots_, capacity_, heads_, head_dim_;
+  std::vector<tensor::TensorT<T>> k_, v_;
+  std::vector<tensor::index_t> len_;  // per slot, shared by all layers
+};
+
+}  // namespace optimus::model

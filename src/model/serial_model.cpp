@@ -173,6 +173,60 @@ tensor::TensorT<T> SerialTransformer<T>::lm_logits() {
 }
 
 template <typename T>
+const TensorT<T>& SerialTransformer<T>::forward_decode(const ITensor& tokens,
+                                                       KvCacheT<T>& cache,
+                                                       const std::vector<std::uint8_t>* active) {
+  const index_t n = tokens.numel();  // cache slots
+  const index_t h = cfg_.hidden;
+  const index_t f = cfg_.ffn_hidden();
+  const T eps = static_cast<T>(cfg_.layernorm_eps);
+  OPT_CHECK(n == cache.slots(), "decode tokens must be one per cache slot");
+  OPT_CHECK(cache.layers() == cfg_.layers && cache.heads() == cfg_.heads &&
+                cache.head_dim() == cfg_.head_dim(),
+            "kv cache does not match model config");
+
+  // Token + positional embedding at each slot's next position.
+  TensorT<T> x(Shape{n, h});
+  ops::embedding_forward(embedding_, tokens, x);
+  for (index_t i = 0; i < n; ++i) {
+    const index_t t = cache.len(i);
+    OPT_CHECK(t < cfg_.seq_len, "decode position " << t << " past seq_len " << cfg_.seq_len);
+    T* row = x.data() + i * h;
+    const T* pos = pos_embedding_.data() + t * h;
+    for (index_t j = 0; j < h; ++j) row[j] += pos[j];
+  }
+
+  // Same op sequence as forward(), restricted to one row per slot. Every op
+  // in the chain is row-decomposable (LN is per-row, the GEMMs accumulate k
+  // in a fixed order per output element, attention is per (slot, head)), so
+  // the result matches the full-prefix rows bitwise. Buffers are reused
+  // across layers; decode never feeds backward.
+  TensorT<T> ln_out(Shape{n, h}), xhat(Shape{n, h}), istd(Shape{n});
+  TensorT<T> qkv(Shape{n, 3 * h}), ctx(Shape{n, h}), x1(Shape{n, h});
+  TensorT<T> fc1_out(Shape{n, f}), gelu_out(Shape{n, f});
+  for (index_t l = 0; l < cfg_.layers; ++l) {
+    LayerParams<T>& p = layers_[l];
+    ops::layernorm_forward(x, p.ln1_g, p.ln1_b, eps, ln_out, xhat, istd);
+    ops::gemm_bias(qkv, ln_out, p.qkv_w, p.qkv_b);
+    attention_decode(qkv, n, cfg_.heads, cfg_.head_dim(), cache, l, ctx);
+    ops::gemm_bias_residual(x1, ctx, p.proj_w, p.proj_b, x);
+    ops::layernorm_forward(x1, p.ln2_g, p.ln2_b, eps, ln_out, xhat, istd);
+    ops::gemm_bias_gelu(gelu_out, fc1_out, ln_out, p.fc1_w, p.fc1_b);
+    ops::gemm_bias_residual(x, gelu_out, p.fc2_w, p.fc2_b, x1);
+  }
+  decode_hidden_ = TensorT<T>(Shape{n, h});
+  ops::layernorm_forward(x, final_ln_g_, final_ln_b_, eps, decode_hidden_, xhat, istd);
+  cache.advance(active);
+  return decode_hidden_;
+}
+
+template <typename T>
+tensor::TensorT<T> SerialTransformer<T>::lm_logits_decode() {
+  OPT_CHECK(decode_hidden_.defined(), "call forward_decode() first");
+  return ops::matmul(decode_hidden_, embedding_, ops::Trans::No, ops::Trans::Yes);
+}
+
+template <typename T>
 T SerialTransformer<T>::lm_loss(const ITensor& labels) {
   OPT_CHECK(labels.numel() == cfg_.tokens_per_batch(), "labels must be [b, s]");
   lm_labels_ = labels.clone();

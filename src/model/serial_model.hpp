@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "model/config.hpp"
+#include "model/kv_cache.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
 
@@ -72,6 +73,27 @@ class SerialTransformer {
 
   /// lm-head logits [b·s, v] from the last forward() (allocates).
   tensor::TensorT<T> lm_logits();
+
+  // -- incremental decode ----------------------------------------------------
+
+  /// Allocates a dense KV cache sized for this model: one slot per requested
+  /// batch lane, `seq_len` capacity.
+  KvCacheT<T> make_kv_cache(tensor::index_t slots) const {
+    return KvCacheT<T>(cfg_.layers, slots, cfg_.seq_len, cfg_.heads, cfg_.head_dim());
+  }
+
+  /// One decode step: tokens [slots], one new token per cache slot, entering
+  /// at position cache.len(slot). Attends against the cache (O(len) per
+  /// token instead of the O(s²) full-prefix recompute), appends this step's
+  /// K/V, advances every active slot (null = all), and returns the hidden
+  /// states [slots, h] after the final layernorm — bitwise identical to the
+  /// matching rows of forward() on the full prefix. No activations are
+  /// retained; decode never feeds backward.
+  const tensor::TensorT<T>& forward_decode(const tensor::ITensor& tokens, KvCacheT<T>& cache,
+                                           const std::vector<std::uint8_t>* active = nullptr);
+
+  /// lm-head logits [slots, v] from the last forward_decode() (allocates).
+  tensor::TensorT<T> lm_logits_decode();
 
   void zero_grads();
 
@@ -129,6 +151,7 @@ class SerialTransformer {
   tensor::TensorT<T> stem_out_;  // last layer output (pre final LN)
   tensor::TensorT<T> final_xhat_, final_istd_, hidden_;  // final LN state
   tensor::TensorT<T> d_x0_;
+  tensor::TensorT<T> decode_hidden_;  // [slots, h], last forward_decode()
 
   // Branch state for backward.
   tensor::TensorT<T> lm_probs_;   // [bs, v]

@@ -53,6 +53,125 @@ SummaAbTimes predict_summa_ab_times(const comm::CostModel& cost, int q, std::int
   return out;
 }
 
+namespace {
+
+// Rank 0's groups on the bunched mesh (mirrors predict_summa_ab_times): every
+// rank's decode schedule is symmetric apart from the attention term, which is
+// handled explicitly, so rank 0's clock is the step time.
+std::vector<int> world_group(int p) {
+  std::vector<int> g(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) g[static_cast<std::size_t>(i)] = i;
+  return g;
+}
+
+std::uint64_t decode_attention_mults(const std::vector<tensor::index_t>& lens,
+                                     tensor::index_t heads, tensor::index_t d) {
+  // Σ_slot heads · 2·(len+1)·d — matches model::attention_decode_mults; the
+  // perfmodel stays link-free of the model layer by restating the two GEMVs.
+  std::uint64_t total = 0;
+  for (const tensor::index_t len : lens) {
+    total += static_cast<std::uint64_t>(heads) * 2u *
+             static_cast<std::uint64_t>(len + 1) * static_cast<std::uint64_t>(d);
+  }
+  return total;
+}
+
+}  // namespace
+
+double predict_serial_decode_step_time(const comm::CostModel& cost, const Workload& w,
+                                       const std::vector<tensor::index_t>& lens,
+                                       std::size_t elem_size) {
+  (void)elem_size;
+  const std::uint64_t n = static_cast<std::uint64_t>(w.b);
+  const std::uint64_t h = static_cast<std::uint64_t>(w.h);
+  const std::uint64_t d = static_cast<std::uint64_t>(w.h / w.n);
+  // qkv (3h) + proj (h) + fc1 (4h) + fc2 (4h) GEMMs per layer, then lm logits.
+  std::uint64_t mults = static_cast<std::uint64_t>(w.layers) *
+                        (n * 12u * h * h + decode_attention_mults(lens, w.n, d));
+  mults += n * static_cast<std::uint64_t>(w.v) * h;
+  return cost.compute_time(mults);
+}
+
+double predict_megatron_decode_step_time(const comm::CostModel& cost, const Workload& w, int p,
+                                         const std::vector<tensor::index_t>& lens,
+                                         std::size_t elem_size) {
+  const std::vector<int> world = world_group(p);
+  const std::uint64_t n = static_cast<std::uint64_t>(w.b);
+  const std::uint64_t h = static_cast<std::uint64_t>(w.h);
+  const std::uint64_t up = static_cast<std::uint64_t>(p);
+  const std::uint64_t nh_bytes = n * h * elem_size;
+  // Embed assembly + 2 per-layer all-reduces (attention proj and fc2), all
+  // n·h; the argmax gathers every rank's [n, v/p] logits slice.
+  double t = cost.ring_allreduce_time(world, nh_bytes);
+  t += 2.0 * static_cast<double>(w.layers) * cost.ring_allreduce_time(world, nh_bytes);
+  t += cost.ring_allgather_time(world, n * static_cast<std::uint64_t>(w.v) * elem_size);
+  // Per-rank GEMMs: column-sharded qkv/fc1, row-sharded proj/fc2, vocab-sliced
+  // logits; attention runs on heads/p heads of every slot — symmetric.
+  std::uint64_t mults =
+      static_cast<std::uint64_t>(w.layers) *
+      (n * 12u * h * h / up +
+       decode_attention_mults(lens, w.n / p, w.h / w.n));
+  mults += n * (static_cast<std::uint64_t>(w.v) / up) * h;
+  return t + cost.compute_time(mults);
+}
+
+double predict_optimus_decode_step_time(const comm::CostModel& cost, const Workload& w, int q,
+                                        const std::vector<tensor::index_t>& lens,
+                                        std::size_t elem_size) {
+  std::vector<int> row_group(static_cast<std::size_t>(q));
+  std::vector<int> col_group(static_cast<std::size_t>(q));
+  for (int i = 0; i < q; ++i) {
+    row_group[static_cast<std::size_t>(i)] = i;
+    col_group[static_cast<std::size_t>(i)] = i * q;
+  }
+  const std::uint64_t n = static_cast<std::uint64_t>(w.b);
+  const std::uint64_t nl = n / static_cast<std::uint64_t>(q);
+  const std::uint64_t hq = static_cast<std::uint64_t>(w.h) / static_cast<std::uint64_t>(q);
+  const std::uint64_t vq = static_cast<std::uint64_t>(w.v) / static_cast<std::uint64_t>(q);
+  const double N = static_cast<double>(w.layers);
+  const auto tree = [&](const std::vector<int>& g, std::uint64_t bytes) {
+    return q > 1 ? cost.tree_plan(g, bytes).time : 0.0;
+  };
+
+  // Packed embed: q rounds, root row l broadcasting its [n, h/q] packed rows
+  // down the columns.
+  double t = static_cast<double>(q) * tree(col_group, n * hq * elem_size);
+  // Per layer: 2 layernorm stat all-reduces (2 scalars per local row, along
+  // the mesh row) + the four blocking SUMMA calls, plus the final layernorm.
+  const double t_ln =
+      q > 1 ? cost.ring_allreduce_time(row_group, 2u * nl * elem_size) : 0.0;
+  t += (2.0 * N + 1.0) * t_ln;
+  const std::int64_t m = w.b, h = w.h;
+  t += N * (predict_summa_ab_times(cost, q, m, h, 3 * h, elem_size).blocking_s +
+            predict_summa_ab_times(cost, q, m, h, h, elem_size).blocking_s +
+            predict_summa_ab_times(cost, q, m, h, 4 * h, elem_size).blocking_s +
+            predict_summa_ab_times(cost, q, m, 4 * h, h, elem_size).blocking_s);
+  // lm-head summa_abt: q steps of column-broadcast E block [v/q, h/q], local
+  // GEMM [n/q, v/q], row-reduce of the partial.
+  t += static_cast<double>(q) *
+       (tree(col_group, vq * hq * elem_size) + cost.compute_time(nl * vq * hq) +
+        tree(row_group, nl * vq * elem_size));
+  // Argmax assembly: vocab direction along the row, slot blocks down the
+  // column (the column payload carries the full row-gathered [q·n/q, v/q]).
+  if (q > 1) {
+    t += cost.ring_allgather_time(row_group, static_cast<std::uint64_t>(q) * nl * vq * elem_size);
+    t += cost.ring_allgather_time(
+        col_group, static_cast<std::uint64_t>(q) * q * nl * vq * elem_size);
+  }
+  // Attention: mesh row i hosts slots [i·n/q, (i+1)·n/q) on heads/q heads; the
+  // row clocks re-align at the next column collective, so each layer pays the
+  // slowest row.
+  std::uint64_t worst = 0;
+  for (int i = 0; i < q; ++i) {
+    const std::vector<tensor::index_t> slice(
+        lens.begin() + static_cast<std::ptrdiff_t>(i) * static_cast<std::ptrdiff_t>(nl),
+        lens.begin() + static_cast<std::ptrdiff_t>(i + 1) * static_cast<std::ptrdiff_t>(nl));
+    worst = std::max(worst, decode_attention_mults(slice, w.n / q, w.h / w.n));
+  }
+  t += N * cost.compute_time(worst);
+  return t;
+}
+
 double megatron_lm_allreduce_weighted(const Workload& w, int p) {
   const double stem =
       static_cast<double>(w.layers) * (megatron_fwd_comm(w, p) + megatron_bwd_comm(w, p));

@@ -63,6 +63,50 @@ struct SummaAbTimes {
 SummaAbTimes predict_summa_ab_times(const comm::CostModel& cost, int q, std::int64_t m,
                                     std::int64_t k, std::int64_t n, std::size_t elem_size);
 
+// -- KV-cached decode step ---------------------------------------------------
+//
+// One incremental decode step feeds one token per cache slot and runs the
+// whole stem at sequence length 1, so its simulated cost is a short exact sum:
+// every collective the engine issues plus every GEMM it charges (LN, softmax,
+// bias and argmax scans charge nothing). The step ends in the argmax
+// all-gather(s), so no compute is left pending — measured per-step SimClock
+// deltas match these forms to round-off. serving_test and
+// scaling_explorer --validate assert the match.
+//
+// `w.b` is the number of cache slots fed (the global decode batch), `w.n` the
+// head count, `lens[i]` slot i's cached length *before* the step. Valid for
+// the distributed engines at p ≥ 2 / q ≥ 2: a 1-wide communicator returns
+// before the clock drains, so a degenerate 1×1 mesh never advances its clock —
+// measure the serial adapter (which drains explicitly) instead.
+//
+// The forms sum one representative rank's collective-group costs, which is
+// exact only when every parallel group has the same cost (a mesh that fits in
+// one node, or q dividing gpus_per_node). On topologies where sibling columns
+// straddle node boundaries differently, ranks drift apart by the group-cost
+// deltas and re-align at the next crossing collective; those alignment waits
+// are not modelled, so the closed form is then a (tight) lower bound.
+
+/// Serial oracle: pure compute (the adapter drains the counter each step).
+double predict_serial_decode_step_time(const comm::CostModel& cost, const Workload& w,
+                                       const std::vector<tensor::index_t>& lens,
+                                       std::size_t elem_size);
+
+/// Megatron 1D: embed assembly all-reduce + 2 ring all-reduces per layer +
+/// the argmax logits all-gather, plus this rank's (symmetric) GEMM charges.
+double predict_megatron_decode_step_time(const comm::CostModel& cost, const Workload& w, int p,
+                                         const std::vector<tensor::index_t>& lens,
+                                         std::size_t elem_size);
+
+/// Optimus 2D on a bunched q×q mesh: packed-embed column broadcasts, per-layer
+/// layernorm stat all-reduces + four blocking SUMMA calls, the lm-head
+/// summa_abt, and the two argmax all-gathers. Attention load differs by mesh
+/// row (each row hosts a different slot block); the row clocks re-align at the
+/// next column collective, so the step pays the *slowest* row's attention —
+/// max over rows, per layer.
+double predict_optimus_decode_step_time(const comm::CostModel& cost, const Workload& w, int q,
+                                        const std::vector<tensor::index_t>& lens,
+                                        std::size_t elem_size);
+
 /// One measured-vs-predicted comparison line.
 struct CommValidationRow {
   std::string name;       // collective family, e.g. "allreduce"

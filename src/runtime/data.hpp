@@ -16,6 +16,8 @@
 // All generators are deterministic given their seed.
 
 #include <array>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -86,6 +88,35 @@ class SyntheticClsWorkload {
   double purity_;
   util::Rng rng_;
 };
+
+/// Wraps a batch source shared by the lock-stepped ranks of a simulated
+/// cluster. Every rank thread calls `sampler(rank)` and observes the identical
+/// batch sequence, while the source is drawn exactly once per position (the
+/// first consumer to reach a position fills the cache; stragglers replay it).
+/// Copies of the returned functor share one cache, so it can be captured by
+/// value into a cluster body. Replaces the hand-rolled static-cache lambdas
+/// the examples used to carry.
+template <typename Source>
+auto make_cached_sampler(Source source) {
+  using Batch = decltype(source());
+  struct State {
+    explicit State(Source s) : src(std::move(s)) {}
+    std::mutex mu;
+    Source src;
+    std::vector<Batch> cache;
+    std::vector<std::size_t> cursor;  // per-rank read position
+  };
+  auto state = std::make_shared<State>(std::move(source));
+  return [state](int rank) -> Batch {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->cursor.size() <= static_cast<std::size_t>(rank)) {
+      state->cursor.resize(static_cast<std::size_t>(rank) + 1, 0);
+    }
+    const std::size_t i = state->cursor[static_cast<std::size_t>(rank)]++;
+    if (i >= state->cache.size()) state->cache.push_back(state->src());
+    return state->cache[i];
+  };
+}
 
 /// Character-level corpus: vocabulary = distinct bytes of the text.
 class CharCorpus {

@@ -1,0 +1,220 @@
+#pragma once
+
+// DecodeEngine: the uniform step interface the serving loop drives, with one
+// adapter per execution engine. A step feeds one (global) token per cache
+// slot, runs the KV-cached incremental forward, and returns the greedy
+// (argmax) next token per slot — replicated on every rank, since the
+// scheduler runs identically everywhere and must observe identical outputs.
+//
+// Argmax assembly per engine:
+//   serial    logits are already dense [slots, v]
+//   Megatron  local [slots, v/p] vocab slice → all_gather → scan in global
+//             vocab order (rank-major = column order, ties break low)
+//   Optimus   [slots/q, v/q] block → row all_gather (vocab) → column
+//             all_gather (slot blocks) → scan in global vocab order
+//
+// The scans charge no multiplies and run after the final collective, so a
+// decode step's simulated cost is exactly its collectives plus its GEMM
+// compute — the closed form perfmodel::predict_decode_step_time models.
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/sim_clock.hpp"
+#include "core/optimus_model.hpp"
+#include "megatron/megatron_model.hpp"
+#include "model/kv_cache.hpp"
+#include "model/serial_model.hpp"
+#include "serving/request.hpp"
+
+namespace optimus::serving {
+
+template <typename T>
+class DecodeEngine {
+ public:
+  virtual ~DecodeEngine() = default;
+  virtual tensor::index_t slots() const = 0;
+  virtual tensor::index_t capacity() const = 0;
+  virtual tensor::index_t vocab() const = 0;
+  /// This rank's KV-cache shard footprint (tracked by the memory accountant).
+  virtual std::uint64_t cache_bytes() const = 0;
+  /// One decode step: tokens/active are the global per-slot vectors (every
+  /// rank passes the same). Returns the argmax next token per slot.
+  virtual std::vector<std::int32_t> step(const std::vector<std::int32_t>& tokens,
+                                         const std::vector<std::uint8_t>& active) = 0;
+  /// Frees a cache slot for reuse.
+  virtual void reset_slot(tensor::index_t slot) = 0;
+  /// Sequence length currently cached in a slot.
+  virtual tensor::index_t slot_len(tensor::index_t slot) const = 0;
+};
+
+namespace detail {
+
+inline tensor::ITensor to_itensor(const std::vector<std::int32_t>& v) {
+  tensor::ITensor t(tensor::Shape{static_cast<tensor::index_t>(v.size())});
+  for (std::size_t i = 0; i < v.size(); ++i) t[static_cast<tensor::index_t>(i)] = v[i];
+  return t;
+}
+
+}  // namespace detail
+
+/// Dense single-device oracle. No communicator drains the compute counter, so
+/// the adapter drains it into the supplied clock (when given) after each step
+/// — keeping the simulated timeline comparable with the distributed engines.
+template <typename T>
+class SerialDecodeEngine final : public DecodeEngine<T> {
+ public:
+  SerialDecodeEngine(model::SerialTransformer<T>& m, tensor::index_t slots,
+                     comm::SimClock* clock = nullptr, const comm::CostModel* cost = nullptr)
+      : model_(&m), cache_(m.make_kv_cache(slots)), clock_(clock), cost_(cost) {}
+
+  tensor::index_t slots() const override { return cache_.slots(); }
+  tensor::index_t capacity() const override { return cache_.capacity(); }
+  tensor::index_t vocab() const override { return model_->config().vocab; }
+  std::uint64_t cache_bytes() const override { return cache_.footprint_bytes(); }
+  void reset_slot(tensor::index_t slot) override { cache_.reset(slot); }
+  tensor::index_t slot_len(tensor::index_t slot) const override { return cache_.len(slot); }
+
+  std::vector<std::int32_t> step(const std::vector<std::int32_t>& tokens,
+                                 const std::vector<std::uint8_t>& active) override {
+    const tensor::ITensor toks = detail::to_itensor(tokens);
+    model_->forward_decode(toks, cache_, &active);
+    tensor::TensorT<T> logits = model_->lm_logits_decode();  // [slots, v]
+    const tensor::index_t n = slots();
+    const tensor::index_t v = vocab();
+    std::vector<std::int32_t> out(static_cast<std::size_t>(n), 0);
+    for (tensor::index_t r = 0; r < n; ++r) {
+      const T* row = logits.data() + r * v;
+      tensor::index_t best = 0;
+      for (tensor::index_t j = 1; j < v; ++j) {
+        if (row[j] > row[best]) best = j;
+      }
+      out[static_cast<std::size_t>(r)] = static_cast<std::int32_t>(best);
+    }
+    if (clock_ != nullptr && cost_ != nullptr) clock_->drain_compute(*cost_);
+    return out;
+  }
+
+ private:
+  model::SerialTransformer<T>* model_;
+  model::KvCacheT<T> cache_;
+  comm::SimClock* clock_;
+  const comm::CostModel* cost_;
+};
+
+/// Megatron 1D: cache is column-sharded over heads, logits over vocab.
+template <typename T>
+class MegatronDecodeEngine final : public DecodeEngine<T> {
+ public:
+  MegatronDecodeEngine(megatron::MegatronTransformer<T>& m, comm::Communicator& comm,
+                       tensor::index_t slots)
+      : model_(&m), comm_(&comm), cache_(m.make_kv_cache(slots)) {}
+
+  tensor::index_t slots() const override { return cache_.slots(); }
+  tensor::index_t capacity() const override { return cache_.capacity(); }
+  tensor::index_t vocab() const override { return model_->config().vocab; }
+  std::uint64_t cache_bytes() const override { return cache_.footprint_bytes(); }
+  void reset_slot(tensor::index_t slot) override { cache_.reset(slot); }
+  tensor::index_t slot_len(tensor::index_t slot) const override { return cache_.len(slot); }
+
+  std::vector<std::int32_t> step(const std::vector<std::int32_t>& tokens,
+                                 const std::vector<std::uint8_t>& active) override {
+    const tensor::ITensor toks = detail::to_itensor(tokens);
+    model_->forward_decode(toks, cache_, &active);
+    tensor::TensorT<T> local = model_->lm_logits_decode_local();  // [slots, v/p]
+    const tensor::index_t n = slots();
+    const tensor::index_t vl = model_->vocab_per_rank();
+    const int p = comm_->size();
+    std::vector<T> all(static_cast<std::size_t>(p) * static_cast<std::size_t>(n * vl));
+    comm_->all_gather(local.data(), n * vl, all.data());
+    std::vector<std::int32_t> out(static_cast<std::size_t>(n), 0);
+    for (tensor::index_t r = 0; r < n; ++r) {
+      T best_v{};
+      tensor::index_t best = -1;
+      for (int k = 0; k < p; ++k) {
+        const T* blk = all.data() + (static_cast<std::size_t>(k) * n + r) * vl;
+        for (tensor::index_t j = 0; j < vl; ++j) {
+          if (best < 0 || blk[j] > best_v) {
+            best_v = blk[j];
+            best = static_cast<tensor::index_t>(k) * vl + j;
+          }
+        }
+      }
+      out[static_cast<std::size_t>(r)] = static_cast<std::int32_t>(best);
+    }
+    return out;
+  }
+
+ private:
+  megatron::MegatronTransformer<T>* model_;
+  comm::Communicator* comm_;
+  model::KvCacheT<T> cache_;
+};
+
+/// Optimus 2D: cache is row-split over slots and column-split over heads;
+/// logits come back as q×q blocks and are assembled with one all-gather per
+/// mesh dimension.
+template <typename T>
+class OptimusDecodeEngine final : public DecodeEngine<T> {
+ public:
+  OptimusDecodeEngine(core::OptimusTransformer<T>& m, tensor::index_t slots_global)
+      : model_(&m), cache_(m.make_kv_cache(slots_global)), slots_global_(slots_global) {}
+
+  tensor::index_t slots() const override { return slots_global_; }
+  tensor::index_t capacity() const override { return cache_.capacity(); }
+  tensor::index_t vocab() const override { return model_->config().vocab; }
+  std::uint64_t cache_bytes() const override { return cache_.footprint_bytes(); }
+  void reset_slot(tensor::index_t slot) override {
+    // Global slot → this row's local shard (other rows' shards hold other
+    // slot blocks; each rank resets only what it owns).
+    const tensor::index_t nl = cache_.slots();
+    const tensor::index_t row = static_cast<tensor::index_t>(model_->mesh().row());
+    if (slot / nl == row) cache_.reset(slot % nl);
+  }
+  tensor::index_t slot_len(tensor::index_t slot) const override {
+    const tensor::index_t nl = cache_.slots();
+    const tensor::index_t row = static_cast<tensor::index_t>(model_->mesh().row());
+    OPT_CHECK(slot / nl == row, "slot " << slot << " not hosted by mesh row " << row);
+    return cache_.len(slot % nl);
+  }
+
+  std::vector<std::int32_t> step(const std::vector<std::int32_t>& tokens,
+                                 const std::vector<std::uint8_t>& active) override {
+    const tensor::ITensor toks = detail::to_itensor(tokens);
+    model_->forward_decode(toks, cache_, &active);
+    tensor::TensorT<T> block = model_->lm_logits_decode_block();  // [slots/q, v/q]
+    const tensor::index_t q = model_->q();
+    const tensor::index_t nl = cache_.slots();
+    const tensor::index_t vq = model_->vocab_local();
+    // Vocab direction (mesh row), then slot-block direction (mesh column).
+    std::vector<T> row_all(static_cast<std::size_t>(q * nl * vq));
+    model_->mesh().row_comm().all_gather(block.data(), nl * vq, row_all.data());
+    std::vector<T> all(static_cast<std::size_t>(q * q * nl * vq));
+    model_->mesh().col_comm().all_gather(row_all.data(), q * nl * vq, all.data());
+    std::vector<std::int32_t> out(static_cast<std::size_t>(slots_global_), 0);
+    for (tensor::index_t g = 0; g < slots_global_; ++g) {
+      const tensor::index_t i = g / nl;   // slot block (mesh row)
+      const tensor::index_t r = g % nl;
+      T best_v{};
+      tensor::index_t best = -1;
+      for (tensor::index_t j = 0; j < q; ++j) {  // vocab block (mesh col)
+        const T* blk = all.data() + ((i * q + j) * nl + r) * vq;
+        for (tensor::index_t jj = 0; jj < vq; ++jj) {
+          if (best < 0 || blk[jj] > best_v) {
+            best_v = blk[jj];
+            best = j * vq + jj;
+          }
+        }
+      }
+      out[static_cast<std::size_t>(g)] = static_cast<std::int32_t>(best);
+    }
+    return out;
+  }
+
+ private:
+  core::OptimusTransformer<T>* model_;
+  model::KvCacheT<T> cache_;
+  tensor::index_t slots_global_;
+};
+
+}  // namespace optimus::serving

@@ -1,0 +1,58 @@
+#pragma once
+
+// Serving-side request model.
+//
+// A request is a prompt plus an output budget. Progress is tracked as a
+// *forced sequence* — prompt ++ generated — and a cursor `fed` of how many
+// forced tokens have entered the KV cache. Prefill is chunked one token per
+// decode step (every step feeds forced[fed] and advances the cursor); once
+// the cursor reaches the end of the forced sequence, the engine's argmax for
+// that step is a genuinely new token and is appended to `generated`.
+//
+// This representation makes eviction trivially correct: requeue with fed=0
+// and `generated` intact. Replay re-feeds the same forced tokens through the
+// same deterministic engine, reproducing the identical cache state — so a
+// served sequence is bitwise independent of how often it was evicted.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace optimus::serving {
+
+struct Request {
+  int id = -1;
+  std::vector<std::int32_t> prompt;
+  std::size_t max_new_tokens = 0;
+  double arrival = 0;  // simulated seconds
+
+  // Progress — preserved across evictions for deterministic replay.
+  std::vector<std::int32_t> generated;
+  std::size_t fed = 0;  // forced tokens already appended to the cache
+  int evictions = 0;
+  double first_token = -1;  // sim time the first generated token appeared
+  double finish = -1;       // sim time the request completed
+
+  std::size_t forced_size() const { return prompt.size() + generated.size(); }
+  std::int32_t forced_at(std::size_t i) const {
+    return i < prompt.size() ? prompt[i]
+                             : generated[i - prompt.size()];
+  }
+  bool complete() const { return generated.size() >= max_new_tokens; }
+};
+
+/// Aggregate serving statistics over one run.
+struct ServingMetrics {
+  std::size_t completed = 0;
+  std::uint64_t generated_tokens = 0;
+  std::uint64_t decode_steps = 0;
+  double span = 0;  // first arrival → last completion, simulated seconds
+  double tokens_per_s = 0;
+  double p50_latency = 0, p99_latency = 0;          // submit → finish
+  double p50_first_token = 0, p99_first_token = 0;  // submit → first new token
+  double mean_queue_depth = 0;
+  std::size_t max_queue_depth = 0;
+};
+
+}  // namespace optimus::serving

@@ -1,0 +1,132 @@
+#include "serving/scheduler.hpp"
+
+#include <algorithm>
+
+namespace optimus::serving {
+
+using tensor::index_t;
+
+ContinuousBatchScheduler::ContinuousBatchScheduler(index_t slots, index_t capacity)
+    : capacity_(capacity), slot_of_(static_cast<std::size_t>(slots), -1) {
+  OPT_CHECK(slots >= 1 && capacity >= 1, "scheduler needs slots and capacity");
+}
+
+void ContinuousBatchScheduler::submit(Request r) {
+  OPT_CHECK(!r.prompt.empty() && r.max_new_tokens >= 1, "empty request " << r.id);
+  OPT_CHECK(static_cast<index_t>(r.prompt.size() + r.max_new_tokens) <= capacity_,
+            "request " << r.id << " needs " << r.prompt.size() + r.max_new_tokens
+                       << " positions, capacity " << capacity_);
+  r.fed = 0;  // cache cursor always starts cold in this scheduler's arena
+  pool_.push_back(std::move(r));
+  queue_.push_back(pool_.size() - 1);
+  std::stable_sort(queue_.begin(), queue_.end(), [&](std::size_t a, std::size_t b) {
+    if (pool_[a].arrival != pool_[b].arrival) return pool_[a].arrival < pool_[b].arrival;
+    return pool_[a].id < pool_[b].id;
+  });
+}
+
+bool ContinuousBatchScheduler::finished() const {
+  return queue_.empty() && active_count() == 0;
+}
+
+double ContinuousBatchScheduler::next_arrival() const {
+  double t = std::numeric_limits<double>::infinity();
+  for (const std::size_t i : queue_) t = std::min(t, pool_[i].arrival);
+  return t;
+}
+
+bool ContinuousBatchScheduler::admit(double now) {
+  for (std::size_t q = 0; q < queue_.size();) {
+    const std::size_t ri = queue_[q];
+    if (pool_[ri].arrival > now) break;  // queue is arrival-sorted
+    auto free_it = std::find(slot_of_.begin(), slot_of_.end(), -1);
+    if (free_it == slot_of_.end()) break;
+    *free_it = static_cast<int>(ri);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(q));
+  }
+  return active_count() > 0;
+}
+
+void ContinuousBatchScheduler::plan_step(std::vector<std::int32_t>& tokens,
+                                         std::vector<std::uint8_t>& active) const {
+  tokens.assign(slot_of_.size(), 0);
+  active.assign(slot_of_.size(), 0);
+  for (std::size_t s = 0; s < slot_of_.size(); ++s) {
+    if (slot_of_[s] < 0) continue;
+    const Request& r = pool_[static_cast<std::size_t>(slot_of_[s])];
+    tokens[s] = r.forced_at(r.fed);
+    active[s] = 1;
+  }
+}
+
+std::vector<index_t> ContinuousBatchScheduler::commit_step(
+    const std::vector<std::int32_t>& outputs, double now) {
+  OPT_CHECK(outputs.size() == slot_of_.size(), "one output per slot");
+  std::vector<index_t> freed;
+  for (std::size_t s = 0; s < slot_of_.size(); ++s) {
+    if (slot_of_[s] < 0) continue;
+    Request& r = pool_[static_cast<std::size_t>(slot_of_[s])];
+    ++r.fed;
+    if (r.fed < r.forced_size()) continue;  // still replaying known tokens
+    r.generated.push_back(outputs[s]);
+    if (r.first_token < 0) r.first_token = now;
+    if (r.complete()) {
+      r.finish = now;
+      completed_.push_back(r);
+      slot_of_[s] = -2;  // tombstone: pool entry consumed
+      freed.push_back(static_cast<index_t>(s));
+    }
+  }
+  for (auto& v : slot_of_) {
+    if (v == -2) v = -1;
+  }
+  return freed;
+}
+
+void ContinuousBatchScheduler::evict_slot(index_t slot) {
+  const int ri = slot_of_[static_cast<std::size_t>(slot)];
+  OPT_CHECK(ri >= 0, "slot " << slot << " is not occupied");
+  Request& r = pool_[static_cast<std::size_t>(ri)];
+  r.fed = 0;
+  ++r.evictions;
+  slot_of_[static_cast<std::size_t>(slot)] = -1;
+  queue_.push_back(static_cast<std::size_t>(ri));
+  std::stable_sort(queue_.begin(), queue_.end(), [&](std::size_t a, std::size_t b) {
+    if (pool_[a].arrival != pool_[b].arrival) return pool_[a].arrival < pool_[b].arrival;
+    return pool_[a].id < pool_[b].id;
+  });
+}
+
+void ContinuousBatchScheduler::evict_all() {
+  for (std::size_t s = 0; s < slot_of_.size(); ++s) {
+    if (slot_of_[s] >= 0) evict_slot(static_cast<index_t>(s));
+  }
+}
+
+std::size_t ContinuousBatchScheduler::arrived_queued(double now) const {
+  std::size_t n = 0;
+  for (const std::size_t i : queue_) n += pool_[i].arrival <= now ? 1 : 0;
+  return n;
+}
+
+index_t ContinuousBatchScheduler::active_count() const {
+  index_t n = 0;
+  for (const int v : slot_of_) n += v >= 0 ? 1 : 0;
+  return n;
+}
+
+std::vector<Request> ContinuousBatchScheduler::drain_unfinished() {
+  evict_all();
+  std::vector<Request> out;
+  for (const std::size_t i : queue_) out.push_back(pool_[i]);
+  queue_.clear();
+  pool_.clear();
+  return out;
+}
+
+const Request* ContinuousBatchScheduler::request_in_slot(index_t slot) const {
+  const int ri = slot_of_[static_cast<std::size_t>(slot)];
+  return ri >= 0 ? &pool_[static_cast<std::size_t>(ri)] : nullptr;
+}
+
+}  // namespace optimus::serving

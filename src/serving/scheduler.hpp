@@ -1,0 +1,83 @@
+#pragma once
+
+// Continuous-batching request scheduler.
+//
+// The engine decodes a fixed arena of `slots` cache slots in lock-step; the
+// scheduler keeps those slots busy by admitting queued requests the moment a
+// slot frees — between decode steps, never mid-step (the batch shape is part
+// of the collective schedule, so membership can only change at step
+// boundaries). Slots are recycled through a freelist; a freed slot's stale
+// K/V rows are simply overwritten by its next occupant.
+//
+// The scheduler is engine-agnostic: it plans a token vector per step and
+// consumes the engine's argmax outputs. All policy is deterministic — FIFO by
+// (arrival, id) — so every rank of a distributed engine runs the identical
+// schedule without coordination.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "serving/request.hpp"
+#include "tensor/tensor.hpp"
+
+namespace optimus::serving {
+
+class ContinuousBatchScheduler {
+ public:
+  ContinuousBatchScheduler(tensor::index_t slots, tensor::index_t capacity);
+
+  /// Enqueues a request. prompt + max_new_tokens must fit in `capacity`, and
+  /// both must be nonzero. Requests may carry progress (generated/evictions)
+  /// from a previous session — replay resumes transparently.
+  void submit(Request r);
+
+  /// All submitted requests completed.
+  bool finished() const;
+  /// Arrival time of the earliest queued request; +inf when none queued.
+  double next_arrival() const;
+
+  /// Admits arrived requests (arrival ≤ now) into free slots, FIFO. Returns
+  /// true if at least one slot is active afterwards.
+  bool admit(double now);
+
+  /// Plans the next decode step: per-slot input token (idle slots feed 0 and
+  /// are marked inactive).
+  void plan_step(std::vector<std::int32_t>& tokens,
+                 std::vector<std::uint8_t>& active) const;
+
+  /// Consumes the engine's argmax outputs for the step just executed; `now`
+  /// is the simulated time after the step. Returns the slots whose requests
+  /// completed (the caller must reset those cache slots).
+  std::vector<tensor::index_t> commit_step(const std::vector<std::int32_t>& outputs,
+                                           double now);
+
+  /// Evicts the request occupying `slot` back to the queue: its cache cursor
+  /// rewinds to zero, generated tokens are preserved, and the slot frees. The
+  /// caller must reset the engine's cache slot.
+  void evict_slot(tensor::index_t slot);
+  /// Evicts every active request (fault recovery).
+  void evict_all();
+
+  tensor::index_t slots() const { return static_cast<tensor::index_t>(slot_of_.size()); }
+  tensor::index_t active_count() const;
+  std::size_t queued() const { return queue_.size(); }
+  /// Queued requests that have arrived by `now` but found no free slot — the
+  /// backlog a queue-depth metric should report (future arrivals excluded).
+  std::size_t arrived_queued(double now) const;
+  const std::vector<Request>& completed() const { return completed_; }
+  /// Requests not yet complete (queued + active), progress preserved — for
+  /// resuming a run in a fresh session after an abort.
+  std::vector<Request> drain_unfinished();
+  /// Request currently occupying `slot`, or nullptr.
+  const Request* request_in_slot(tensor::index_t slot) const;
+
+ private:
+  tensor::index_t capacity_;
+  std::vector<Request> pool_;            // all live (non-completed) requests
+  std::vector<std::size_t> queue_;       // indices into pool_, FIFO by (arrival, id)
+  std::vector<int> slot_of_;             // per slot: index into pool_, or -1
+  std::vector<Request> completed_;
+};
+
+}  // namespace optimus::serving

@@ -1,0 +1,149 @@
+#pragma once
+
+// The serving loop: continuous batching over a DecodeEngine.
+//
+// ServingSession wires the scheduler to an engine step by step;
+// run_serving() is the convenience loop that also handles idle time (the
+// open-loop clock jumps to the next arrival when no request is in flight)
+// and fault capture. On an injected fabric fault the whole simulated cluster
+// aborts — every rank unwinds with FaultError (the detector) or
+// FabricAborted (its peers). The driver converts that into a recoverable
+// outcome: committed progress survives in the returned request states, the
+// in-flight requests are evicted (cache cursors rewound), and a fresh
+// engine/cluster can resume via the `resume` argument. Determinism of decode
+// guarantees the resumed run reproduces the identical tokens.
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "comm/fabric.hpp"
+#include "serving/engines.hpp"
+#include "serving/scheduler.hpp"
+
+namespace optimus::serving {
+
+template <typename T>
+class ServingSession {
+ public:
+  enum class Step { kStepped, kIdle, kDone };
+
+  ServingSession(DecodeEngine<T>& engine, std::vector<Request> requests)
+      : engine_(&engine), sched_(engine.slots(), engine.capacity()) {
+    for (auto& r : requests) sched_.submit(std::move(r));
+  }
+
+  /// One admit+decode cycle. `now` reads the simulated clock (called before
+  /// and after the engine step). kIdle means no request had arrived by now()
+  /// — the caller should advance its clock to scheduler().next_arrival().
+  Step step(const std::function<double()>& now) {
+    if (sched_.finished()) return Step::kDone;
+    const double t = now();
+    if (!sched_.admit(t)) return Step::kIdle;
+    const std::size_t backlog = sched_.arrived_queued(t);
+    queue_depth_sum_ += static_cast<double>(backlog);
+    max_queue_depth_ = std::max(max_queue_depth_, backlog);
+    sched_.plan_step(tokens_, active_);
+    const std::vector<std::int32_t> out = engine_->step(tokens_, active_);
+    ++decode_steps_;
+    for (const tensor::index_t slot : sched_.commit_step(out, now())) {
+      engine_->reset_slot(slot);
+    }
+    return sched_.finished() ? Step::kDone : Step::kStepped;
+  }
+
+  ContinuousBatchScheduler& scheduler() { return sched_; }
+  DecodeEngine<T>& engine() { return *engine_; }
+  std::uint64_t decode_steps() const { return decode_steps_; }
+
+  ServingMetrics metrics() const {
+    ServingMetrics m;
+    m.decode_steps = decode_steps_;
+    const std::vector<Request>& done = sched_.completed();
+    m.completed = done.size();
+    if (done.empty()) return m;
+    std::vector<double> lat, ftl;
+    double t0 = done.front().arrival, t1 = 0;
+    for (const Request& r : done) {
+      m.generated_tokens += r.generated.size();
+      lat.push_back(r.finish - r.arrival);
+      ftl.push_back(r.first_token - r.arrival);
+      t0 = std::min(t0, r.arrival);
+      t1 = std::max(t1, r.finish);
+    }
+    m.span = t1 - t0;
+    m.tokens_per_s = m.span > 0 ? static_cast<double>(m.generated_tokens) / m.span : 0;
+    m.p50_latency = percentile(lat, 0.50);
+    m.p99_latency = percentile(lat, 0.99);
+    m.p50_first_token = percentile(ftl, 0.50);
+    m.p99_first_token = percentile(ftl, 0.99);
+    m.mean_queue_depth =
+        decode_steps_ > 0 ? queue_depth_sum_ / static_cast<double>(decode_steps_) : 0;
+    m.max_queue_depth = max_queue_depth_;
+    return m;
+  }
+
+  static double percentile(std::vector<double> v, double p) {
+    if (v.empty()) return 0;
+    std::sort(v.begin(), v.end());
+    const std::size_t idx = std::min(
+        v.size() - 1, static_cast<std::size_t>(std::ceil(p * static_cast<double>(v.size()))) -
+                          (p > 0 ? 1 : 0));
+    return v[idx];
+  }
+
+ private:
+  DecodeEngine<T>* engine_;
+  ContinuousBatchScheduler sched_;
+  std::vector<std::int32_t> tokens_;
+  std::vector<std::uint8_t> active_;
+  std::uint64_t decode_steps_ = 0;
+  double queue_depth_sum_ = 0;
+  std::size_t max_queue_depth_ = 0;
+};
+
+struct ServingOutcome {
+  bool aborted = false;
+  std::string fault_what;  // FaultError message (detecting rank only)
+  std::vector<Request> completed;
+  std::vector<Request> unfinished;  // progress preserved; resubmit to resume
+  ServingMetrics metrics;
+  std::uint64_t cache_bytes = 0;
+};
+
+/// Runs the loop to completion (or abort). `clock_now` reads this rank's
+/// simulated clock; `advance_to` jumps it forward during idle gaps (open-loop
+/// arrivals). Pass `resume` = a previous outcome's `unfinished` to continue
+/// an aborted run on a fresh engine.
+template <typename T>
+ServingOutcome run_serving(DecodeEngine<T>& engine, std::vector<Request> requests,
+                           const std::function<double()>& clock_now,
+                           const std::function<void(double)>& advance_to) {
+  ServingOutcome oc;
+  oc.cache_bytes = engine.cache_bytes();
+  ServingSession<T> session(engine, std::move(requests));
+  try {
+    for (;;) {
+      const auto s = session.step(clock_now);
+      if (s == ServingSession<T>::Step::kDone) break;
+      if (s == ServingSession<T>::Step::kIdle) {
+        const double next = session.scheduler().next_arrival();
+        OPT_CHECK(std::isfinite(next), "idle with nothing queued");
+        advance_to(next);
+      }
+    }
+  } catch (const comm::FaultError& e) {
+    oc.aborted = true;
+    oc.fault_what = e.what();
+  } catch (const comm::FabricAborted&) {
+    oc.aborted = true;  // peer of the detecting rank; fabric is gone
+  }
+  oc.metrics = session.metrics();
+  oc.completed = session.scheduler().completed();
+  oc.unfinished = session.scheduler().drain_unfinished();
+  return oc;
+}
+
+}  // namespace optimus::serving

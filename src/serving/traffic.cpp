@@ -1,0 +1,46 @@
+#include "serving/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace optimus::serving {
+
+using tensor::index_t;
+
+std::vector<Request> poisson_open_loop(const TrafficConfig& cfg) {
+  OPT_CHECK(cfg.rate > 0 && cfg.vocab >= 1 && cfg.capacity >= 2, "traffic config");
+  OPT_CHECK(cfg.prompt_min >= 1 && cfg.prompt_max >= cfg.prompt_min &&
+                cfg.output_min >= 1 && cfg.output_max >= cfg.output_min,
+            "traffic length ranges");
+  OPT_CHECK(cfg.prompt_min + cfg.output_min <= cfg.capacity,
+            "minimum request does not fit capacity " << cfg.capacity);
+  util::Rng rng(cfg.seed);
+  std::vector<Request> out;
+  out.reserve(cfg.count);
+  double t = 0;
+  for (std::size_t i = 0; i < cfg.count; ++i) {
+    t += -std::log(1.0 - rng.uniform()) / cfg.rate;
+    Request r;
+    r.id = static_cast<int>(i);
+    r.arrival = t;
+    index_t plen = cfg.prompt_min +
+                   static_cast<index_t>(rng.uniform_index(
+                       static_cast<std::size_t>(cfg.prompt_max - cfg.prompt_min + 1)));
+    plen = std::min(plen, cfg.capacity - cfg.output_min);
+    index_t olen = cfg.output_min +
+                   static_cast<index_t>(rng.uniform_index(
+                       static_cast<std::size_t>(cfg.output_max - cfg.output_min + 1)));
+    olen = std::min(olen, cfg.capacity - plen);
+    r.prompt.resize(static_cast<std::size_t>(plen));
+    for (auto& tok : r.prompt) {
+      tok = static_cast<std::int32_t>(rng.uniform_index(static_cast<std::size_t>(cfg.vocab)));
+    }
+    r.max_new_tokens = static_cast<std::size_t>(olen);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace optimus::serving

@@ -1,0 +1,30 @@
+#pragma once
+
+// Synthetic open-loop traffic: Poisson arrivals with mixed prompt/output
+// lengths, fully determined by the seed — every rank of a distributed engine
+// generates the identical trace locally, so no request distribution step is
+// needed (mirroring how the training side replicates the token stream).
+
+#include <cstdint>
+#include <vector>
+
+#include "serving/request.hpp"
+#include "tensor/tensor.hpp"
+
+namespace optimus::serving {
+
+struct TrafficConfig {
+  double rate = 1.0;          // mean arrivals per simulated second
+  std::size_t count = 16;     // number of requests
+  tensor::index_t prompt_min = 1, prompt_max = 8;   // uniform inclusive
+  tensor::index_t output_min = 1, output_max = 8;   // uniform inclusive
+  tensor::index_t vocab = 0;     // token ids drawn uniformly from [0, vocab)
+  tensor::index_t capacity = 0;  // seq_len; prompt+output is clamped to fit
+  std::uint64_t seed = 0;
+};
+
+/// Generates `count` requests with exponential inter-arrival gaps
+/// (t += −ln(1−u)/rate), ids 0..count−1 in arrival order.
+std::vector<Request> poisson_open_loop(const TrafficConfig& cfg);
+
+}  // namespace optimus::serving

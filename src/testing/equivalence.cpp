@@ -161,6 +161,24 @@ void run_impl(const FuzzConfig& fc, const EquivalenceOptions& opts, EquivalenceR
     res.failures.push_back("serial checkpoint round-trip not bitwise-identical");
   }
 
+  // ---- KV-cached decode replay: feed the same tokens one position at a
+  // time and compare each step's hidden rows against the prefill forward.
+  // Runs before the SGD step (same parameters as hidden_ref) and after the
+  // backward pass (decode touches neither gradients nor stashed activations).
+  {
+    auto cache = oracle.make_kv_cache(cfg.batch);
+    ITensor step(Shape{cfg.batch});
+    Tensor<T> want(Shape{cfg.batch, h});
+    for (index_t t = 0; t < cfg.seq_len; ++t) {
+      for (index_t b = 0; b < cfg.batch; ++b) step[b] = tokens.at(b, t);
+      const Tensor<T>& dh = oracle.forward_decode(step, cache);
+      for (index_t b = 0; b < cfg.batch; ++b) {
+        for (index_t c = 0; c < h; ++c) want.at(b, c) = hidden_ref.at(b * cfg.seq_len + t, c);
+      }
+      cmp.tensor(dh, want, res.serial_decode, "serial decode t=" + std::to_string(t));
+    }
+  }
+
   // Sgd::step(momentum=0, wd=0) reads but never writes the gradient tensors,
   // so post-step `oracle` holds *both* oracles: structured gradients from the
   // backward pass and updated parameters from the step.
@@ -282,6 +300,26 @@ void run_impl(const FuzzConfig& fc, const EquivalenceOptions& opts, EquivalenceR
       }
     }
 
+    // ---- KV-cached decode replay against this rank's block of the serial
+    // prefill reference (the comparison mutex is released across the decode
+    // collectives — holding it there would serialize ranks into a deadlock).
+    {
+      auto cache = engine.make_kv_cache(cfg.batch);
+      const Tensor<T> href = tensor::matrix_block(hidden_ref, q, i, j);
+      const index_t nl = cfg.batch / q;
+      ITensor step(Shape{cfg.batch});
+      Tensor<T> want(Shape{nl, hq});
+      for (index_t t = 0; t < cfg.seq_len; ++t) {
+        for (index_t b = 0; b < cfg.batch; ++b) step[b] = tokens.at(b, t);
+        const Tensor<T>& dh = engine.forward_decode(step, cache, nullptr);
+        for (index_t r = 0; r < nl; ++r) {
+          for (index_t c = 0; c < hq; ++c) want.at(r, c) = href.at(r * cfg.seq_len + t, c);
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        cmp.tensor(dh, want, res.optimus.decode, tag + "decode t=" + std::to_string(t));
+      }
+    }
+
     const bool ckpt_ok = roundtrip_bitwise<T>(engine.parameters());
 
     // One SGD step on this rank's shards, then compare the updated
@@ -397,6 +435,24 @@ void run_impl(const FuzzConfig& fc, const EquivalenceOptions& opts, EquivalenceR
         }
       }
 
+      // ---- KV-cached decode replay vs the replicated prefill reference.
+      {
+        auto cache = engine.make_kv_cache(cfg.batch);
+        ITensor step(Shape{cfg.batch});
+        Tensor<T> want(Shape{cfg.batch, h});
+        for (index_t t = 0; t < cfg.seq_len; ++t) {
+          for (index_t b = 0; b < cfg.batch; ++b) step[b] = tokens.at(b, t);
+          const Tensor<T>& dh = engine.forward_decode(step, cache, nullptr);
+          for (index_t b = 0; b < cfg.batch; ++b) {
+            for (index_t c = 0; c < h; ++c) {
+              want.at(b, c) = hidden_ref.at(b * cfg.seq_len + t, c);
+            }
+          }
+          std::lock_guard<std::mutex> lock(mu);
+          cmp.tensor(dh, want, res.megatron.decode, tag + "decode t=" + std::to_string(t));
+        }
+      }
+
       const bool ckpt_ok = roundtrip_bitwise<T>(engine.parameters());
       runtime::Sgd<T> local_sgd;
       local_sgd.step(engine.parameters(), engine.gradients(), fc.lr);
@@ -482,10 +538,11 @@ std::string summarize(const EquivalenceResult& res) {
   const auto engine = [&os](const char* name, const EngineDeviation& d) {
     os << " | " << name << " ulps: hidden=" << d.hidden.max_ulps << " loss=" << d.loss.max_ulps
        << " dx0=" << d.input_grad.max_ulps << " grad=" << d.grad.max_ulps
-       << " param=" << d.param.max_ulps;
+       << " param=" << d.param.max_ulps << " decode=" << d.decode.max_ulps;
   };
   engine("2d", res.optimus);
   engine("1d", res.megatron);
+  os << " | serial decode=" << res.serial_decode.max_ulps;
   os << " | ckpt=" << (res.ckpt_roundtrip_ok ? "ok" : "FAIL");
   if (res.fault_replay_ran) os << " replay=" << (res.fault_replay_ok ? "ok" : "FAIL");
   if (res.gradcheck_coords > 0) {

@@ -10,7 +10,12 @@
 //   * the scalar LM loss on every rank,
 //   * the input gradient and every structurally-exposed parameter gradient
 //     (weight blocks, hosted bias/layernorm slices, embedding shards),
-//   * the post-step parameters of the same tensors.
+//   * the post-step parameters of the same tensors,
+//   * a KV-cached incremental decode replay of the whole token batch against
+//     the prefill hidden state, per engine (ULP budget, not bitwise: decode
+//     GEMMs have m = b instead of b·s, so the two paths can land on different
+//     sides of the kernel-dispatch cutoff; serving_test pins the bitwise claim
+//     at dispatch-parity shapes).
 //
 // It also round-trips every engine's parameters through checkpoint_io
 // (save → load → bitwise-equal) and, when requested, replays the Optimus run
@@ -31,7 +36,7 @@
 namespace optimus::testing {
 
 struct EngineDeviation {
-  Deviation hidden, loss, input_grad, grad, param;
+  Deviation hidden, loss, input_grad, grad, param, decode;
 };
 
 struct EquivalenceOptions {
@@ -45,6 +50,7 @@ struct EquivalenceResult {
   FuzzConfig config;
   EngineDeviation optimus;   // vs serial
   EngineDeviation megatron;  // vs serial
+  Deviation serial_decode;   // KV-cached decode replay vs the oracle's prefill
   bool ckpt_roundtrip_ok = true;
   bool fault_replay_ok = true;
   bool fault_replay_ran = false;
