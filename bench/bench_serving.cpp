@@ -22,9 +22,12 @@
 
 #include "bench_common.hpp"
 #include "comm/cluster.hpp"
+#include "comm/obs_report.hpp"
 #include "core/optimus_model.hpp"
 #include "megatron/megatron_model.hpp"
 #include "mesh/mesh.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "perfmodel/validation.hpp"
 #include "serving/serving.hpp"
 #include "serving/traffic.hpp"
@@ -64,11 +67,99 @@ os::TrafficConfig make_traffic(const optimus::model::TransformerConfig& cfg, dou
   return tc;
 }
 
+/// Per-rank simulated-timeline breakdown → flat JSON extras on a bench row.
+void add_util_extras(optimus::bench::JsonWriter::Metrics& ex,
+                     const oc::Cluster::Report& rep) {
+  for (std::size_t r = 0; r < rep.ranks.size(); ++r) {
+    const auto& rr = rep.ranks[r];
+    const double tot = rr.sim_time > 0 ? rr.sim_time : 1.0;
+    const std::string p = "rank" + std::to_string(r) + "_";
+    ex.emplace_back(p + "compute_frac", rr.util.compute / tot);
+    ex.emplace_back(p + "align_wait_frac", rr.util.align_wait / tot);
+    ex.emplace_back(p + "transfer_frac", rr.util.transfer / tot);
+    ex.emplace_back(p + "idle_frac", rr.util.idle / tot);
+  }
+}
+
+/// Registry-histogram quantiles for the load point just served (the registry
+/// is reset before each point). The histogram view is log-bucketed (≤ 4.4 %
+/// rel error), complementing the exact sorted-vector p50/p99 alongside.
+void add_latency_hist_extras(optimus::bench::JsonWriter::Metrics& ex) {
+  const auto& h =
+      optimus::obs::MetricsRegistry::instance().histogram("serving.request_latency_s");
+  ex.emplace_back("hist_p50_latency_ms", h.quantile(0.50) * 1e3);
+  ex.emplace_back("hist_p99_latency_ms", h.quantile(0.99) * 1e3);
+  ex.emplace_back("hist_p999_latency_ms", h.quantile(0.999) * 1e3);
+}
+
+/// --smoke: one traced+metered Optimus load point for CI. Writes the Chrome
+/// trace (request lanes included) and a byte-reproducible metrics JSON (pool
+/// and span sections excluded — they carry wall-clock numbers).
+int run_smoke(const std::string& trace_out, const std::string& metrics_out) {
+  const auto cfg = make_config(/*b=*/8, /*s=*/48, /*h=*/32, /*n=*/4, /*v=*/64, /*layers=*/2);
+  auto tc = make_traffic(cfg, /*rate=*/200.0);
+  tc.count = 12;
+  const auto reqs = os::poisson_open_loop(tc);
+  if (!trace_out.empty()) {
+    optimus::obs::set_enabled(true);
+    optimus::obs::reset();
+  }
+  optimus::obs::set_metrics_enabled(true);
+  optimus::obs::metrics_reset();
+  std::mutex mu;
+  os::ServingMetrics sm;
+  const auto report = oc::run_cluster(kMeshQ * kMeshQ, [&](oc::Context& ctx) {
+    optimus::mesh::Mesh2D mesh(ctx.world);
+    optimus::core::OptimusTransformer<float> m(cfg, mesh);
+    os::OptimusDecodeEngine<float> eng(m, cfg.batch);
+    auto oc2 = os::run_serving<float>(
+        eng, reqs, [&] { return ctx.clock.now(); },
+        [&](double when) { ctx.clock.set(when); });
+    OPT_CHECK(!oc2.aborted, "smoke run aborted");
+    OPT_CHECK(oc2.completed.size() == reqs.size(), "smoke run dropped requests");
+    std::lock_guard<std::mutex> lock(mu);
+    if (ctx.rank == 0) sm = oc2.metrics;
+  });
+  std::cout << "smoke: completed " << sm.completed << " requests, " << sm.decode_steps
+            << " decode steps, p50 " << sm.p50_latency * 1e3 << " ms\n";
+  if (!trace_out.empty()) {
+    optimus::obs::write_chrome_trace(trace_out);
+    std::cout << "wrote " << trace_out << "\n";
+  }
+  if (!metrics_out.empty()) {
+    oc::MetricsReportOptions opts;
+    opts.include_spans = false;  // span summary carries wall totals
+    opts.include_pool = false;   // pool counters are wall-based
+    oc::write_metrics(metrics_out, report, opts);
+    std::cout << "wrote " << metrics_out << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out, metrics_out;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      smoke = true;
+    } else if (a == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (a == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      std::cerr << "usage: bench_serving [--smoke [--trace-out F] [--metrics-out F]]\n";
+      return 2;
+    }
+  }
+  if (smoke) return run_smoke(trace_out, metrics_out);
+
   optimus::bench::print_header("E-serving — continuous batching, 4 devices (q=2 vs p=4)");
   const auto cfg = make_config(/*b=*/8, /*s=*/48, /*h=*/32, /*n=*/4, /*v=*/64, /*layers=*/2);
+  // The registry feeds the per-load histogram columns; reset per point.
+  optimus::obs::set_metrics_enabled(true);
   optimus::bench::JsonWriter json;
   std::mutex mu;
 
@@ -80,8 +171,10 @@ int main() {
     const bool is2d = std::string(engine) == "optimus";
     for (const double rate : rates) {
       const auto reqs = os::poisson_open_loop(make_traffic(cfg, rate));
+      optimus::obs::metrics_reset();  // one registry window per load point
       SweepPoint pt;
       pt.rate = rate;
+      oc::Cluster::Report report;
       const auto body = [&](oc::Context& ctx, os::DecodeEngine<float>& eng) {
         auto oc2 = os::run_serving<float>(
             eng, reqs, [&] { return ctx.clock.now(); },
@@ -95,14 +188,14 @@ int main() {
         }
       };
       if (is2d) {
-        oc::run_cluster(kMeshQ * kMeshQ, [&](oc::Context& ctx) {
+        report = oc::run_cluster(kMeshQ * kMeshQ, [&](oc::Context& ctx) {
           optimus::mesh::Mesh2D mesh(ctx.world);
           optimus::core::OptimusTransformer<float> m(cfg, mesh);
           os::OptimusDecodeEngine<float> eng(m, cfg.batch);
           body(ctx, eng);
         });
       } else {
-        oc::run_cluster(kMegatronP, [&](oc::Context& ctx) {
+        report = oc::run_cluster(kMegatronP, [&](oc::Context& ctx) {
           optimus::megatron::MegatronTransformer<float> m(cfg, ctx.world);
           os::MegatronDecodeEngine<float> eng(m, ctx.world, cfg.batch);
           body(ctx, eng);
@@ -113,8 +206,7 @@ int main() {
                  Table::fmt(m.tokens_per_s, 1), Table::fmt(m.p50_latency * 1e3, 3),
                  Table::fmt(m.p99_latency * 1e3, 3), Table::fmt(m.mean_queue_depth, 2),
                  std::to_string(m.max_queue_depth)});
-      json.add(std::string("serving_") + engine, "b8 s48 h32 v64 L2", 0, 0,
-               m.span * 1e3,
+      optimus::bench::JsonWriter::Metrics extras =
                {{"offered_rate", pt.rate},
                 {"tokens_per_s", m.tokens_per_s},
                 {"p50_latency_ms", m.p50_latency * 1e3},
@@ -125,7 +217,12 @@ int main() {
                 {"max_queue_depth", static_cast<double>(m.max_queue_depth)},
                 {"completed", static_cast<double>(m.completed)},
                 {"decode_steps", static_cast<double>(m.decode_steps)},
-                {"cache_bytes_per_rank", static_cast<double>(pt.cache_bytes)}});
+                {"cache_bytes_per_rank", static_cast<double>(pt.cache_bytes)}};
+      add_latency_hist_extras(extras);
+      extras.emplace_back("p999_latency_ms", m.p999_latency * 1e3);
+      add_util_extras(extras, report);
+      json.add(std::string("serving_") + engine, "b8 s48 h32 v64 L2", 0, 0,
+               m.span * 1e3, extras);
     }
   }
   t.print(std::cout);

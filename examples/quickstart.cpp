@@ -25,6 +25,7 @@
 #include "comm/cluster.hpp"
 #include "comm/obs_report.hpp"
 #include "core/optimus_model.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "mesh/mesh.hpp"
 #include "model/config.hpp"
@@ -47,6 +48,7 @@ int main(int argc, char** argv) {
   const std::string metrics_out = cli.get_string("metrics-out", "");
   cli.finish();
   if (!trace_out.empty() || !metrics_out.empty()) optimus::obs::set_enabled(true);
+  if (!metrics_out.empty()) optimus::obs::set_metrics_enabled(true);
 
   // 1. The model: a toy GPT-style stack whose dimensions divide the mesh side.
   optimus::model::TransformerConfig cfg;

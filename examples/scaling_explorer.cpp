@@ -29,6 +29,7 @@
 #include "core/optimus_model.hpp"
 #include "megatron/megatron_model.hpp"
 #include "mesh/mesh.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "perfmodel/memory.hpp"
 #include "perfmodel/scaling.hpp"
@@ -226,6 +227,9 @@ int main(int argc, char** argv) {
       cli.get_bool("validate", false) || !trace_out.empty() || !metrics_out.empty();
   cli.finish();
   if (!trace_out.empty() || !metrics_out.empty()) optimus::obs::set_enabled(true);
+  // The metrics JSON carries the registry section (step latency histograms,
+  // serving/training counters) alongside the per-rank report.
+  if (!metrics_out.empty()) optimus::obs::set_metrics_enabled(true);
 
   std::cout << "model: h=" << w.h << " b=" << w.b << " s=" << w.s << " N=" << w.layers
             << " v=" << w.v << "  (" << Table::fmt(opm::total_compute(w) / 1e12, 1)

@@ -6,13 +6,16 @@
 #   2. Observability smoke: run the quickstart twice (traced and untraced),
 #      require byte-identical stdout, and validate the emitted Chrome trace
 #      (well-formed JSON, monotone per-track timestamps, proper span nesting)
-#      with tools/trace_validate.
+#      and metrics JSON (tools/trace_validate, both modes). Then a traced +
+#      metered serving run: request-lane nesting validated, metrics JSON
+#      schema-checked and byte-diffed across two runs.
 #   3. Differential fuzz smoke: tools/fuzz_equivalence --configs 25 --seed 7,
 #      run twice — both runs must pass AND produce byte-identical reports
 #      (the harness promises determinism; a diff here means nondeterminism
 #      leaked into the engines or the report).
 #   4. Serving smoke: bench_serving (fixed seeds, simulated clock) run twice
-#      with byte-diffed stdout + BENCH_serving.json.
+#      with byte-diffed stdout + BENCH_serving.json, then gated against the
+#      checked-in baseline with tools/bench_gate.
 #   5. Fast-label test suite under ASan+UBSan (`asan` preset) and TSan
 #      (`tsan` preset). The comm layer runs one thread per simulated device,
 #      exactly where TSan earns its keep. The serving-label suite also runs
@@ -43,10 +46,22 @@ echo "    stdout identical"
 
 echo "==> observability: validate Chrome trace + metrics JSON"
 ./build/tools/trace_validate "$OBS_TMP/trace.json"
-if command -v python3 >/dev/null 2>&1; then
-  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$OBS_TMP/metrics.json" \
-    && echo "    metrics.json parses"
-fi
+./build/tools/trace_validate --metrics "$OBS_TMP/metrics.json"
+
+echo "==> telemetry smoke: traced+metered serving run, validated + byte-diffed"
+# One Optimus load point with request-lane tracing and the metrics registry
+# armed. The trace must validate (lifecycle/decode-step lane nesting, no
+# orphan spans); the metrics JSON (pool/span sections excluded — those carry
+# wall-clock numbers) must validate against the schema and reproduce
+# byte-for-byte across two runs.
+./build/bench/bench_serving --smoke --trace-out "$OBS_TMP/serving_trace.json" \
+    --metrics-out "$OBS_TMP/serving_metrics_a.json" > /dev/null
+./build/bench/bench_serving --smoke \
+    --metrics-out "$OBS_TMP/serving_metrics_b.json" > /dev/null
+./build/tools/trace_validate "$OBS_TMP/serving_trace.json"
+./build/tools/trace_validate --metrics "$OBS_TMP/serving_metrics_a.json"
+diff "$OBS_TMP/serving_metrics_a.json" "$OBS_TMP/serving_metrics_b.json"
+echo "    serving trace valid, metrics schema-clean and byte-identical"
 
 echo "==> differential fuzz smoke: 25 configs, twice, byte-identical reports"
 ./build/tools/fuzz_equivalence --configs 25 --seed 7 --report "$OBS_TMP/fuzz_a.txt" > /dev/null
@@ -65,6 +80,12 @@ ROOT="$(pwd)"
 diff "$OBS_TMP/serving_a.out" "$OBS_TMP/serving_b.out"
 diff "$OBS_TMP/serving_a.json" "$OBS_TMP/serving_b.json"
 echo "    serving bench deterministic, speedup + cost-model asserts pass"
+
+echo "==> bench gate: fresh BENCH_serving.json vs checked-in baseline"
+# Everything compared derives from the simulated clock (gflops/wall_ms are
+# skipped by default), so drift beyond the tolerance is a real regression —
+# or an intentional change that should update the baseline file.
+./build/tools/bench_gate BENCH_serving.json "$OBS_TMP/serving_a.json"
 
 echo "==> thread-scaling smoke: 1024^3 f32 GEMM, 1 vs 4 threads"
 # Fails if threading makes the kernel slower (core-count-aware bound; see

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "kernel/thread_pool.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 
 namespace optimus::comm {
@@ -97,6 +98,9 @@ Cluster::Report Cluster::run(const std::function<void(Context&)>& body) {
         // Account compute done after the last collective.
         st.clock.drain_compute(cost_);
       } catch (...) {
+        // Leave the post-mortem artifact while this thread still carries the
+        // rank's track (flight dumps are keyed by obs::current_rank()).
+        obs::flight_write_postmortem();
         st.error = std::current_exception();
       }
     });
@@ -135,6 +139,7 @@ Cluster::Report Cluster::run(const std::function<void(Context&)>& body) {
     r.live_bytes = st.device.bytes_live();
     r.alloc_count = st.device.alloc_count();
     r.stats = st.stats;
+    r.util = st.clock.util();
   }
   return report;
 }

@@ -43,6 +43,7 @@ class Cluster {
     std::uint64_t live_bytes = 0;  // should be ~0 after clean teardown
     std::uint64_t alloc_count = 0;
     CommStats stats;
+    UtilBreakdown util;  // where sim_time went: compute/align_wait/transfer/idle
   };
 
   struct Report {

@@ -1,5 +1,7 @@
 #include "comm/communicator.hpp"
 
+#include "obs/flight.hpp"
+
 namespace optimus::comm {
 
 Communicator::Communicator(Fabric& fabric, std::uint64_t comm_id, std::vector<int> group,
@@ -24,7 +26,11 @@ Communicator::Communicator(Fabric& fabric, std::uint64_t comm_id, std::vector<in
 
 CollectiveTiming Communicator::begin_collective(std::uint64_t seq, double dt) {
   const CollectiveTiming t = begin_async(seq, dt);
-  clock_->set(t.completion());
+  // Bitwise identical to the previous set(completion()): align_to assigns
+  // entry_aligned exactly, then advance_transfer adds the same dt — only the
+  // utilization bucketing differs.
+  clock_->align_to(t.entry_aligned);
+  clock_->advance_transfer(t.dt);
   return t;
 }
 
@@ -32,6 +38,13 @@ CollectiveTiming Communicator::begin_async(std::uint64_t seq, double dt) {
   clock_->drain_compute(*cost_);
   CollectiveTiming t;
   t.entry_local = clock_->now();
+  // Flight note before the rendezvous: if a peer's fault aborts the fabric
+  // while we block in sync_max, the recorder still shows what we entered.
+  if (obs::flight_enabled()) {
+    obs::flight_note("comm", Fabric::current_op(), t.entry_local,
+                     label_.empty() ? "g=" + std::to_string(size())
+                                    : label_ + " g=" + std::to_string(size()));
+  }
   // Entry waits for the slowest member's clock AND for this communicator's
   // link to free up (earlier issued-but-unwaited transfers occupy it). For
   // blocking flows the clock never lags the link, so this is a pure
@@ -95,7 +108,7 @@ void Request::wait() {
   // issue, so transfer_s here is 0 and sim_dur == wait_s.
   obs::Span span("comm", st->wait_op);
   const double idle = std::max(0.0, st->completion - comm.clock_->now());
-  if (st->completion > comm.clock_->now()) comm.clock_->set(st->completion);
+  comm.clock_->align_to(st->completion);
   if (span.armed()) {
     if (!comm.label_.empty()) span.arg("comm", comm.label_);
     span.arg("g", comm.size());

@@ -27,6 +27,7 @@
 #include "comm/fabric.hpp"
 #include "comm/sim_clock.hpp"
 #include "comm/topology.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "tensor/tensor.hpp"
 
@@ -320,7 +321,11 @@ void Communicator::send(int dst, int tag, const T* data, tensor::index_t n) {
   clock_->drain_compute(*cost_);
   const std::uint64_t bytes = static_cast<std::uint64_t>(n) * sizeof(T);
   const double dt = cost_->p2p_time(world_rank(), group_[dst], bytes);
-  clock_->advance(dt);
+  if (obs::flight_enabled()) {
+    obs::flight_note("comm", "send", clock_->now(),
+                     "dst=" + std::to_string(group_[dst]) + " bytes=" + std::to_string(bytes));
+  }
+  clock_->advance_transfer(dt);
   stats_->p2p_messages += 1;
   stats_->p2p_bytes += bytes;
   stats_->p2p_time += dt;
@@ -341,9 +346,14 @@ void Communicator::recv(int src, int tag, T* data, tensor::index_t n) {
   Fabric::OpScope op_scope("recv");
   obs::Span span("comm", "recv");
   clock_->drain_compute(*cost_);
+  if (obs::flight_enabled()) {
+    obs::flight_note("comm", "recv", clock_->now(),
+                     "src=" + std::to_string(group_[src]) + " bytes=" +
+                         std::to_string(static_cast<std::uint64_t>(n) * sizeof(T)));
+  }
   const double sender_ts = fabric_->recv(world_rank(), group_[src], user_tag(tag), data,
                                          static_cast<std::size_t>(n) * sizeof(T));
-  if (sender_ts > clock_->now()) clock_->set(sender_ts);
+  clock_->align_to(sender_ts);
   if (span.armed()) {
     if (!label_.empty()) span.arg("comm", label_);
     span.arg("src", group_[src]);

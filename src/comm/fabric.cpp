@@ -7,6 +7,7 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/flight.hpp"
 #include "util/rng.hpp"
 
 namespace optimus::comm {
@@ -70,6 +71,10 @@ void Fabric::abort(const std::string& reason) {
 
 void Fabric::throw_if_aborted() const {
   if (!failed_.load(std::memory_order_acquire)) return;
+  // Record the op THIS rank was inside — deterministic per rank, unlike the
+  // first-aborter-wins fail_reason_ below, which depends on scheduling and is
+  // therefore kept out of the flight dump.
+  obs::flight_note_abort(current_op());
   std::lock_guard<std::mutex> lock(fail_mu_);
   throw FabricAborted("fabric aborted: " + fail_reason_);
 }
@@ -145,6 +150,7 @@ bool Fabric::try_consume_locked(Mailbox& box, std::unique_lock<std::mutex>& lock
     why << "poisoned payload detected in op '" << current_op() << "' (src " << src << " -> dst "
         << dst << ", tag " << tag << ", " << bytes << " bytes)";
     lock.unlock();
+    obs::flight_note_abort(current_op());
     abort(why.str());
     throw FaultError(why.str());
   }

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "kernel/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace optimus::comm {
@@ -39,9 +40,26 @@ obs::Json comm_json(const CommStats& s) {
   return j;
 }
 
+obs::Json util_json(const Cluster::RankReport& rr) {
+  const UtilBreakdown& u = rr.util;
+  obs::Json j = obs::Json::object();
+  j.set("compute_s", u.compute);
+  j.set("align_wait_s", u.align_wait);
+  j.set("transfer_s", u.transfer);
+  j.set("idle_s", u.idle);
+  const double total = rr.sim_time;
+  const auto frac = [&](double v) { return total > 0 ? v / total : 0.0; };
+  j.set("compute_frac", frac(u.compute));
+  j.set("align_wait_frac", frac(u.align_wait));
+  j.set("transfer_frac", frac(u.transfer));
+  j.set("idle_frac", frac(u.idle));
+  j.set("accounted_s", u.accounted());
+  return j;
+}
+
 }  // namespace
 
-obs::Json metrics_json(const Cluster::Report& report, bool include_spans) {
+obs::Json metrics_json(const Cluster::Report& report, const MetricsReportOptions& options) {
   obs::Json doc = obs::Json::object();
   doc.set("world_size", static_cast<std::uint64_t>(report.ranks.size()));
 
@@ -60,6 +78,7 @@ obs::Json metrics_json(const Cluster::Report& report, bool include_spans) {
     j.set("live_bytes", rr.live_bytes);
     j.set("alloc_count", rr.alloc_count);
     j.set("comm", comm_json(rr.stats));
+    j.set("utilization", util_json(rr));
     ranks.push_back(std::move(j));
     const CommStats::Op* ops[7] = {&rr.stats.broadcast,     &rr.stats.reduce,
                                    &rr.stats.allreduce,     &rr.stats.allgather,
@@ -89,33 +108,51 @@ obs::Json metrics_json(const Cluster::Report& report, bool include_spans) {
   totals.set("total_weighted_comm", report.total_weighted_comm());
   doc.set("totals", std::move(totals));
 
-  const kernel::PoolStats pool = kernel::pool_stats();
-  obs::Json pj = obs::Json::object();
-  pj.set("regions", pool.regions);
-  pj.set("inline_regions", pool.inline_regions);
-  pj.set("chunks", pool.chunks);
-  pj.set("worker_chunks", pool.worker_chunks);
-  pj.set("worker_share", pool.worker_share());
-  // Submit waits are summed across concurrent device submitters, so the
-  // aggregate can legitimately exceed the run's wall time (p devices blocked
-  // on the shared pool at once each contribute their own wait). The name says
-  // so; avg_region_wait_ms is the per-region mean, comparable to wall time.
-  pj.set("aggregate_submit_wait_ms", static_cast<double>(pool.submit_wait_ns) / 1e6);
-  pj.set("avg_region_wait_ms", pool.avg_region_wait_ns() / 1e6);
-  pj.set("barrier_crossings", pool.barrier_crossings);
-  pj.set("parks", pool.parks);
-  pj.set("workers_spawned", pool.workers_spawned);
-  doc.set("pool", std::move(pj));
+  if (options.include_pool) {
+    const kernel::PoolStats pool = kernel::pool_stats();
+    obs::Json pj = obs::Json::object();
+    pj.set("regions", pool.regions);
+    pj.set("inline_regions", pool.inline_regions);
+    pj.set("chunks", pool.chunks);
+    pj.set("worker_chunks", pool.worker_chunks);
+    pj.set("worker_share", pool.worker_share());
+    // Submit waits are summed across concurrent device submitters, so the
+    // aggregate can legitimately exceed the run's wall time (p devices blocked
+    // on the shared pool at once each contribute their own wait). The name says
+    // so; avg_region_wait_ms is the per-region mean, comparable to wall time.
+    pj.set("aggregate_submit_wait_ms", static_cast<double>(pool.submit_wait_ns) / 1e6);
+    pj.set("avg_region_wait_ms", pool.avg_region_wait_ns() / 1e6);
+    pj.set("barrier_crossings", pool.barrier_crossings);
+    pj.set("parks", pool.parks);
+    pj.set("workers_spawned", pool.workers_spawned);
+    doc.set("pool", std::move(pj));
+  }
 
-  if (include_spans && obs::enabled()) doc.set("spans", obs::span_summary_json());
+  if (options.include_spans && obs::enabled()) doc.set("spans", obs::span_summary_json());
+  if (options.include_registry && obs::metrics_enabled()) {
+    doc.set("metrics", obs::metrics_snapshot_json());
+  }
   return doc;
+}
+
+obs::Json metrics_json(const Cluster::Report& report, bool include_spans) {
+  MetricsReportOptions options;
+  options.include_spans = include_spans;
+  return metrics_json(report, options);
 }
 
 void write_metrics(const std::string& path, const Cluster::Report& report,
                    bool include_spans) {
+  MetricsReportOptions options;
+  options.include_spans = include_spans;
+  write_metrics(path, report, options);
+}
+
+void write_metrics(const std::string& path, const Cluster::Report& report,
+                   const MetricsReportOptions& options) {
   std::ofstream out(path);
   OPT_CHECK(out.good(), "cannot open metrics output " << path);
-  out << metrics_json(report, include_spans).dump(2) << "\n";
+  out << metrics_json(report, options).dump(2) << "\n";
 }
 
 }  // namespace optimus::comm

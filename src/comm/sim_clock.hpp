@@ -22,6 +22,21 @@
 
 namespace optimus::comm {
 
+/// Where a rank's simulated time went, bucketed at the clock-mutation sites:
+/// compute (drained mults), align_wait (blocking until the slowest collective
+/// participant / a message sender catches up), transfer (modelled wire time),
+/// idle (external forward jumps, e.g. a serving driver skipping to the next
+/// arrival). The buckets partition elapsed time: every clock mutation lands
+/// in exactly one, so accounted() == now() up to FP addition error.
+struct UtilBreakdown {
+  double compute = 0;
+  double align_wait = 0;
+  double transfer = 0;
+  double idle = 0;
+
+  double accounted() const { return compute + align_wait + transfer + idle; }
+};
+
 class SimClock {
  public:
   double now() const { return now_; }
@@ -29,21 +44,57 @@ class SimClock {
   void advance(double seconds) {
     OPT_DCHECK(seconds >= 0, "negative time step " << seconds);
     now_ += seconds;
+    util_.idle += seconds;
   }
 
-  void set(double t) { now_ = t; }
+  /// Jumps forward to `t` (idle time: nothing modelled happened in between).
+  /// Jumping backwards is allowed for test harness rewinds and is not
+  /// accounted.
+  void set(double t) {
+    if (t > now_) util_.idle += t - now_;
+    now_ = t;
+  }
+
+  /// Aligns to another participant's clock — the wait a blocking collective
+  /// or receive spends until its slowest peer arrives. Exact assignment
+  /// (`now_ = t`, never `now_ += (t - now_)`) so alignment is bitwise
+  /// identical to the pre-accounting set() and measured==predicted
+  /// assertions keep holding to 0 rel err.
+  void align_to(double t) {
+    if (t > now_) {
+      util_.align_wait += t - now_;
+      now_ = t;
+    }
+  }
+
+  /// Advances over modelled wire time (collective transfer phase, p2p send).
+  void advance_transfer(double seconds) {
+    OPT_DCHECK(seconds >= 0, "negative transfer time " << seconds);
+    now_ += seconds;
+    util_.transfer += seconds;
+  }
 
   /// Converts the multiply count accumulated on this thread since the last
   /// drain into simulated seconds.
   void drain_compute(const CostModel& cost) {
     const std::uint64_t mults = tensor::DeviceContext::current().take_mults();
-    if (mults > 0) now_ += cost.compute_time(mults);
+    if (mults > 0) {
+      const double dt = cost.compute_time(mults);
+      now_ += dt;
+      util_.compute += dt;
+    }
   }
 
-  void reset() { now_ = 0; }
+  const UtilBreakdown& util() const { return util_; }
+
+  void reset() {
+    now_ = 0;
+    util_ = UtilBreakdown{};
+  }
 
  private:
   double now_ = 0;
+  UtilBreakdown util_;
 };
 
 /// Per-rank communication statistics, in both raw and paper units.

@@ -1,0 +1,144 @@
+#include "obs/flight.hpp"
+
+#include <atomic>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+
+#include "obs/trace.hpp"
+
+namespace optimus::obs {
+
+namespace {
+
+std::atomic<bool> g_flight_enabled{false};
+
+struct FlightEvent {
+  std::uint64_t seq = 0;
+  double t_s = 0;
+  std::string cat;
+  std::string name;
+  std::string detail;
+};
+
+struct RankRing {
+  std::deque<FlightEvent> events;
+  std::uint64_t events_seen = 0;
+  std::string abort_op;  // first-wins
+};
+
+struct FlightState {
+  std::mutex m;
+  std::map<int, RankRing> rings;
+  std::size_t capacity = 128;
+  std::string prefix;
+};
+
+// Leaked: fault paths may fire during teardown of other statics.
+FlightState& state() {
+  static FlightState* g = new FlightState();
+  return *g;
+}
+
+}  // namespace
+
+bool flight_enabled() { return g_flight_enabled.load(std::memory_order_relaxed); }
+
+void set_flight_enabled(bool on) {
+  g_flight_enabled.store(on, std::memory_order_relaxed);
+}
+
+void flight_reset() {
+  FlightState& s = state();
+  std::lock_guard<std::mutex> lock(s.m);
+  s.rings.clear();
+}
+
+void flight_configure(std::size_t ring_capacity) {
+  FlightState& s = state();
+  std::lock_guard<std::mutex> lock(s.m);
+  s.capacity = ring_capacity == 0 ? 1 : ring_capacity;
+}
+
+void flight_set_postmortem_prefix(const std::string& prefix) {
+  FlightState& s = state();
+  std::lock_guard<std::mutex> lock(s.m);
+  s.prefix = prefix;
+}
+
+void flight_note(const char* cat, const std::string& name, double sim_t,
+                 const std::string& detail) {
+  if (!flight_enabled()) return;
+  FlightState& s = state();
+  std::lock_guard<std::mutex> lock(s.m);
+  RankRing& ring = s.rings[current_rank()];
+  FlightEvent ev;
+  ev.seq = ring.events_seen++;
+  ev.t_s = sim_t;
+  ev.cat = cat;
+  ev.name = name;
+  ev.detail = detail;
+  ring.events.push_back(std::move(ev));
+  while (ring.events.size() > s.capacity) ring.events.pop_front();
+}
+
+void flight_note_abort(const std::string& op) {
+  if (!flight_enabled()) return;
+  FlightState& s = state();
+  std::lock_guard<std::mutex> lock(s.m);
+  RankRing& ring = s.rings[current_rank()];
+  if (ring.abort_op.empty()) ring.abort_op = op;
+}
+
+Json flight_rank_json() {
+  const int rank = current_rank();
+  FlightState& s = state();
+  std::lock_guard<std::mutex> lock(s.m);
+  const RankRing& ring = s.rings[rank];
+  Json j = Json::object();
+  j.set("rank", Json(rank));
+  j.set("abort_op", Json(ring.abort_op));
+  j.set("events_seen", Json(static_cast<double>(ring.events_seen)));
+  Json events = Json::array();
+  for (const FlightEvent& ev : ring.events) {
+    Json e = Json::object();
+    e.set("seq", Json(static_cast<double>(ev.seq)));
+    e.set("t_s", Json(ev.t_s));
+    e.set("cat", Json(ev.cat));
+    e.set("name", Json(ev.name));
+    e.set("detail", Json(ev.detail));
+    events.push_back(std::move(e));
+  }
+  j.set("events", std::move(events));
+  return j;
+}
+
+std::string flight_write_postmortem() {
+  if (!flight_enabled()) return "";
+  std::string prefix;
+  {
+    FlightState& s = state();
+    std::lock_guard<std::mutex> lock(s.m);
+    prefix = s.prefix;
+  }
+  if (prefix.empty()) return "";
+  const int rank = current_rank();
+  const std::string path =
+      prefix + ".rank" + std::to_string(rank) + ".json";
+  const Json doc = flight_rank_json();
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write flight-recorder dump " << path << "\n";
+    return "";
+  }
+  out << doc.dump(1) << "\n";
+  if (!out) {
+    std::cerr << "warning: failed writing flight-recorder dump " << path << "\n";
+    return "";
+  }
+  return path;
+}
+
+}  // namespace optimus::obs

@@ -1,0 +1,68 @@
+#pragma once
+
+// Fault flight recorder: a fixed-size ring buffer of recent events per rank,
+// dumped to a post-mortem JSON file when a rank dies on FaultError /
+// FabricAborted. The goal is that every fault-injection run leaves an
+// inspectable artifact naming the op the cluster was executing when it went
+// down — without any cost on the happy path (the disabled fast path is one
+// relaxed atomic load, same contract as the tracer and metrics registry).
+//
+// Determinism: the ring holds only simulated-clock timestamps and
+// deterministic event descriptions recorded by the owning rank's own thread,
+// so for a fixed seed the dump of each rank is byte-identical across runs.
+// Racy facts are deliberately excluded: which exception type a rank died with
+// (FaultError on the detecting rank vs FabricAborted on woken peers) and the
+// fabric's first-aborter-wins fail reason both depend on thread scheduling.
+// What *is* deterministic is the op each rank was inside when it threw —
+// captured by flight_note_abort() at the throw site — and that is what the
+// dump's "abort_op" records.
+//
+// Threading: events are keyed by obs::current_rank() and guarded by one
+// mutex (fault paths are cold; contention is irrelevant). Ranks never write
+// to each other's rings.
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace optimus::obs {
+
+/// True when the flight recorder is armed. One relaxed load.
+bool flight_enabled();
+
+/// Arms/disarms the recorder process-wide. Arming does not clear old events.
+void set_flight_enabled(bool on);
+
+/// Drops all recorded events, abort notes, and per-rank sequence counters.
+void flight_reset();
+
+/// Ring capacity per rank (events kept). Applies to subsequently recorded
+/// events; default 128.
+void flight_configure(std::size_t ring_capacity);
+
+/// Path prefix for post-mortem dumps; rank R writes "<prefix>.rank<R>.json".
+/// Empty (the default) disables dumping while still recording.
+void flight_set_postmortem_prefix(const std::string& prefix);
+
+/// Records one event on the calling thread's rank ring. `sim_t` is the
+/// caller's simulated clock; `detail` is a free-form deterministic string.
+void flight_note(const char* cat, const std::string& name, double sim_t,
+                 const std::string& detail);
+
+/// Records the op a rank is aborting inside. First call per rank wins (the
+/// first throw is the interesting one); later calls are ignored until reset.
+void flight_note_abort(const std::string& op);
+
+/// The calling rank's ring as JSON:
+///   {rank, abort_op, events_seen, events: [{seq, t_s, cat, name, detail}]}
+/// seq is the per-rank event ordinal (monotone even after wrap), events_seen
+/// the total recorded, so truncation by the ring is visible.
+Json flight_rank_json();
+
+/// Writes flight_rank_json() for the calling rank to
+/// "<prefix>.rank<R>.json". Returns the path written, or "" when disabled,
+/// no prefix is set, or the write fails (a warning is logged on failure).
+std::string flight_write_postmortem();
+
+}  // namespace optimus::obs

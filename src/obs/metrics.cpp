@@ -1,0 +1,236 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+
+namespace optimus::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+}
+
+void set_metrics_enabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+void metrics_reset() { MetricsRegistry::instance().reset(); }
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+namespace {
+// Sentinel bucket for values <= 0 or non-finite; std::map orders it below
+// every real bucket so quantile scans see it first.
+constexpr std::int64_t kUnderflowBucket = INT64_MIN;
+}  // namespace
+
+std::int64_t Histogram::bucket_index(double v) {
+  if (!(v > 0) || !std::isfinite(v)) return kUnderflowBucket;
+  int exp = 0;
+  // frexp: v = m * 2^exp with m in [0.5, 1) for normal and subnormal inputs
+  // alike, so the index is exact integer arithmetic on (exp, sub-bucket).
+  const double m = std::frexp(v, &exp);
+  // Map mantissa [0.5, 1) onto sub-buckets [0, kSubBuckets).
+  const int sub = static_cast<int>((m - 0.5) * 2 * kSubBuckets);
+  const int clamped = sub >= kSubBuckets ? kSubBuckets - 1 : sub;
+  return static_cast<std::int64_t>(exp) * kSubBuckets + clamped;
+}
+
+double Histogram::bucket_lower_bound(std::int64_t index) {
+  if (index == kUnderflowBucket) return 0.0;
+  const std::int64_t exp = index >= 0 ? index / kSubBuckets
+                                      : (index - (kSubBuckets - 1)) / kSubBuckets;
+  const std::int64_t sub = index - exp * kSubBuckets;
+  const double m = 0.5 + 0.5 * static_cast<double>(sub) / kSubBuckets;
+  return std::ldexp(m, static_cast<int>(exp));
+}
+
+void Histogram::record(double v) {
+  std::lock_guard<std::mutex> lock(m_);
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  ++buckets_[bucket_index(v)];
+}
+
+void Histogram::merge(const Histogram& other) {
+  // Snapshot 'other' first so self-merge and lock ordering are non-issues.
+  std::map<std::int64_t, std::uint64_t> ob;
+  std::uint64_t oc;
+  double omin, omax;
+  {
+    std::lock_guard<std::mutex> lock(other.m_);
+    ob = other.buckets_;
+    oc = other.count_;
+    omin = other.min_;
+    omax = other.max_;
+  }
+  if (oc == 0) return;
+  std::lock_guard<std::mutex> lock(m_);
+  if (count_ == 0) {
+    min_ = omin;
+    max_ = omax;
+  } else {
+    if (omin < min_) min_ = omin;
+    if (omax > max_) max_ = omax;
+  }
+  count_ += oc;
+  for (const auto& [idx, n] : ob) buckets_[idx] += n;
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return count_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return max_;
+}
+
+double Histogram::quantile(double p) const {
+  std::lock_guard<std::mutex> lock(m_);
+  return quantile_locked(p);
+}
+
+double Histogram::quantile_locked(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  // Rank of the p-quantile sample, 1-based, matching the sorted-vector
+  // convention sorted[ceil(p*n) - 1] used elsewhere in serving metrics.
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t seen = 0;
+  for (const auto& [idx, n] : buckets_) {
+    seen += n;
+    if (seen >= rank) {
+      double rep = bucket_lower_bound(idx);
+      if (rep < min_) rep = min_;
+      if (rep > max_) rep = max_;
+      return rep;
+    }
+  }
+  return max_;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(m_);
+  buckets_.clear();
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+Json Histogram::to_json() const {
+  std::lock_guard<std::mutex> lock(m_);
+  Json j = Json::object();
+  j.set("type", Json("histogram"));
+  j.set("count", Json(static_cast<double>(count_)));
+  j.set("min", Json(min_));
+  j.set("max", Json(max_));
+  j.set("p50", Json(quantile_locked(0.50)));
+  j.set("p99", Json(quantile_locked(0.99)));
+  j.set("p999", Json(quantile_locked(0.999)));
+  Json buckets = Json::array();
+  for (const auto& [idx, n] : buckets_) {
+    Json b = Json::array();
+    b.push_back(Json(bucket_lower_bound(idx)));
+    b.push_back(Json(static_cast<double>(n)));
+    buckets.push_back(std::move(b));
+  }
+  j.set("buckets", std::move(buckets));
+  return j;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaked on purpose: instrumentation sites may fire during static
+  // destruction of other objects (same pattern as the tracer registry).
+  static MetricsRegistry* g = new MetricsRegistry();
+  return *g;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+Json MetricsRegistry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(m_);
+  Json j = Json::object();
+  // std::map iteration is already name-sorted; interleave the three kinds
+  // into one object so the output order is the merged sorted order.
+  auto ci = counters_.begin();
+  auto gi = gauges_.begin();
+  auto hi = histograms_.begin();
+  auto next_name = [&]() -> const std::string* {
+    const std::string* best = nullptr;
+    if (ci != counters_.end()) best = &ci->first;
+    if (gi != gauges_.end() && (!best || gi->first < *best)) best = &gi->first;
+    if (hi != histograms_.end() && (!best || hi->first < *best)) best = &hi->first;
+    return best;
+  };
+  while (const std::string* name = next_name()) {
+    if (ci != counters_.end() && ci->first == *name) {
+      Json c = Json::object();
+      c.set("type", Json("counter"));
+      c.set("value", Json(static_cast<double>(ci->second->value())));
+      j.set(*name, std::move(c));
+      ++ci;
+    } else if (gi != gauges_.end() && gi->first == *name) {
+      Json g = Json::object();
+      g.set("type", Json("gauge"));
+      g.set("value", Json(gi->second->value()));
+      j.set(*name, std::move(g));
+      ++gi;
+    } else {
+      j.set(*name, hi->second->to_json());
+      ++hi;
+    }
+  }
+  return j;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(m_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Json metrics_snapshot_json() { return MetricsRegistry::instance().snapshot_json(); }
+
+}  // namespace optimus::obs

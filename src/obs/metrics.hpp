@@ -1,0 +1,190 @@
+#pragma once
+
+// Process-wide metrics registry: counters, gauges, and mergeable log-bucketed
+// histograms with p50/p99/p999 queries, sampled on the *simulated* clock.
+//
+// Cost contract (same as the tracer): when metrics collection is disabled
+// (the default) an instrumentation site costs exactly one relaxed atomic load
+// — call metrics_enabled() first and do nothing else. Recording never touches
+// numerics; values fed in are sim-clock readings and counters, so program
+// output is byte-identical with metrics on or off.
+//
+// Histograms are log-bucketed: a value lands in the bucket
+//   [2^e·(1 + s/16), 2^e·(1 + (s+1)/16))   for integer e and s ∈ [0, 16),
+// i.e. 16 sub-buckets per octave, giving a worst-case quantile resolution of
+// 2^(1/16) − 1 ≈ 4.4 % relative. Bucketing uses only frexp-style bit
+// arithmetic (no libm), so the bucket index of a value is exact and
+// platform-stable. Bucket state is a sparse ordered map of integer counts
+// plus exact min/max — merging adds counts and folds min/max, both
+// order-independent operations, so any merge order yields bitwise-identical
+// state (tested in metrics_test).
+//
+// Quantile queries do exact rank selection over the bucket counts: the
+// returned value is the lower bound of the bucket that provably contains the
+// rank-⌈p·n⌉ sample, clamped to [min, max] (which makes the single-sample
+// case exact). Thread safety: each metric guards its state with a mutex;
+// recording happens only when enabled, on whichever thread owns the sample
+// (the serving scheduler records on the lead rank only).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace optimus::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+}
+
+/// True when metrics collection is on. The disabled fast path is this load.
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns metrics collection on/off process-wide. Turning it on does not clear
+/// previously recorded values; call metrics_reset() for a fresh run.
+void set_metrics_enabled(bool on);
+
+/// Zeroes every registered metric in place. Handles returned by the registry
+/// stay valid (entries are never erased, only reset).
+void metrics_reset();
+
+// ---------------------------------------------------------------------------
+// Metric types
+// ---------------------------------------------------------------------------
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) {
+    std::lock_guard<std::mutex> lock(m_);
+    v_ = v;
+    set_ = true;
+  }
+  void max(double v) {
+    std::lock_guard<std::mutex> lock(m_);
+    v_ = set_ ? (v > v_ ? v : v_) : v;
+    set_ = true;
+  }
+  double value() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return v_;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> lock(m_);
+    v_ = 0;
+    set_ = false;
+  }
+
+ private:
+  mutable std::mutex m_;
+  double v_ = 0;
+  bool set_ = false;
+};
+
+/// Mergeable log-bucketed histogram (see file comment for the bucket layout).
+class Histogram {
+ public:
+  /// Sub-buckets per octave as a power of two; 16 → ≤ 4.4 % quantile error.
+  static constexpr int kSubBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBits;
+
+  /// Bucket index of a value. Values ≤ 0 (or non-finite) share a dedicated
+  /// underflow bucket below every positive one.
+  static std::int64_t bucket_index(double v);
+  /// Lower bound of a bucket (the quantile representative). The underflow
+  /// bucket's bound is 0.
+  static double bucket_lower_bound(std::int64_t index);
+
+  void record(double v);
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const;
+  double min() const;
+  double max() const;
+  /// Rank-⌈p·count⌉ selection over the buckets, clamped to [min, max].
+  /// Returns 0 on an empty histogram.
+  double quantile(double p) const;
+
+  void reset();
+
+  /// Full state (count/min/max/buckets) plus the three standard quantiles.
+  /// Byte-stable for a given state, independent of record/merge order.
+  Json to_json() const;
+
+ private:
+  mutable std::mutex m_;
+  std::map<std::int64_t, std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+
+  double quantile_locked(double p) const;
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Name → metric. Handles are stable for the process lifetime (reset zeroes
+/// in place, never erases). Lookup takes a mutex — cache the reference in hot
+/// paths, or rely on the metrics_enabled() gate making lookups rare.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// {"name": {"type": ..., ...}} sorted by name.
+  Json snapshot_json() const;
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+  mutable std::mutex m_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Convenience instrumentation helpers: one relaxed load when disabled, then a
+// registry lookup + record when enabled.
+inline void metrics_count(const std::string& name, std::uint64_t n = 1) {
+  if (!metrics_enabled()) return;
+  MetricsRegistry::instance().counter(name).add(n);
+}
+inline void metrics_gauge_set(const std::string& name, double v) {
+  if (!metrics_enabled()) return;
+  MetricsRegistry::instance().gauge(name).set(v);
+}
+inline void metrics_gauge_max(const std::string& name, double v) {
+  if (!metrics_enabled()) return;
+  MetricsRegistry::instance().gauge(name).max(v);
+}
+inline void metrics_observe(const std::string& name, double v) {
+  if (!metrics_enabled()) return;
+  MetricsRegistry::instance().histogram(name).record(v);
+}
+
+/// snapshot_json() of the process registry.
+Json metrics_snapshot_json();
+
+}  // namespace optimus::obs

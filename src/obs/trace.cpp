@@ -153,6 +153,28 @@ Span::~Span() {
   buf.spans.push_back(std::move(rec));
 }
 
+void record_lane_span(const char* cat, const std::string& name, int lane,
+                      int depth, double sim_begin, double sim_end,
+                      std::vector<std::pair<std::string, Json>> args) {
+  if (!enabled()) return;
+  SpanRecord rec;
+  rec.cat = cat;
+  rec.name = name;
+  rec.rank = tl_track.rank;
+  rec.lane = lane;
+  rec.depth = depth;
+  rec.sim_begin = sim_begin;
+  rec.sim_end = sim_end;
+  // Lane spans live purely in simulated time; pin both wall stamps to "now"
+  // so the exported wall_ms is 0 rather than a misleading recording latency.
+  rec.wall_begin_ns = wall_now_ns();
+  rec.wall_end_ns = rec.wall_begin_ns;
+  rec.args = std::move(args);
+  ThreadBuffer& buf = thread_buffer();
+  std::lock_guard<std::mutex> lock(buf.m);
+  buf.spans.push_back(std::move(rec));
+}
+
 // ---------------------------------------------------------------------------
 // Export
 // ---------------------------------------------------------------------------
@@ -164,6 +186,7 @@ namespace {
 struct MergedSpans {
   std::map<int, std::vector<SpanRecord>> device;  // rank → spans
   std::map<int, std::vector<SpanRecord>> host;    // buffer id → spans
+  std::map<int, std::vector<SpanRecord>> lanes;   // request lane → spans
 };
 
 MergedSpans merge_buffers() {
@@ -173,7 +196,9 @@ MergedSpans merge_buffers() {
   for (auto& buf : reg.buffers) {
     std::lock_guard<std::mutex> bl(buf->m);
     for (const SpanRecord& s : buf->spans) {
-      if (s.rank >= 0) {
+      if (s.lane >= 0) {
+        out.lanes[s.lane].push_back(s);
+      } else if (s.rank >= 0) {
         out.device[s.rank].push_back(s);
       } else {
         out.host[buf->id].push_back(s);
@@ -182,6 +207,7 @@ MergedSpans merge_buffers() {
   }
   for (auto& [rank, spans] : out.device) sort_track(spans, /*use_sim=*/true);
   for (auto& [id, spans] : out.host) sort_track(spans, /*use_sim=*/false);
+  for (auto& [lane, spans] : out.lanes) sort_track(spans, /*use_sim=*/true);
   return out;
 }
 
@@ -196,12 +222,16 @@ std::vector<SpanRecord> snapshot() {
   for (auto& [id, spans] : merged.host) {
     all.insert(all.end(), spans.begin(), spans.end());
   }
+  for (auto& [lane, spans] : merged.lanes) {
+    all.insert(all.end(), spans.begin(), spans.end());
+  }
   return all;
 }
 
 Json chrome_trace_json() {
   constexpr int kSimPid = 0;
   constexpr int kHostPid = 1;
+  constexpr int kRequestPid = 2;
   MergedSpans merged = merge_buffers();
   Json events = Json::array();
 
@@ -218,11 +248,17 @@ Json chrome_trace_json() {
   };
   meta("process_name", kSimPid, -1, "simulated devices (simulated time)");
   if (!merged.host.empty()) meta("process_name", kHostPid, -1, "host (wall time)");
+  if (!merged.lanes.empty()) {
+    meta("process_name", kRequestPid, -1, "requests (simulated time)");
+  }
   for (const auto& [rank, spans] : merged.device) {
     meta("thread_name", kSimPid, rank, "device " + std::to_string(rank));
   }
   for (const auto& [id, spans] : merged.host) {
     meta("thread_name", kHostPid, id, "host thread " + std::to_string(id));
+  }
+  for (const auto& [lane, spans] : merged.lanes) {
+    meta("thread_name", kRequestPid, lane, "request " + std::to_string(lane));
   }
 
   const auto emit = [&](const SpanRecord& s, int pid, int tid, double ts_us, double dur_us) {
@@ -250,6 +286,11 @@ Json chrome_trace_json() {
     for (const SpanRecord& s : spans) {
       emit(s, kHostPid, id, static_cast<double>(s.wall_begin_ns) / 1e3,
            static_cast<double>(s.wall_end_ns - s.wall_begin_ns) / 1e3);
+    }
+  }
+  for (const auto& [lane, spans] : merged.lanes) {
+    for (const SpanRecord& s : spans) {
+      emit(s, kRequestPid, lane, s.sim_begin * 1e6, s.sim_dur() * 1e6);
     }
   }
 
@@ -318,11 +359,13 @@ TraceCheck validate_chrome_trace(const Json& doc) {
 
   struct Open {
     double ts, end;
+    bool lifecycle;  // cat=="request" && name=="lifecycle"
   };
   struct TrackState {
     double last_ts = -1e300;
     std::vector<Open> stack;
     int index = 0;  // event count on this track, for error messages
+    bool has_request = false;
   };
   std::map<std::pair<int, int>, TrackState> tracks;
 
@@ -373,9 +416,38 @@ TraceCheck validate_chrome_trace(const Json& doc) {
            std::to_string(ts));
       return res;
     }
-    track.stack.push_back({ts, end});
+
+    // Request-lane contract: a "lifecycle" span is the root of its request
+    // tree (never nested in another request span); every other request span
+    // is an orphan unless a lifecycle span encloses it.
+    const std::string cat = e.get("cat").is_string() ? e.get("cat").as_string() : "";
+    const std::string& name = e.get("name").as_string();
+    const bool is_request = cat == "request";
+    const bool is_lifecycle = is_request && name == "lifecycle";
+    if (is_request) {
+      track.has_request = true;
+      if (is_lifecycle) {
+        if (!track.stack.empty()) {
+          fail("lifecycle span nested inside another span on track pid " +
+               std::to_string(key.first) + " tid " + std::to_string(key.second) +
+               " at ts " + std::to_string(ts));
+          return res;
+        }
+      } else {
+        bool inside_lifecycle = false;
+        for (const Open& o : track.stack) inside_lifecycle |= o.lifecycle;
+        if (!inside_lifecycle) {
+          fail("orphan request span '" + name + "' outside any lifecycle on track pid " +
+               std::to_string(key.first) + " tid " + std::to_string(key.second) +
+               " at ts " + std::to_string(ts));
+          return res;
+        }
+      }
+    }
+    track.stack.push_back({ts, end, is_lifecycle});
   }
   res.tracks = static_cast<int>(tracks.size());
+  for (const auto& [key, track] : tracks) res.request_lanes += track.has_request ? 1 : 0;
   return res;
 }
 

@@ -100,6 +100,10 @@ struct SpanRecord {
   std::string cat;
   std::string name;
   int rank = kHostRank;
+  /// Request lane (>= 0) for per-request serving spans; such spans are
+  /// exported on the dedicated "requests" pid with tid = lane instead of the
+  /// recording thread's device track. -1 for ordinary spans.
+  int lane = -1;
   int depth = 0;
   double sim_begin = 0;
   double sim_end = 0;
@@ -136,6 +140,16 @@ class Span {
   std::vector<std::pair<std::string, Json>> args_;
 };
 
+/// Records a completed span on a request lane. The serving scheduler uses
+/// this instead of RAII Span because request lifetimes are known from the
+/// driver's simulated clock (begin and end are supplied, not scoped), and
+/// the span belongs to a request lane rather than the recording thread's
+/// device track. `depth` orders same-timestamp spans (lifecycle = 0,
+/// children = 1). No-op when tracing is disabled.
+void record_lane_span(const char* cat, const std::string& name, int lane,
+                      int depth, double sim_begin, double sim_end,
+                      std::vector<std::pair<std::string, Json>> args = {});
+
 // ---------------------------------------------------------------------------
 // Export
 // ---------------------------------------------------------------------------
@@ -159,12 +173,16 @@ Json span_summary_json();
 /// producer): traceEvents present, required fields typed correctly, per-track
 /// timestamps monotonically non-decreasing in file order, and complete-event
 /// spans properly nested per track (children inside parents, no overlapping
-/// siblings).
+/// siblings). Spans with cat "request" additionally obey the lane contract:
+/// on each track exactly one top-level span named "lifecycle" per nesting
+/// tree, and every other request span (queue_wait / decode_step / ...) lies
+/// inside a lifecycle span — an orphan request span fails validation.
 struct TraceCheck {
   bool ok = true;
   std::string error;       // first violation, empty when ok
   int events = 0;          // "X" span events checked
   int tracks = 0;          // distinct (pid, tid) with at least one span
+  int request_lanes = 0;   // distinct tracks carrying cat=="request" spans
 };
 TraceCheck validate_chrome_trace(const Json& doc);
 

@@ -12,6 +12,8 @@
 #include <functional>
 #include <vector>
 
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/data.hpp"
 #include "util/logging.hpp"
@@ -22,6 +24,11 @@ namespace optimus::runtime {
 template <typename Engine, typename Optimizer, typename T = float>
 double lm_step(Engine& engine, Optimizer& opt, const LmBatch& batch, double lr) {
   obs::Span step_span("runtime", "lm_step");
+  // Step-phase telemetry on the lead rank only (every rank executes the
+  // same step; emitting per-rank would multiply the histogram by p).
+  const bool lead_metrics = obs::metrics_enabled() && obs::current_rank() <= 0;
+  const double t0 = lead_metrics ? obs::sim_now() : 0;
+  if (obs::flight_enabled()) obs::flight_note("runtime", "lm_step", obs::sim_now(), "");
   {
     obs::Span span("runtime", "forward");
     engine.forward(batch.tokens);
@@ -39,6 +46,10 @@ double lm_step(Engine& engine, Optimizer& opt, const LmBatch& batch, double lr) 
   {
     obs::Span span("runtime", "optimizer");
     opt.step(engine.parameters(), engine.gradients(), lr);
+  }
+  if (lead_metrics) {
+    obs::metrics_observe("runtime.lm_step_s", obs::sim_now() - t0);
+    obs::metrics_count("runtime.lm_steps");
   }
   return loss;
 }
@@ -66,6 +77,9 @@ std::vector<double> train_lm(Engine& engine, Optimizer& opt, const Schedule& sch
 template <typename Engine, typename Optimizer>
 double cls_step(Engine& engine, Optimizer& opt, const ClsBatch& batch, double lr) {
   obs::Span step_span("runtime", "cls_step");
+  const bool lead_metrics = obs::metrics_enabled() && obs::current_rank() <= 0;
+  const double t0 = lead_metrics ? obs::sim_now() : 0;
+  if (obs::flight_enabled()) obs::flight_note("runtime", "cls_step", obs::sim_now(), "");
   {
     obs::Span span("runtime", "forward");
     engine.forward(batch.tokens);
@@ -83,6 +97,10 @@ double cls_step(Engine& engine, Optimizer& opt, const ClsBatch& batch, double lr
   {
     obs::Span span("runtime", "optimizer");
     opt.step(engine.parameters(), engine.gradients(), lr);
+  }
+  if (lead_metrics) {
+    obs::metrics_observe("runtime.cls_step_s", obs::sim_now() - t0);
+    obs::metrics_count("runtime.cls_steps");
   }
   return loss;
 }

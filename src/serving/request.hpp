@@ -33,6 +33,10 @@ struct Request {
   int evictions = 0;
   double first_token = -1;  // sim time the first generated token appeared
   double finish = -1;       // sim time the request completed
+  // Telemetry only (never read by scheduling decisions): when the current
+  // stint of queueing began — arrival at submit, the eviction time after an
+  // eviction. Feeds the queue_wait lane span and histogram.
+  double wait_from = -1;
 
   std::size_t forced_size() const { return prompt.size() + generated.size(); }
   std::int32_t forced_at(std::size_t i) const {
@@ -49,7 +53,7 @@ struct ServingMetrics {
   std::uint64_t decode_steps = 0;
   double span = 0;  // first arrival → last completion, simulated seconds
   double tokens_per_s = 0;
-  double p50_latency = 0, p99_latency = 0;          // submit → finish
+  double p50_latency = 0, p99_latency = 0, p999_latency = 0;  // submit → finish
   double p50_first_token = 0, p99_first_token = 0;  // submit → first new token
   double mean_queue_depth = 0;
   std::size_t max_queue_depth = 0;

@@ -2,9 +2,23 @@
 
 #include <algorithm>
 
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace optimus::serving {
 
 using tensor::index_t;
+
+namespace {
+
+/// Every rank of a distributed engine runs the identical schedule, so only
+/// one may emit per-request telemetry or it would be duplicated p times.
+/// Rank 0 carries the flag; a serial engine driven from the host thread
+/// (track rank −1) also qualifies.
+bool lead_rank() { return obs::current_rank() <= 0; }
+
+}  // namespace
 
 ContinuousBatchScheduler::ContinuousBatchScheduler(index_t slots, index_t capacity)
     : capacity_(capacity), slot_of_(static_cast<std::size_t>(slots), -1) {
@@ -17,6 +31,7 @@ void ContinuousBatchScheduler::submit(Request r) {
             "request " << r.id << " needs " << r.prompt.size() + r.max_new_tokens
                        << " positions, capacity " << capacity_);
   r.fed = 0;  // cache cursor always starts cold in this scheduler's arena
+  if (r.wait_from < 0) r.wait_from = r.arrival;
   pool_.push_back(std::move(r));
   queue_.push_back(pool_.size() - 1);
   std::stable_sort(queue_.begin(), queue_.end(), [&](std::size_t a, std::size_t b) {
@@ -36,6 +51,7 @@ double ContinuousBatchScheduler::next_arrival() const {
 }
 
 bool ContinuousBatchScheduler::admit(double now) {
+  last_now_ = now;
   for (std::size_t q = 0; q < queue_.size();) {
     const std::size_t ri = queue_[q];
     if (pool_[ri].arrival > now) break;  // queue is arrival-sorted
@@ -43,6 +59,22 @@ bool ContinuousBatchScheduler::admit(double now) {
     if (free_it == slot_of_.end()) break;
     *free_it = static_cast<int>(ri);
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(q));
+    Request& r = pool_[ri];
+    if (lead_rank()) {
+      const double waited = r.wait_from >= 0 ? now - r.wait_from : 0.0;
+      if (obs::enabled()) {
+        obs::record_lane_span("request", "queue_wait", r.id, /*depth=*/1,
+                              r.wait_from >= 0 ? r.wait_from : now, now);
+      }
+      if (obs::metrics_enabled()) {
+        obs::metrics_observe("serving.queue_wait_s", waited);
+        obs::metrics_count("serving.admissions");
+      }
+      if (obs::flight_enabled()) {
+        obs::flight_note("serving", "admit", now, "request=" + std::to_string(r.id));
+      }
+    }
+    r.wait_from = -1;
   }
   return active_count() > 0;
 }
@@ -62,6 +94,7 @@ void ContinuousBatchScheduler::plan_step(std::vector<std::int32_t>& tokens,
 std::vector<index_t> ContinuousBatchScheduler::commit_step(
     const std::vector<std::int32_t>& outputs, double now) {
   OPT_CHECK(outputs.size() == slot_of_.size(), "one output per slot");
+  last_now_ = now;
   std::vector<index_t> freed;
   for (std::size_t s = 0; s < slot_of_.size(); ++s) {
     if (slot_of_[s] < 0) continue;
@@ -72,6 +105,24 @@ std::vector<index_t> ContinuousBatchScheduler::commit_step(
     if (r.first_token < 0) r.first_token = now;
     if (r.complete()) {
       r.finish = now;
+      if (lead_rank()) {
+        if (obs::enabled()) {
+          obs::record_lane_span(
+              "request", "lifecycle", r.id, /*depth=*/0, r.arrival, now,
+              {{"prompt_tokens", obs::Json(static_cast<std::uint64_t>(r.prompt.size()))},
+               {"new_tokens", obs::Json(static_cast<std::uint64_t>(r.generated.size()))},
+               {"evictions", obs::Json(r.evictions)}});
+        }
+        if (obs::metrics_enabled()) {
+          obs::metrics_observe("serving.request_latency_s", now - r.arrival);
+          obs::metrics_observe("serving.first_token_s", r.first_token - r.arrival);
+          obs::metrics_count("serving.completed");
+          obs::metrics_count("serving.generated_tokens", r.generated.size());
+        }
+        if (obs::flight_enabled()) {
+          obs::flight_note("serving", "complete", now, "request=" + std::to_string(r.id));
+        }
+      }
       completed_.push_back(r);
       slot_of_[s] = -2;  // tombstone: pool entry consumed
       freed.push_back(static_cast<index_t>(s));
@@ -89,6 +140,21 @@ void ContinuousBatchScheduler::evict_slot(index_t slot) {
   Request& r = pool_[static_cast<std::size_t>(ri)];
   r.fed = 0;
   ++r.evictions;
+  // Evictions happen between steps; the step boundary clock is the best
+  // available timestamp (clamped so a request evicted before it ever ran
+  // doesn't wait "since before it arrived").
+  const double t = std::max(last_now_, r.arrival);
+  r.wait_from = t;
+  if (lead_rank()) {
+    if (obs::enabled()) {
+      obs::record_lane_span("request", "evict", r.id, /*depth=*/1, t, t,
+                            {{"evictions", obs::Json(r.evictions)}});
+    }
+    if (obs::metrics_enabled()) obs::metrics_count("serving.evictions");
+    if (obs::flight_enabled()) {
+      obs::flight_note("serving", "evict", t, "request=" + std::to_string(r.id));
+    }
+  }
   slot_of_[static_cast<std::size_t>(slot)] = -1;
   queue_.push_back(static_cast<std::size_t>(ri));
   std::stable_sort(queue_.begin(), queue_.end(), [&](std::size_t a, std::size_t b) {

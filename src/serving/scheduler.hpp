@@ -78,6 +78,10 @@ class ContinuousBatchScheduler {
   std::vector<std::size_t> queue_;       // indices into pool_, FIFO by (arrival, id)
   std::vector<int> slot_of_;             // per slot: index into pool_, or -1
   std::vector<Request> completed_;
+  // Last driver-provided clock reading (admit/commit). Eviction has no time
+  // argument, so its telemetry timestamps events here — never from
+  // obs::sim_now(), which is 0 on host threads driving a serial engine.
+  double last_now_ = 0;
 };
 
 }  // namespace optimus::serving

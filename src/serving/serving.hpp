@@ -20,6 +20,9 @@
 #include <vector>
 
 #include "comm/fabric.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serving/engines.hpp"
 #include "serving/scheduler.hpp"
 
@@ -46,9 +49,43 @@ class ServingSession {
     queue_depth_sum_ += static_cast<double>(backlog);
     max_queue_depth_ = std::max(max_queue_depth_, backlog);
     sched_.plan_step(tokens_, active_);
-    const std::vector<std::int32_t> out = engine_->step(tokens_, active_);
+    // Lane membership must be captured before the step: commit_step advances
+    // each request's cursor (and may retire it), losing which phase this
+    // step was for it. Only the lead rank emits lane spans (the schedule is
+    // identical on every rank).
+    const bool lead = obs::current_rank() <= 0;
+    step_lanes_.clear();
+    if (obs::enabled() && lead) {
+      for (tensor::index_t s = 0; s < sched_.slots(); ++s) {
+        if (!active_[static_cast<std::size_t>(s)]) continue;
+        const Request* r = sched_.request_in_slot(s);
+        const char* phase = r->fed < r->prompt.size()          ? "prefill_step"
+                            : r->fed < r->forced_size()        ? "replay_step"
+                                                               : "decode_step";
+        step_lanes_.emplace_back(r->id, phase);
+      }
+    }
+    if (obs::flight_enabled()) {
+      obs::flight_note("serving", "decode_step", t,
+                       "batch=" + std::to_string(sched_.active_count()));
+    }
+    std::vector<std::int32_t> out;
+    {
+      obs::Span dspan("serving", "decode_step");
+      if (dspan.armed()) dspan.arg("batch", static_cast<std::uint64_t>(sched_.active_count()));
+      out = engine_->step(tokens_, active_);
+    }
     ++decode_steps_;
-    for (const tensor::index_t slot : sched_.commit_step(out, now())) {
+    const double t1 = now();
+    if (lead) {
+      for (const auto& [lane, phase] : step_lanes_) {
+        obs::record_lane_span("request", phase, lane, /*depth=*/1, t, t1);
+      }
+      obs::metrics_observe("serving.decode_step_s", t1 - t);
+      obs::metrics_count("serving.decode_steps");
+      obs::metrics_gauge_max("serving.max_batch", static_cast<double>(sched_.active_count()));
+    }
+    for (const tensor::index_t slot : sched_.commit_step(out, t1)) {
       engine_->reset_slot(slot);
     }
     return sched_.finished() ? Step::kDone : Step::kStepped;
@@ -77,6 +114,7 @@ class ServingSession {
     m.tokens_per_s = m.span > 0 ? static_cast<double>(m.generated_tokens) / m.span : 0;
     m.p50_latency = percentile(lat, 0.50);
     m.p99_latency = percentile(lat, 0.99);
+    m.p999_latency = percentile(lat, 0.999);
     m.p50_first_token = percentile(ftl, 0.50);
     m.p99_first_token = percentile(ftl, 0.99);
     m.mean_queue_depth =
@@ -99,6 +137,7 @@ class ServingSession {
   ContinuousBatchScheduler sched_;
   std::vector<std::int32_t> tokens_;
   std::vector<std::uint8_t> active_;
+  std::vector<std::pair<int, const char*>> step_lanes_;  // (request id, phase)
   std::uint64_t decode_steps_ = 0;
   double queue_depth_sum_ = 0;
   std::size_t max_queue_depth_ = 0;
@@ -135,9 +174,11 @@ ServingOutcome run_serving(DecodeEngine<T>& engine, std::vector<Request> request
       }
     }
   } catch (const comm::FaultError& e) {
+    obs::flight_write_postmortem();
     oc.aborted = true;
     oc.fault_what = e.what();
   } catch (const comm::FabricAborted&) {
+    obs::flight_write_postmortem();
     oc.aborted = true;  // peer of the detecting rank; fabric is gone
   }
   oc.metrics = session.metrics();

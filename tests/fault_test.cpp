@@ -11,13 +11,16 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "comm/cluster.hpp"
 #include "comm/fabric.hpp"
 #include "mesh/mesh.hpp"
+#include "obs/flight.hpp"
 #include "summa/summa.hpp"
 #include "tensor/distribution.hpp"
 #include "test_helpers.hpp"
@@ -123,6 +126,68 @@ TEST(Fault, PoisonDiagnosticIsDeterministic) {
   const std::string first = poison_what();
   ASSERT_NE(first.find("poisoned payload"), std::string::npos) << "what: " << first;
   EXPECT_EQ(first, poison_what());
+}
+
+TEST(Fault, PoisonedCollectiveLeavesPostmortemOnEveryRank) {
+  ots::Watchdog wd("fault postmortem test", std::chrono::seconds(120));
+  namespace ob = optimus::obs;
+  struct FlightGuard {
+    ~FlightGuard() {
+      ob::set_flight_enabled(false);
+      ob::flight_reset();
+      ob::flight_set_postmortem_prefix("");
+    }
+  } guard;
+
+  oc::FaultPlan plan;
+  plan.seed = 7;
+  plan.poison_prob = 1.0;  // every rank poisons its own first receive
+  const auto slurp = [](const std::string& path) -> std::string {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing post-mortem dump " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  const auto run_dumping = [&](const std::string& prefix) {
+    ob::flight_reset();
+    ob::set_flight_enabled(true);
+    ob::flight_set_postmortem_prefix(prefix);
+    try {
+      allreduce_results(4, &plan);
+      ADD_FAILURE() << "poisoned collective completed silently";
+    } catch (const oc::FaultError&) {
+    } catch (const oc::FabricAborted&) {
+    }
+  };
+
+  const std::string prefix_a = ::testing::TempDir() + "postmortem_a";
+  run_dumping(prefix_a);
+  for (int r = 0; r < 4; ++r) {
+    const std::string path = prefix_a + ".rank" + std::to_string(r) + ".json";
+    const ob::Json dump = ob::Json::parse(slurp(path));
+    EXPECT_EQ(dump.get("rank").as_number(), static_cast<double>(r)) << path;
+    // The op each rank was inside when it threw is deterministic and must be
+    // named — here every rank dies inside the poisoned allreduce.
+    EXPECT_EQ(dump.get("abort_op").as_string(), "allreduce") << path;
+    EXPECT_GT(dump.get("events_seen").as_number(), 0.0) << path;
+    ASSERT_FALSE(dump.get("events").items().empty()) << path;
+    bool named = false;
+    for (const auto& e : dump.get("events").items()) {
+      named = named || e.get("name").as_string() == "allreduce";
+    }
+    EXPECT_TRUE(named) << path << " ring never mentions the aborting op";
+  }
+
+  // Same seed, fresh run: each rank's dump must be byte-identical (the ring
+  // holds only sim timestamps and this rank's own deterministic notes).
+  const std::string prefix_b = ::testing::TempDir() + "postmortem_b";
+  run_dumping(prefix_b);
+  for (int r = 0; r < 4; ++r) {
+    const std::string suffix = ".rank" + std::to_string(r) + ".json";
+    EXPECT_EQ(slurp(prefix_a + suffix), slurp(prefix_b + suffix))
+        << "rank " << r << " dump differs across identical runs";
+  }
 }
 
 TEST(Fault, OptimusTrainingStepBitwiseUnderLatencyFaults) {

@@ -23,7 +23,9 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -464,6 +466,22 @@ TEST(Serving, PoisonedDecodeCollectiveAbortsAndResumes) {
   oc::FaultPlan plan;
   plan.seed = 13;
   plan.poison_prob = 0.001;
+  // Arm the flight recorder: the abort must leave a post-mortem dump on every
+  // rank. (Only existence and a named abort op are asserted here — this fault
+  // fires mid-run, so ring *contents* differ per rank; byte-determinism is
+  // covered by Fault.PoisonedCollectiveLeavesPostmortemOnEveryRank.)
+  namespace ob = optimus::obs;
+  struct FlightGuard {
+    ~FlightGuard() {
+      ob::set_flight_enabled(false);
+      ob::flight_reset();
+      ob::flight_set_postmortem_prefix("");
+    }
+  } flight_guard;
+  const std::string pm_prefix = ::testing::TempDir() + "serving_postmortem";
+  ob::flight_reset();
+  ob::set_flight_enabled(true);
+  ob::flight_set_postmortem_prefix(pm_prefix);
   std::vector<osv::Request> completed_at_abort, unfinished;
   std::string fault_what;
   int aborted_ranks = 0;
@@ -484,6 +502,18 @@ TEST(Serving, PoisonedDecodeCollectiveAbortsAndResumes) {
   });
   ASSERT_EQ(aborted_ranks, 4) << "poisoned collective did not abort the serving loop";
   EXPECT_NE(fault_what.find("poisoned payload"), std::string::npos) << fault_what;
+  for (int r = 0; r < 4; ++r) {
+    const std::string path = pm_prefix + ".rank" + std::to_string(r) + ".json";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "rank " << r << " left no post-mortem dump";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const ob::Json dump = ob::Json::parse(buf.str());
+    EXPECT_FALSE(dump.get("abort_op").as_string().empty())
+        << path << " does not name the aborting op";
+    EXPECT_GT(dump.get("events_seen").as_number(), 0.0) << path;
+  }
+  ob::set_flight_enabled(false);  // resume run below must not redump
   EXPECT_LT(completed_at_abort.size(), reqs.size());
   EXPECT_EQ(completed_at_abort.size() + unfinished.size(), reqs.size())
       << "requests lost across the abort";

@@ -305,6 +305,80 @@ TEST(Validator, AcceptsNestedAndTouchingSpans) {
 }
 
 // ---------------------------------------------------------------------------
+// Request lanes
+// ---------------------------------------------------------------------------
+
+TEST(Lanes, RecordLaneSpanExportsOnRequestPidWithLaneAsTid) {
+  TraceGuard guard;
+  ob::set_enabled(true);
+  // One request lifecycle with a queue-wait and a decode-step child, plus a
+  // second lane — emitted out of lane order to exercise grouping.
+  ob::record_lane_span("request", "lifecycle", /*lane=*/7, /*depth=*/0, 0.0, 1.0);
+  ob::record_lane_span("request", "lifecycle", /*lane=*/3, /*depth=*/0, 0.5, 2.0);
+  ob::record_lane_span("request", "queue_wait", 7, 1, 0.0, 0.2);
+  ob::record_lane_span("request", "decode_step", 7, 1, 0.2, 0.9);
+  ob::record_lane_span("request", "decode_step", 3, 1, 0.6, 1.5);
+
+  const ob::Json doc = ob::chrome_trace_json();
+  int request_events = 0;
+  bool lane3 = false, lane7 = false;
+  for (const auto& e : doc.get("traceEvents").items()) {
+    if (!e.get("ph").is_string() || e.get("ph").as_string() != "X") continue;
+    if (static_cast<int>(e.get("pid").as_number()) != 2) continue;  // requests pid
+    ++request_events;
+    const int tid = static_cast<int>(e.get("tid").as_number());
+    EXPECT_TRUE(tid == 3 || tid == 7) << "lane span on unexpected tid " << tid;
+    lane3 |= tid == 3;
+    lane7 |= tid == 7;
+    EXPECT_EQ(e.get("cat").as_string(), "request");
+  }
+  EXPECT_EQ(request_events, 5);
+  EXPECT_TRUE(lane3 && lane7);
+
+  const ob::TraceCheck check = ob::validate_chrome_trace(doc);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.request_lanes, 2);
+}
+
+TEST(Lanes, DisabledPathRecordsNothing) {
+  TraceGuard guard;
+  ASSERT_FALSE(ob::enabled());
+  ob::record_lane_span("request", "lifecycle", 1, 0, 0.0, 1.0);
+  EXPECT_TRUE(ob::snapshot().empty());
+}
+
+TEST(Validator, RejectsOrphanRequestSpans) {
+  // A decode step on a request lane with no enclosing lifecycle span.
+  const auto doc = ob::Json::parse(R"({"traceEvents": [
+    {"name": "decode_step", "cat": "request", "ph": "X", "pid": 2, "tid": 5, "ts": 0, "dur": 4}
+  ]})");
+  const auto check = ob::validate_chrome_trace(doc);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("orphan"), std::string::npos) << check.error;
+}
+
+TEST(Validator, RejectsNestedLifecycleSpans) {
+  const auto doc = ob::Json::parse(R"({"traceEvents": [
+    {"name": "lifecycle", "cat": "request", "ph": "X", "pid": 2, "tid": 5, "ts": 0, "dur": 10},
+    {"name": "lifecycle", "cat": "request", "ph": "X", "pid": 2, "tid": 5, "ts": 2, "dur": 3}
+  ]})");
+  const auto check = ob::validate_chrome_trace(doc);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("lifecycle"), std::string::npos) << check.error;
+}
+
+TEST(Validator, AcceptsDecodeStepsInsideLifecycle) {
+  const auto doc = ob::Json::parse(R"({"traceEvents": [
+    {"name": "lifecycle", "cat": "request", "ph": "X", "pid": 2, "tid": 5, "ts": 0, "dur": 10},
+    {"name": "queue_wait", "cat": "request", "ph": "X", "pid": 2, "tid": 5, "ts": 0, "dur": 2},
+    {"name": "decode_step", "cat": "request", "ph": "X", "pid": 2, "tid": 5, "ts": 2, "dur": 3}
+  ]})");
+  const auto check = ob::validate_chrome_trace(doc);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.request_lanes, 1);
+}
+
+// ---------------------------------------------------------------------------
 // Metrics export
 // ---------------------------------------------------------------------------
 
