@@ -140,19 +140,24 @@ void write_summa_json() {
     double wall_ms = 0, sim_ms = 0;
     oc::Cluster::Report report;
   };
-  const auto run_mode = [&](int q, bool pipelined) {
-    const int p = q * q;
+  // kind 0 = SUMMA (2D when d == 1, 2.5D otherwise), 1 = Cannon baseline.
+  const auto run_mode = [&](int q, int d, bool pipelined, int kind = 0) {
+    const int p = q * q * d;
     optimus::summa::PipelineGuard guard(pipelined);
     ModeResult r;
     const int reps = 3;
     for (int i = 0; i < reps; ++i) {
       optimus::util::Stopwatch sw;
       auto report = oc::run_cluster(p, [&](oc::Context& ctx) {
-        optimus::mesh::Mesh2D mesh(ctx.world);
+        optimus::mesh::Mesh2D mesh(ctx.world, d);
         Tensor A = ot::matrix_block(A_global, q, mesh.row(), mesh.col());
         Tensor B = ot::matrix_block(B_global, q, mesh.row(), mesh.col());
         Tensor C = Tensor::zeros(Shape{n / q, n / q});
-        optimus::summa::summa_ab(mesh, A, B, C);
+        if (kind == 0) {
+          optimus::summa::summa_ab(mesh, A, B, C);
+        } else {
+          optimus::summa::cannon_ab(mesh, A, B, C);
+        }
         benchmark::DoNotOptimize(C.data());
       });
       r.wall_ms += sw.elapsed_s() * 1000.0;
@@ -178,17 +183,30 @@ void write_summa_json() {
               {"overlap_efficiency", overlap_efficiency}});
   };
   for (int q : {1, 2, 4}) {
-    const ModeResult blocking = run_mode(q, false);
+    const ModeResult blocking = run_mode(q, 1, false);
     add_row("summa_ab_q" + std::to_string(q), q, blocking, 0.0);
     if (q > 1) {
       // Pipelined rows ride next to the blocking baselines they are compared
       // against; overlap_efficiency is the fraction of the blocking critical
       // path hidden by the async schedule.
-      const ModeResult pipelined = run_mode(q, true);
+      const ModeResult pipelined = run_mode(q, 1, true);
       const double eff = (blocking.sim_ms - pipelined.sim_ms) / blocking.sim_ms;
       add_row("summa_ab_q" + std::to_string(q) + "_pipelined", q, pipelined, eff);
     }
   }
+  // 2.5D (Tesseract) crossover sweep vs both baselines. The q2d4 rows use the
+  // same 16 devices as the q4 2D rows above and the Cannon row below, so the
+  // sim_ms columns line up as an equal-p crossover table (EXPERIMENTS.md);
+  // q2d2 tracks the small-depth point at p = 8.
+  for (const auto& [q, d] : {std::pair<int, int>{2, 2}, {2, 4}}) {
+    const std::string base = "summa25_ab_q" + std::to_string(q) + "d" + std::to_string(d);
+    const ModeResult blocking = run_mode(q, d, false);
+    add_row(base, q, blocking, 0.0);
+    const ModeResult pipelined = run_mode(q, d, true);
+    const double eff = (blocking.sim_ms - pipelined.sim_ms) / blocking.sim_ms;
+    add_row(base + "_pipelined", q, pipelined, eff);
+  }
+  add_row("cannon_ab_q4", 4, run_mode(4, 1, false, /*kind=*/1), 0.0);
   json.write("BENCH_summa.json");
 }
 

@@ -147,6 +147,40 @@ bool run_validation(optimus::comm::Cluster::Report* optimus_report) {
     overlap_ok = false;
   }
 
+  // 2.5D (Tesseract) step: the same product on a 2×2×2 mesh, simulator clock
+  // vs the depth-extended closed form (Table-1 terms /d plus the depth
+  // reduction), again under both schedules.
+  const int depth = 2;
+  const auto run_mode_25d = [&](bool pipelined) {
+    const auto report = oc::run_cluster(q * q * depth, [&](oc::Context& ctx) {
+      os::PipelineGuard guard(pipelined);
+      optimus::mesh::Mesh2D mesh(ctx.world, depth);
+      ot::TensorT<float> A = ot::TensorT<float>::zeros(ot::Shape{nb, nb});
+      ot::TensorT<float> B = ot::TensorT<float>::zeros(ot::Shape{nb, nb});
+      ot::TensorT<float> C = ot::TensorT<float>::zeros(ot::Shape{nb, nb});
+      os::summa_ab(mesh, A, B, C);
+    });
+    return report.max_sim_time();
+  };
+  const oc::Topology topo25(q * q * depth, /*gpus_per_node=*/4, oc::Arrangement::kBunched, 0);
+  const oc::CostModel cost25(topo25, oc::MachineParams{});
+  const auto pred25 =
+      opm::predict_summa25_ab_times(cost25, q, depth, q * nb, q * nb, q * nb, sizeof(float));
+  std::cout << "\nmeasured vs predicted 2.5D summa_ab sim time, 96x96x96 f32 at q=2 d=2\n";
+  Table s25({"schedule", "measured s", "predicted s", "rel err", "ok?"});
+  bool depth_ok = true;
+  const auto add25 = [&](const char* name, double meas, double predicted) {
+    const double rel = std::abs(meas - predicted) / (predicted > 0 ? predicted : 1.0);
+    const bool ok = rel <= 1e-9;
+    depth_ok = depth_ok && ok;
+    s25.add_row({name, Table::fmt(meas, 12), Table::fmt(predicted, 12),
+                 Table::fmt(rel, 12), ok ? "yes" : "NO"});
+  };
+  add25("blocking", run_mode_25d(false), pred25.blocking_s);
+  add25("pipelined", run_mode_25d(true), pred25.pipelined_s);
+  s25.print(std::cout);
+  if (!depth_ok) std::cout << "FAIL: 2.5D closed form does not match the simulator\n";
+
   // KV-cached decode step: one incremental serving step of each distributed
   // engine, simulator clock vs the closed-form decode-step predictor (the
   // exact sum of the step's collectives and GEMM charges). A warmup step
@@ -199,7 +233,7 @@ bool run_validation(optimus::comm::Cluster::Report* optimus_report) {
   }
   dt.print(std::cout);
   if (!decode_ok) std::cout << "FAIL: decode-step closed form does not match the simulator\n";
-  return all_ok && overlap_ok && decode_ok;
+  return all_ok && overlap_ok && depth_ok && decode_ok;
 }
 
 }  // namespace

@@ -64,10 +64,12 @@ diff "$OBS_TMP/serving_metrics_a.json" "$OBS_TMP/serving_metrics_b.json"
 echo "    serving trace valid, metrics schema-clean and byte-identical"
 
 echo "==> differential fuzz smoke: 25 configs, twice, byte-identical reports"
+# The sampler derives Tesseract depth d=2 from the seed mix where the shape
+# allows, so this sweep exercises 2.5D engines alongside the 2D corpus.
 ./build/tools/fuzz_equivalence --configs 25 --seed 7 --report "$OBS_TMP/fuzz_a.txt" > /dev/null
 ./build/tools/fuzz_equivalence --configs 25 --seed 7 --report "$OBS_TMP/fuzz_b.txt" > /dev/null
 diff "$OBS_TMP/fuzz_a.txt" "$OBS_TMP/fuzz_b.txt"
-echo "    25/25 configs pass, reports byte-identical"
+echo "    25/25 configs pass (d-extended corpus), reports byte-identical"
 
 echo "==> serving smoke: fixed-seed bench_serving, twice, byte-identical"
 # The serving bench runs entirely on the simulated clock with seeded traffic,
@@ -86,6 +88,14 @@ echo "==> bench gate: fresh BENCH_serving.json vs checked-in baseline"
 # skipped by default), so drift beyond the tolerance is a real regression —
 # or an intentional change that should update the baseline file.
 ./build/tools/bench_gate BENCH_serving.json "$OBS_TMP/serving_a.json"
+
+echo "==> bench gate: fresh BENCH_summa.json vs checked-in baseline"
+# Covers the 2D rows plus the 2.5D crossover rows (summa25_ab_*) and the
+# Cannon baseline; all gated fields are simulated-clock numbers. The
+# --benchmark_filter skips the google-benchmark section — only the manual
+# JSON sweep runs.
+(cd "$OBS_TMP" && "$ROOT/build/bench/bench_summa" --benchmark_filter='^$' > /dev/null 2>&1)
+./build/tools/bench_gate BENCH_summa.json "$OBS_TMP/BENCH_summa.json"
 
 echo "==> thread-scaling smoke: 1024^3 f32 GEMM, 1 vs 4 threads"
 # Fails if threading makes the kernel slower (core-count-aware bound; see
@@ -108,6 +118,8 @@ cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)"
 # The pipelined schedule changes which threads touch the fabric concurrently
 # (async irecvs + deferred waits), so TSan runs the suite under both modes.
+# The fast label includes the q×q×d (depth 2/3) mesh, SUMMA and fault tests,
+# so the 2.5D depth fold runs under both sanitizers as well.
 OPTIMUS_SUMMA_PIPELINE=0 ctest --test-dir build-tsan -L fast --output-on-failure -j"$(nproc)"
 OPTIMUS_SUMMA_PIPELINE=1 ctest --test-dir build-tsan -L fast --output-on-failure -j"$(nproc)"
 # Force a 4-thread kernel budget so the cooperative GEMM's barrier and

@@ -31,7 +31,7 @@ template <typename T>
 OptimusTransformer<T>::OptimusTransformer(const model::TransformerConfig& cfg,
                                           mesh::Mesh2D& mesh, OptimusOptions options)
     : cfg_(cfg), mesh_(&mesh), options_(options) {
-  cfg_.validate_for_mesh(mesh.q());
+  cfg_.validate_for_mesh(mesh.q(), mesh.depth());
   OPT_CHECK(options_.buffers == BufferMode::kHeap || options_.checkpoint,
             "pooled buffers require activation checkpointing (the forward arena is "
             "recycled per layer)");
@@ -168,9 +168,10 @@ void OptimusTransformer<T>::init_arenas() {
   // sized by workspace_bytes on its exact (A, B, C) block roles, which
   // covers the pipelined schedule's double-buffered panels and reduce
   // scratch.
-  const auto ws3 = [](index_t a, index_t b, index_t c) {
+  const int depth = mesh_->depth();
+  const auto ws3 = [depth](index_t a, index_t b, index_t c) {
     return summa::workspace_bytes(static_cast<std::uint64_t>(a), static_cast<std::uint64_t>(b),
-                                  static_cast<std::uint64_t>(c), sizeof(T));
+                                  static_cast<std::uint64_t>(c), sizeof(T), depth);
   };
   std::uint64_t ws = 0;
   const auto take = [&ws](std::uint64_t v) { ws = std::max(ws, v); };

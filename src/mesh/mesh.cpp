@@ -10,17 +10,36 @@ int Mesh2D::mesh_side(int p) {
   return q;
 }
 
-Mesh2D::Mesh2D(comm::Communicator& world)
+int Mesh2D::mesh_side(int p, int depth) {
+  OPT_CHECK(depth >= 1, "mesh depth " << depth << " must be positive");
+  OPT_CHECK(p % depth == 0,
+            "world size " << p << " is not divisible by mesh depth " << depth);
+  return mesh_side(p / depth);
+}
+
+Mesh2D::Mesh2D(comm::Communicator& world, int depth)
     : world_(&world),
-      q_(mesh_side(world.size())),
-      row_(world.rank() / q_),
+      depth_(depth),
+      q_(mesh_side(world.size(), depth)),
+      depth_idx_(world.rank() / (q_ * q_)),
+      row_((world.rank() % (q_ * q_)) / q_),
       col_(world.rank() % q_),
-      row_comm_(world.split(/*color=*/row_, /*key=*/col_)),
-      col_comm_(world.split(/*color=*/col_, /*key=*/row_)) {
+      // Colors are unique per (depth, row) / (depth, col); at depth == 1 they
+      // collapse to the original row_/col_ colors, so a d = 1 mesh issues the
+      // exact split sequence of the 2D mesh and gets bitwise-identical group
+      // tables.
+      row_comm_(world.split(/*color=*/depth_idx_ * q_ + row_, /*key=*/col_)),
+      col_comm_(world.split(/*color=*/depth_idx_ * q_ + col_, /*key=*/row_)) {
   OPT_CHECK(row_comm_.size() == q_ && col_comm_.size() == q_, "mesh split inconsistent");
   OPT_CHECK(row_comm_.rank() == col_ && col_comm_.rank() == row_, "mesh rank mapping broken");
   row_comm_.set_label("mesh_row");
   col_comm_.set_label("mesh_col");
+  if (depth_ > 1) {
+    depth_comm_.emplace(world.split(/*color=*/row_ * q_ + col_, /*key=*/depth_idx_));
+    OPT_CHECK(depth_comm_->size() == depth_, "mesh depth split inconsistent");
+    OPT_CHECK(depth_comm_->rank() == depth_idx_, "mesh depth rank mapping broken");
+    depth_comm_->set_label("mesh_depth");
+  }
 }
 
 }  // namespace optimus::mesh

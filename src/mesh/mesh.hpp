@@ -1,19 +1,29 @@
 #pragma once
 
-// 2D device mesh for SUMMA-style algorithms.
+// 2D / 2.5D device mesh for SUMMA-style algorithms.
 //
-// A world of p = q×q ranks is arranged row-major: rank = row·q + col. The
-// mesh owns one communicator per direction:
+// A world of p = q×q×d ranks is arranged depth-major, row-major within a
+// depth layer: rank = depth·q² + row·q + col (d = 1 recovers the original 2D
+// layout exactly). The mesh owns one communicator per direction:
 //
-//   * row_comm — the q devices sharing this device's mesh row (varying col);
-//                used for broadcasts of A blocks and the row reductions /
-//                all-reduces of layernorm, softmax and cross-entropy.
-//   * col_comm — the q devices sharing this device's mesh column; used for
-//                broadcasts of B blocks and the Fig.-5 parameter broadcasts
-//                from row 0.
+//   * row_comm   — the q devices sharing this device's mesh row (varying col)
+//                  within its depth layer; used for broadcasts of A blocks and
+//                  the row reductions / all-reduces of layernorm, softmax and
+//                  cross-entropy.
+//   * col_comm   — the q devices sharing this device's mesh column within its
+//                  depth layer; used for broadcasts of B blocks and the Fig.-5
+//                  parameter broadcasts from row 0.
+//   * depth_comm — the d devices sharing this device's (row, col) coordinate
+//                  across depth layers (Tesseract, arXiv:2105.14500); used for
+//                  the 2.5D depth reduction + replica broadcast of C. Only
+//                  constructed when d > 1, so a d = 1 mesh performs exactly
+//                  the same split sequence as the original 2D mesh (the group
+//                  tables are bitwise identical).
 //
 // How mesh coordinates map onto physical nodes is the Topology's concern
 // (Fig. 8 naive vs bunched); the mesh is purely logical.
+
+#include <optional>
 
 #include "comm/cluster.hpp"
 #include "comm/communicator.hpp"
@@ -22,32 +32,52 @@ namespace optimus::mesh {
 
 class Mesh2D {
  public:
-  /// Splits `world` (size must be a perfect square) into row/column
-  /// communicators. Collective: all ranks must construct the mesh together.
-  explicit Mesh2D(comm::Communicator& world);
+  /// Splits `world` (size must be depth·q² for a perfect square q²) into
+  /// row/column (and, for depth > 1, depth) communicators. Collective: all
+  /// ranks must construct the mesh together.
+  explicit Mesh2D(comm::Communicator& world, int depth = 1);
 
   int q() const { return q_; }
+  /// Devices per depth layer (the SUMMA mesh area, q²) — not the world size,
+  /// which is p()·depth().
   int p() const { return q_ * q_; }
+  int depth() const { return depth_; }
   int row() const { return row_; }
   int col() const { return col_; }
+  /// This device's depth-layer index in [0, depth()).
+  int depth_idx() const { return depth_idx_; }
 
   comm::Communicator& world() { return *world_; }
   comm::Communicator& row_comm() { return row_comm_; }
   comm::Communicator& col_comm() { return col_comm_; }
+  /// The depth group over this (row, col) coordinate; only exists at d > 1.
+  comm::Communicator& depth_comm() {
+    OPT_CHECK(depth_comm_.has_value(), "depth_comm requires a mesh with depth > 1");
+    return *depth_comm_;
+  }
 
-  /// Rank (in world order) of mesh coordinate (r, c).
-  int rank_of(int r, int c) const { return r * q_ + c; }
+  /// Rank (in world order) of mesh coordinate (r, c) in this device's depth
+  /// layer.
+  int rank_of(int r, int c) const { return depth_idx_ * q_ * q_ + r * q_ + c; }
+  /// Rank (in world order) of mesh coordinate (r, c) in depth layer z.
+  int rank_of(int r, int c, int z) const { return z * q_ * q_ + r * q_ + c; }
 
   /// Returns the exact integer square root of p; throws if p is not square.
   static int mesh_side(int p);
+  /// Returns q for a world of `p` ranks at the given depth; throws unless
+  /// p = depth·q² exactly.
+  static int mesh_side(int p, int depth);
 
  private:
   comm::Communicator* world_;
+  int depth_;
   int q_;
+  int depth_idx_;
   int row_;
   int col_;
   comm::Communicator row_comm_;
   comm::Communicator col_comm_;
+  std::optional<comm::Communicator> depth_comm_;
 };
 
 }  // namespace optimus::mesh

@@ -44,14 +44,28 @@ struct TransformerConfig {
 
   /// Additional divisibility the q×q Optimus layout needs (§3.2.1): the batch
   /// and hidden axes split q ways, heads stay whole per device column, and
-  /// the vocabulary splits q ways for the 2D embedding/lm-head.
-  void validate_for_mesh(int q) const {
+  /// the vocabulary splits q ways for the 2D embedding/lm-head. At depth > 1
+  /// (the Tesseract q×q×d mesh) every SUMMA contraction block further splits
+  /// d ways into per-depth sub-panels, so each global contraction dimension
+  /// the engine multiplies over — hidden (and through it 3h and the FFN
+  /// width), vocab, and the token rows b·s/q of the weight-gradient Aᵀ·B
+  /// calls — must divide by q·d.
+  void validate_for_mesh(int q, int depth = 1) const {
     validate();
     OPT_CHECK(batch % q == 0, "batch " << batch << " not divisible by q " << q);
     OPT_CHECK(hidden % q == 0, "hidden " << hidden << " not divisible by q " << q);
     OPT_CHECK(heads % q == 0, "heads " << heads << " not divisible by q " << q);
     OPT_CHECK(vocab % q == 0, "vocab " << vocab << " not divisible by q " << q);
     OPT_CHECK(num_classes >= 1, "num_classes");
+    OPT_CHECK(depth >= 1, "mesh depth " << depth);
+    if (depth > 1) {
+      OPT_CHECK(hidden % (static_cast<tensor::index_t>(q) * depth) == 0,
+                "hidden " << hidden << " not divisible by q*d " << q * depth);
+      OPT_CHECK(vocab % (static_cast<tensor::index_t>(q) * depth) == 0,
+                "vocab " << vocab << " not divisible by q*d " << q * depth);
+      OPT_CHECK((batch / q * seq_len) % depth == 0,
+                "token rows " << batch / q * seq_len << " not divisible by depth " << depth);
+    }
   }
 
   /// Divisibility Megatron's 1D layout needs: every device owns n/p whole

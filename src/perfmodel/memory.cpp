@@ -43,12 +43,18 @@ MemoryBreakdown megatron_memory(const Workload& w, int p, std::size_t elem_size)
   return mem;
 }
 
-MemoryBreakdown optimus_memory(const Workload& w, int p, std::size_t elem_size) {
-  const int q = static_cast<int>(std::lround(std::sqrt(static_cast<double>(p))));
-  OPT_CHECK(q * q == p, "optimus needs square p");
+MemoryBreakdown optimus_memory(const Workload& w, int p, std::size_t elem_size, int depth) {
+  OPT_CHECK(depth >= 1 && p % depth == 0, "optimus needs p divisible by depth");
+  const int area = p / depth;
+  const int q = static_cast<int>(std::lround(std::sqrt(static_cast<double>(area))));
+  OPT_CHECK(q * q == area, "optimus needs square p (per depth layer)");
   const double b = w.b, s = w.s, h = w.h, n = w.n, v = w.v, N = w.layers;
   const double c = 2;
   MemoryBreakdown mem;
+  // Every depth layer holds the same q×q blocks (the d-fold replication is
+  // 2.5D's memory price): per-device state divides by the layer area q², not
+  // by the world size q²·d. Only the SUMMA workspace shrinks with d.
+  p = area;
 
   // Everything is a q×q block; row-0 devices additionally host the bias/LN
   // slices (worst case modelled).
@@ -68,8 +74,17 @@ MemoryBreakdown optimus_memory(const Workload& w, int p, std::size_t elem_size) 
 
   // SUMMA workspace: worst single call under the pipelined schedule —
   // double-buffered panels plus, for the reduce forms, two C partials and a
-  // persistent reduce scratch (max of 2A+2B, 2B+3C, 2A+3C per call).
-  const auto ws3 = [](double a, double bb, double cc) {
+  // persistent reduce scratch (max of 2A+2B, 2B+3C, 2A+3C per call). At
+  // depth > 1 the panels shrink to /d sub-panels but each form adds a
+  // captured C partial and a depth-fold scratch (mirrors
+  // summa::workspace_bytes).
+  const auto ws3 = [depth](double a, double bb, double cc) {
+    if (depth > 1) {
+      const double dd = static_cast<double>(depth);
+      return std::max({2.0 * a / dd + 2.0 * bb / dd + 2.0 * cc,
+                       a / dd + 2.0 * bb / dd + 4.0 * cc,
+                       2.0 * a / dd + bb / dd + 4.0 * cc});
+    }
     return std::max({2.0 * a + 2.0 * bb, 2.0 * bb + 3.0 * cc, 2.0 * a + 3.0 * cc});
   };
   const double ws_elems = std::max({

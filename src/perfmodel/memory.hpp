@@ -41,9 +41,13 @@ struct MemoryBreakdown {
 MemoryBreakdown megatron_memory(const Workload& w, int p,
                                 std::size_t elem_size = sizeof(float));
 
-/// Per-device footprint of the Optimus engine at scale p = q².
+/// Per-device footprint of the Optimus engine at scale p = d·q² (depth = d;
+/// the default d = 1 is the paper's 2D mesh). At depth > 1 every depth layer
+/// replicates the q×q block state — per-device params/grads/activations
+/// divide by the layer area q², not by p — and only the SUMMA workspace
+/// shrinks (/d sub-panels, plus the depth-fold partial and scratch).
 MemoryBreakdown optimus_memory(const Workload& w, int p,
-                               std::size_t elem_size = sizeof(float));
+                               std::size_t elem_size = sizeof(float), int depth = 1);
 
 enum class Scheme { kMegatron, kOptimus };
 

@@ -53,6 +53,59 @@ SummaAbTimes predict_summa_ab_times(const comm::CostModel& cost, int q, std::int
   return out;
 }
 
+SummaAbTimes predict_summa25_ab_times(const comm::CostModel& cost, int q, int d,
+                                      std::int64_t m, std::int64_t k, std::int64_t n,
+                                      std::size_t elem_size) {
+  if (d <= 1) return predict_summa_ab_times(cost, q, m, k, n, elem_size);
+  // Rank (0,0,0)'s groups on the depth-major bunched mesh: row group is the
+  // first q world ranks, column group strides by q, depth group strides by q².
+  // Depth layers are symmetric, so one rank's clock is the call's sim time.
+  std::vector<int> row_group(static_cast<std::size_t>(q));
+  std::vector<int> col_group(static_cast<std::size_t>(q));
+  std::vector<int> depth_group(static_cast<std::size_t>(d));
+  for (int i = 0; i < q; ++i) {
+    row_group[static_cast<std::size_t>(i)] = i;
+    col_group[static_cast<std::size_t>(i)] = i * q;
+  }
+  for (int z = 0; z < d; ++z) depth_group[static_cast<std::size_t>(z)] = z * q * q;
+  const auto u64 = [](std::int64_t v) { return static_cast<std::uint64_t>(v); };
+  // Sub-panel volumes: the contraction block k/q further splits d ways.
+  const std::uint64_t a_bytes = u64(m / q) * u64(k / q / d) * elem_size;
+  const std::uint64_t b_bytes = u64(k / q / d) * u64(n / q) * elem_size;
+  const std::uint64_t c_bytes = u64(m / q) * u64(n / q) * elem_size;
+  const double t_row = q > 1 ? cost.tree_plan(row_group, a_bytes).time : 0.0;
+  const double t_col = q > 1 ? cost.tree_plan(col_group, b_bytes).time : 0.0;
+  const double t_gemm = cost.compute_time(u64(m / q) * u64(n / q) * u64(k / q / d));
+  // Depth-reduction term: tree reduce of the C partial to depth 0, then the
+  // replica broadcast back — same tree, paid twice, never overlapped.
+  const double t_depth = 2.0 * cost.tree_plan(depth_group, c_bytes).time;
+
+  SummaAbTimes out;
+  out.blocking_s = static_cast<double>(q) * (t_row + t_col + t_gemm) + t_depth;
+
+  // Pipelined k-loop: identical clock arithmetic to the 2D predictor on the
+  // /d sub-panel quantities, followed by the sequential depth fold.
+  double t = 0, row_link = 0, col_link = 0;
+  double a_done[2] = {0, 0}, b_done[2] = {0, 0};
+  const auto issue = [&](int slot) {
+    a_done[slot] = std::max(t, row_link) + t_row;
+    row_link = a_done[slot];
+    b_done[slot] = std::max(t, col_link) + t_col;
+    col_link = b_done[slot];
+  };
+  issue(0);
+  for (int l = 0; l < q; ++l) {
+    const int cur = l & 1;
+    if (l > 0) t += t_gemm;
+    if (l + 1 < q) issue(cur ^ 1);
+    t = std::max(t, a_done[cur]);
+    t = std::max(t, b_done[cur]);
+  }
+  t += t_gemm;
+  out.pipelined_s = q > 1 ? t + t_depth : out.blocking_s;
+  return out;
+}
+
 namespace {
 
 // Rank 0's groups on the bunched mesh (mirrors predict_summa_ab_times): every

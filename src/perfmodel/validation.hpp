@@ -63,6 +63,20 @@ struct SummaAbTimes {
 SummaAbTimes predict_summa_ab_times(const comm::CostModel& cost, int q, std::int64_t m,
                                     std::int64_t k, std::int64_t n, std::size_t elem_size);
 
+/// Per-rank simulated time for one summa_ab call on a q×q×d bunched mesh
+/// (Tesseract-style 2.5D, world p = d·q², depth-major ranks). The Table-1
+/// terms shrink by d — each k-step row/column-broadcasts k_b/d sub-panels and
+/// multiplies m_b·n_b·k_b/d — and the call ends with the depth-reduction term:
+/// a d-deep tree reduce of the C partial to depth layer 0 plus the replica
+/// broadcast back, neither overlapped with anything. Exact when the bunched
+/// layout makes all depth layers symmetric (q² divisible by gpus_per_node, or
+/// the mesh fitting in one node per layer); d = 1 falls back to
+/// predict_summa_ab_times. summa_test and scaling_explorer --validate assert
+/// measured == predicted to round-off for both schedules.
+SummaAbTimes predict_summa25_ab_times(const comm::CostModel& cost, int q, int d,
+                                      std::int64_t m, std::int64_t k, std::int64_t n,
+                                      std::size_t elem_size);
+
 // -- KV-cached decode step ---------------------------------------------------
 //
 // One incremental decode step feeds one token per cache slot and runs the

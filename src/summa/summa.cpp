@@ -187,6 +187,239 @@ void summa_atb_pipelined(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<
   retire_reduce();
 }
 
+// -- 2.5D (Tesseract) schedules ----------------------------------------------
+//
+// At depth d > 1 every SUMMA contraction block splits into d sub-panels of
+// extent k_b/d; depth layer z broadcasts and multiplies only sub-range z, so
+// per-step broadcast volume and GEMM work both drop by d (arXiv:2105.14500).
+// After the q-step loop each layer holds a pure partial of its C block
+// restricted to its sub-range; a depth-d tree reduction to layer 0
+// (ascending-depth fold — the same ascending-k order a serial sweep of the
+// sub-ranges would use), the accumulate epilogue at layer 0, and a replica
+// broadcast of the finished block complete the product with every depth
+// replica bitwise identical.
+
+/// Copies the `dst.size(1)`-wide column range starting at `c0` out of `src`.
+template <typename T>
+void pack_col_range(TensorT<T>& dst, const TensorT<T>& src, tensor::index_t c0) {
+  const tensor::index_t rows = src.size(0);
+  const tensor::index_t cols = src.size(1);
+  const tensor::index_t w = dst.size(1);
+  for (tensor::index_t i = 0; i < rows; ++i) {
+    std::memcpy(dst.data() + i * w, src.data() + i * cols + c0,
+                static_cast<std::size_t>(w) * sizeof(T));
+  }
+}
+
+/// Copies the `dst.size(0)`-tall row range starting at `r0` out of `src`.
+template <typename T>
+void pack_row_range(TensorT<T>& dst, const TensorT<T>& src, tensor::index_t r0) {
+  std::memcpy(dst.data(), src.data() + r0 * src.size(1),
+              static_cast<std::size_t>(dst.numel()) * sizeof(T));
+}
+
+/// Tree-reduces the per-depth C partials to depth layer 0, applies the
+/// accumulate semantics there, and broadcasts the finished block back down the
+/// depth group so every replica ends bitwise identical. Reuses the chunked
+/// non-blocking collectives (issue + immediate wait ≡ the blocking forms).
+template <typename T>
+void depth_fold(mesh::Mesh2D& mesh, TensorT<T>& partial, TensorT<T>& C, TensorT<T>& scratch,
+                bool accumulate) {
+  comm::Communicator& dc = mesh.depth_comm();
+  comm::Request red = dc.ireduce(partial.data(), partial.numel(), /*root=*/0, scratch.data());
+  red.wait();
+  if (mesh.depth_idx() == 0) {
+    if (accumulate) {
+      ops::add_(C, partial);
+    } else {
+      C.copy_from(partial);
+    }
+  }
+  comm::Request bc = dc.ibroadcast(C.data(), C.numel(), /*root=*/0);
+  bc.wait();
+}
+
+template <typename T>
+void summa_ab_25d(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B,
+                  TensorT<T>& C, bool accumulate, bool pipelined, Arena* workspace) {
+  const int q = mesh.q();
+  const tensor::index_t ks = A.size(1) / mesh.depth();
+  const tensor::index_t z0 = static_cast<tensor::index_t>(mesh.depth_idx()) * ks;
+  const Shape a_shape{A.size(0), ks};
+  const Shape b_shape{ks, B.size(1)};
+  TensorT<T> c_part = make_temp<T>(workspace, C.shape());
+  TensorT<T> d_scratch = make_temp<T>(workspace, C.shape());
+  if (pipelined) {
+    TensorT<T> a_sub[2] = {make_temp<T>(workspace, a_shape),
+                           make_temp<T>(workspace, a_shape)};
+    TensorT<T> b_sub[2] = {make_temp<T>(workspace, b_shape),
+                           make_temp<T>(workspace, b_shape)};
+    comm::Request a_req[2], b_req[2];
+    const auto prefetch = [&](int l, int slot) {
+      if (mesh.col() == l) pack_col_range(a_sub[slot], A, z0);
+      a_req[slot] = mesh.row_comm().ibroadcast(a_sub[slot].data(), a_sub[slot].numel(), l);
+      if (mesh.row() == l) pack_row_range(b_sub[slot], B, z0);
+      b_req[slot] = mesh.col_comm().ibroadcast(b_sub[slot].data(), b_sub[slot].numel(), l);
+    };
+    prefetch(0, 0);
+    for (int l = 0; l < q; ++l) {
+      obs::Span step_span("summa", "k_step");
+      if (step_span.armed()) {
+        step_span.arg("l", l);
+        step_span.arg("pipelined", 1);
+      }
+      const int cur = l & 1;
+      if (l + 1 < q) prefetch(l + 1, cur ^ 1);
+      a_req[cur].wait();
+      b_req[cur].wait();
+      ops::gemm(c_part, a_sub[cur], b_sub[cur], ops::Trans::No, ops::Trans::No, T{1},
+                l == 0 ? T{0} : T{1});
+    }
+  } else {
+    TensorT<T> a_sub = make_temp<T>(workspace, a_shape);
+    TensorT<T> b_sub = make_temp<T>(workspace, b_shape);
+    for (int l = 0; l < q; ++l) {
+      obs::Span step_span("summa", "k_step");
+      if (step_span.armed()) step_span.arg("l", l);
+      if (mesh.col() == l) pack_col_range(a_sub, A, z0);
+      mesh.row_comm().broadcast(a_sub, /*root=*/l);
+      if (mesh.row() == l) pack_row_range(b_sub, B, z0);
+      mesh.col_comm().broadcast(b_sub, /*root=*/l);
+      ops::gemm(c_part, a_sub, b_sub, ops::Trans::No, ops::Trans::No, T{1},
+                l == 0 ? T{0} : T{1});
+    }
+  }
+  depth_fold(mesh, c_part, C, d_scratch, accumulate);
+}
+
+template <typename T>
+void summa_abt_25d(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B,
+                   TensorT<T>& C, bool accumulate, bool pipelined, Arena* workspace) {
+  const int q = mesh.q();
+  const tensor::index_t ns = A.size(1) / mesh.depth();
+  const tensor::index_t z0 = static_cast<tensor::index_t>(mesh.depth_idx()) * ns;
+  const Shape a_shape{A.size(0), ns};
+  const Shape b_shape{B.size(0), ns};
+  // The local A sub-panel is the same in every step: pack it once.
+  TensorT<T> a_sub = make_temp<T>(workspace, a_shape);
+  pack_col_range(a_sub, A, z0);
+  TensorT<T> c_part = make_temp<T>(workspace, C.shape());
+  // Serves the in-loop row reduces and the final depth fold.
+  TensorT<T> r_scratch = make_temp<T>(workspace, C.shape());
+  if (pipelined) {
+    TensorT<T> b_sub[2] = {make_temp<T>(workspace, b_shape),
+                           make_temp<T>(workspace, b_shape)};
+    TensorT<T> c_tmp[2] = {make_temp<T>(workspace, C.shape()),
+                           make_temp<T>(workspace, C.shape())};
+    comm::Request b_req[2], r_req;
+    int r_root = -1, r_slot = -1;
+    const auto prefetch_b = [&](int l, int slot) {
+      if (mesh.row() == l) pack_col_range(b_sub[slot], B, z0);
+      b_req[slot] = mesh.col_comm().ibroadcast(b_sub[slot].data(), b_sub[slot].numel(), l);
+    };
+    const auto retire_reduce = [&] {
+      if (!r_req.active()) return;
+      r_req.wait();
+      if (mesh.col() == r_root) c_part.copy_from(c_tmp[r_slot]);
+    };
+    prefetch_b(0, 0);
+    for (int l = 0; l < q; ++l) {
+      obs::Span step_span("summa", "k_step");
+      if (step_span.armed()) {
+        step_span.arg("l", l);
+        step_span.arg("pipelined", 1);
+      }
+      const int cur = l & 1;
+      if (l + 1 < q) prefetch_b(l + 1, cur ^ 1);
+      b_req[cur].wait();
+      ops::gemm(c_tmp[cur], a_sub, b_sub[cur], ops::Trans::No, ops::Trans::Yes, T{1}, T{0});
+      retire_reduce();
+      r_req = mesh.row_comm().ireduce(c_tmp[cur].data(), c_tmp[cur].numel(), l,
+                                      r_scratch.data());
+      r_root = l;
+      r_slot = cur;
+    }
+    retire_reduce();
+  } else {
+    TensorT<T> b_sub = make_temp<T>(workspace, b_shape);
+    TensorT<T> c_tmp = make_temp<T>(workspace, C.shape());
+    for (int l = 0; l < q; ++l) {
+      obs::Span step_span("summa", "k_step");
+      if (step_span.armed()) step_span.arg("l", l);
+      if (mesh.row() == l) pack_col_range(b_sub, B, z0);
+      mesh.col_comm().broadcast(b_sub, /*root=*/l);
+      ops::gemm(c_tmp, a_sub, b_sub, ops::Trans::No, ops::Trans::Yes, T{1}, T{0});
+      mesh.row_comm().reduce(c_tmp.data(), c_tmp.numel(), /*root=*/l, r_scratch.data());
+      if (mesh.col() == l) c_part.copy_from(c_tmp);
+    }
+  }
+  depth_fold(mesh, c_part, C, r_scratch, accumulate);
+}
+
+template <typename T>
+void summa_atb_25d(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B,
+                   TensorT<T>& C, bool accumulate, bool pipelined, Arena* workspace) {
+  const int q = mesh.q();
+  const tensor::index_t ms = A.size(0) / mesh.depth();
+  const tensor::index_t z0 = static_cast<tensor::index_t>(mesh.depth_idx()) * ms;
+  const Shape a_shape{ms, A.size(1)};
+  const Shape b_shape{ms, B.size(1)};
+  // The local B sub-panel is the same in every step: pack it once.
+  TensorT<T> b_sub = make_temp<T>(workspace, b_shape);
+  pack_row_range(b_sub, B, z0);
+  TensorT<T> c_part = make_temp<T>(workspace, C.shape());
+  // Serves the in-loop column reduces and the final depth fold.
+  TensorT<T> r_scratch = make_temp<T>(workspace, C.shape());
+  if (pipelined) {
+    TensorT<T> a_sub[2] = {make_temp<T>(workspace, a_shape),
+                           make_temp<T>(workspace, a_shape)};
+    TensorT<T> c_tmp[2] = {make_temp<T>(workspace, C.shape()),
+                           make_temp<T>(workspace, C.shape())};
+    comm::Request a_req[2], r_req;
+    int r_root = -1, r_slot = -1;
+    const auto prefetch_a = [&](int l, int slot) {
+      if (mesh.col() == l) pack_row_range(a_sub[slot], A, z0);
+      a_req[slot] = mesh.row_comm().ibroadcast(a_sub[slot].data(), a_sub[slot].numel(), l);
+    };
+    const auto retire_reduce = [&] {
+      if (!r_req.active()) return;
+      r_req.wait();
+      if (mesh.row() == r_root) c_part.copy_from(c_tmp[r_slot]);
+    };
+    prefetch_a(0, 0);
+    for (int l = 0; l < q; ++l) {
+      obs::Span step_span("summa", "k_step");
+      if (step_span.armed()) {
+        step_span.arg("l", l);
+        step_span.arg("pipelined", 1);
+      }
+      const int cur = l & 1;
+      if (l + 1 < q) prefetch_a(l + 1, cur ^ 1);
+      a_req[cur].wait();
+      ops::gemm(c_tmp[cur], a_sub[cur], b_sub, ops::Trans::Yes, ops::Trans::No, T{1}, T{0});
+      retire_reduce();
+      r_req = mesh.col_comm().ireduce(c_tmp[cur].data(), c_tmp[cur].numel(), l,
+                                      r_scratch.data());
+      r_root = l;
+      r_slot = cur;
+    }
+    retire_reduce();
+  } else {
+    TensorT<T> a_sub = make_temp<T>(workspace, a_shape);
+    TensorT<T> c_tmp = make_temp<T>(workspace, C.shape());
+    for (int l = 0; l < q; ++l) {
+      obs::Span step_span("summa", "k_step");
+      if (step_span.armed()) step_span.arg("l", l);
+      if (mesh.col() == l) pack_row_range(a_sub, A, z0);
+      mesh.row_comm().broadcast(a_sub, /*root=*/l);
+      ops::gemm(c_tmp, a_sub, b_sub, ops::Trans::Yes, ops::Trans::No, T{1}, T{0});
+      mesh.col_comm().reduce(c_tmp.data(), c_tmp.numel(), /*root=*/l, r_scratch.data());
+      if (mesh.row() == l) c_part.copy_from(c_tmp);
+    }
+  }
+  depth_fold(mesh, c_part, C, r_scratch, accumulate);
+}
+
 }  // namespace
 
 template <typename T>
@@ -202,6 +435,19 @@ void summa_ab(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B, Tens
   if (op_span.armed()) op_span.arg("q", q);
   std::optional<ArenaScope> scope;
   if (workspace != nullptr) scope.emplace(*workspace);
+  if (mesh.depth() > 1) {
+    OPT_CHECK(A.size(1) % mesh.depth() == 0, "summa_ab contraction block "
+                                                 << A.size(1)
+                                                 << " not divisible by mesh depth "
+                                                 << mesh.depth());
+    const bool pipelined = q > 1 && pipeline_enabled();
+    if (op_span.armed()) {
+      op_span.arg("d", mesh.depth());
+      if (pipelined) op_span.arg("pipelined", 1);
+    }
+    summa_ab_25d(mesh, A, B, C, accumulate, pipelined, workspace);
+    return;
+  }
   if (q > 1 && pipeline_enabled()) {
     if (op_span.armed()) op_span.arg("pipelined", 1);
     summa_ab_pipelined(mesh, A, B, C, accumulate, workspace);
@@ -237,6 +483,19 @@ void summa_abt(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B, Ten
   if (op_span.armed()) op_span.arg("q", q);
   std::optional<ArenaScope> scope;
   if (workspace != nullptr) scope.emplace(*workspace);
+  if (mesh.depth() > 1) {
+    OPT_CHECK(A.size(1) % mesh.depth() == 0, "summa_abt contraction block "
+                                                 << A.size(1)
+                                                 << " not divisible by mesh depth "
+                                                 << mesh.depth());
+    const bool pipelined = q > 1 && pipeline_enabled();
+    if (op_span.armed()) {
+      op_span.arg("d", mesh.depth());
+      if (pipelined) op_span.arg("pipelined", 1);
+    }
+    summa_abt_25d(mesh, A, B, C, accumulate, pipelined, workspace);
+    return;
+  }
   if (q > 1 && pipeline_enabled()) {
     if (op_span.armed()) op_span.arg("pipelined", 1);
     summa_abt_pipelined(mesh, A, B, C, accumulate, workspace);
@@ -279,6 +538,19 @@ void summa_atb(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B, Ten
   if (op_span.armed()) op_span.arg("q", q);
   std::optional<ArenaScope> scope;
   if (workspace != nullptr) scope.emplace(*workspace);
+  if (mesh.depth() > 1) {
+    OPT_CHECK(A.size(0) % mesh.depth() == 0, "summa_atb contraction block "
+                                                 << A.size(0)
+                                                 << " not divisible by mesh depth "
+                                                 << mesh.depth());
+    const bool pipelined = q > 1 && pipeline_enabled();
+    if (op_span.armed()) {
+      op_span.arg("d", mesh.depth());
+      if (pipelined) op_span.arg("pipelined", 1);
+    }
+    summa_atb_25d(mesh, A, B, C, accumulate, pipelined, workspace);
+    return;
+  }
   if (q > 1 && pipeline_enabled()) {
     if (op_span.armed()) op_span.arg("pipelined", 1);
     summa_atb_pipelined(mesh, A, B, C, accumulate, workspace);
@@ -312,6 +584,7 @@ template <typename T>
 void cannon_ab(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B, TensorT<T>& C,
                bool accumulate, Arena* workspace) {
   const int q = mesh.q();
+  OPT_CHECK(mesh.depth() == 1, "cannon_ab supports depth-1 meshes only");
   OPT_CHECK(A.ndim() == 2 && B.ndim() == 2 && C.ndim() == 2, "cannon_ab needs 2-D blocks");
   OPT_CHECK(A.size(0) == C.size(0) && B.size(1) == C.size(1) && A.size(1) == B.size(0),
             "cannon_ab block shapes: A " << A.shape().to_string() << " B "
@@ -370,11 +643,29 @@ void cannon_ab(mesh::Mesh2D& mesh, const TensorT<T>& A, const TensorT<T>& B, Ten
 }
 
 std::uint64_t workspace_bytes(std::uint64_t a_block_elems, std::uint64_t b_block_elems,
-                              std::uint64_t c_block_elems, std::size_t elem_size) {
+                              std::uint64_t c_block_elems, std::size_t elem_size,
+                              int depth) {
   const auto align = [](std::uint64_t n) { return (n + 63) & ~std::uint64_t{63}; };
+  const std::uint64_t c = align(c_block_elems * elem_size);
+  if (depth > 1) {
+    // 2.5D schedules broadcast /d sub-panels but add a captured C partial and
+    // a depth-fold scratch (the reduce forms reuse their row/column reduce
+    // scratch for the fold). Pipelined worst case per form:
+    //   summa_ab  : 2·A/d + 2·B/d sub-panels + C partial + depth scratch
+    //   summa_abt : A/d + 2·B/d sub-panels + 2 in-flight partials + scratch
+    //               + captured partial
+    //   summa_atb : 2·A/d + B/d sub-panels + 2 in-flight partials + scratch
+    //               + captured partial
+    const std::uint64_t d = static_cast<std::uint64_t>(depth);
+    const std::uint64_t as = align(a_block_elems / d * elem_size);
+    const std::uint64_t bs = align(b_block_elems / d * elem_size);
+    const std::uint64_t ab = 2 * as + 2 * bs + 2 * c;
+    const std::uint64_t bc = as + 2 * bs + 4 * c;
+    const std::uint64_t ac = 2 * as + bs + 4 * c;
+    return std::max({ab, bc, ac});
+  }
   const std::uint64_t a = align(a_block_elems * elem_size);
   const std::uint64_t b = align(b_block_elems * elem_size);
-  const std::uint64_t c = align(c_block_elems * elem_size);
   // Pipelined worst case across the three forms on these roles: summa_ab
   // double-buffers both panels; the reduce forms double-buffer one panel and
   // the C partial and keep a persistent reduce scratch. The blocking paths

@@ -20,6 +20,14 @@
 //   summa_abt : q column-broadcasts of B blocks + q row-reduces of C blocks
 //   summa_atb : q row-broadcasts of A blocks + q column-reduces of C blocks
 //
+// On a depth-d mesh (Tesseract-style 2.5D, arXiv:2105.14500) operands are
+// replicated across the d depth layers and every contraction block splits
+// into d sub-panels of extent k_b/d: layer z broadcasts and multiplies only
+// sub-range z (broadcast volume and per-step GEMM work both /d), then a
+// depth-d tree reduction of the C partials to layer 0, the accumulate
+// epilogue, and a replica broadcast finish the call with all depth replicas
+// bitwise identical. d = 1 runs exactly the 2D schedules above.
+//
 // If `workspace` is non-null the broadcast/reduce temporaries are carved from
 // it (and released on return), implementing the paper's §3.2.3 pre-allocated
 // workspace buffer; otherwise plain allocations are used.
@@ -94,8 +102,11 @@ void cannon_ab(mesh::Mesh2D& mesh, const tensor::TensorT<T>& A, const tensor::Te
 /// for the reduce forms, two in-flight C partials and a persistent reduce
 /// scratch. Engines size their workspace arenas as the max over the calls
 /// they make — matmuls run sequentially, so one workspace serves all of them
-/// (paper §3.2.3).
+/// (paper §3.2.3). On a depth-d mesh pass `depth` so the envelope covers the
+/// 2.5D schedule instead: /d sub-panels plus the captured C partial and the
+/// depth-fold scratch. depth = 1 reproduces the 2D envelope exactly.
 std::uint64_t workspace_bytes(std::uint64_t a_block_elems, std::uint64_t b_block_elems,
-                              std::uint64_t c_block_elems, std::size_t elem_size);
+                              std::uint64_t c_block_elems, std::size_t elem_size,
+                              int depth = 1);
 
 }  // namespace optimus::summa

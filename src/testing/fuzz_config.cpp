@@ -39,6 +39,7 @@ model::TransformerConfig FuzzConfig::to_transformer_config() const {
 
 void FuzzConfig::validate() const {
   OPT_CHECK(q >= 1 && q <= 8, "mesh side q " << q);
+  OPT_CHECK(depth >= 1 && depth <= 4, "mesh depth " << depth);
   OPT_CHECK(mp >= 1, "megatron devices " << mp);
   OPT_CHECK(threads >= 1, "threads " << threads);
   OPT_CHECK(lr > 0, "lr " << lr);
@@ -46,13 +47,13 @@ void FuzzConfig::validate() const {
   // which is only sound when activations are checkpointed.
   OPT_CHECK(ckpt_2d || !pooled_buffers, "pooled buffers require 2d checkpointing");
   const model::TransformerConfig cfg = to_transformer_config();
-  cfg.validate_for_mesh(q);
+  cfg.validate_for_mesh(q, depth);
   cfg.validate_for_1d(mp);
 }
 
 std::string FuzzConfig::to_string() const {
   std::ostringstream os;
-  os << "q=" << q << ",mp=" << mp << ",b=" << batch << ",s=" << seq << ",heads=" << heads
+  os << "q=" << q << ",d=" << depth << ",mp=" << mp << ",b=" << batch << ",s=" << seq << ",heads=" << heads
      << ",hd=" << head_dim << ",v=" << vocab << ",layers=" << layers << ",mlp=" << mlp_ratio
      << ",dtype=" << (dtype == Dtype::kF64 ? "f64" : "f32") << ",threads=" << threads
      << ",ckpt2d=" << (ckpt_2d ? 1 : 0) << ",ckpt1d=" << (ckpt_1d ? 1 : 0)
@@ -72,6 +73,7 @@ FuzzConfig FuzzConfig::parse(const std::string& text) {
     const std::string key = item.substr(0, eq);
     const std::string val = item.substr(eq + 1);
     if (key == "q") fc.q = std::stoi(val);
+    else if (key == "d") fc.depth = std::stoi(val);
     else if (key == "mp") fc.mp = std::stoi(val);
     else if (key == "b") fc.batch = std::stoll(val);
     else if (key == "s") fc.seq = std::stoll(val);
@@ -133,6 +135,17 @@ FuzzConfig FuzzConfig::sample(std::mt19937& gen) {
     }
   }
   fc.mp = ok[gen() % ok.size()];
+  // Derived, not drawn, for the same sequence-stability reason as
+  // pipeline_2d: bit 1 of the seed mix (bit 0 drives the schedule) asks for a
+  // depth-2 Tesseract mesh, granted only when the sampled shape supports it —
+  // every contraction block must further split d ways (hidden and vocab
+  // divisible by q·d, token rows b·s/q divisible by d). Configs that derive
+  // d = 1 are exactly the pre-depth corpus.
+  const bool want_depth = (((fc.param_seed ^ fc.data_seed) >> 1) & 1u) == 0;
+  if (want_depth && fc.hidden() % (fc.q * 2) == 0 && fc.vocab % (fc.q * 2) == 0 &&
+      (fc.batch / fc.q * fc.seq) % 2 == 0) {
+    fc.depth = 2;
+  }
   fc.validate();
   return fc;
 }
@@ -159,6 +172,12 @@ std::vector<FuzzConfig> FuzzConfig::shrink_candidates() const {
     c.q = 1;
     c.heads = std::max<std::int64_t>(1, heads / q);
     c.batch = std::max<std::int64_t>(1, batch / q);
+    push_if_valid(c);
+  }
+  if (depth > 1) {
+    // A 2D mesh is strictly simpler than a 2.5D one at the same q.
+    FuzzConfig c = *this;
+    c.depth = 1;
     push_if_valid(c);
   }
   if (mp > 1) {

@@ -4,7 +4,8 @@
 // correctness harness.
 //
 // A FuzzConfig names one complete experiment: transformer shape, Optimus mesh
-// side q, Megatron device count, dtype, kernel thread budget, activation
+// side q and Tesseract depth d, Megatron device count, dtype, kernel thread
+// budget, activation
 // checkpointing and buffer modes, optimizer step size, and the two RNG seeds
 // (parameter init, data synthesis). Sampling draws from a caller-owned
 // std::mt19937 so a (seed, index) pair always reproduces the same config, and
@@ -31,7 +32,8 @@ enum class Dtype { kF32, kF64 };
 
 struct FuzzConfig {
   // Mesh / device shape.
-  int q = 1;        // Optimus mesh side (p = q²)
+  int q = 1;        // Optimus mesh side
+  int depth = 1;    // Tesseract mesh depth d (Optimus world = d·q²)
   int mp = 1;       // Megatron 1D device count
   // Model shape (hidden = heads · head_dim).
   std::int64_t batch = 2;

@@ -237,6 +237,148 @@ TEST(Fault, PoisonedAsyncPanelAbortsPipelinedSummaCleanly) {
   }
 }
 
+TEST(Fault, PoisonedDepthReduceAbortsCleanlyNamingTheOp) {
+  ots::Watchdog wd("fault depth poison test", std::chrono::seconds(120));
+  // On a 1×1×2 mesh the only payload transfers in a 2.5D product are the
+  // depth fold's tree reduce and the replica broadcast of C. Poisoning the
+  // first receive must abort the fabric with a FaultError naming the depth
+  // reduce — every rank unwinds (watchdog proves no deadlock), nothing is
+  // silently wrong.
+  oc::FaultPlan plan;
+  plan.seed = ots::test_seed(57);
+  OPTIMUS_SEED_TRACE(plan.seed);
+  plan.poison_prob = 1.0;
+  try {
+    oc::run_cluster(2, plan, [](oc::Context& ctx) {
+      optimus::mesh::Mesh2D mesh(ctx.world, /*depth=*/2);
+      using DTensor = optimus::tensor::DTensor;
+      using Shape = optimus::tensor::Shape;
+      DTensor A = DTensor::zeros(Shape{4, 6});
+      DTensor B = DTensor::zeros(Shape{6, 4});
+      DTensor C = DTensor::zeros(Shape{4, 4});
+      optimus::summa::summa_ab(mesh, A, B, C);
+    });
+    FAIL() << "poisoned 2.5D SUMMA completed silently";
+  } catch (const oc::FaultError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("poisoned payload"), std::string::npos) << what;
+    EXPECT_NE(what.find("ireduce"), std::string::npos)
+        << "diagnostic does not name the depth reduce: " << what;
+  }
+}
+
+TEST(Fault, PoisonedDepthReduceLeavesDeterministicPostmortems) {
+  ots::Watchdog wd("fault depth postmortem test", std::chrono::seconds(120));
+  namespace ob = optimus::obs;
+  struct FlightGuard {
+    ~FlightGuard() {
+      ob::set_flight_enabled(false);
+      ob::flight_reset();
+      ob::flight_set_postmortem_prefix("");
+    }
+  } guard;
+
+  oc::FaultPlan plan;
+  plan.seed = 13;
+  plan.poison_prob = 1.0;
+  const auto slurp = [](const std::string& path) -> std::string {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing post-mortem dump " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  const auto run_dumping = [&](const std::string& prefix) {
+    ob::flight_reset();
+    ob::set_flight_enabled(true);
+    ob::flight_set_postmortem_prefix(prefix);
+    try {
+      oc::run_cluster(2, plan, [](oc::Context& ctx) {
+        optimus::mesh::Mesh2D mesh(ctx.world, /*depth=*/2);
+        using DTensor = optimus::tensor::DTensor;
+        using Shape = optimus::tensor::Shape;
+        DTensor A = DTensor::zeros(Shape{4, 6});
+        DTensor B = DTensor::zeros(Shape{6, 4});
+        DTensor C = DTensor::zeros(Shape{4, 4});
+        optimus::summa::summa_ab(mesh, A, B, C);
+      });
+      ADD_FAILURE() << "poisoned 2.5D SUMMA completed silently";
+    } catch (const oc::FaultError&) {
+    } catch (const oc::FabricAborted&) {
+    }
+  };
+
+  const std::string prefix_a = ::testing::TempDir() + "postmortem_depth_a";
+  run_dumping(prefix_a);
+  // Rank 0 is the depth-fold root: its first (and only) receive is the
+  // poisoned tree-reduce leg, which the issue-then-wait collective surfaces
+  // at the wait — the dump must blame the depth reduce.
+  const ob::Json dump0 = ob::Json::parse(slurp(prefix_a + ".rank0.json"));
+  EXPECT_EQ(dump0.get("rank").as_number(), 0.0);
+  EXPECT_EQ(dump0.get("abort_op").as_string(), "ireduce.wait");
+  EXPECT_GT(dump0.get("events_seen").as_number(), 0.0);
+
+  // Same seed, fresh run: each rank's dump must replay byte-identically.
+  const std::string prefix_b = ::testing::TempDir() + "postmortem_depth_b";
+  run_dumping(prefix_b);
+  for (int r = 0; r < 2; ++r) {
+    const std::string suffix = ".rank" + std::to_string(r) + ".json";
+    EXPECT_EQ(slurp(prefix_a + suffix), slurp(prefix_b + suffix))
+        << "rank " << r << " dump differs across identical runs";
+  }
+}
+
+TEST(Fault, LatencyFaultsLeave25dSummaBitwise) {
+  ots::Watchdog wd("fault 2.5d latency test", std::chrono::seconds(120));
+  // Spikes plus a straggler on a 2×2×2 mesh perturb arrival order of the
+  // sub-panel broadcasts and the depth fold; FIFO matching per (src, tag)
+  // must keep every rank's result — all depth replicas included — bitwise
+  // identical to the fault-free run, under both schedules.
+  const std::uint64_t seed = ots::test_seed(58);
+  OPTIMUS_SEED_TRACE(seed);
+  using DTensor = optimus::tensor::DTensor;
+  using Shape = optimus::tensor::Shape;
+  const int q = 2, d = 2;
+  const auto run_faulted = [&](const oc::FaultPlan* plan, bool pipelined) {
+    std::vector<std::vector<double>> out(q * q * d);
+    std::mutex mu;
+    const auto body = [&](oc::Context& ctx) {
+      optimus::summa::PipelineGuard guard(pipelined);
+      optimus::mesh::Mesh2D mesh(ctx.world, d);
+      // Seed by mesh cell so depth replicas hold identical blocks, as the
+      // 2.5D contract requires.
+      optimus::util::Rng rng(800 + mesh.row() * q + mesh.col());
+      DTensor A(Shape{4, 6}), B(Shape{6, 4}), C(Shape{4, 4});
+      for (optimus::tensor::index_t i = 0; i < A.numel(); ++i) A[i] = rng.uniform(-1, 1);
+      for (optimus::tensor::index_t i = 0; i < B.numel(); ++i) B[i] = rng.uniform(-1, 1);
+      C.zero();
+      optimus::summa::summa_ab(mesh, A, B, C);
+      std::vector<double> mine(C.numel());
+      for (optimus::tensor::index_t i = 0; i < C.numel(); ++i) mine[i] = C[i];
+      std::lock_guard<std::mutex> lock(mu);
+      out[ctx.rank] = std::move(mine);
+    };
+    if (plan) {
+      oc::run_cluster(q * q * d, *plan, body);
+    } else {
+      oc::run_cluster(q * q * d, body);
+    }
+    return out;
+  };
+  oc::FaultPlan plan;
+  plan.seed = seed;
+  plan.spike_prob = 0.5;
+  plan.spike_us = 200;
+  plan.stall_rank = 5;  // a straggler inside depth layer 1
+  plan.stall_prob = 0.5;
+  plan.stall_us = 300;
+  for (const bool pipelined : {false, true}) {
+    const auto base = run_faulted(nullptr, pipelined);
+    EXPECT_EQ(base, run_faulted(&plan, pipelined))
+        << (pipelined ? "pipelined" : "blocking") << " schedule diverged under faults";
+  }
+}
+
 TEST(Fault, LatencyFaultsLeavePipelinedSummaBitwise) {
   ots::Watchdog wd("fault async latency test", std::chrono::seconds(120));
   // Spikes and a straggler perturb arrival order of the async panels and

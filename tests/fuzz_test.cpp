@@ -59,6 +59,21 @@ TEST(FuzzConfig, ParseRejectsUnknownKeysAndBadShapes) {
   EXPECT_THROW(ots::FuzzConfig::parse("q=2,heads=3,hd=2,b=2,v=12"), optimus::util::CheckError);
   // Pooled buffers without checkpointing violate the engine precondition.
   EXPECT_THROW(ots::FuzzConfig::parse("q=1,ckpt2d=0,buf=pool"), optimus::util::CheckError);
+  // Depth constraints: hidden (= heads·hd) must split q·d ways.
+  EXPECT_THROW(ots::FuzzConfig::parse("q=2,d=2,heads=2,hd=3,b=2,v=12"),
+               optimus::util::CheckError);
+  EXPECT_THROW(ots::FuzzConfig::parse("q=1,d=5"), optimus::util::CheckError);
+}
+
+TEST(FuzzConfig, DepthKeyRoundTripsAndDefaultsToOne) {
+  // Repro strings from the pre-depth corpus carry no d= key and must keep
+  // parsing as 2D meshes; explicit depth survives the round trip.
+  const ots::FuzzConfig legacy = ots::FuzzConfig::parse("q=2,heads=2,hd=2,b=2,s=2,v=12");
+  EXPECT_EQ(legacy.depth, 1);
+  const ots::FuzzConfig deep = ots::FuzzConfig::parse("q=2,d=2,heads=2,hd=2,b=2,s=2,v=12");
+  EXPECT_EQ(deep.depth, 2);
+  EXPECT_EQ(ots::FuzzConfig::parse(deep.to_string()).depth, 2);
+  EXPECT_NE(deep.to_string().find("d=2"), std::string::npos);
 }
 
 TEST(FuzzConfig, ShrinkCandidatesAreValidAndSmaller) {
@@ -72,8 +87,8 @@ TEST(FuzzConfig, ShrinkCandidatesAreValidAndSmaller) {
     // forces pooled → heap, which alone would count +1), heap counts above
     // pool (pooled is the canonical default).
     const auto cost = [](const ots::FuzzConfig& c) {
-      const std::int64_t size = c.layers + c.q + c.mp + c.batch + c.seq + c.heads + c.head_dim +
-                                c.mlp_ratio + c.vocab + c.threads;
+      const std::int64_t size = c.layers + c.q + c.depth + c.mp + c.batch + c.seq + c.heads +
+                                c.head_dim + c.mlp_ratio + c.vocab + c.threads;
       return 100 * size + 3 * ((c.ckpt_2d ? 1 : 0) + (c.ckpt_1d ? 1 : 0)) +
              (c.pooled_buffers ? 0 : 1) + (c.pipeline_2d ? 0 : 1);
     };

@@ -1,5 +1,5 @@
-// Tests for the 2D mesh: coordinates, row/column communicator membership and
-// cross-mesh collectives.
+// Tests for the 2D / 2.5D mesh: coordinates, row/column/depth communicator
+// membership and cross-mesh collectives.
 
 #include <gtest/gtest.h>
 
@@ -16,6 +16,17 @@ TEST(Mesh, SideComputation) {
   EXPECT_EQ(om::Mesh2D::mesh_side(9), 3);
   EXPECT_EQ(om::Mesh2D::mesh_side(64), 8);
   EXPECT_THROW(om::Mesh2D::mesh_side(6), optimus::util::CheckError);
+}
+
+TEST(Mesh, SideComputationWithDepth) {
+  EXPECT_EQ(om::Mesh2D::mesh_side(2, 2), 1);
+  EXPECT_EQ(om::Mesh2D::mesh_side(8, 2), 2);
+  EXPECT_EQ(om::Mesh2D::mesh_side(27, 3), 3);
+  EXPECT_EQ(om::Mesh2D::mesh_side(4, 1), 2);
+  // World not divisible by depth, and quotient not a perfect square.
+  EXPECT_THROW(om::Mesh2D::mesh_side(9, 2), optimus::util::CheckError);
+  EXPECT_THROW(om::Mesh2D::mesh_side(6, 3), optimus::util::CheckError);
+  EXPECT_THROW(om::Mesh2D::mesh_side(4, 0), optimus::util::CheckError);
 }
 
 namespace {
@@ -86,6 +97,138 @@ TEST(Mesh, RowAndColumnCommsComposeToWorld) {
     mesh.col_comm().broadcast(&v, 1, 0);
     ASSERT_DOUBLE_EQ(v, 7.5);
   });
+}
+
+namespace {
+
+/// (q, d) pairs for the 2.5D sweep.
+class MeshDepthSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+}  // namespace
+
+TEST_P(MeshDepthSweep, DepthCoordinatesFormABijection) {
+  const auto [q, d] = GetParam();
+  oc::run_cluster(q * q * d, [&](oc::Context& ctx) {
+    om::Mesh2D mesh(ctx.world, d);
+    ASSERT_EQ(mesh.q(), q);
+    ASSERT_EQ(mesh.p(), q * q);
+    ASSERT_EQ(mesh.depth(), d);
+    // rank → (row, col, depth) is the depth-major bijection...
+    ASSERT_EQ(mesh.depth_idx(), ctx.rank / (q * q));
+    ASSERT_EQ(mesh.row(), (ctx.rank % (q * q)) / q);
+    ASSERT_EQ(mesh.col(), ctx.rank % q);
+    // ...and rank_of inverts it, both within this layer and explicitly.
+    ASSERT_EQ(mesh.rank_of(mesh.row(), mesh.col()), ctx.rank);
+    ASSERT_EQ(mesh.rank_of(mesh.row(), mesh.col(), mesh.depth_idx()), ctx.rank);
+  });
+}
+
+TEST_P(MeshDepthSweep, GroupsAreHomogeneous) {
+  // Every communicator's world-rank table is exactly the set its direction
+  // promises: row groups vary col, column groups vary row, depth groups vary
+  // only the layer — all anchored at this device's own coordinates.
+  const auto [q, d] = GetParam();
+  oc::run_cluster(q * q * d, [&](oc::Context& ctx) {
+    om::Mesh2D mesh(ctx.world, d);
+    ASSERT_EQ(mesh.row_comm().size(), q);
+    ASSERT_EQ(mesh.col_comm().size(), q);
+    ASSERT_EQ(mesh.row_comm().rank(), mesh.col());
+    ASSERT_EQ(mesh.col_comm().rank(), mesh.row());
+    for (int c = 0; c < q; ++c) {
+      ASSERT_EQ(mesh.row_comm().world_rank_of(c), mesh.rank_of(mesh.row(), c));
+    }
+    for (int r = 0; r < q; ++r) {
+      ASSERT_EQ(mesh.col_comm().world_rank_of(r), mesh.rank_of(r, mesh.col()));
+    }
+    if (d > 1) {
+      ASSERT_EQ(mesh.depth_comm().size(), d);
+      ASSERT_EQ(mesh.depth_comm().rank(), mesh.depth_idx());
+      for (int z = 0; z < d; ++z) {
+        ASSERT_EQ(mesh.depth_comm().world_rank_of(z),
+                  mesh.rank_of(mesh.row(), mesh.col(), z));
+      }
+    }
+  });
+}
+
+TEST_P(MeshDepthSweep, DepthCollectiveStaysWithinDepthGroup) {
+  const auto [q, d] = GetParam();
+  if (d == 1) return;  // no depth group to exercise
+  oc::run_cluster(q * q * d, [&](oc::Context& ctx) {
+    om::Mesh2D mesh(ctx.world, d);
+    std::vector<double> v{static_cast<double>(ctx.rank)};
+    mesh.depth_comm().all_reduce(v.data(), 1);
+    // Sum over the layers sharing my (row, col): Σ_z z·q² + row·q + col.
+    double expected = 0;
+    for (int z = 0; z < d; ++z) expected += z * q * q + mesh.row() * q + mesh.col();
+    ASSERT_DOUBLE_EQ(v[0], expected);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(MeshShapes, MeshDepthSweep,
+                         ::testing::Values(std::pair<int, int>{1, 1},
+                                           std::pair<int, int>{1, 3},
+                                           std::pair<int, int>{2, 1},
+                                           std::pair<int, int>{2, 2},
+                                           std::pair<int, int>{2, 3},
+                                           std::pair<int, int>{3, 2}));
+
+TEST(Mesh, DepthOneTablesMatchThe2DMesh) {
+  // A depth-1 mesh must be indistinguishable from the original 2D mesh: same
+  // group tables bitwise, and no depth communicator at all.
+  const int q = 3;
+  oc::run_cluster(q * q, [&](oc::Context& ctx) {
+    om::Mesh2D legacy(ctx.world);
+    om::Mesh2D meshd(ctx.world, /*depth=*/1);
+    ASSERT_EQ(meshd.depth(), 1);
+    ASSERT_EQ(meshd.depth_idx(), 0);
+    ASSERT_TRUE(meshd.row_comm().group() == legacy.row_comm().group());
+    ASSERT_TRUE(meshd.col_comm().group() == legacy.col_comm().group());
+    ASSERT_EQ(meshd.row(), legacy.row());
+    ASSERT_EQ(meshd.col(), legacy.col());
+    ASSERT_THROW(meshd.depth_comm(), optimus::util::CheckError);
+    ASSERT_THROW(legacy.depth_comm(), optimus::util::CheckError);
+  });
+}
+
+TEST(Mesh, DepthWorldSizeMismatchThrows) {
+  // 6 = 2·3 but 3 is not a perfect square; 8 at depth 3 is not divisible.
+  EXPECT_THROW(oc::run_cluster(6,
+                               [](oc::Context& ctx) {
+                                 om::Mesh2D mesh(ctx.world, 2);
+                                 (void)mesh;
+                               }),
+               optimus::util::CheckError);
+  EXPECT_THROW(oc::run_cluster(8,
+                               [](oc::Context& ctx) {
+                                 om::Mesh2D mesh(ctx.world, 3);
+                                 (void)mesh;
+                               }),
+               optimus::util::CheckError);
+}
+
+TEST(Mesh, ConfigValidationRejectsDepthNonDivisibleShapes) {
+  optimus::model::TransformerConfig cfg;
+  cfg.batch = 2;
+  cfg.seq_len = 4;
+  cfg.hidden = 8;
+  cfg.heads = 2;
+  cfg.vocab = 8;
+  cfg.layers = 1;
+  EXPECT_NO_THROW(cfg.validate_for_mesh(2, 2));
+  // Each depth constraint individually: hidden % q·d, vocab % q·d, and the
+  // token rows b·s/q % d of the weight-gradient AᵀB contraction.
+  auto bad = cfg;
+  bad.hidden = 6;
+  bad.heads = 6;  // keeps hidden % heads and heads % q satisfied
+  EXPECT_THROW(bad.validate_for_mesh(2, 2), optimus::util::CheckError);
+  bad = cfg;
+  bad.vocab = 6;
+  EXPECT_THROW(bad.validate_for_mesh(2, 2), optimus::util::CheckError);
+  bad = cfg;
+  bad.seq_len = 3;
+  EXPECT_THROW(bad.validate_for_mesh(2, 2), optimus::util::CheckError);
+  EXPECT_THROW(cfg.validate_for_mesh(2, 0), optimus::util::CheckError);
 }
 
 TEST(Mesh, ConfigValidationRejectsNonDivisibleShapes) {

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <limits>
 #include <mutex>
+#include <vector>
 
 #include "comm/cluster.hpp"
 #include "mesh/mesh.hpp"
@@ -327,6 +328,167 @@ TEST(SummaPipeline, AllFormsBitwiseIdenticalToBlocking) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// 2.5D (Tesseract) schedule: depth meshes, replica identity and the clock model
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Runs one form on a q×q×d mesh, asserts every depth replica of C is bitwise
+/// identical to layer 0's, and gathers layer 0's blocks into the global C.
+template <typename FormOp>
+DTensor run_form_25d(int q, int d, const DTensor& A_global, const DTensor& B_global,
+                     Shape c_global_shape, bool pipelined, bool accumulate,
+                     const FormOp& op) {
+  DTensor C_global = DTensor::zeros(c_global_shape);
+  std::vector<DTensor> per_rank(static_cast<std::size_t>(q * q * d));
+  std::mutex mu;
+  oc::run_cluster(q * q * d, [&](oc::Context& ctx) {
+    os::PipelineGuard guard(pipelined);
+    om::Mesh2D mesh(ctx.world, d);
+    DTensor A = ot::matrix_block(A_global, q, mesh.row(), mesh.col());
+    DTensor B = ot::matrix_block(B_global, q, mesh.row(), mesh.col());
+    DTensor C(Shape{c_global_shape[0] / q, c_global_shape[1] / q});
+    // Same per-block seeding as run_form so the 2D run is directly comparable.
+    for (ot::index_t i = 0; i < C.numel(); ++i) {
+      C[i] = accumulate ? 0.125 * static_cast<double>(i + mesh.row() + mesh.col()) : 0.0;
+    }
+    ot::Arena ws("ws",
+                 os::workspace_bytes(A.numel(), B.numel(), C.numel(), sizeof(double), d));
+    op(mesh, A, B, C, accumulate, &ws);
+    std::lock_guard<std::mutex> lock(mu);
+    per_rank[static_cast<std::size_t>(ctx.rank)] = C.clone();
+    if (mesh.depth_idx() == 0) {
+      ot::set_matrix_block(C_global, q, mesh.row(), mesh.col(), C);
+    }
+  });
+  // Replica discipline: after the final depth broadcast, every layer's C must
+  // hold exactly the layer-0 bits (rank = z·q² + cell, depth-major).
+  for (int z = 1; z < d; ++z) {
+    for (int cell = 0; cell < q * q; ++cell) {
+      const DTensor& ref = per_rank[static_cast<std::size_t>(cell)];
+      const DTensor& rep = per_rank[static_cast<std::size_t>(z * q * q + cell)];
+      EXPECT_EQ(ref.numel(), rep.numel());
+      for (ot::index_t i = 0; i < ref.numel(); ++i) {
+        EXPECT_EQ(rep[i], ref[i])
+            << "depth replica diverged: layer " << z << " cell " << cell << " elem " << i;
+      }
+    }
+  }
+  return C_global;
+}
+
+struct Summa25dCase {
+  int q, d;
+  bool pipelined;
+  bool accumulate;
+};
+
+class Summa25dSweep : public ::testing::TestWithParam<Summa25dCase> {};
+
+}  // namespace
+
+TEST_P(Summa25dSweep, AllFormsMatchSerialWithBitwiseDepthReplicas) {
+  const auto [q, d, pipelined, accumulate] = GetParam();
+  // Contraction dims must divide q·d: base every global dim on lcm-ish 2q·d·3.
+  const ot::index_t m = static_cast<ot::index_t>(2 * q * d);
+  const ot::index_t k = static_cast<ot::index_t>(3 * q * d);
+  const ot::index_t n = static_cast<ot::index_t>(4 * q * d);
+  optimus::util::Rng rng(70 + 8 * q + d);
+  const auto ab = [](om::Mesh2D& mm, const DTensor& a, const DTensor& b, DTensor& c,
+                     bool acc, ot::Arena* ws) { os::summa_ab(mm, a, b, c, acc, ws); };
+  const auto abt = [](om::Mesh2D& mm, const DTensor& a, const DTensor& b, DTensor& c,
+                      bool acc, ot::Arena* ws) { os::summa_abt(mm, a, b, c, acc, ws); };
+  const auto atb = [](om::Mesh2D& mm, const DTensor& a, const DTensor& b, DTensor& c,
+                      bool acc, ot::Arena* ws) { os::summa_atb(mm, a, b, c, acc, ws); };
+  {
+    DTensor A = optimus::testing::random_dtensor(Shape{m, k}, rng);
+    DTensor B = optimus::testing::random_dtensor(Shape{k, n}, rng);
+    DTensor got = run_form_25d(q, d, A, B, Shape{m, n}, pipelined, accumulate, ab);
+    DTensor want = run_form(q, A, B, Shape{m, n}, pipelined, accumulate, ab);
+    EXPECT_LT(ops::max_abs_diff(got, want), 1e-12) << "ab vs 2D";
+    if (!accumulate) {
+      EXPECT_LT(ops::max_abs_diff(got, ops::matmul(A, B)), 1e-11) << "ab vs serial";
+    }
+  }
+  {
+    DTensor A = optimus::testing::random_dtensor(Shape{m, n}, rng);
+    DTensor B = optimus::testing::random_dtensor(Shape{k, n}, rng);
+    DTensor got = run_form_25d(q, d, A, B, Shape{m, k}, pipelined, accumulate, abt);
+    DTensor want = run_form(q, A, B, Shape{m, k}, pipelined, accumulate, abt);
+    EXPECT_LT(ops::max_abs_diff(got, want), 1e-12) << "abt vs 2D";
+  }
+  {
+    DTensor A = optimus::testing::random_dtensor(Shape{m, n}, rng);
+    DTensor B = optimus::testing::random_dtensor(Shape{m, k}, rng);
+    DTensor got = run_form_25d(q, d, A, B, Shape{n, k}, pipelined, accumulate, atb);
+    DTensor want = run_form(q, A, B, Shape{n, k}, pipelined, accumulate, atb);
+    EXPECT_LT(ops::max_abs_diff(got, want), 1e-12) << "atb vs 2D";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DepthMeshes, Summa25dSweep,
+    ::testing::Values(Summa25dCase{1, 2, false, false}, Summa25dCase{1, 2, true, true},
+                      Summa25dCase{2, 2, false, false}, Summa25dCase{2, 2, false, true},
+                      Summa25dCase{2, 2, true, false}, Summa25dCase{2, 2, true, true},
+                      Summa25dCase{2, 3, true, false}, Summa25dCase{3, 2, true, true}));
+
+TEST(Summa25d, CommunicationVolumeMatchesDepthAccounting) {
+  // At q = 2, d = 2 summa_ab moves q row-broadcasts of half A blocks and q
+  // column-broadcasts of half B blocks (the /d Table-1 terms), then exactly
+  // one depth tree-reduce and one depth broadcast of the C block.
+  const int q = 2, d = 2;
+  auto report = oc::run_cluster(q * q * d, [&](oc::Context& ctx) {
+    om::Mesh2D mesh(ctx.world, d);
+    DTensor a = DTensor::zeros(Shape{4, 6});
+    DTensor b = DTensor::zeros(Shape{6, 8});
+    DTensor c = DTensor::zeros(Shape{4, 8});
+    os::summa_ab(mesh, a, b, c);
+  });
+  const auto& s = report.ranks[0].stats;
+  // Sub-panels: A 4×3 = 12 elems, B 3×8 = 24 elems; C block 32 elems.
+  EXPECT_EQ(s.broadcast.calls, static_cast<std::uint64_t>(2 * q + 1));
+  EXPECT_EQ(s.broadcast.elems, static_cast<std::uint64_t>(q * 12 + q * 24 + 32));
+  EXPECT_EQ(s.reduce.calls, 1u);
+  EXPECT_EQ(s.reduce.elems, 32u);
+}
+
+TEST(Summa25d, SimTimeMatchesDepthPredictor) {
+  // The simulator's clock on a q×q×d mesh must reproduce the 2.5D closed form
+  // — Table-1 terms /d plus the depth-reduction term — exactly, under both
+  // schedules, and the d = 1 predictor must degenerate to the 2D one.
+  namespace opm = optimus::perfmodel;
+  const int q = 2, d = 2;
+  const ot::index_t nb = 96 / q;
+  const auto run_mode = [&](bool pipelined) {
+    const auto report = oc::run_cluster(q * q * d, [&](oc::Context& ctx) {
+      os::PipelineGuard guard(pipelined);
+      om::Mesh2D mesh(ctx.world, d);
+      DTensor A = DTensor::zeros(Shape{nb, nb});
+      DTensor B = DTensor::zeros(Shape{nb, nb});
+      DTensor C = DTensor::zeros(Shape{nb, nb});
+      os::summa_ab(mesh, A, B, C);
+    });
+    return report.max_sim_time();
+  };
+  const double blocking = run_mode(false);
+  const double pipelined = run_mode(true);
+  const oc::Topology topo(q * q * d, /*gpus_per_node=*/4, oc::Arrangement::kBunched, 0);
+  const oc::CostModel cost(topo, oc::MachineParams{});
+  const auto pred = opm::predict_summa25_ab_times(cost, q, d, 96, 96, 96, sizeof(double));
+  EXPECT_NEAR(blocking, pred.blocking_s, 1e-9 * pred.blocking_s);
+  EXPECT_NEAR(pipelined, pred.pipelined_s, 1e-9 * pred.pipelined_s);
+  EXPECT_LT(pipelined, blocking);
+
+  const oc::Topology topo2(q * q, 4, oc::Arrangement::kBunched, 0);
+  const oc::CostModel cost2(topo2, oc::MachineParams{});
+  const auto flat = opm::predict_summa25_ab_times(cost2, q, 1, 96, 96, 96, sizeof(double));
+  const auto flat2d = opm::predict_summa_ab_times(cost2, q, 96, 96, 96, sizeof(double));
+  EXPECT_DOUBLE_EQ(flat.blocking_s, flat2d.blocking_s);
+  EXPECT_DOUBLE_EQ(flat.pipelined_s, flat2d.pipelined_s);
 }
 
 TEST(SummaPipeline, SimTimeMatchesOverlapPredictorAndBeatsBlocking) {
